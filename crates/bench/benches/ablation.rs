@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * STR bulk loading vs. one-at-a-time insertion as the index build for
+//!   the join;
+//! * R-tree fanout;
+//! * the paper's LBC vs. the admissible bound mode;
+//! * Algorithm 1 with and without the extended candidate set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyup_core::cost::SumCost;
+use skyup_core::join::{JoinUpgrader, BoundMode, LowerBound};
+use skyup_core::{upgrade_single, UpgradeConfig};
+use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup_geom::PointStore;
+use skyup_rtree::{RTree, RTreeParams};
+use skyup_skyline::skyline_sfs;
+use std::hint::black_box;
+
+const DIST: Distribution = Distribution::AntiCorrelated;
+
+fn workload() -> (PointStore, PointStore) {
+    (
+        paper_competitors(20_000, 3, DIST, 11),
+        paper_products(2_000, 3, DIST, 12),
+    )
+}
+
+fn join_time(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    rt: &RTree,
+    mode: BoundMode,
+) -> usize {
+    let cost = SumCost::reciprocal(p.dims(), 1e-3);
+    let join = JoinUpgrader::new(p, rp, t, rt, &cost, UpgradeConfig::default(), LowerBound::Conservative)
+        .with_bound_mode(mode);
+    join.take(5).count()
+}
+
+fn bench_build_strategy(c: &mut Criterion) {
+    let (p, t) = workload();
+    let params = RTreeParams::default();
+    let rt = RTree::bulk_load(&t, params);
+
+    let rp_str = RTree::bulk_load(&p, params);
+    c.bench_function("ablation/join_on_str_tree", |b| {
+        b.iter(|| black_box(join_time(&p, &rp_str, &t, &rt, BoundMode::Paper)))
+    });
+
+    let rp_ins = RTree::from_insertion(&p, params);
+    c.bench_function("ablation/join_on_insertion_tree", |b| {
+        b.iter(|| black_box(join_time(&p, &rp_ins, &t, &rt, BoundMode::Paper)))
+    });
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let (p, t) = workload();
+    for fanout in [16usize, 64, 256] {
+        let params = RTreeParams::with_max_entries(fanout);
+        let rp = RTree::bulk_load(&p, params);
+        let rt = RTree::bulk_load(&t, params);
+        c.bench_function(&format!("ablation/fanout/{fanout}"), |b| {
+            b.iter(|| black_box(join_time(&p, &rp, &t, &rt, BoundMode::Paper)))
+        });
+    }
+}
+
+fn bench_bound_mode(c: &mut Criterion) {
+    let (p, t) = workload();
+    let params = RTreeParams::default();
+    let rp = RTree::bulk_load(&p, params);
+    let rt = RTree::bulk_load(&t, params);
+    for (name, mode) in [
+        ("paper", BoundMode::Paper),
+        ("admissible", BoundMode::Admissible),
+    ] {
+        c.bench_function(&format!("ablation/bound_mode/{name}"), |b| {
+            b.iter(|| black_box(join_time(&p, &rp, &t, &rt, mode)))
+        });
+    }
+}
+
+fn bench_extended_candidates(c: &mut Criterion) {
+    let (p, _) = workload();
+    let ids: Vec<_> = p.ids().collect();
+    let skyline = skyline_sfs(&p, &ids);
+    let cost = SumCost::reciprocal(3, 1e-3);
+    let t = [1.5, 1.5, 1.5];
+    for (name, extended) in [("paper", false), ("extended", true)] {
+        let cfg = UpgradeConfig {
+            extended_candidates: extended,
+            ..UpgradeConfig::default()
+        };
+        c.bench_function(&format!("ablation/candidates/{name}"), |b| {
+            b.iter(|| upgrade_single(black_box(&p), black_box(&skyline), &t, &cost, &cfg))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_build_strategy,
+    bench_fanout,
+    bench_bound_mode,
+    bench_extended_candidates
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks for the substrates: R-tree construction
+//! and queries, the skyline algorithms, Algorithm 1, and the LBC
+//! machinery. These are developer benchmarks, not paper figures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skyup_core::cost::SumCost;
+use skyup_core::join::{list_bound, BoundMode, LowerBound};
+use skyup_core::{upgrade_single, UpgradeConfig};
+use skyup_data::synthetic::{generate, Distribution, SyntheticConfig};
+use skyup_geom::{PointStore, Rect};
+use skyup_rtree::{EntryRef, RTree, RTreeParams};
+use skyup_skyline::{dominating_skyline, skyline_bbs, skyline_bnl, skyline_naive, skyline_sfs};
+use std::hint::black_box;
+
+fn anti(n: usize, dims: usize, seed: u64) -> PointStore {
+    generate(n, &SyntheticConfig::unit(dims, Distribution::AntiCorrelated, seed))
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let store = anti(20_000, 3, 1);
+    c.bench_function("rtree/bulk_load/20k", |b| {
+        b.iter(|| RTree::bulk_load(black_box(&store), RTreeParams::default()))
+    });
+
+    let small = anti(2_000, 3, 2);
+    c.bench_function("rtree/insert_build/2k", |b| {
+        b.iter(|| RTree::from_insertion(black_box(&small), RTreeParams::default()))
+    });
+
+    let tree = RTree::bulk_load(&store, RTreeParams::default());
+    let range = Rect::new(&[0.2, 0.2, 0.2], &[0.5, 0.5, 0.5]);
+    c.bench_function("rtree/range_query/20k", |b| {
+        b.iter(|| tree.range_query(black_box(&store), black_box(&range)))
+    });
+}
+
+fn bench_skyline(c: &mut Criterion) {
+    let store = anti(5_000, 3, 3);
+    let ids: Vec<_> = store.ids().collect();
+    let tree = RTree::bulk_load(&store, RTreeParams::default());
+
+    c.bench_function("skyline/naive/1k", |b| {
+        let small: Vec<_> = ids.iter().copied().take(1000).collect();
+        b.iter(|| skyline_naive(black_box(&store), black_box(&small)))
+    });
+    c.bench_function("skyline/bnl/5k", |b| {
+        b.iter(|| skyline_bnl(black_box(&store), black_box(&ids)))
+    });
+    c.bench_function("skyline/sfs/5k", |b| {
+        b.iter(|| skyline_sfs(black_box(&store), black_box(&ids)))
+    });
+    c.bench_function("skyline/bbs/5k", |b| {
+        b.iter(|| skyline_bbs(black_box(&store), black_box(&tree)))
+    });
+    c.bench_function("skyline/dominating/5k", |b| {
+        b.iter(|| dominating_skyline(black_box(&store), black_box(&tree), &[0.9, 0.9, 0.9]))
+    });
+}
+
+fn bench_upgrade(c: &mut Criterion) {
+    let store = anti(5_000, 3, 4);
+    let ids: Vec<_> = store.ids().collect();
+    let skyline = skyline_sfs(&store, &ids);
+    let cost = SumCost::reciprocal(3, 1e-3);
+    let cfg = UpgradeConfig::default();
+    let t = [1.5, 1.5, 1.5];
+    c.bench_function(&format!("upgrade_single/skyline{}", skyline.len()), |b| {
+        b.iter(|| upgrade_single(black_box(&store), black_box(&skyline), &t, &cost, &cfg))
+    });
+}
+
+fn bench_lbc(c: &mut Criterion) {
+    let store = anti(10_000, 3, 5);
+    let tree = RTree::bulk_load(&store, RTreeParams::default());
+    let jl: Vec<EntryRef> = tree.root().entries().collect();
+    let cost = SumCost::reciprocal(3, 1e-3);
+    let t_min = [1.2, 1.2, 1.2];
+    for bound in LowerBound::ALL {
+        c.bench_function(&format!("lbc/list_bound/{}", bound.abbrev()), |b| {
+            b.iter_batched(
+                || jl.clone(),
+                |jl| {
+                    list_bound(
+                        black_box(&t_min),
+                        &jl,
+                        &store,
+                        &tree,
+                        &cost,
+                        bound,
+                        BoundMode::Paper,
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_rtree, bench_skyline, bench_upgrade, bench_lbc);
+criterion_main!(benches);

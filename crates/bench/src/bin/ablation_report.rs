@@ -1,0 +1,165 @@
+//! Ablation report: quantifies the design choices DESIGN.md §8 calls
+//! out, in one table-per-question format.
+//!
+//! 1. STR bulk loading vs. insertion-built competitor trees (join time).
+//! 2. R-tree fanout sweep.
+//! 3. Paper LBC vs. admissible bound mode (join work + time).
+//! 4. Algorithm 1 vs. the exhaustive optimum (optimality gap, paper
+//!    Section VI's open question) and the extended candidate set's
+//!    effect.
+
+use skyup_bench::runner::cost_fn;
+use skyup_bench::{fmt_duration, parse_args, time, Table};
+use skyup_core::cost::CostFunction;
+use skyup_core::join::{BoundMode, JoinUpgrader, LowerBound};
+use skyup_core::{optimal_upgrade, upgrade_single, UpgradeConfig};
+use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup_geom::{PointId, PointStore};
+use skyup_rtree::{RTree, RTreeParams};
+use skyup_skyline::skyline_sfs;
+
+fn main() {
+    let args = parse_args(1.0);
+    println!("Ablation report (seed {})", args.seed);
+    let dist = Distribution::AntiCorrelated;
+    let p = paper_competitors(30_000, 3, dist, args.seed);
+    let t = paper_products(3_000, 3, dist, args.seed + 1);
+    let f = cost_fn(3);
+    let cfg = UpgradeConfig::default();
+
+    // 1. Build strategy.
+    let mut table = Table::new(
+        "1. Competitor index build strategy (join to k=5, CLB)",
+        &["build", "build time", "join time", "leaf fill"],
+    );
+    type BuildFn = fn(&PointStore, RTreeParams) -> RTree;
+    let strategies: [(&str, BuildFn); 2] = [
+        ("STR bulk load", RTree::bulk_load),
+        ("insertion", RTree::from_insertion),
+    ];
+    for (name, build) in strategies {
+        let (build_time, rp) = time(|| build(&p, RTreeParams::default()));
+        let rt = RTree::bulk_load(&t, RTreeParams::default());
+        let (join_time, _) = time(|| {
+            JoinUpgrader::new(&p, &rp, &t, &rt, &f, cfg, LowerBound::Conservative)
+                .take(5)
+                .count()
+        });
+        table.row(&[
+            name.into(),
+            fmt_duration(build_time),
+            fmt_duration(join_time),
+            format!("{:.2}", rp.stats().avg_leaf_fill),
+        ]);
+    }
+    println!("{table}");
+
+    // 2. Fanout sweep.
+    let mut table = Table::new(
+        "2. R-tree fanout (join to k=5, CLB)",
+        &["fanout", "join time", "tree height"],
+    );
+    for fanout in [16usize, 32, 64, 128, 256] {
+        let params = RTreeParams::with_max_entries(fanout);
+        let rp = RTree::bulk_load(&p, params);
+        let rt = RTree::bulk_load(&t, params);
+        let (join_time, _) = time(|| {
+            JoinUpgrader::new(&p, &rp, &t, &rt, &f, cfg, LowerBound::Conservative)
+                .take(5)
+                .count()
+        });
+        table.row(&[
+            fanout.to_string(),
+            fmt_duration(join_time),
+            rp.height().to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // 3. Bound mode.
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    let mut table = Table::new(
+        "3. Paper LBC vs admissible bound (k=5, per strategy)",
+        &["bound", "mode", "time", "exact upgrades", "P-nodes expanded"],
+    );
+    for bound in LowerBound::ALL {
+        for (mode_name, mode) in [("paper", BoundMode::Paper), ("admissible", BoundMode::Admissible)]
+        {
+            let mut join = JoinUpgrader::new(&p, &rp, &t, &rt, &f, cfg, bound)
+                .with_bound_mode(mode);
+            let (elapsed, _) = time(|| join.by_ref().take(5).count());
+            let stats = join.stats();
+            table.row(&[
+                bound.abbrev().into(),
+                mode_name.into(),
+                fmt_duration(elapsed),
+                stats.exact_upgrades.to_string(),
+                stats.p_nodes_expanded.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // 4. Algorithm 1 optimality gap on small random instances.
+    let mut table = Table::new(
+        "4. Algorithm 1 vs exhaustive optimum (200 random instances, d=2..3)",
+        &["candidates", "mean gap %", "max gap %", "instances with gap"],
+    );
+    for (name, extended) in [("paper", false), ("extended", true)] {
+        let mut run_cfg = cfg;
+        run_cfg.extended_candidates = extended;
+        let (mean, max, count) = optimality_gap(&run_cfg, &f, args.seed);
+        table.row(&[
+            name.into(),
+            format!("{:.3}", mean * 100.0),
+            format!("{:.3}", max * 100.0),
+            count.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Measures Algorithm 1's relative optimality gap over random small
+/// instances. Returns `(mean_gap, max_gap, instances_with_gap)`.
+fn optimality_gap<C: CostFunction + ?Sized>(
+    cfg: &UpgradeConfig,
+    _f: &C,
+    seed: u64,
+) -> (f64, f64, usize) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut gaps: Vec<f64> = Vec::new();
+    for case in 0..200 {
+        let dims = 2 + case % 2;
+        let f = cost_fn(dims);
+        let mut store = PointStore::new(dims);
+        for _ in 0..12 {
+            let p: Vec<f64> = (0..dims).map(|_| 0.8 * next()).collect();
+            store.push(&p);
+        }
+        let t: Vec<f64> = (0..dims).map(|_| 0.85 + 0.1 * next()).collect();
+        let dominators: Vec<PointId> = store
+            .iter()
+            .filter(|(_, c)| skyup_geom::dominance::dominates(c, &t))
+            .map(|(id, _)| id)
+            .collect();
+        let sky = skyline_sfs(&store, &dominators);
+        if sky.is_empty() {
+            continue;
+        }
+        let (alg, _) = upgrade_single(&store, &sky, &t, &f, cfg);
+        let (opt, _) = optimal_upgrade(&store, &sky, &t, &f, cfg);
+        let gap = if opt > 0.0 { (alg - opt) / opt } else { 0.0 };
+        gaps.push(gap.max(0.0));
+    }
+    let with_gap = gaps.iter().filter(|&&g| g > 1e-9).count();
+    let mean = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+    let max = gaps.iter().copied().fold(0.0, f64::max);
+    (mean, max, with_gap)
+}

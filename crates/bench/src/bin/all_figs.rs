@@ -1,0 +1,34 @@
+//! Runs every figure reproduction in sequence (at each figure's default
+//! scale unless overridden with `--scale` / `SKYUP_SCALE`).
+
+use skyup_bench::figures::{large_figure, progressive_figure, small_figure};
+use skyup_bench::parse_args;
+use skyup_data::synthetic::Distribution;
+
+fn main() {
+    // Each figure family has its own sensible default scale; an explicit
+    // --scale or SKYUP_SCALE overrides all of them.
+    let explicit = std::env::args().any(|a| a == "--scale")
+        || std::env::var("SKYUP_SCALE").is_ok();
+    let pick = |default: f64| {
+        let mut args = parse_args(default);
+        if !explicit {
+            args.scale = default;
+        }
+        args
+    };
+
+    println!("=== Figure 4 & 5: run `fig4` and `fig5` directly (wine data) ===");
+    println!("\n=== Figure 6 ===");
+    small_figure(Distribution::AntiCorrelated, &pick(0.01));
+    println!("\n=== Figure 7 ===");
+    small_figure(Distribution::Independent, &pick(0.01));
+    println!("\n=== Figure 8 ===");
+    large_figure(Distribution::AntiCorrelated, &pick(0.05));
+    println!("\n=== Figure 9 ===");
+    large_figure(Distribution::Independent, &pick(0.05));
+    println!("\n=== Figure 10 ===");
+    progressive_figure(Distribution::AntiCorrelated, &pick(0.05));
+    println!("\n=== Figure 11 ===");
+    progressive_figure(Distribution::Independent, &pick(0.05));
+}

@@ -1,0 +1,12 @@
+//! Figure 11: progressiveness on the large independent workload — time
+//! to the k-th result, k = 1..20, under each lower bound.
+
+use skyup_bench::figures::progressive_figure;
+use skyup_bench::parse_args;
+use skyup_data::synthetic::Distribution;
+
+fn main() {
+    let args = parse_args(0.05);
+    println!("Figure 11 — progressiveness, independent");
+    progressive_figure(Distribution::Independent, &args);
+}

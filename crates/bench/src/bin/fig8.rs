@@ -1,0 +1,15 @@
+//! Figure 8: large synthetic data sets with anti-correlated dimensions —
+//! the join under NLB / CLB / ALB. Panels: vary |P|, vary |T|, vary d.
+//!
+//! Only the (fast) join runs here, so the default scale is 0.05; pass
+//! `--scale 1` for the paper's 2,000K-point runs.
+
+use skyup_bench::figures::large_figure;
+use skyup_bench::parse_args;
+use skyup_data::synthetic::Distribution;
+
+fn main() {
+    let args = parse_args(0.05);
+    println!("Figure 8 — anti-correlated large synthetic");
+    large_figure(Distribution::AntiCorrelated, &args);
+}

@@ -1,0 +1,12 @@
+//! Figure 9: large synthetic data sets with independent dimensions —
+//! the join under NLB / CLB / ALB. Panels: vary |P|, vary |T|, vary d.
+
+use skyup_bench::figures::large_figure;
+use skyup_bench::parse_args;
+use skyup_data::synthetic::Distribution;
+
+fn main() {
+    let args = parse_args(0.05);
+    println!("Figure 9 — independent large synthetic");
+    large_figure(Distribution::Independent, &args);
+}

@@ -1,0 +1,153 @@
+//! Shared figure drivers for the synthetic-data experiments
+//! (Figures 6–11). Each paper figure is one distribution fed to one of
+//! these drivers.
+
+use crate::harness::{fmt_duration, BenchArgs};
+use crate::params::{k_sweep, LargeParams, SmallParams};
+use crate::report::Table;
+use crate::runner::{build_trees, progressive_times, run_improved, run_join};
+use skyup_core::join::LowerBound;
+use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
+
+/// Figures 6–7: improved probing vs. join (NLB) on small synthetic data.
+/// Panels: (a) vary |P|, (b) vary |T|, (c) vary d.
+pub fn small_figure(dist: Distribution, args: &BenchArgs) {
+    let params = SmallParams::new(args);
+    println!(
+        "small synthetic, {} distribution, scale {} (|P|*={}, |T|*={}, d*={})",
+        dist.name(),
+        args.scale,
+        params.p_default,
+        params.t_default,
+        params.d_default
+    );
+
+    // Panel (a): vary |P|.
+    let mut table = Table::new("(a) vary |P|", &["|P|", "improved probing", "join-NLB"]);
+    for (i, &np) in SmallParams::p_sweep(args).iter().enumerate() {
+        let p = paper_competitors(np, params.d_default, dist, args.seed + i as u64);
+        let t = paper_products(params.t_default, params.d_default, dist, args.seed + 1000);
+        let (rp, rt) = build_trees(&p, &t);
+        let probing = run_improved(&p, &rp, &t, 1);
+        let join = run_join(&p, &rp, &t, &rt, 1, LowerBound::Naive);
+        table.row(&[np.to_string(), fmt_duration(probing), fmt_duration(join)]);
+    }
+    println!("{table}");
+
+    // Panel (b): vary |T|.
+    let mut table = Table::new("(b) vary |T|", &["|T|", "improved probing", "join-NLB"]);
+    let p = paper_competitors(params.p_default, params.d_default, dist, args.seed);
+    for (i, &nt) in SmallParams::t_sweep(args).iter().enumerate() {
+        let t = paper_products(nt, params.d_default, dist, args.seed + 2000 + i as u64);
+        let (rp, rt) = build_trees(&p, &t);
+        let probing = run_improved(&p, &rp, &t, 1);
+        let join = run_join(&p, &rp, &t, &rt, 1, LowerBound::Naive);
+        table.row(&[nt.to_string(), fmt_duration(probing), fmt_duration(join)]);
+    }
+    println!("{table}");
+
+    // Panel (c): vary d.
+    let mut table = Table::new("(c) vary d", &["d", "improved probing", "join-NLB"]);
+    for &d in &SmallParams::d_sweep() {
+        let p = paper_competitors(params.p_default, d, dist, args.seed + d as u64);
+        let t = paper_products(params.t_default, d, dist, args.seed + 3000 + d as u64);
+        let (rp, rt) = build_trees(&p, &t);
+        let probing = run_improved(&p, &rp, &t, 1);
+        let join = run_join(&p, &rp, &t, &rt, 1, LowerBound::Naive);
+        table.row(&[d.to_string(), fmt_duration(probing), fmt_duration(join)]);
+    }
+    println!("{table}");
+    println!("expected shape: join faster by orders of magnitude; probing grows with |T| and d");
+}
+
+/// Figures 8–9: the three lower bounds on large synthetic data.
+/// Panels: (a) vary |P|, (b) vary |T|, (c) vary d.
+pub fn large_figure(dist: Distribution, args: &BenchArgs) {
+    let params = LargeParams::new(args);
+    println!(
+        "large synthetic, {} distribution, scale {} (|P|*={}, |T|*={}, d*={})",
+        dist.name(),
+        args.scale,
+        params.p_default,
+        params.t_default,
+        params.d_default
+    );
+
+    let run_bounds = |p: &skyup_geom::PointStore, t: &skyup_geom::PointStore| -> Vec<String> {
+        let (rp, rt) = build_trees(p, t);
+        LowerBound::ALL
+            .iter()
+            .map(|&b| fmt_duration(run_join(p, &rp, t, &rt, 1, b)))
+            .collect()
+    };
+
+    let mut table = Table::new("(a) vary |P|", &["|P|", "NLB", "CLB", "ALB"]);
+    for (i, &np) in LargeParams::p_sweep(args).iter().enumerate() {
+        let p = paper_competitors(np, params.d_default, dist, args.seed + i as u64);
+        let t = paper_products(params.t_default, params.d_default, dist, args.seed + 1000);
+        let cells = run_bounds(&p, &t);
+        table.row(&[np.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    println!("{table}");
+
+    let mut table = Table::new("(b) vary |T|", &["|T|", "NLB", "CLB", "ALB"]);
+    let p = paper_competitors(params.p_default, params.d_default, dist, args.seed);
+    for (i, &nt) in LargeParams::t_sweep(args).iter().enumerate() {
+        let t = paper_products(nt, params.d_default, dist, args.seed + 2000 + i as u64);
+        let cells = run_bounds(&p, &t);
+        table.row(&[nt.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    println!("{table}");
+
+    let mut table = Table::new("(c) vary d", &["d", "NLB", "CLB", "ALB"]);
+    for &d in &LargeParams::d_sweep() {
+        let p = paper_competitors(params.p_default, d, dist, args.seed + d as u64);
+        let t = paper_products(params.t_default, d, dist, args.seed + 3000 + d as u64);
+        let cells = run_bounds(&p, &t);
+        table.row(&[d.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: roughly linear in |P|; flat in |T|; growing with d \
+         (marked increase at d = 6); ALB slightly ahead on anti-correlated data"
+    );
+}
+
+/// Figures 10–11: progressiveness on large synthetic data — time to the
+/// k-th result for k = 1..20 under each bound.
+pub fn progressive_figure(dist: Distribution, args: &BenchArgs) {
+    let params = LargeParams::new(args);
+    println!(
+        "progressiveness, {} distribution, scale {} (|P|={}, |T|={}, d={})",
+        dist.name(),
+        args.scale,
+        params.p_default,
+        params.t_default,
+        params.d_default
+    );
+
+    let p = paper_competitors(params.p_default, params.d_default, dist, args.seed);
+    let t = paper_products(params.t_default, params.d_default, dist, args.seed + 1);
+    let (rp, rt) = build_trees(&p, &t);
+
+    let ks = k_sweep();
+    let series: Vec<Vec<(usize, std::time::Duration)>> = LowerBound::ALL
+        .iter()
+        .map(|&b| progressive_times(&p, &rp, &t, &rt, &ks, b))
+        .collect();
+
+    let mut table = Table::new("Time to k-th result", &["k", "NLB", "CLB", "ALB"]);
+    for (i, &k) in ks.iter().enumerate() {
+        table.row(&[
+            k.to_string(),
+            fmt_duration(series[0][i].1),
+            fmt_duration(series[1][i].1),
+            fmt_duration(series[2][i].1),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: NLB degrades past k = 5 on anti-correlated data; \
+         CLB/ALB grow gently; little separation on independent data"
+    );
+}

@@ -1,0 +1,110 @@
+//! Timing and CLI plumbing shared by the figure binaries.
+
+use std::time::{Duration, Instant};
+
+/// Arguments common to every figure binary.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchArgs {
+    /// Cardinality multiplier relative to the paper's settings.
+    pub scale: f64,
+    /// Base RNG seed; sweeps derive per-point seeds from it.
+    pub seed: u64,
+}
+
+/// Parses `--scale <f>` and `--seed <n>` from `std::env::args`, falling
+/// back to the `SKYUP_SCALE` / `SKYUP_SEED` environment variables and
+/// then to `default_scale` / `2012`.
+///
+/// # Panics
+/// Panics with a usage message on malformed arguments.
+pub fn parse_args(default_scale: f64) -> BenchArgs {
+    let mut scale = std::env::var("SKYUP_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_scale);
+    let mut seed = std::env::var("SKYUP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2012);
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("usage: --scale <float>"));
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("usage: --seed <u64>"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other}; supported: --scale <f>, --seed <n>"),
+        }
+    }
+    assert!(scale > 0.0, "scale must be positive");
+    BenchArgs { scale, seed }
+}
+
+impl BenchArgs {
+    /// Applies the scale to a paper cardinality, keeping at least 100
+    /// points so every workload stays meaningful.
+    pub fn scaled(&self, paper_cardinality: usize) -> usize {
+        ((paper_cardinality as f64 * self.scale) as usize).max(100)
+    }
+}
+
+/// Runs `f` once and returns `(duration, result)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Formats a duration in adaptive units, matching how the paper's plots
+/// span milliseconds to kiloseconds.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_cardinalities_floor_at_100() {
+        let a = BenchArgs {
+            scale: 0.001,
+            seed: 0,
+        };
+        assert_eq!(a.scaled(1_000_000), 1000);
+        assert_eq!(a.scaled(10_000), 100);
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (d, v) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert!(fmt_duration(Duration::from_micros(7)).ends_with("µs"));
+    }
+}

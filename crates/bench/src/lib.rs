@@ -1,0 +1,30 @@
+//! Benchmark harness regenerating every figure of the paper's
+//! empirical study (Section IV).
+//!
+//! Each figure has a dedicated binary (`fig4` … `fig11`) that builds the
+//! figure's workload, runs the algorithms the figure compares, and
+//! prints the same series the paper plots. `all_figs` runs everything.
+//!
+//! Absolute times will differ from the paper (Rust on this machine vs.
+//! Java on a 2011 desktop); the *shapes* — which algorithm wins, by
+//! roughly what factor, and how curves grow — are what EXPERIMENTS.md
+//! tracks.
+//!
+//! # Scale
+//!
+//! The paper's largest runs use |P| = 2,000,000. Every binary accepts a
+//! `--scale <f>` argument (or the `SKYUP_SCALE` environment variable)
+//! multiplying all cardinalities; each figure has a default chosen so a
+//! full run finishes in minutes on a laptop. `--scale 1` reproduces
+//! paper-scale cardinalities. The printed header always records the
+//! scale used.
+
+pub mod figures;
+pub mod harness;
+pub mod params;
+pub mod report;
+pub mod runner;
+
+pub use harness::{fmt_duration, parse_args, time, BenchArgs};
+pub use params::{k_sweep, LargeParams, SmallParams};
+pub use report::Table;

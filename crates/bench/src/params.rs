@@ -1,0 +1,116 @@
+//! The paper's parameter grids (Tables IV and V), with scaling applied.
+
+use crate::harness::BenchArgs;
+
+/// Table IV — small synthetic data sets (Figures 6–7). Defaults bold in
+/// the paper: |P| = 1,000K, |T| = 100K, d = 2.
+#[derive(Clone, Copy, Debug)]
+pub struct SmallParams {
+    /// Scaled default competitor cardinality.
+    pub p_default: usize,
+    /// Scaled default product cardinality.
+    pub t_default: usize,
+    /// Default dimensionality.
+    pub d_default: usize,
+}
+
+impl SmallParams {
+    /// Applies `args.scale` to Table IV's defaults.
+    pub fn new(args: &BenchArgs) -> Self {
+        Self {
+            p_default: args.scaled(1_000_000),
+            t_default: args.scaled(100_000),
+            d_default: 2,
+        }
+    }
+
+    /// The |P| sweep: 100K … 1,000K (paper), scaled.
+    pub fn p_sweep(args: &BenchArgs) -> Vec<usize> {
+        (1..=10).map(|i| args.scaled(i * 100_000)).collect()
+    }
+
+    /// The |T| sweep: 10K … 100K (paper), scaled.
+    pub fn t_sweep(args: &BenchArgs) -> Vec<usize> {
+        (1..=10).map(|i| args.scaled(i * 10_000)).collect()
+    }
+
+    /// The dimensionality sweep: 2 … 5.
+    pub fn d_sweep() -> Vec<usize> {
+        vec![2, 3, 4, 5]
+    }
+}
+
+/// Table V — large synthetic data sets (Figures 8–11). Defaults bold in
+/// the paper: |P| = 1,000K, |T| = 100K, d = 5.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeParams {
+    /// Scaled default competitor cardinality.
+    pub p_default: usize,
+    /// Scaled default product cardinality.
+    pub t_default: usize,
+    /// Default dimensionality.
+    pub d_default: usize,
+}
+
+impl LargeParams {
+    /// Applies `args.scale` to Table V's defaults.
+    pub fn new(args: &BenchArgs) -> Self {
+        Self {
+            p_default: args.scaled(1_000_000),
+            t_default: args.scaled(100_000),
+            d_default: 5,
+        }
+    }
+
+    /// The |P| sweep: 500K, 1,000K, 1,500K, 2,000K (paper), scaled.
+    pub fn p_sweep(args: &BenchArgs) -> Vec<usize> {
+        [500_000, 1_000_000, 1_500_000, 2_000_000]
+            .iter()
+            .map(|&n| args.scaled(n))
+            .collect()
+    }
+
+    /// The |T| sweep: 50K, 100K, 150K, 200K (paper), scaled.
+    pub fn t_sweep(args: &BenchArgs) -> Vec<usize> {
+        [50_000, 100_000, 150_000, 200_000]
+            .iter()
+            .map(|&n| args.scaled(n))
+            .collect()
+    }
+
+    /// The dimensionality sweep: 3 … 6.
+    pub fn d_sweep() -> Vec<usize> {
+        vec![3, 4, 5, 6]
+    }
+}
+
+/// The `k` values of the progressiveness figures (5, 10, 11).
+pub fn k_sweep() -> Vec<usize> {
+    vec![1, 5, 10, 15, 20]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_scale_monotonically() {
+        let args = BenchArgs {
+            scale: 0.01,
+            seed: 0,
+        };
+        let p = SmallParams::p_sweep(&args);
+        assert_eq!(p.len(), 10);
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(p[0], 1000);
+        assert_eq!(p[9], 10_000);
+        let large = LargeParams::new(&args);
+        assert_eq!(large.p_default, 10_000);
+        assert_eq!(large.d_default, 5);
+    }
+
+    #[test]
+    fn k_sweep_matches_paper() {
+        assert_eq!(k_sweep(), vec![1, 5, 10, 15, 20]);
+    }
+}

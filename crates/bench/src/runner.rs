@@ -1,0 +1,114 @@
+//! Shared algorithm drivers for the figure binaries.
+
+use skyup_core::cost::SumCost;
+use skyup_core::join::{JoinUpgrader, LowerBound};
+use skyup_core::{basic_probing_topk, improved_probing_topk, UpgradeConfig};
+use skyup_geom::PointStore;
+use skyup_rtree::{RTree, RTreeParams};
+use std::time::{Duration, Instant};
+
+/// The attribute cost regularizer used across all experiments
+/// (`f_a(v) = 1/(v + ε)`, Section IV-A).
+pub const COST_EPS: f64 = 1e-3;
+
+/// Builds the experiment cost function for `dims` dimensions.
+pub fn cost_fn(dims: usize) -> SumCost {
+    SumCost::reciprocal(dims, COST_EPS)
+}
+
+/// Bulk-loads the R-trees for both sets with default fanout. The paper
+/// excludes data loading from its measurements; callers time only the
+/// algorithm runs.
+pub fn build_trees(p: &PointStore, t: &PointStore) -> (RTree, RTree) {
+    (
+        RTree::bulk_load(p, RTreeParams::default()),
+        RTree::bulk_load(t, RTreeParams::default()),
+    )
+}
+
+/// Times one basic-probing top-k run.
+pub fn run_basic(p: &PointStore, rp: &RTree, t: &PointStore, k: usize) -> Duration {
+    let f = cost_fn(p.dims());
+    let start = Instant::now();
+    let out = basic_probing_topk(p, rp, t, k, &f, &UpgradeConfig::default());
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    elapsed
+}
+
+/// Times one improved-probing top-k run.
+pub fn run_improved(p: &PointStore, rp: &RTree, t: &PointStore, k: usize) -> Duration {
+    let f = cost_fn(p.dims());
+    let start = Instant::now();
+    let out = improved_probing_topk(p, rp, t, k, &f, &UpgradeConfig::default());
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    elapsed
+}
+
+/// Times one join top-k run with the given lower bound.
+pub fn run_join(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    rt: &RTree,
+    k: usize,
+    bound: LowerBound,
+) -> Duration {
+    let f = cost_fn(p.dims());
+    let start = Instant::now();
+    let join = JoinUpgrader::new(p, rp, t, rt, &f, UpgradeConfig::default(), bound);
+    let out: Vec<_> = join.take(k).collect();
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    elapsed
+}
+
+/// Measures the join's progressiveness: for each `k` in `ks` (ascending),
+/// the elapsed time from the start of the join until the `k`-th result
+/// is available — exactly the measurement of Figures 5, 10, and 11.
+pub fn progressive_times(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    rt: &RTree,
+    ks: &[usize],
+    bound: LowerBound,
+) -> Vec<(usize, Duration)> {
+    debug_assert!(ks.windows(2).all(|w| w[0] < w[1]), "ks must be ascending");
+    let f = cost_fn(p.dims());
+    let mut out = Vec::with_capacity(ks.len());
+    let start = Instant::now();
+    let mut join = JoinUpgrader::new(p, rp, t, rt, &f, UpgradeConfig::default(), bound);
+    let mut produced = 0usize;
+    for &k in ks {
+        while produced < k {
+            if join.next().is_none() {
+                break;
+            }
+            produced += 1;
+        }
+        out.push((k, start.elapsed()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
+
+    #[test]
+    fn drivers_run_end_to_end() {
+        let p = paper_competitors(2000, 2, Distribution::Independent, 1);
+        let t = paper_products(300, 2, Distribution::Independent, 2);
+        let (rp, rt) = build_trees(&p, &t);
+        let d_basic = run_basic(&p, &rp, &t, 1);
+        let d_imp = run_improved(&p, &rp, &t, 1);
+        let d_join = run_join(&p, &rp, &t, &rt, 1, LowerBound::Conservative);
+        assert!(d_basic.as_nanos() > 0 && d_imp.as_nanos() > 0 && d_join.as_nanos() > 0);
+        let prog = progressive_times(&p, &rp, &t, &rt, &[1, 5, 10], LowerBound::Naive);
+        assert_eq!(prog.len(), 3);
+        assert!(prog.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

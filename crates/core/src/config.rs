@@ -1,0 +1,64 @@
+//! Tuning knobs shared by all upgrading algorithms.
+
+/// Configuration for the upgrading algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpgradeConfig {
+    /// The strict-improvement margin ε of Algorithm 1: an upgraded value
+    /// is placed `ε` below the competitor value it must beat. Must be
+    /// positive and small relative to the data scale.
+    pub epsilon: f64,
+
+    /// When `true`, Algorithm 1 additionally evaluates the "beyond the
+    /// last skyline point" candidate on every sort dimension (match the
+    /// last skyline point on all other dimensions and keep the original
+    /// value on the sort dimension). The paper's pseudo code stops at
+    /// consecutive pairs; the extra candidate preserves correctness and
+    /// can only lower the reported cost. Off by default for fidelity;
+    /// the ablation bench measures its effect.
+    pub extended_candidates: bool,
+}
+
+impl UpgradeConfig {
+    /// Creates a configuration with the given ε.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and positive.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be finite and positive"
+        );
+        Self {
+            epsilon,
+            extended_candidates: false,
+        }
+    }
+}
+
+impl Default for UpgradeConfig {
+    /// `epsilon = 1e-6`, paper-faithful candidate enumeration.
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-6,
+            extended_candidates: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = UpgradeConfig::default();
+        assert!(c.epsilon > 0.0);
+        assert!(!c.extended_candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_epsilon() {
+        let _ = UpgradeConfig::with_epsilon(0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Upgrading under engineering constraints (library extension).
+//!
+//! Real upgrades hit physical and regulatory limits: a phone's weight
+//! cannot drop below the battery's, a wine's sulphates cannot go to
+//! zero. This module extends Algorithm 1 with **per-dimension floors**:
+//! an upgraded value on dimension `x` may not go below `floors[x]`.
+//! With floors, some products may be impossible to make competitive —
+//! the function then returns `None` instead of a plan.
+//!
+//! The candidate enumeration mirrors Algorithm 1 (single-dimension and
+//! consecutive-pair candidates, clamped to the floor), but each
+//! candidate must now be re-checked for feasibility: clamping can put a
+//! candidate back inside some competitor's dominance region.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore};
+
+/// The outcome of a floor-constrained upgrade attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstrainedUpgrade {
+    /// The upgrading cost `f_p(upgraded) − f_p(original)`.
+    pub cost: f64,
+    /// The upgraded attribute values (respecting all floors).
+    pub upgraded: Vec<f64>,
+}
+
+/// Computes the cheapest floor-respecting upgrade of `t` against
+/// `skyline` (the skyline of `t`'s dominators), or `None` when no
+/// considered candidate escapes domination within the floors.
+///
+/// With `floors` all `-inf` this returns exactly
+/// [`crate::upgrade_single`]'s answer.
+///
+/// # Panics
+/// Panics if `floors.len() != t.len()` or if some `floors[x] > t[x]`
+/// (the product already violates its own floor).
+pub fn upgrade_single_with_floors<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    floors: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> Option<ConstrainedUpgrade> {
+    let dims = t.len();
+    assert_eq!(floors.len(), dims, "one floor per dimension");
+    assert!(
+        floors.iter().zip(t).all(|(&f, &v)| f <= v),
+        "product already below a floor"
+    );
+    if skyline.is_empty() {
+        return Some(ConstrainedUpgrade {
+            cost: 0.0,
+            upgraded: t.to_vec(),
+        });
+    }
+
+    let eps = cfg.epsilon;
+    let base = cost_fn.product_cost(t);
+    let feasible = |candidate: &[f64]| -> bool {
+        !skyline
+            .iter()
+            .any(|&s| dominates(p_store.point(s), candidate))
+    };
+
+    let mut best: Option<ConstrainedUpgrade> = None;
+    let consider = |candidate: &[f64], cost: f64, best: &mut Option<ConstrainedUpgrade>| {
+        if !feasible(candidate) {
+            return;
+        }
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            *best = Some(ConstrainedUpgrade {
+                cost,
+                upgraded: candidate.to_vec(),
+            });
+        }
+    };
+
+    let mut order: Vec<PointId> = skyline.to_vec();
+    let mut candidate = vec![0.0; dims];
+    for k in 0..dims {
+        order.sort_by(|&a, &b| p_store.point(a)[k].total_cmp(&p_store.point(b)[k]));
+
+        // Single-dimension candidate, clamped to the floor.
+        let s_min = p_store.point(order[0]);
+        candidate.copy_from_slice(t);
+        candidate[k] = (s_min[k] - eps).min(t[k]).max(floors[k]);
+        let cost = cost_fn.product_cost(&candidate) - base;
+        consider(&candidate, cost, &mut best);
+
+        // Pair candidates.
+        for w in order.windows(2) {
+            let s_i = p_store.point(w[0]);
+            let s_j = p_store.point(w[1]);
+            for x in 0..dims {
+                let bound = if x == k { s_j[x] } else { s_i[x] };
+                candidate[x] = (bound - eps).min(t[x]).max(floors[x]);
+            }
+            let cost = cost_fn.product_cost(&candidate) - base;
+            consider(&candidate, cost, &mut best);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+    use crate::upgrade::upgrade_single;
+
+    fn cfg() -> UpgradeConfig {
+        UpgradeConfig::with_epsilon(1e-4)
+    }
+
+    #[test]
+    fn no_floors_matches_algorithm_one() {
+        let mut p = PointStore::new(2);
+        let sky = vec![
+            p.push(&[0.1, 0.5]),
+            p.push(&[0.3, 0.3]),
+            p.push(&[0.5, 0.1]),
+        ];
+        let t = [0.8, 0.8];
+        let f = SumCost::reciprocal(2, 1e-2);
+        let unconstrained = upgrade_single(&p, &sky, &t, &f, &cfg());
+        let floored = upgrade_single_with_floors(
+            &p,
+            &sky,
+            &t,
+            &[f64::NEG_INFINITY, f64::NEG_INFINITY],
+            &f,
+            &cfg(),
+        )
+        .unwrap();
+        assert!((floored.cost - unconstrained.0).abs() < 1e-12);
+        assert_eq!(floored.upgraded, unconstrained.1);
+    }
+
+    #[test]
+    fn binding_floor_changes_the_plan() {
+        let mut p = PointStore::new(2);
+        // One dominator; unconstrained would escape cheaply via dim 0.
+        let s = p.push(&[0.5, 0.2]);
+        let t = [0.6, 0.8];
+        let f = SumCost::reciprocal(2, 1e-2);
+        let unconstrained = upgrade_single(&p, &[s], &t, &f, &cfg());
+        assert!(unconstrained.1[0] < 0.5, "baseline escapes via dim 0");
+
+        // Dim 0 cannot go below 0.55: must escape via dim 1 instead.
+        let floored =
+            upgrade_single_with_floors(&p, &[s], &t, &[0.55, f64::NEG_INFINITY], &f, &cfg())
+                .unwrap();
+        assert!(floored.upgraded[0] >= 0.55);
+        assert!(floored.upgraded[1] < 0.2, "escape moved to dim 1");
+        assert!(floored.cost >= unconstrained.0, "constraints cannot be cheaper");
+        // Still non-dominated.
+        assert!(!dominates(p.point(s), &floored.upgraded));
+    }
+
+    #[test]
+    fn infeasible_when_floors_trap_the_product() {
+        let mut p = PointStore::new(2);
+        // Dominator strictly better than any floor-respecting value.
+        let s = p.push(&[0.1, 0.1]);
+        let t = [0.8, 0.8];
+        let f = SumCost::reciprocal(2, 1e-2);
+        let out = upgrade_single_with_floors(&p, &[s], &t, &[0.5, 0.5], &f, &cfg());
+        assert_eq!(out, None, "no floor-respecting escape exists");
+    }
+
+    #[test]
+    fn floor_exactly_at_escape_value_is_feasible() {
+        let mut p = PointStore::new(2);
+        let s = p.push(&[0.5, 0.5]);
+        let t = [0.8, 0.8];
+        let f = SumCost::reciprocal(2, 1e-2);
+        // Floor below the needed 0.5 - eps: feasible.
+        let out =
+            upgrade_single_with_floors(&p, &[s], &t, &[0.4999, f64::NEG_INFINITY], &f, &cfg());
+        assert!(out.is_some());
+        // Floor exactly at 0.5: candidate clamps to 0.5, which ties the
+        // dominator on dim 0 and loses on dim 1 -> still dominated,
+        // escape must use dim 1; with both floors at 0.5 nothing works.
+        let out = upgrade_single_with_floors(&p, &[s], &t, &[0.5, 0.5], &f, &cfg());
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "below a floor")]
+    fn product_below_floor_rejected() {
+        let p = PointStore::new(1);
+        let f = SumCost::reciprocal(1, 1e-2);
+        let _ = upgrade_single_with_floors(&p, &[], &[0.2], &[0.5], &f, &cfg());
+    }
+
+    #[test]
+    fn empty_skyline_free_even_with_floors() {
+        let p = PointStore::new(2);
+        let f = SumCost::reciprocal(2, 1e-2);
+        let out =
+            upgrade_single_with_floors(&p, &[], &[0.7, 0.7], &[0.6, 0.6], &f, &cfg()).unwrap();
+        assert_eq!(out.cost, 0.0);
+    }
+}

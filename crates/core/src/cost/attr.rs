@@ -1,0 +1,133 @@
+//! Attribute cost functions (paper Definition 4).
+
+/// The cost of achieving a given value on one attribute.
+///
+/// For the paper's algorithms to be correct the function must be
+/// **non-increasing** in the attribute value: with smaller-is-better
+/// semantics, a better (smaller) value costs at least as much to
+/// manufacture. All built-in implementations satisfy this.
+pub trait AttributeCost: Send + Sync {
+    /// The manufacturing cost of attribute value `v`.
+    fn eval(&self, v: f64) -> f64;
+}
+
+/// `f_a(v) = 1 / (v + ε)` — the function used throughout the paper's
+/// empirical study (Section IV-A). Strictly decreasing on `v > -ε`; the
+/// cost explodes as the attribute approaches its ideal value `0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReciprocalCost {
+    /// Regularizer keeping the cost finite at `v = 0`.
+    pub eps: f64,
+}
+
+impl ReciprocalCost {
+    /// Creates the function; `eps` must be positive.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0, "ReciprocalCost requires eps > 0");
+        Self { eps }
+    }
+}
+
+impl AttributeCost for ReciprocalCost {
+    #[inline]
+    fn eval(&self, v: f64) -> f64 {
+        1.0 / (v + self.eps)
+    }
+}
+
+/// `f_a(v) = base − slope · v` with `slope >= 0` — a linear cost where
+/// each unit of quality improvement costs the same.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearCost {
+    /// Cost at `v = 0` (the ideal value).
+    pub base: f64,
+    /// Cost saved per unit of attribute value; must be non-negative.
+    pub slope: f64,
+}
+
+impl LinearCost {
+    /// Creates the function; `slope` must be non-negative.
+    pub fn new(base: f64, slope: f64) -> Self {
+        assert!(slope >= 0.0, "LinearCost requires slope >= 0");
+        Self { base, slope }
+    }
+}
+
+impl AttributeCost for LinearCost {
+    #[inline]
+    fn eval(&self, v: f64) -> f64 {
+        self.base - self.slope * v
+    }
+}
+
+/// `f_a(v) = scale · (v + ε)^(−exponent)` — a generalized reciprocal
+/// with tunable steepness; `exponent = 1` recovers a scaled
+/// [`ReciprocalCost`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerCost {
+    /// Multiplicative scale; must be positive.
+    pub scale: f64,
+    /// Decay exponent; must be positive.
+    pub exponent: f64,
+    /// Regularizer keeping the cost finite at `v = 0`.
+    pub eps: f64,
+}
+
+impl PowerCost {
+    /// Creates the function with positivity checks on all parameters.
+    pub fn new(scale: f64, exponent: f64, eps: f64) -> Self {
+        assert!(scale > 0.0 && exponent > 0.0 && eps > 0.0);
+        Self {
+            scale,
+            exponent,
+            eps,
+        }
+    }
+}
+
+impl AttributeCost for PowerCost {
+    #[inline]
+    fn eval(&self, v: f64) -> f64 {
+        self.scale * (v + self.eps).powf(-self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_values() {
+        let f = ReciprocalCost::new(0.5);
+        assert_eq!(f.eval(0.5), 1.0);
+        assert!(f.eval(0.0) > f.eval(1.0));
+    }
+
+    #[test]
+    fn linear_values() {
+        let f = LinearCost::new(10.0, 2.0);
+        assert_eq!(f.eval(0.0), 10.0);
+        assert_eq!(f.eval(1.0), 8.0);
+    }
+
+    #[test]
+    fn power_generalizes_reciprocal() {
+        let p = PowerCost::new(1.0, 1.0, 0.25);
+        let r = ReciprocalCost::new(0.25);
+        for v in [0.0, 0.3, 1.0, 1.7] {
+            assert!((p.eval(v) - r.eval(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eps > 0")]
+    fn reciprocal_rejects_zero_eps() {
+        let _ = ReciprocalCost::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slope >= 0")]
+    fn linear_rejects_negative_slope() {
+        let _ = LinearCost::new(1.0, -1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cost-model diagnostics.
+//!
+//! Every algorithm in this crate assumes the product cost function is
+//! *monotone*: `p₁ ≺ p₂ ⇒ f_p(p₁) ≥ f_p(p₂)` (paper Section I-C). A
+//! user-supplied cost model that violates this silently breaks the
+//! lower bounds and Algorithm 1's candidate pruning. This module checks
+//! the assumption against concrete data before a workload runs.
+
+use crate::cost::CostFunction;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore};
+
+/// A witnessed monotonicity violation: `better` dominates `worse` but
+/// was assigned a *lower* product cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonotonicityViolation {
+    /// The dominating (better) point.
+    pub better: PointId,
+    /// The dominated (worse) point.
+    pub worse: PointId,
+    /// `f_p(better)`.
+    pub better_cost: f64,
+    /// `f_p(worse)`.
+    pub worse_cost: f64,
+}
+
+impl std::fmt::Display for MonotonicityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} dominates {} but costs {} < {}",
+            self.better, self.worse, self.better_cost, self.worse_cost
+        )
+    }
+}
+
+/// Checks `cost_fn` for monotonicity over every dominance-comparable
+/// pair among the first `sample_limit` points of `store` (pass
+/// `usize::MAX` to check all pairs — `O(n²)`). Returns the first
+/// violation found, or `Ok(())`.
+pub fn verify_monotone_on<C: CostFunction + ?Sized>(
+    cost_fn: &C,
+    store: &PointStore,
+    sample_limit: usize,
+) -> Result<(), MonotonicityViolation> {
+    let n = store.len().min(sample_limit);
+    let tol = 1e-9;
+    for i in 0..n {
+        let a = PointId(i as u32);
+        let pa = store.point(a);
+        let ca = cost_fn.product_cost(pa);
+        for j in (i + 1)..n {
+            let b = PointId(j as u32);
+            let pb = store.point(b);
+            if dominates(pa, pb) {
+                let cb = cost_fn.product_cost(pb);
+                if ca + tol < cb {
+                    return Err(MonotonicityViolation {
+                        better: a,
+                        worse: b,
+                        better_cost: ca,
+                        worse_cost: cb,
+                    });
+                }
+            } else if dominates(pb, pa) {
+                let cb = cost_fn.product_cost(pb);
+                if cb + tol < ca {
+                    return Err(MonotonicityViolation {
+                        better: b,
+                        worse: a,
+                        better_cost: cb,
+                        worse_cost: ca,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks monotonicity along every coordinate axis on a grid over
+/// `[lo, hi]^dims` — cheaper than the pairwise check and catches
+/// per-attribute violations directly: for each dimension, the attribute
+/// cost must be non-increasing.
+pub fn verify_monotone_axes<C: CostFunction + ?Sized>(
+    cost_fn: &C,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Result<(), (usize, f64, f64)> {
+    assert!(steps >= 2 && lo < hi);
+    let step = (hi - lo) / (steps - 1) as f64;
+    for dim in 0..cost_fn.dims() {
+        let mut prev = cost_fn.attr_cost(dim, lo);
+        for i in 1..steps {
+            let v = lo + step * i as f64;
+            let c = cost_fn.attr_cost(dim, v);
+            if c > prev + 1e-9 {
+                return Err((dim, v - step, v));
+            }
+            prev = c;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AttributeCost, SumCost};
+
+    /// A deliberately broken cost: cheaper to be better on dim 0.
+    struct Increasing;
+    impl AttributeCost for Increasing {
+        fn eval(&self, v: f64) -> f64 {
+            v
+        }
+    }
+
+    #[test]
+    fn reciprocal_passes_both_checks() {
+        let f = SumCost::reciprocal(2, 1e-2);
+        let store = PointStore::from_rows(
+            2,
+            vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.2, 0.9], vec![0.3, 0.3]],
+        );
+        assert!(verify_monotone_on(&f, &store, usize::MAX).is_ok());
+        assert!(verify_monotone_axes(&f, 0.0, 2.0, 64).is_ok());
+    }
+
+    #[test]
+    fn broken_cost_caught_pairwise() {
+        let f = SumCost::new(vec![Box::new(Increasing), Box::new(Increasing)]);
+        let store = PointStore::from_rows(2, vec![vec![0.1, 0.1], vec![0.9, 0.9]]);
+        let err = verify_monotone_on(&f, &store, usize::MAX).unwrap_err();
+        assert_eq!(err.better, PointId(0));
+        assert_eq!(err.worse, PointId(1));
+        assert!(err.better_cost < err.worse_cost);
+        assert!(err.to_string().contains("dominates"));
+    }
+
+    #[test]
+    fn broken_cost_caught_on_axes() {
+        let f = SumCost::new(vec![Box::new(Increasing)]);
+        let (dim, a, b) = verify_monotone_axes(&f, 0.0, 1.0, 16).unwrap_err();
+        assert_eq!(dim, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn incomparable_pairs_never_flagged() {
+        // Costs wildly different on incomparable points are fine.
+        let f = SumCost::reciprocal(2, 1e-3);
+        let store = PointStore::from_rows(2, vec![vec![0.001, 0.9], vec![0.9, 0.001]]);
+        assert!(verify_monotone_on(&f, &store, usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn sample_limit_respected() {
+        let f = SumCost::new(vec![Box::new(Increasing)]);
+        let store = PointStore::from_rows(1, vec![vec![0.5], vec![0.6]]);
+        // Limiting to 1 point checks no pairs at all.
+        assert!(verify_monotone_on(&f, &store, 1).is_ok());
+        assert!(verify_monotone_on(&f, &store, 2).is_err());
+    }
+}

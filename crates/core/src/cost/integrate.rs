@@ -1,0 +1,163 @@
+//! Integration functions: from attribute costs to product costs
+//! (paper Definitions 5–6, Equations 1–2).
+
+use super::attr::{AttributeCost, ReciprocalCost};
+
+/// A product cost function `f_p` together with access to its
+/// per-dimension attribute components `f_p.f_a^k` (Algorithm 1 needs
+/// both).
+pub trait CostFunction: Send + Sync {
+    /// The dimensionality of products this function applies to.
+    fn dims(&self) -> usize;
+
+    /// The attribute cost `f_a^k(v)` on dimension `dim` — including any
+    /// weight the integration applies to that dimension, so that
+    /// `product_cost(p) = Σ_k attr_cost(k, p[k])`.
+    fn attr_cost(&self, dim: usize, v: f64) -> f64;
+
+    /// The product cost `f_p(p)`.
+    ///
+    /// # Panics
+    /// May panic (debug) if `p.len() != self.dims()`.
+    fn product_cost(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dims());
+        p.iter()
+            .enumerate()
+            .map(|(k, &v)| self.attr_cost(k, v))
+            .sum()
+    }
+}
+
+/// The summation integration `F^sum` (Equation 1): the product cost is
+/// the plain sum of the attribute costs.
+pub struct SumCost {
+    attrs: Vec<Box<dyn AttributeCost>>,
+}
+
+impl SumCost {
+    /// Integrates the given attribute cost functions, one per dimension.
+    pub fn new(attrs: Vec<Box<dyn AttributeCost>>) -> Self {
+        assert!(!attrs.is_empty(), "need at least one dimension");
+        Self { attrs }
+    }
+
+    /// The paper's experimental configuration: `f_a^i(v) = 1/(v + ε)` on
+    /// every one of `dims` dimensions.
+    pub fn reciprocal(dims: usize, eps: f64) -> Self {
+        Self::new(
+            (0..dims)
+                .map(|_| Box::new(ReciprocalCost::new(eps)) as Box<dyn AttributeCost>)
+                .collect(),
+        )
+    }
+}
+
+impl CostFunction for SumCost {
+    fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    #[inline]
+    fn attr_cost(&self, dim: usize, v: f64) -> f64 {
+        self.attrs[dim].eval(v)
+    }
+}
+
+/// The weighted summation integration `F^wgt` (Equation 2):
+/// `f_p(p) = Σ_i w_i · f_a^i(p.d_i)` with non-negative weights.
+pub struct WeightedSumCost {
+    attrs: Vec<Box<dyn AttributeCost>>,
+    weights: Vec<f64>,
+}
+
+impl WeightedSumCost {
+    /// Integrates attribute cost functions with per-dimension weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, the set is empty, or any weight is
+    /// negative or non-finite.
+    pub fn new(attrs: Vec<Box<dyn AttributeCost>>, weights: Vec<f64>) -> Self {
+        assert!(!attrs.is_empty(), "need at least one dimension");
+        assert_eq!(attrs.len(), weights.len(), "one weight per dimension");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self { attrs, weights }
+    }
+
+    /// Weighted reciprocal costs, the weighted analogue of
+    /// [`SumCost::reciprocal`].
+    pub fn reciprocal(weights: &[f64], eps: f64) -> Self {
+        Self::new(
+            weights
+                .iter()
+                .map(|_| Box::new(ReciprocalCost::new(eps)) as Box<dyn AttributeCost>)
+                .collect(),
+            weights.to_vec(),
+        )
+    }
+}
+
+impl CostFunction for WeightedSumCost {
+    fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    #[inline]
+    fn attr_cost(&self, dim: usize, v: f64) -> f64 {
+        self.weights[dim] * self.attrs[dim].eval(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCost;
+
+    #[test]
+    fn sum_cost_adds_components() {
+        let f = SumCost::new(vec![
+            Box::new(LinearCost::new(10.0, 1.0)),
+            Box::new(LinearCost::new(20.0, 2.0)),
+        ]);
+        assert_eq!(f.dims(), 2);
+        assert_eq!(f.product_cost(&[1.0, 2.0]), 9.0 + 16.0);
+        assert_eq!(f.attr_cost(0, 1.0), 9.0);
+        assert_eq!(f.attr_cost(1, 2.0), 16.0);
+    }
+
+    #[test]
+    fn weighted_sum_applies_weights() {
+        let f = WeightedSumCost::new(
+            vec![
+                Box::new(LinearCost::new(10.0, 0.0)),
+                Box::new(LinearCost::new(10.0, 0.0)),
+            ],
+            vec![1.0, 3.0],
+        );
+        assert_eq!(f.product_cost(&[0.0, 0.0]), 10.0 + 30.0);
+        assert_eq!(f.attr_cost(1, 0.0), 30.0);
+    }
+
+    #[test]
+    fn zero_weight_mutes_dimension() {
+        let f = WeightedSumCost::reciprocal(&[1.0, 0.0], 1e-3);
+        let cheap = f.product_cost(&[0.5, 0.0]);
+        let same = f.product_cost(&[0.5, 100.0]);
+        assert_eq!(cheap, same);
+    }
+
+    #[test]
+    fn reciprocal_constructor_matches_paper() {
+        let f = SumCost::reciprocal(3, 0.5);
+        // Each dimension contributes 1/(v + 0.5).
+        assert!((f.product_cost(&[0.5, 0.5, 0.5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per dimension")]
+    fn weight_length_mismatch_panics() {
+        let _ = WeightedSumCost::new(vec![Box::new(LinearCost::new(1.0, 0.0))], vec![1.0, 2.0]);
+    }
+}

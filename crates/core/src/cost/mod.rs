@@ -1,0 +1,71 @@
+//! Cost-function framework (paper Definitions 4–6).
+//!
+//! An *attribute cost function* `f_a : D_i → ℝ` gives the manufacturing
+//! cost of achieving a particular value on one quality attribute. An
+//! *integration function* combines the per-attribute functions into a
+//! *product cost function* `f_p : 𝒟 → ℝ`. The paper's algorithms require
+//! `f_p` to be **monotone**: `p₁ ≺ p₂ ⇒ f_p(p₁) ≥ f_p(p₂)` — a dominating
+//! (better) product never costs less to build. With smaller-is-better
+//! dimensions this holds whenever every attribute cost function is
+//! non-increasing in the attribute value.
+
+mod attr;
+pub mod diagnostics;
+mod integrate;
+
+pub use attr::{AttributeCost, LinearCost, PowerCost, ReciprocalCost};
+pub use diagnostics::{verify_monotone_axes, verify_monotone_on, MonotonicityViolation};
+pub use integrate::{CostFunction, SumCost, WeightedSumCost};
+
+/// Samples `f` on a grid to check it is non-increasing over `[lo, hi]`.
+/// A cheap guard used by constructors in debug builds and by tests; not
+/// a proof.
+pub fn is_non_increasing(f: &dyn AttributeCost, lo: f64, hi: f64, samples: usize) -> bool {
+    assert!(samples >= 2 && lo < hi);
+    let step = (hi - lo) / (samples - 1) as f64;
+    let mut prev = f.eval(lo);
+    for i in 1..samples {
+        let v = f.eval(lo + step * i as f64);
+        if v > prev + 1e-12 {
+            return false;
+        }
+        prev = v;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_functions_are_monotone() {
+        let r = ReciprocalCost::new(1e-3);
+        let l = LinearCost::new(10.0, 2.0);
+        let p = PowerCost::new(1.0, 2.0, 1e-3);
+        assert!(is_non_increasing(&r, 0.0, 2.0, 100));
+        assert!(is_non_increasing(&l, 0.0, 2.0, 100));
+        assert!(is_non_increasing(&p, 0.0, 2.0, 100));
+    }
+
+    #[test]
+    fn increasing_function_detected() {
+        struct Bad;
+        impl AttributeCost for Bad {
+            fn eval(&self, v: f64) -> f64 {
+                v
+            }
+        }
+        assert!(!is_non_increasing(&Bad, 0.0, 1.0, 10));
+    }
+
+    #[test]
+    fn product_cost_monotone_under_dominance() {
+        use skyup_geom::dominance::dominates;
+        let f = SumCost::reciprocal(3, 1e-3);
+        let better = [0.1, 0.2, 0.3];
+        let worse = [0.2, 0.2, 0.4];
+        assert!(dominates(&better, &worse));
+        assert!(f.product_cost(&better) >= f.product_cost(&worse));
+    }
+}

@@ -1,0 +1,276 @@
+//! Upgrading over discrete attribute domains (the paper's first
+//! research direction in Section VI).
+//!
+//! Many quality attributes are not continuously tunable: camera
+//! resolutions come in sensor steps, hotel star ratings in halves,
+//! battery capacities in cell sizes. This module reruns Algorithm 1's
+//! candidate enumeration over **per-dimension level sets**: instead of
+//! beating a competitor value `v` by the infinitesimal `ε`, an upgraded
+//! attribute snaps to the *largest allowed level strictly below `v`*.
+//! Ordered categorical attributes are handled by encoding categories as
+//! their rank (best = smallest), with one cost-table entry per level.
+//!
+//! Because snapping can overshoot (there may be no level just below a
+//! competitor), each candidate is feasibility-checked explicitly, and a
+//! product may be impossible to upgrade within its domain — the
+//! function then returns `None`.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore};
+
+/// The allowed values of every dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiscreteDomains {
+    levels: Vec<Vec<f64>>,
+}
+
+impl DiscreteDomains {
+    /// Creates domains from per-dimension level lists.
+    ///
+    /// # Panics
+    /// Panics if any list is empty, unsorted, non-finite, or contains
+    /// duplicates.
+    pub fn new(levels: Vec<Vec<f64>>) -> Self {
+        assert!(!levels.is_empty(), "need at least one dimension");
+        for (d, ls) in levels.iter().enumerate() {
+            assert!(!ls.is_empty(), "dimension {d} has no levels");
+            assert!(
+                ls.iter().all(|v| v.is_finite()),
+                "dimension {d} has non-finite levels"
+            );
+            assert!(
+                ls.windows(2).all(|w| w[0] < w[1]),
+                "dimension {d} levels must be strictly ascending"
+            );
+        }
+        Self { levels }
+    }
+
+    /// Uniformly spaced levels `lo, lo+step, …` per dimension — handy
+    /// for tests and for quantizing continuous data.
+    pub fn uniform(dims: usize, lo: f64, step: f64, count: usize) -> Self {
+        assert!(step > 0.0 && count > 0);
+        Self::new(
+            (0..dims)
+                .map(|_| (0..count).map(|i| lo + step * i as f64).collect())
+                .collect(),
+        )
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels of one dimension.
+    pub fn levels(&self, dim: usize) -> &[f64] {
+        &self.levels[dim]
+    }
+
+    /// The largest allowed level strictly below `v` on `dim`.
+    pub fn snap_below(&self, dim: usize, v: f64) -> Option<f64> {
+        let ls = &self.levels[dim];
+        match ls.partition_point(|&l| l < v) {
+            0 => None,
+            i => Some(ls[i - 1]),
+        }
+    }
+
+    /// Whether `p` uses only allowed levels.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .enumerate()
+            .all(|(d, &v)| self.levels[d].binary_search_by(|l| l.total_cmp(&v)).is_ok())
+    }
+}
+
+/// Computes the cheapest discrete-domain upgrade of `t` against
+/// `skyline`, or `None` when no candidate in the domain escapes
+/// domination. `t` itself must lie on the domain grid.
+pub fn upgrade_single_discrete<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    domains: &DiscreteDomains,
+    cost_fn: &C,
+    _cfg: &UpgradeConfig,
+) -> Option<(f64, Vec<f64>)> {
+    let dims = t.len();
+    assert_eq!(domains.dims(), dims, "domain dimensionality mismatch");
+    debug_assert!(domains.contains(t), "product must lie on the domain grid");
+    if skyline.is_empty() {
+        return Some((0.0, t.to_vec()));
+    }
+
+    let base = cost_fn.product_cost(t);
+    let feasible = |candidate: &[f64]| -> bool {
+        !skyline
+            .iter()
+            .any(|&s| dominates(p_store.point(s), candidate))
+    };
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let consider = |candidate: &[f64], best: &mut Option<(f64, Vec<f64>)>| {
+        if !feasible(candidate) {
+            return;
+        }
+        let cost = cost_fn.product_cost(candidate) - base;
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            *best = Some((cost, candidate.to_vec()));
+        }
+    };
+
+    let mut order: Vec<PointId> = skyline.to_vec();
+    let mut candidate = vec![0.0; dims];
+    for k in 0..dims {
+        order.sort_by(|&a, &b| p_store.point(a)[k].total_cmp(&p_store.point(b)[k]));
+
+        // Single-dimension candidate: snap below the best competitor.
+        if let Some(v) = domains.snap_below(k, p_store.point(order[0])[k]) {
+            candidate.copy_from_slice(t);
+            candidate[k] = v.min(t[k]);
+            consider(&candidate, &mut best);
+        }
+
+        // Pair candidates: snap below s_j on D_k, below s_i elsewhere.
+        for w in order.windows(2) {
+            let s_i = p_store.point(w[0]);
+            let s_j = p_store.point(w[1]);
+            for x in 0..dims {
+                let bound = if x == k { s_j[x] } else { s_i[x] };
+                match domains.snap_below(x, bound) {
+                    Some(v) => candidate[x] = v.min(t[x]),
+                    // No level below the bound: keep t's own value; the
+                    // feasibility check decides whether that suffices.
+                    None => candidate[x] = t[x],
+                }
+            }
+            consider(&candidate, &mut best);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+    use crate::upgrade_single;
+
+    fn cfg() -> UpgradeConfig {
+        UpgradeConfig::with_epsilon(1e-6)
+    }
+
+    #[test]
+    fn snap_below_semantics() {
+        let d = DiscreteDomains::new(vec![vec![1.0, 2.0, 3.0]]);
+        assert_eq!(d.snap_below(0, 2.5), Some(2.0));
+        assert_eq!(d.snap_below(0, 2.0), Some(1.0)); // strictly below
+        assert_eq!(d.snap_below(0, 1.0), None);
+        assert_eq!(d.snap_below(0, 100.0), Some(3.0));
+    }
+
+    #[test]
+    fn phone_camera_steps() {
+        // Camera megapixels negated (larger better): levels -5..-1.
+        // Competitor has -4 (4 MP); our phone has -2 (2 MP) and must jump
+        // to -5 (5 MP) to beat it on that dimension.
+        let mut p = PointStore::new(2);
+        let s = p.push(&[150.0, -4.0]); // weight 150g, 4 MP
+        let t = [160.0, -2.0];
+        let domains = DiscreteDomains::new(vec![
+            (80..=250).step_by(10).map(|w| w as f64).collect(), // weight in 10g steps
+            vec![-5.0, -4.0, -3.0, -2.0, -1.0],                 // megapixels
+        ]);
+        let f = SumCost::new(vec![
+            Box::new(crate::cost::LinearCost::new(500.0, 1.0)),
+            Box::new(crate::cost::LinearCost::new(100.0, 10.0)),
+        ]);
+        let (cost, up) =
+            upgrade_single_discrete(&p, &[s], &t, &domains, &f, &cfg()).expect("feasible");
+        assert!(domains.contains(&up));
+        assert!(!dominates(p.point(s), &up));
+        assert!(cost > 0.0);
+        // Two escapes possible: weight to 140g (cost 20) or camera to
+        // -5 (cost 30). The cheaper weight cut wins.
+        assert_eq!(up, vec![140.0, -2.0]);
+        assert!((cost - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_feasible_level_returns_none() {
+        let mut p = PointStore::new(2);
+        // Competitor sits at the domain's best corner.
+        let s = p.push(&[1.0, 1.0]);
+        let t = [3.0, 3.0];
+        let domains = DiscreteDomains::new(vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]);
+        let f = SumCost::reciprocal(2, 1e-2);
+        assert_eq!(
+            upgrade_single_discrete(&p, &[s], &t, &domains, &f, &cfg()),
+            None
+        );
+    }
+
+    #[test]
+    fn dense_grid_approaches_continuous_answer() {
+        let mut p = PointStore::new(2);
+        let sky = vec![
+            p.push(&[0.2, 0.6]),
+            p.push(&[0.4, 0.4]),
+            p.push(&[0.6, 0.2]),
+        ];
+        let t = [0.8, 0.8];
+        let f = SumCost::reciprocal(2, 1e-2);
+        let (cont_cost, _) = upgrade_single(&p, &sky, &t, &f, &cfg());
+        // A very fine grid: the discrete answer converges from above.
+        let domains = DiscreteDomains::uniform(2, 0.0, 0.0005, 2000);
+        // Quantize t onto the grid (0.8 is representable).
+        let (disc_cost, up) =
+            upgrade_single_discrete(&p, &sky, &t, &domains, &f, &cfg()).expect("feasible");
+        assert!(domains.contains(&up));
+        assert!(disc_cost >= cont_cost - 1e-9);
+        assert!(
+            (disc_cost - cont_cost).abs() < 0.05 * cont_cost.max(1.0),
+            "dense grid should be close: {disc_cost} vs {cont_cost}"
+        );
+    }
+
+    #[test]
+    fn already_competitive_is_free() {
+        let p = PointStore::new(2);
+        let domains = DiscreteDomains::uniform(2, 0.0, 1.0, 5);
+        let f = SumCost::reciprocal(2, 1e-2);
+        let out = upgrade_single_discrete(&p, &[], &[2.0, 2.0], &domains, &f, &cfg()).unwrap();
+        assert_eq!(out.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_levels_rejected() {
+        let _ = DiscreteDomains::new(vec![vec![2.0, 1.0]]);
+    }
+
+    #[test]
+    fn categorical_encoding_example() {
+        // Hotel star rating: categories {1*,2*,3*,4*,5*} encoded as
+        // negated rank (larger better). Upgrading a 2* hotel against a
+        // 4* competitor with equal price must jump to 5*.
+        let mut p = PointStore::new(2);
+        let s = p.push(&[100.0, -4.0]);
+        let t = [100.0, -2.0];
+        let domains = DiscreteDomains::new(vec![
+            (50..=200).step_by(25).map(|v| v as f64).collect(),
+            vec![-5.0, -4.0, -3.0, -2.0, -1.0],
+        ]);
+        let f = SumCost::new(vec![
+            Box::new(crate::cost::LinearCost::new(300.0, 1.0)),
+            Box::new(crate::cost::LinearCost::new(50.0, 5.0)),
+        ]);
+        let (_, up) =
+            upgrade_single_discrete(&p, &[s], &t, &domains, &f, &cfg()).expect("feasible");
+        assert!(!dominates(p.point(s), &up));
+        // Either price drops below 100 (to 75) or stars reach 5.
+        assert!(up == vec![75.0, -2.0] || up == vec![100.0, -5.0]);
+    }
+}

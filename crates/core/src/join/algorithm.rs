@@ -1,0 +1,381 @@
+//! Algorithm 4: the progressive R-tree × R-tree upgrading join.
+//!
+//! A min-heap orders `R_T` entries by the lower-bound upgrading cost
+//! `LBC(e_T, e_T.JL)`. Processing the top entry either
+//!
+//! * **returns a result** — the entry is a single product whose exact
+//!   upgrade has already been computed and whose cost is now the global
+//!   minimum among everything left in the heap;
+//! * **resolves a product** — a leaf product's join list is collapsed
+//!   into the skyline of its dominators (constrained BBS over the JL
+//!   subtrees) and Algorithm 1 computes its exact upgrade, which is
+//!   pushed back with the exact cost (lines 9–11);
+//! * **expands the `R_T` node** (Heuristic 1, `LBC = 0`): each child
+//!   inherits the subset of the join list overlapping its own
+//!   anti-dominant region (lines 13–20);
+//! * **expands one join-list entry** (Heuristic 2, `LBC > 0`): the
+//!   chosen `R_P` node is replaced by its children, each screened by the
+//!   ADR test and a mutual-dominance check against the rest of the list
+//!   (lines 22–32). Heuristic 3 picks the non-leaf entry with the
+//!   smallest positive `LBC(e_T, e)` (NLB/CLB); Heuristic 4 picks one
+//!   achieving the aggressive bound (ALB).
+//!
+//! The paper leaves one situation implicit: `LBC > 0` but every
+//! join-list entry is already a point. No `R_P` expansion is possible,
+//! so the `R_T` node is expanded instead (the only sound progress step);
+//! a leaf product in the same situation is simply resolved.
+
+use super::bounds::{entry_bound, list_bound, BoundMode, LowerBound};
+use super::heap::JoinHeapEntry;
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::result::UpgradeResult;
+use crate::upgrade::upgrade_single;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{OrderedF64, PointStore};
+use skyup_rtree::{EntryRef, RTree};
+use skyup_skyline::dominating_skyline_from;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Instrumentation counters exposed by [`JoinUpgrader::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// `R_T` nodes expanded (Heuristic 1 or the all-points fallback).
+    pub t_nodes_expanded: u64,
+    /// `R_P` nodes expanded out of join lists (Heuristic 2).
+    pub p_nodes_expanded: u64,
+    /// Exact upgrades computed with Algorithm 1.
+    pub exact_upgrades: u64,
+    /// Total heap pushes.
+    pub heap_pushes: u64,
+    /// Join-list entries dropped by the mutual-dominance check.
+    pub jl_entries_pruned: u64,
+    /// Results emitted so far.
+    pub results_emitted: u64,
+}
+
+/// The progressive join (Algorithm 4), exposed as an [`Iterator`] that
+/// yields upgrades in ascending cost order. Take `k` items for a top-k
+/// answer; the join does only the work needed for the results actually
+/// consumed, which is the progressiveness property Figures 5, 10, and 11
+/// measure.
+pub struct JoinUpgrader<'a, C: CostFunction + ?Sized> {
+    p_store: &'a PointStore,
+    p_tree: &'a RTree,
+    t_store: &'a PointStore,
+    t_tree: &'a RTree,
+    cost_fn: &'a C,
+    cfg: UpgradeConfig,
+    bound: LowerBound,
+    mode: BoundMode,
+    heap: BinaryHeap<Reverse<JoinHeapEntry>>,
+    seq: u64,
+    stats: JoinStats,
+}
+
+impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
+    /// Creates the join over competitor tree `p_tree` (indexing
+    /// `p_store`) and product tree `t_tree` (indexing `t_store`).
+    ///
+    /// # Panics
+    /// Panics if the stores' dimensionalities differ or a tree does not
+    /// match its store's cardinality.
+    pub fn new(
+        p_store: &'a PointStore,
+        p_tree: &'a RTree,
+        t_store: &'a PointStore,
+        t_tree: &'a RTree,
+        cost_fn: &'a C,
+        cfg: UpgradeConfig,
+        bound: LowerBound,
+    ) -> Self {
+        assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+        assert_eq!(p_tree.len(), p_store.len(), "R_P does not index all of P");
+        assert_eq!(t_tree.len(), t_store.len(), "R_T does not index all of T");
+
+        let mut join = Self {
+            p_store,
+            p_tree,
+            t_store,
+            t_tree,
+            cost_fn,
+            cfg,
+            bound,
+            mode: BoundMode::default(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: JoinStats::default(),
+        };
+
+        // Line 2: enheap(⟨{R_P.root}, R_T.root, null, ∞⟩) — we compute
+        // the real initial bound instead of ∞, which is equivalent (the
+        // first pop recomputes it anyway) but keeps the heap keys honest.
+        if !t_tree.is_empty() {
+            let target = EntryRef::Node(t_tree.root_id());
+            let jl = if p_tree.is_empty() {
+                Vec::new()
+            } else {
+                let t_max = join.t_hi(target);
+                let root = EntryRef::Node(p_tree.root_id());
+                if join.p_overlaps_adr(root, t_max) {
+                    vec![root]
+                } else {
+                    Vec::new()
+                }
+            };
+            join.push(target, jl, None);
+        }
+        join
+    }
+
+    /// The lower-bound strategy in use.
+    pub fn lower_bound(&self) -> LowerBound {
+        self.bound
+    }
+
+    /// Switches the per-entry bound between the paper's `LBC` (default)
+    /// and the admissible single-dimension-escape bound. Must be called
+    /// before consuming any results: the root entry's key is recomputed.
+    pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
+        assert_eq!(
+            self.stats.results_emitted, 0,
+            "bound mode must be chosen before iteration starts"
+        );
+        self.mode = mode;
+        // Re-key the initial heap content (at most the root entry).
+        let entries: Vec<_> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        for e in entries {
+            match e.resolved {
+                Some(coords) => self.push(e.target, e.jl, Some((e.cost.get(), coords))),
+                None => self.push(e.target, e.jl, None),
+            }
+        }
+        self
+    }
+
+    /// The bound mode in use.
+    pub fn bound_mode(&self) -> BoundMode {
+        self.mode
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    fn t_lo(&self, e: EntryRef) -> &[f64] {
+        self.t_tree.entry_lo(self.t_store, e)
+    }
+
+    fn t_hi(&self, e: EntryRef) -> &[f64] {
+        self.t_tree.entry_hi(self.t_store, e)
+    }
+
+    /// Whether `R_P` entry `e` overlaps `ADR(t_max)` — i.e. may contain
+    /// dominators of a product bounded above by `t_max`.
+    fn p_overlaps_adr(&self, e: EntryRef, t_max: &[f64]) -> bool {
+        let lo = self.p_tree.entry_lo(self.p_store, e);
+        lo.iter().zip(t_max).all(|(&l, &y)| l <= y)
+    }
+
+    fn push(&mut self, target: EntryRef, jl: Vec<EntryRef>, resolved: Option<(f64, Vec<f64>)>) {
+        let (cost, resolved_coords) = match resolved {
+            Some((cost, coords)) => (cost, Some(coords)),
+            None => (
+                list_bound(
+                    self.t_lo(target),
+                    &jl,
+                    self.p_store,
+                    self.p_tree,
+                    self.cost_fn,
+                    self.bound,
+                    self.mode,
+                ),
+                None,
+            ),
+        };
+        self.seq += 1;
+        self.stats.heap_pushes += 1;
+        self.heap.push(Reverse(JoinHeapEntry {
+            cost: OrderedF64::new(cost),
+            seq: self.seq,
+            target,
+            jl,
+            resolved: resolved_coords,
+        }));
+    }
+
+    /// Lines 9-11: compute the exact upgrade of leaf product `target`.
+    fn resolve_product(&mut self, target: EntryRef, jl: Vec<EntryRef>) {
+        let tid = match target {
+            EntryRef::Point(p) => p,
+            EntryRef::Node(_) => unreachable!("resolve_product takes leaf entries"),
+        };
+        let t = self.t_store.point(tid);
+        let skyline = dominating_skyline_from(self.p_store, self.p_tree, &jl, t);
+        debug_assert!(skyline.iter().all(|&s| dominates(self.p_store.point(s), t)));
+        let (cost, upgraded) = upgrade_single(self.p_store, &skyline, t, self.cost_fn, &self.cfg);
+        self.stats.exact_upgrades += 1;
+        self.push(target, Vec::new(), Some((cost, upgraded)));
+    }
+
+    /// Lines 13-20 (Heuristic 1): expand the `R_T` node `target`.
+    fn expand_target(&mut self, target: EntryRef, jl: &[EntryRef]) {
+        let node = match target {
+            EntryRef::Node(n) => n,
+            EntryRef::Point(_) => unreachable!("expand_target takes node entries"),
+        };
+        self.stats.t_nodes_expanded += 1;
+        let children: Vec<EntryRef> = self.t_tree.node(node).entries().collect();
+        for child in children {
+            let child_max = self.t_hi(child).to_vec();
+            let child_jl: Vec<EntryRef> = jl
+                .iter()
+                .copied()
+                .filter(|&e| self.p_overlaps_adr(e, &child_max))
+                .collect();
+            self.push(child, child_jl, None);
+        }
+    }
+
+    /// Heuristics 3-4: choose which non-leaf join-list entry to expand.
+    /// Returns `None` when the list has no node entries left.
+    fn pick_jl_entry(&self, e_t_min: &[f64], jl: &[EntryRef], lbc: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut achieving: Option<usize> = None;
+        for (i, &e) in jl.iter().enumerate() {
+            if e.is_point() {
+                continue;
+            }
+            let b = entry_bound(e_t_min, e, self.p_store, self.p_tree, self.cost_fn, self.mode).cost;
+            if self.bound == LowerBound::Aggressive
+                && achieving.is_none()
+                && (b - lbc).abs() <= 1e-12 * lbc.max(1.0)
+            {
+                achieving = Some(i);
+            }
+            let better = match best {
+                None => true,
+                Some((_, cur)) => {
+                    // Prefer positive bounds; among positives (or among
+                    // zeroes) take the minimum.
+                    if (b > 0.0) != (cur > 0.0) {
+                        b > 0.0
+                    } else {
+                        b < cur
+                    }
+                }
+            };
+            if better {
+                best = Some((i, b));
+            }
+        }
+        // Heuristic 4 for ALB, Heuristic 3 otherwise; either way fall
+        // back to the best available non-leaf entry.
+        achieving.or(best.map(|(i, _)| i))
+    }
+
+    /// Lines 22-32 (Heuristic 2): expand join-list entry `idx`.
+    fn expand_jl_entry(&mut self, target: EntryRef, mut jl: Vec<EntryRef>, idx: usize) {
+        let expanded = jl.swap_remove(idx);
+        let node = match expanded {
+            EntryRef::Node(n) => n,
+            EntryRef::Point(_) => unreachable!("only node entries are expanded"),
+        };
+        self.stats.p_nodes_expanded += 1;
+        let t_max = self.t_hi(target).to_vec();
+
+        for child in self.p_tree.node(node).entries() {
+            // Line 24: keep only children that can hold dominators.
+            if !self.p_overlaps_adr(child, &t_max) {
+                continue;
+            }
+            // Lines 25-31: mutual dominance between the child and the
+            // current join list.
+            let child_lo = self.p_tree.entry_lo(self.p_store, child).to_vec();
+            let child_hi = self.p_tree.entry_hi(self.p_store, child).to_vec();
+            let mut child_dominated = false;
+            let mut i = 0;
+            while i < jl.len() {
+                let other_lo = self.p_tree.entry_lo(self.p_store, jl[i]);
+                let other_hi = self.p_tree.entry_hi(self.p_store, jl[i]);
+                if dominates(other_hi, &child_lo) {
+                    // Every point of jl[i] dominates every point of the
+                    // child: the child contributes no dominator-skyline
+                    // point.
+                    child_dominated = true;
+                    self.stats.jl_entries_pruned += 1;
+                    break;
+                }
+                if dominates(&child_hi, other_lo) {
+                    // Symmetric: jl[i] is wholesale dominated.
+                    jl.swap_remove(i);
+                    self.stats.jl_entries_pruned += 1;
+                    continue;
+                }
+                i += 1;
+            }
+            if !child_dominated {
+                jl.push(child);
+            }
+        }
+        // Line 32: push back with the recomputed bound.
+        self.push(target, jl, None);
+    }
+}
+
+impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
+    type Item = UpgradeResult;
+
+    fn next(&mut self) -> Option<UpgradeResult> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            let JoinHeapEntry {
+                cost,
+                target,
+                jl,
+                resolved,
+                ..
+            } = entry;
+
+            // Lines 5-7: a resolved product at the top of the heap is the
+            // cheapest remaining upgrade.
+            if let Some(upgraded) = resolved {
+                let tid = match target {
+                    EntryRef::Point(p) => p,
+                    EntryRef::Node(_) => unreachable!("only products resolve"),
+                };
+                self.stats.results_emitted += 1;
+                return Some(UpgradeResult {
+                    product: tid,
+                    original: self.t_store.point(tid).to_vec(),
+                    upgraded,
+                    cost: cost.get(),
+                });
+            }
+
+            match target {
+                // Lines 8-11: leaf product with a pending join list.
+                EntryRef::Point(_) => self.resolve_product(target, jl),
+                EntryRef::Node(_) => {
+                    if cost.get() == 0.0 {
+                        // Lines 13-20, Heuristic 1.
+                        self.expand_target(target, &jl);
+                    } else {
+                        match self.pick_jl_entry(self.t_lo(target), &jl, cost.get()) {
+                            // Lines 22-32, Heuristic 2.
+                            Some(idx) => self.expand_jl_entry(target, jl, idx),
+                            // All join-list entries are points: descend
+                            // into the T node instead.
+                            None => self.expand_target(target, &jl),
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,78 @@
+//! The join algorithm's priority queue entries.
+
+use skyup_geom::OrderedF64;
+use skyup_rtree::EntryRef;
+
+/// One heap element of Algorithm 4: the tuple
+/// `⟨JL, e_T, t′, cost⟩` of the paper, plus a sequence number that makes
+/// the heap order total and deterministic.
+#[derive(Debug)]
+pub(crate) struct JoinHeapEntry {
+    /// The priority: `LBC(e_T, JL)` while unresolved, the exact
+    /// upgrading cost once resolved.
+    pub cost: OrderedF64,
+    /// Monotone insertion counter breaking cost ties FIFO.
+    pub seq: u64,
+    /// The `R_T` entry this element describes (node or single product).
+    pub target: EntryRef,
+    /// The join list: `R_P` entries that may contain dominators of
+    /// products under `target`. Empty once resolved.
+    pub jl: Vec<EntryRef>,
+    /// Set when the exact upgrade has been computed for a leaf product:
+    /// the upgraded coordinate vector `t′` (the exact cost is in `cost`).
+    pub resolved: Option<Vec<f64>>,
+}
+
+impl PartialEq for JoinHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl Eq for JoinHeapEntry {}
+
+impl PartialOrd for JoinHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Max-order on `(cost, seq)`; wrap in [`std::cmp::Reverse`] for the
+/// min-heap the algorithm needs.
+impl Ord for JoinHeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .cmp(&other.cost)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyup_geom::PointId;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn entry(cost: f64, seq: u64) -> JoinHeapEntry {
+        JoinHeapEntry {
+            cost: OrderedF64::new(cost),
+            seq,
+            target: EntryRef::Point(PointId(0)),
+            jl: Vec::new(),
+            resolved: None,
+        }
+    }
+
+    #[test]
+    fn min_heap_orders_by_cost_then_seq() {
+        let mut h = BinaryHeap::new();
+        h.push(Reverse(entry(2.0, 0)));
+        h.push(Reverse(entry(1.0, 2)));
+        h.push(Reverse(entry(1.0, 1)));
+        h.push(Reverse(entry(0.0, 3)));
+        let order: Vec<(f64, u64)> = std::iter::from_fn(|| h.pop())
+            .map(|Reverse(e)| (e.cost.get(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(0.0, 3), (1.0, 1), (1.0, 2), (2.0, 0)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! `LBC(e_T, e_P)` — the per-entry lower-bound upgrading cost
+//! (paper Section III-B3).
+//!
+//! The bound considers upgrading the *virtual* product `e_T.min`, which
+//! dominates every real product in `e_T`, against the `R_P` entry `e_P`:
+//!
+//! * **Case 1** (`D_A ≠ ∅`): some dimension of `e_T.min` already beats
+//!   all of `e_P` — no point of `e_P` can dominate it. `LBC = 0`.
+//! * **Case 2** (all dimensions incomparable): `e_P` *may* contain only
+//!   points that do not dominate `e_T.min`. `LBC = 0`.
+//! * **Cases 3–4** (`D_A = ∅`, `D_D ≠ ∅`): `e_T.min` must at least be
+//!   lifted to the virtual point `t_v` that matches `e_P.max` on every
+//!   disadvantaged dimension and keeps its own value on incomparable
+//!   ones: `LBC = f_p(t_v) − f_p(e_T.min)`.
+
+use crate::cost::CostFunction;
+use skyup_geom::dims::DimMask;
+
+/// The outcome of one `LBC(e_T, e_P)` evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EntryLbc {
+    /// The lower-bound cost; `0.0` in cases 1 and 2.
+    pub cost: f64,
+    /// The `(D_D, D_I)` signature, used by the aggressive bound to group
+    /// entries that constrain `e_T` on identical dimension sets.
+    pub signature: (DimMask, DimMask),
+}
+
+/// Computes `LBC(e_T, e_P)` given `e_T.min` and the corners of `e_P`.
+///
+/// `cost_fn` must satisfy `product_cost(p) = Σ_k attr_cost(k, p[k])`, so
+/// the bound is accumulated per disadvantaged dimension without
+/// materializing `t_v`.
+pub fn lbc_entry<C: CostFunction + ?Sized>(
+    e_t_min: &[f64],
+    e_p_lo: &[f64],
+    e_p_hi: &[f64],
+    cost_fn: &C,
+) -> EntryLbc {
+    debug_assert_eq!(e_t_min.len(), e_p_lo.len());
+    debug_assert_eq!(e_t_min.len(), e_p_hi.len());
+
+    let mut disadvantaged = DimMask::EMPTY;
+    let mut incomparable = DimMask::EMPTY;
+    let mut cost = 0.0;
+    for (i, &t) in e_t_min.iter().enumerate() {
+        if e_p_hi[i] < t {
+            disadvantaged.insert(i);
+            // Contribution of dimension i to f_p(t_v) − f_p(e_T.min).
+            cost += cost_fn.attr_cost(i, e_p_hi[i]) - cost_fn.attr_cost(i, t);
+        } else if t < e_p_lo[i] {
+            // Case 1: advantaged dimension found — bound is zero.
+            return EntryLbc {
+                cost: 0.0,
+                signature: (DimMask::EMPTY, DimMask::EMPTY),
+            };
+        } else {
+            incomparable.insert(i);
+        }
+    }
+    if disadvantaged.is_empty() {
+        // Case 2.
+        return EntryLbc {
+            cost: 0.0,
+            signature: (DimMask::EMPTY, incomparable),
+        };
+    }
+    // Cases 3-4. Monotone attribute costs make every contribution >= 0;
+    // clamp tiny negative float noise.
+    EntryLbc {
+        cost: cost.max(0.0),
+        signature: (disadvantaged, incomparable),
+    }
+}
+
+/// An **admissible** per-entry lower bound (library extension, see
+/// DESIGN.md §3).
+///
+/// The paper's `LBC` charges for matching `e_P.max` on *every*
+/// disadvantaged dimension, but a real upgrade can escape a dominator by
+/// beating it on a *single* dimension, so `LBC` can exceed the true
+/// upgrading cost and the join's emission order becomes approximate.
+/// This bound is provably a lower bound on the cost of any product under
+/// `e_T`:
+///
+/// * positive only when **all** dimensions are disadvantaged (then every
+///   possible point of `e_P` strictly dominates every product in `e_T`,
+///   so an upgrade is forced);
+/// * charges the cheapest single-dimension escape from the weakest
+///   possible content, `e_P.max`:
+///   `min_k (f_a^k(e_P.max.d_k) − f_a^k(e_T.min.d_k))`.
+pub fn lbc_entry_admissible<C: CostFunction + ?Sized>(
+    e_t_min: &[f64],
+    e_p_hi: &[f64],
+    cost_fn: &C,
+) -> f64 {
+    debug_assert_eq!(e_t_min.len(), e_p_hi.len());
+    let mut min_escape = f64::INFINITY;
+    for (i, &t) in e_t_min.iter().enumerate() {
+        if e_p_hi[i] >= t {
+            // Some possible content fails to dominate e_T.min: no upgrade
+            // is forced, the only sound bound is zero.
+            return 0.0;
+        }
+        let escape = cost_fn.attr_cost(i, e_p_hi[i]) - cost_fn.attr_cost(i, t);
+        if escape < min_escape {
+            min_escape = escape;
+        }
+    }
+    min_escape.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+
+    fn cost_fn() -> SumCost {
+        SumCost::reciprocal(2, 1e-2)
+    }
+
+    #[test]
+    fn admissible_is_at_most_paper_bound() {
+        let f = cost_fn();
+        let t = [0.8, 0.9];
+        let hi = [0.3, 0.4];
+        let lo = [0.1, 0.2];
+        let paper = lbc_entry(&t, &lo, &hi, &f).cost;
+        let adm = lbc_entry_admissible(&t, &hi, &f);
+        assert!(adm > 0.0);
+        assert!(adm <= paper);
+        // Admissible equals the cheapest single-dimension escape.
+        let d0 = f.attr_cost(0, 0.3) - f.attr_cost(0, 0.8);
+        let d1 = f.attr_cost(1, 0.4) - f.attr_cost(1, 0.9);
+        assert!((adm - d0.min(d1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admissible_zero_when_not_fully_disadvantaged() {
+        let f = cost_fn();
+        // Dimension 1 incomparable: content might not dominate.
+        assert_eq!(lbc_entry_admissible(&[0.8, 0.5], &[0.3, 0.7], &f), 0.0);
+        // Equal on dimension 0: a point tying e_T.min cannot dominate it.
+        assert_eq!(lbc_entry_admissible(&[0.8, 0.5], &[0.8, 0.1], &f), 0.0);
+    }
+
+    #[test]
+    fn admissible_bounds_single_point_escape_cost() {
+        use crate::config::UpgradeConfig;
+        use crate::upgrade::upgrade_single;
+        use skyup_geom::PointStore;
+        let f = cost_fn();
+        let mut store = PointStore::new(2);
+        let q = store.push(&[0.3, 0.4]);
+        let t = [0.8, 0.9];
+        let adm = lbc_entry_admissible(&t, &[0.3, 0.4], &f);
+        let (exact, _) =
+            upgrade_single(&store, &[q], &t, &f, &UpgradeConfig::with_epsilon(1e-9));
+        assert!(
+            adm <= exact + 1e-9,
+            "admissible bound {adm} exceeds exact cost {exact}"
+        );
+        // The paper bound overestimates here (sum over both dimensions).
+        let paper = lbc_entry(&t, &[0.3, 0.4], &[0.3, 0.4], &f).cost;
+        assert!(paper > exact, "this is the documented non-admissibility");
+    }
+
+    #[test]
+    fn case1_advantaged_dimension_zeroes_bound() {
+        // e_T.min beats e_P entirely on dim 0.
+        let b = lbc_entry(&[0.1, 0.9], &[0.5, 0.1], &[0.7, 0.3], &cost_fn());
+        assert_eq!(b.cost, 0.0);
+    }
+
+    #[test]
+    fn case2_all_incomparable_zeroes_bound() {
+        // e_T.min inside e_P's extent on both dimensions (Figure 3(b),
+        // entry e_P3).
+        let b = lbc_entry(&[0.5, 0.5], &[0.3, 0.3], &[0.7, 0.7], &cost_fn());
+        assert_eq!(b.cost, 0.0);
+        assert_eq!(b.signature.0, DimMask::EMPTY);
+        assert_eq!(b.signature.1, DimMask::all(2));
+    }
+
+    #[test]
+    fn case3_fully_disadvantaged_uses_e_p_max() {
+        // Figure 3(c): e_P entirely dominates e_T.
+        let f = cost_fn();
+        let e_t_min = [0.8, 0.9];
+        let e_p_lo = [0.1, 0.2];
+        let e_p_hi = [0.3, 0.4];
+        let b = lbc_entry(&e_t_min, &e_p_lo, &e_p_hi, &f);
+        let expected = f.product_cost(&e_p_hi) - f.product_cost(&e_t_min);
+        assert!((b.cost - expected).abs() < 1e-12);
+        assert_eq!(b.signature.0, DimMask::all(2));
+    }
+
+    #[test]
+    fn case4_mixed_uses_t_v() {
+        // dim 0 disadvantaged, dim 1 incomparable: t_v = (e_P.hi[0], t[1]).
+        let f = cost_fn();
+        let e_t_min = [0.8, 0.5];
+        let e_p_lo = [0.1, 0.3];
+        let e_p_hi = [0.3, 0.7];
+        let b = lbc_entry(&e_t_min, &e_p_lo, &e_p_hi, &f);
+        let t_v = [0.3, 0.5];
+        let expected = f.product_cost(&t_v) - f.product_cost(&e_t_min);
+        assert!((b.cost - expected).abs() < 1e-12);
+        assert!(b.signature.0.contains(0));
+        assert!(b.signature.1.contains(1));
+    }
+
+    #[test]
+    fn degenerate_point_entries() {
+        // e_P is a single point strictly dominating e_T.min.
+        let f = cost_fn();
+        let p = [0.2, 0.3];
+        let b = lbc_entry(&[0.6, 0.6], &p, &p, &f);
+        let expected = f.product_cost(&p) - f.product_cost(&[0.6, 0.6]);
+        assert!((b.cost - expected).abs() < 1e-12);
+        // A point equal to e_T.min on one dim, better on the other:
+        // that dim is incomparable, the other disadvantaged; positive bound.
+        let q = [0.6, 0.3];
+        let b2 = lbc_entry(&[0.6, 0.6], &q, &q, &f);
+        assert!(b2.cost > 0.0);
+    }
+
+    #[test]
+    fn bound_is_never_negative() {
+        let f = cost_fn();
+        for t in [[0.9, 0.9], [0.5, 0.9], [0.1, 0.1]] {
+            for (lo, hi) in [([0.0, 0.0], [0.4, 0.4]), ([0.2, 0.5], [0.6, 0.8])] {
+                let b = lbc_entry(&t, &lo, &hi, &f);
+                assert!(b.cost >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Exhaustive optimal upgrading — the paper's final research direction.
+//!
+//! Section VI: "while we prove that Algorithm 1 is correct, further
+//! studies of the optimality of the algorithm, in terms of the upgrade
+//! cost of the result, are in order." This module provides the exact
+//! optimum for *small* dominator skylines so that Algorithm 1's
+//! optimality gap can be measured (see the `optimality_gap` test and
+//! the ablation bench).
+//!
+//! # Method
+//!
+//! Under the no-downgrade policy (`t' ≼ t`, which Algorithm 1's
+//! clamping also enforces), an optimal upgrade exists whose coordinate
+//! on every dimension `x` lies in the finite candidate grid
+//! `{t.d_x} ∪ {s.d_x − ε : s ∈ S, s.d_x − ε < t.d_x}`: any feasible
+//! `t'` can be relaxed coordinate-by-coordinate (raising values, which
+//! never increases cost under a non-increasing attribute cost) until
+//! each coordinate is blocked either at `t`'s own value or just below
+//! some skyline point's value. Exhaustively enumerating the grid is
+//! `O((|S|+1)^d)` — exponential, strictly a ground-truth oracle.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore};
+
+/// Upper bound on `(|S|+1)^d` grid size before [`optimal_upgrade`]
+/// refuses to run (ground-truth oracle, not a production path).
+const MAX_GRID: usize = 2_000_000;
+
+/// Computes the exact cheapest upgrade of `t` against `skyline` under
+/// the no-downgrade policy. Returns `(cost, upgraded)`.
+///
+/// # Panics
+/// Panics if the candidate grid would exceed an internal size limit;
+/// use Algorithm 1 ([`crate::upgrade_single`]) for anything large.
+pub fn optimal_upgrade<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> (f64, Vec<f64>) {
+    if skyline.is_empty() {
+        return (0.0, t.to_vec());
+    }
+    let dims = t.len();
+    // Per-dimension candidate values, deduplicated and sorted.
+    let mut grid: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    let mut total: usize = 1;
+    for (x, &tx) in t.iter().enumerate() {
+        let mut vals: Vec<f64> = vec![tx];
+        for &s in skyline {
+            let v = p_store.point(s)[x] - cfg.epsilon;
+            if v < tx {
+                vals.push(v);
+            }
+        }
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        total = total.saturating_mul(vals.len());
+        assert!(
+            total <= MAX_GRID,
+            "candidate grid too large ({total}+); optimal_upgrade is an oracle for small inputs"
+        );
+        grid.push(vals);
+    }
+
+    let base = cost_fn.product_cost(t);
+    let mut best_cost = f64::INFINITY;
+    let mut best: Vec<f64> = t.to_vec();
+    let mut candidate = vec![0.0; dims];
+    enumerate(
+        p_store,
+        skyline,
+        cost_fn,
+        &grid,
+        0,
+        &mut candidate,
+        base,
+        &mut best_cost,
+        &mut best,
+    );
+    debug_assert!(best_cost.is_finite(), "a feasible upgrade always exists");
+    (best_cost, best)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    cost_fn: &C,
+    grid: &[Vec<f64>],
+    dim: usize,
+    candidate: &mut Vec<f64>,
+    base: f64,
+    best_cost: &mut f64,
+    best: &mut Vec<f64>,
+) {
+    if dim == grid.len() {
+        if skyline
+            .iter()
+            .any(|&s| dominates(p_store.point(s), candidate))
+        {
+            return;
+        }
+        let cost = cost_fn.product_cost(candidate) - base;
+        if cost < *best_cost {
+            *best_cost = cost;
+            best.copy_from_slice(candidate);
+        }
+        return;
+    }
+    for &v in &grid[dim] {
+        candidate[dim] = v;
+        enumerate(
+            p_store, skyline, cost_fn, grid, dim + 1, candidate, base, best_cost, best,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+    use crate::upgrade::{dominated_by_any, upgrade_single};
+
+    fn cfg() -> UpgradeConfig {
+        UpgradeConfig::with_epsilon(1e-4)
+    }
+
+    fn pseudo_random(seed: &mut u64) -> f64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn optimum_is_feasible_and_never_above_algorithm_one() {
+        let mut seed = 0x0def_u64;
+        for case in 0..30 {
+            let dims = 2 + (case % 2);
+            let mut store = PointStore::new(dims);
+            let n_sky = 2 + case % 4;
+            // Random points, filtered to a mutually incomparable set that
+            // all dominate t.
+            let t = vec![0.95; dims];
+            let mut sky: Vec<PointId> = Vec::new();
+            while sky.len() < n_sky {
+                let p: Vec<f64> = (0..dims).map(|_| 0.8 * pseudo_random(&mut seed)).collect();
+                let id_candidate = p.clone();
+                let ok = sky.iter().all(|&s| {
+                    use skyup_geom::dominance::{compare, DomRelation};
+                    compare(store.point(s), &id_candidate) == DomRelation::Incomparable
+                });
+                if ok {
+                    let id = store.push(&p);
+                    sky.push(id);
+                }
+            }
+            let cost_fn = SumCost::reciprocal(dims, 1e-2);
+            let (opt, opt_point) = optimal_upgrade(&store, &sky, &t, &cost_fn, &cfg());
+            assert!(
+                !dominated_by_any(&store, &sky, &opt_point),
+                "optimal point infeasible"
+            );
+            assert!(opt >= 0.0);
+
+            let (alg, _) = upgrade_single(&store, &sky, &t, &cost_fn, &cfg());
+            assert!(
+                opt <= alg + 1e-9,
+                "case {case}: optimum {opt} above Algorithm 1's {alg}"
+            );
+
+            let mut ext_cfg = cfg();
+            ext_cfg.extended_candidates = true;
+            let (ext, _) = upgrade_single(&store, &sky, &t, &cost_fn, &ext_cfg);
+            assert!(opt <= ext + 1e-9);
+            assert!(ext <= alg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_dominator_algorithm_one_is_optimal() {
+        // With one dominator the single-dimension escape is optimal, and
+        // Algorithm 1 finds it.
+        let mut store = PointStore::new(3);
+        let s = store.push(&[0.5, 0.2, 0.7]);
+        let t = [0.9, 0.8, 0.75];
+        let cost_fn = SumCost::reciprocal(3, 1e-2);
+        let (opt, _) = optimal_upgrade(&store, &[s], &t, &cost_fn, &cfg());
+        let (alg, _) = upgrade_single(&store, &[s], &t, &cost_fn, &cfg());
+        assert!((opt - alg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_skyline_is_free() {
+        let store = PointStore::new(2);
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let (c, p) = optimal_upgrade(&store, &[], &[0.4, 0.4], &cost_fn, &cfg());
+        assert_eq!(c, 0.0);
+        assert_eq!(p, vec![0.4, 0.4]);
+    }
+
+    #[test]
+    fn known_gap_case() {
+        // A staircase where the best answer mixes "beat s1 on x, s3 on y"
+        // — a corner Algorithm 1's pair enumeration cannot form, so a
+        // strictly positive optimality gap is possible. Verify the oracle
+        // finds something at least as good and quantify the gap.
+        let mut store = PointStore::new(2);
+        let sky = vec![
+            store.push(&[0.10, 0.70]),
+            store.push(&[0.40, 0.40]),
+            store.push(&[0.70, 0.10]),
+        ];
+        let t = [0.9, 0.9];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let (opt, opt_p) = optimal_upgrade(&store, &sky, &t, &cost_fn, &cfg());
+        let (alg, alg_p) = upgrade_single(&store, &sky, &t, &cost_fn, &cfg());
+        assert!(opt <= alg + 1e-12);
+        assert!(!dominated_by_any(&store, &sky, &opt_p));
+        assert!(!dominated_by_any(&store, &sky, &alg_p));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate grid too large")]
+    fn oversized_grid_rejected() {
+        let mut store = PointStore::new(6);
+        let mut sky = Vec::new();
+        let mut seed = 7u64;
+        for _ in 0..40 {
+            let p: Vec<f64> = (0..6).map(|_| 0.5 * pseudo_random(&mut seed)).collect();
+            sky.push(store.push(&p));
+        }
+        let cost_fn = SumCost::reciprocal(6, 1e-2);
+        let t = vec![0.99; 6];
+        let _ = optimal_upgrade(&store, &sky, &t, &cost_fn, &cfg());
+    }
+}

@@ -1,0 +1,68 @@
+//! Algorithm 2: the basic probing baseline.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::result::UpgradeResult;
+use crate::topk::TopK;
+use crate::upgrade::upgrade_single;
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore, Rect};
+use skyup_rtree::RTree;
+use skyup_skyline::skyline_sfs;
+
+/// Runs the basic probing algorithm: for every `t ∈ T`, fetch all
+/// dominators with a range query over `ADR(t)`, compute their skyline in
+/// memory, upgrade `t` with Algorithm 1, and return the `k` cheapest
+/// upgrades sorted by `(cost, product id)`.
+///
+/// `p_tree` must index exactly the points of `p_store`.
+///
+/// Note: points *equal* to `t` fall inside `ADR(t)` but do not dominate
+/// `t`; they are filtered out before the skyline step so that a product
+/// tying with a competitor is correctly reported as already competitive.
+pub fn basic_probing_topk<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> Vec<UpgradeResult> {
+    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    if t_store.is_empty() {
+        return Vec::new();
+    }
+    let dims = p_store.dims();
+    let mut topk = TopK::new(k);
+    let mut candidates: Vec<PointId> = Vec::new();
+
+    for (tid, t) in t_store.iter() {
+        // Line 3: dominators <- RangeQuery(R_P, ADR(t)).
+        let dominators: Vec<PointId> = if p_tree.is_empty() {
+            Vec::new()
+        } else {
+            let root_lo = p_tree.root().mbr().lo();
+            let adr_lo: Vec<f64> = (0..dims).map(|i| root_lo[i].min(t[i])).collect();
+            let adr = Rect::new(&adr_lo, t);
+            p_tree.range_query_into(p_store, &adr, &mut candidates);
+            candidates
+                .iter()
+                .copied()
+                .filter(|&p| dominates(p_store.point(p), t))
+                .collect()
+        };
+
+        // Line 4: the dominators' skyline.
+        let skyline = skyline_sfs(p_store, &dominators);
+
+        // Line 5: upgrade(S, t, f_p).
+        let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
+        topk.offer(UpgradeResult {
+            product: tid,
+            original: t.to_vec(),
+            upgraded,
+            cost,
+        });
+    }
+    topk.into_sorted()
+}

@@ -1,0 +1,43 @@
+//! The improved probing algorithm: Algorithm 2 with lines 3–4 replaced by
+//! `getDominatingSky` (Algorithm 3).
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::result::UpgradeResult;
+use crate::topk::TopK;
+use crate::upgrade::upgrade_single;
+use skyup_geom::PointStore;
+use skyup_rtree::RTree;
+use skyup_skyline::dominating_skyline;
+
+/// Runs the improved probing algorithm: for every `t ∈ T`, the skyline
+/// of `t`'s dominators is computed directly by a constrained BBS
+/// traversal of `R_P` — R-tree nodes whose minimum corner is dominated
+/// by an already-found skyline point are pruned without being read
+/// (paper Figure 2) — then `t` is upgraded with Algorithm 1. Returns the
+/// `k` cheapest upgrades sorted by `(cost, product id)`.
+pub fn improved_probing_topk<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> Vec<UpgradeResult> {
+    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    if t_store.is_empty() {
+        return Vec::new();
+    }
+    let mut topk = TopK::new(k);
+    for (tid, t) in t_store.iter() {
+        let skyline = dominating_skyline(p_store, p_tree, t);
+        let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
+        topk.offer(UpgradeResult {
+            product: tid,
+            original: t.to_vec(),
+            upgraded,
+            cost,
+        });
+    }
+    topk.into_sorted()
+}

@@ -1,0 +1,161 @@
+//! Multi-threaded improved probing.
+//!
+//! Probing processes each product of `T` independently against the
+//! read-only competitor index, so it parallelizes embarrassingly:
+//! partition `T` across threads, keep a per-thread top-k, merge. Results
+//! are bit-identical to the sequential version (the merge re-applies the
+//! same `(cost, product id)` order). The paper's algorithms are all
+//! single-threaded; this is a library extension.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::result::UpgradeResult;
+use crate::topk::TopK;
+use crate::upgrade::upgrade_single;
+use skyup_geom::{PointId, PointStore};
+use skyup_rtree::RTree;
+use skyup_skyline::dominating_skyline;
+
+/// Runs improved probing across `threads` worker threads and returns the
+/// `k` cheapest upgrades, sorted by `(cost, product id)` — exactly the
+/// sequential [`crate::improved_probing_topk`] answer.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn improved_probing_topk_parallel<C>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+) -> Vec<UpgradeResult>
+where
+    C: CostFunction + Sync + ?Sized,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    if t_store.is_empty() {
+        return Vec::new();
+    }
+
+    let n = t_store.len();
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Vec<UpgradeResult>> = Vec::with_capacity(threads);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = ((w + 1) * chunk).min(n);
+            handles.push(scope.spawn(move |_| {
+                let mut topk = TopK::new(k);
+                for raw in lo..hi {
+                    let tid = PointId(raw as u32);
+                    let t = t_store.point(tid);
+                    let skyline = dominating_skyline(p_store, p_tree, t);
+                    let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
+                    topk.offer(UpgradeResult {
+                        product: tid,
+                        original: t.to_vec(),
+                        upgraded,
+                        cost,
+                    });
+                }
+                topk.into_sorted()
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("probing worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut merged = TopK::new(k);
+    for part in partials {
+        for r in part {
+            merged.offer(r);
+        }
+    }
+    merged.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+    use crate::probing::improved_probing_topk;
+    use skyup_rtree::RTreeParams;
+
+    fn pseudo_random_store(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> PointStore {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(dims);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dims).map(|_| lo + (hi - lo) * next()).collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let p = pseudo_random_store(600, 3, 0.0, 1.0, 0xa);
+        let t = pseudo_random_store(97, 3, 0.5, 1.5, 0xb); // odd size: ragged chunks
+        let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(8));
+        let cost = SumCost::reciprocal(3, 1e-3);
+        let cfg = UpgradeConfig::default();
+        let seq = improved_probing_topk(&p, &rp, &t, 10, &cost, &cfg);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = improved_probing_topk_parallel(&p, &rp, &t, 10, &cost, &cfg, threads);
+            assert_eq!(seq.len(), par.len(), "threads={threads}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.product, b.product, "threads={threads}");
+                assert!((a.cost - b.cost).abs() < 1e-12);
+                assert_eq!(a.upgraded, b.upgraded);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_products() {
+        let p = pseudo_random_store(50, 2, 0.0, 1.0, 0xc);
+        let t = pseudo_random_store(3, 2, 1.1, 2.0, 0xd);
+        let rp = RTree::bulk_load(&p, RTreeParams::default());
+        let cost = SumCost::reciprocal(2, 1e-3);
+        let out =
+            improved_probing_topk_parallel(&p, &rp, &t, 5, &cost, &UpgradeConfig::default(), 16);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_t() {
+        let p = pseudo_random_store(50, 2, 0.0, 1.0, 0xe);
+        let t = PointStore::new(2);
+        let rp = RTree::bulk_load(&p, RTreeParams::default());
+        let cost = SumCost::reciprocal(2, 1e-3);
+        let out =
+            improved_probing_topk_parallel(&p, &rp, &t, 5, &cost, &UpgradeConfig::default(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_rejected() {
+        let p = PointStore::new(2);
+        let t = PointStore::new(2);
+        let rp = RTree::bulk_load(&p, RTreeParams::default());
+        let cost = SumCost::reciprocal(2, 1e-3);
+        let _ =
+            improved_probing_topk_parallel(&p, &rp, &t, 1, &cost, &UpgradeConfig::default(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Result types returned by the upgrading algorithms.
+
+use skyup_geom::PointId;
+
+/// One upgraded product: which product of `T` to upgrade, the attribute
+/// values to upgrade it to, and the cost `f_p(upgraded) − f_p(original)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpgradeResult {
+    /// Id of the product in the `T` point store.
+    pub product: PointId,
+    /// The product's current attribute values.
+    pub original: Vec<f64>,
+    /// The attribute values after the cheapest upgrade found.
+    pub upgraded: Vec<f64>,
+    /// The upgrading cost. Zero when the product is already
+    /// non-dominated (then `upgraded == original`).
+    pub cost: f64,
+}
+
+impl UpgradeResult {
+    /// Whether the product required no change at all.
+    pub fn already_competitive(&self) -> bool {
+        self.cost == 0.0 && self.original == self.upgraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn competitive_detection() {
+        let r = UpgradeResult {
+            product: PointId(1),
+            original: vec![1.0, 2.0],
+            upgraded: vec![1.0, 2.0],
+            cost: 0.0,
+        };
+        assert!(r.already_competitive());
+        let r2 = UpgradeResult {
+            upgraded: vec![0.5, 2.0],
+            cost: 0.7,
+            ..r
+        };
+        assert!(!r2.already_competitive());
+    }
+}

@@ -1,0 +1,137 @@
+//! Single-catalog upgrading (paper Section VI, third research
+//! direction).
+//!
+//! When a manufacturer owns a large catalog and wants to upgrade its own
+//! uncompetitive products *against the rest of the same catalog*, the
+//! competitor and product roles collapse into one set `S`. Because
+//! dominance is strict, a product never dominates itself — and exact
+//! duplicates never dominate each other — so the dominator skyline of
+//! `t ∈ S` computed over all of `S` is exactly the set `t` must escape.
+//! The improved-probing machinery therefore applies unchanged.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::result::UpgradeResult;
+use crate::topk::TopK;
+use crate::upgrade::upgrade_single;
+use skyup_geom::{PointId, PointStore};
+use skyup_rtree::RTree;
+use skyup_skyline::dominating_skyline;
+
+/// Finds the `k` products of catalog `store` (indexed by `tree`) that
+/// can be upgraded most cheaply to escape domination by the rest of the
+/// catalog. Products already in the catalog's skyline report cost `0`.
+///
+/// `candidates` restricts which products are considered for upgrading
+/// (e.g. the manufacturer's own line within a market-wide catalog);
+/// `None` considers every product.
+pub fn single_set_topk<C: CostFunction + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    candidates: Option<&[PointId]>,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> Vec<UpgradeResult> {
+    let mut topk = TopK::new(k);
+    let all: Vec<PointId>;
+    let ids: &[PointId] = match candidates {
+        Some(c) => c,
+        None => {
+            all = store.ids().collect();
+            &all
+        }
+    };
+    for &tid in ids {
+        let t = store.point(tid);
+        let skyline = dominating_skyline(store, tree, t);
+        let (cost, upgraded) = upgrade_single(store, &skyline, t, cost_fn, cfg);
+        topk.offer(UpgradeResult {
+            product: tid,
+            original: t.to_vec(),
+            upgraded,
+            cost,
+        });
+    }
+    topk.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+    use skyup_geom::dominance::dominates;
+    use skyup_rtree::RTreeParams;
+
+    fn catalog() -> (PointStore, RTree) {
+        let store = PointStore::from_rows(
+            2,
+            vec![
+                vec![0.1, 0.9], // skyline
+                vec![0.5, 0.5], // skyline
+                vec![0.9, 0.1], // skyline
+                vec![0.6, 0.6], // dominated by (0.5, 0.5), barely
+                vec![0.95, 0.95], // deeply dominated
+            ],
+        );
+        let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
+        (store, tree)
+    }
+
+    #[test]
+    fn skyline_products_cost_zero() {
+        let (store, tree) = catalog();
+        let cost = SumCost::reciprocal(2, 1e-2);
+        let out = single_set_topk(&store, &tree, None, 5, &cost, &UpgradeConfig::default());
+        assert_eq!(out.len(), 5);
+        let zero_cost: Vec<u32> = out
+            .iter()
+            .filter(|r| r.cost == 0.0)
+            .map(|r| r.product.0)
+            .collect();
+        assert_eq!(zero_cost, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dominated_products_escape_after_upgrade() {
+        let (store, tree) = catalog();
+        let cost = SumCost::reciprocal(2, 1e-2);
+        let out = single_set_topk(&store, &tree, None, 5, &cost, &UpgradeConfig::default());
+        for r in out.iter().filter(|r| r.cost > 0.0) {
+            // After the upgrade, nothing in the catalog dominates it.
+            let clear = store
+                .iter()
+                .all(|(id, c)| id == r.product || !dominates(c, &r.upgraded));
+            assert!(clear, "product {:?} still dominated", r.product);
+        }
+        // The barely dominated product is cheaper than the deep one.
+        let barely = out.iter().find(|r| r.product.0 == 3).unwrap();
+        let deep = out.iter().find(|r| r.product.0 == 4).unwrap();
+        assert!(barely.cost < deep.cost);
+    }
+
+    #[test]
+    fn candidate_restriction() {
+        let (store, tree) = catalog();
+        let cost = SumCost::reciprocal(2, 1e-2);
+        let out = single_set_topk(
+            &store,
+            &tree,
+            Some(&[PointId(3), PointId(4)]),
+            10,
+            &cost,
+            &UpgradeConfig::default(),
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.product.0 == 3 || r.product.0 == 4));
+    }
+
+    #[test]
+    fn duplicates_are_mutually_harmless() {
+        let store = PointStore::from_rows(2, vec![vec![0.5, 0.5]; 3]);
+        let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
+        let cost = SumCost::reciprocal(2, 1e-2);
+        let out = single_set_topk(&store, &tree, None, 3, &cost, &UpgradeConfig::default());
+        assert!(out.iter().all(|r| r.cost == 0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! A bounded top-k collector for upgrade results (smallest cost wins).
+
+use crate::result::UpgradeResult;
+use skyup_geom::OrderedF64;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by `(cost, product id)` only; the payload does not
+/// participate in comparisons.
+struct Entry {
+    key: (OrderedF64, u32),
+    result: Box<UpgradeResult>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Keeps the `k` lowest-cost [`UpgradeResult`]s seen so far, with
+/// deterministic tie-breaking by product id.
+pub struct TopK {
+    k: usize,
+    // Max-heap: the root is the current worst kept result, evicted when
+    // something strictly better arrives.
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopK {
+    /// Creates a collector for the best `k` results.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k requires k >= 1");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The current admission threshold: a result is useful only if its
+    /// cost is below this (or the collector is not yet full). Probing
+    /// loops use it to skip products early.
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.key.0.get())
+        }
+    }
+
+    /// Whether `k` results have been collected.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Offers a result; it is kept iff it beats the current worst (ties
+    /// favor the smaller product id, matching the deterministic ordering
+    /// used across algorithms).
+    pub fn offer(&mut self, result: UpgradeResult) {
+        let entry = Entry {
+            key: (OrderedF64::new(result.cost), result.product.0),
+            result: Box::new(result),
+        };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.key < worst.key {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Consumes the collector, returning results sorted by ascending
+    /// `(cost, product id)`.
+    pub fn into_sorted(self) -> Vec<UpgradeResult> {
+        let mut items: Vec<Entry> = self.heap.into_vec();
+        items.sort_by_key(|a| a.key);
+        items.into_iter().map(|e| *e.result).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyup_geom::PointId;
+
+    fn result(id: u32, cost: f64) -> UpgradeResult {
+        UpgradeResult {
+            product: PointId(id),
+            original: vec![0.0],
+            upgraded: vec![0.0],
+            cost,
+        }
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut tk = TopK::new(3);
+        for (id, c) in [(0, 5.0), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            tk.offer(result(id, c));
+        }
+        let out = tk.into_sorted();
+        let costs: Vec<f64> = out.iter().map(|r| r.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), f64::INFINITY);
+        tk.offer(result(0, 9.0));
+        assert_eq!(tk.threshold(), f64::INFINITY); // not full yet
+        tk.offer(result(1, 4.0));
+        assert_eq!(tk.threshold(), 9.0);
+        tk.offer(result(2, 1.0));
+        assert_eq!(tk.threshold(), 4.0);
+    }
+
+    #[test]
+    fn ties_break_by_product_id() {
+        let mut tk = TopK::new(2);
+        tk.offer(result(5, 1.0));
+        tk.offer(result(3, 1.0));
+        tk.offer(result(9, 1.0));
+        let out = tk.into_sorted();
+        let ids: Vec<u32> = out.iter().map(|r| r.product.0).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn fewer_results_than_k() {
+        let mut tk = TopK::new(10);
+        tk.offer(result(0, 2.0));
+        assert_eq!(tk.into_sorted().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Algorithm 1: upgrading a single product against a skyline of
+//! dominators.
+//!
+//! Two families of candidate upgrades are evaluated (paper Section II):
+//!
+//! 1. **Single-dimension**: on each dimension `D_k`, beat *every* skyline
+//!    point by moving to `min_s(s.d_k) − ε`.
+//! 2. **Multi-dimension**: for every pair of skyline points `s_i`, `s_j`
+//!    consecutive in `D_k` order, move to `s_j.d_k − ε` on `D_k` and
+//!    `s_i.d_x − ε` on every other dimension. Lemma 1 proves any such
+//!    candidate is non-dominated.
+//!
+//! Deliberate refinement (see DESIGN.md): every candidate coordinate is
+//! clamped to never exceed the product's current value,
+//! `min(t.d_x, s.d_x − ε)`. This preserves Lemma 1's proof, guarantees
+//! `upgraded ≼ original` (hence non-negative cost under monotone cost
+//! functions), and makes the "not dominated by the dominator skyline ⇒
+//! not dominated by all of P" transitivity argument airtight.
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use skyup_geom::{PointId, PointStore};
+
+/// Computes the cheapest upgrade of product `t` (coordinates) against
+/// `skyline`, the skyline of `t`'s dominators in the competitor set.
+/// Returns `(cost, upgraded_coordinates)`.
+///
+/// When `skyline` is empty, `t` is already competitive: cost `0`, output
+/// equals input.
+///
+/// # Contract
+/// Every point in `skyline` must dominate `t` (checked with
+/// `debug_assert`), and `cost_fn` must be monotone. Under that contract
+/// the returned product is dominated by no point of `skyline`, and by
+/// transitivity by no point of the full competitor set the skyline was
+/// derived from.
+///
+/// ```
+/// use skyup_core::{upgrade_single, UpgradeConfig};
+/// use skyup_core::cost::SumCost;
+/// use skyup_geom::PointStore;
+///
+/// let mut p = PointStore::new(2);
+/// let s1 = p.push(&[0.2, 0.6]);
+/// let s2 = p.push(&[0.5, 0.3]);
+/// let cost_fn = SumCost::reciprocal(2, 1e-2);
+/// let (cost, upgraded) = upgrade_single(
+///     &p, &[s1, s2], &[0.7, 0.8], &cost_fn, &UpgradeConfig::default(),
+/// );
+/// assert!(cost > 0.0);
+/// assert!(!skyup_geom::dominance::dominates(p.point(s1), &upgraded));
+/// assert!(!skyup_geom::dominance::dominates(p.point(s2), &upgraded));
+/// ```
+pub fn upgrade_single<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> (f64, Vec<f64>) {
+    let dims = t.len();
+    debug_assert_eq!(p_store.dims(), dims);
+    debug_assert_eq!(cost_fn.dims(), dims);
+    debug_assert!(
+        skyline
+            .iter()
+            .all(|&s| skyup_geom::dominance::dominates(p_store.point(s), t)),
+        "upgrade_single requires every skyline point to dominate t"
+    );
+
+    if skyline.is_empty() {
+        return (0.0, t.to_vec());
+    }
+
+    let eps = cfg.epsilon;
+    let base_cost = cost_fn.product_cost(t);
+    let mut best_cost = f64::INFINITY;
+    let mut best: Vec<f64> = t.to_vec();
+
+    // Scratch buffers reused across dimensions.
+    let mut order: Vec<PointId> = skyline.to_vec();
+    let mut candidate: Vec<f64> = vec![0.0; dims];
+
+    for k in 0..dims {
+        // Line 3: sort skyline ascending by the current dimension.
+        order.sort_by(|&a, &b| p_store.point(a)[k].total_cmp(&p_store.point(b)[k]));
+
+        // Lines 4-7: the single-dimension upgrade beating everyone on D_k.
+        let s_min = p_store.point(order[0]);
+        let new_v = (s_min[k] - eps).min(t[k]);
+        let single_cost = cost_fn.attr_cost(k, new_v) - cost_fn.attr_cost(k, t[k]);
+        if single_cost < best_cost {
+            best_cost = single_cost;
+            best.copy_from_slice(t);
+            best[k] = new_v;
+        }
+
+        // Lines 8-16: slide between consecutive skyline points.
+        for w in order.windows(2) {
+            let s_i = p_store.point(w[0]);
+            let s_j = p_store.point(w[1]);
+            for x in 0..dims {
+                let bound = if x == k { s_j[x] } else { s_i[x] };
+                candidate[x] = (bound - eps).min(t[x]);
+            }
+            let cost = cost_fn.product_cost(&candidate) - base_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best.copy_from_slice(&candidate);
+            }
+        }
+
+        // Extension (off by default): beat the *last* skyline point on
+        // all dimensions except D_k, keeping t's own D_k value. Points
+        // earlier in the D_k order cannot dominate the candidate for the
+        // same reason as in Lemma 1's third case.
+        if cfg.extended_candidates {
+            let s_last = p_store.point(order[order.len() - 1]);
+            for x in 0..dims {
+                candidate[x] = if x == k {
+                    t[x]
+                } else {
+                    (s_last[x] - eps).min(t[x])
+                };
+            }
+            let cost = cost_fn.product_cost(&candidate) - base_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best.copy_from_slice(&candidate);
+            }
+        }
+    }
+
+    (best_cost, best)
+}
+
+/// Test/diagnostic helper: whether `candidate` is dominated by any point
+/// of `skyline`.
+pub fn dominated_by_any(p_store: &PointStore, skyline: &[PointId], candidate: &[f64]) -> bool {
+    skyline
+        .iter()
+        .any(|&s| skyup_geom::dominance::dominates(p_store.point(s), candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SumCost;
+
+    fn cfg() -> UpgradeConfig {
+        UpgradeConfig::with_epsilon(1e-4)
+    }
+
+    /// Figure 1 scenario: p dominated by two skyline points.
+    #[test]
+    fn figure_one_two_skyline_points() {
+        let mut p = PointStore::new(2);
+        let s1 = p.push(&[0.2, 0.6]);
+        let s2 = p.push(&[0.5, 0.3]);
+        let t = [0.7, 0.8];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let sky = vec![s1, s2];
+        let (cost, up) = upgrade_single(&p, &sky, &t, &cost_fn, &cfg());
+        assert!(cost.is_finite() && cost > 0.0);
+        assert!(
+            !dominated_by_any(&p, &sky, &up),
+            "upgraded {up:?} still dominated"
+        );
+        // The upgrade never worsens any attribute.
+        assert!(up.iter().zip(&t).all(|(&u, &o)| u <= o));
+    }
+
+    #[test]
+    fn empty_skyline_is_free() {
+        let p = PointStore::new(3);
+        let t = [1.0, 2.0, 3.0];
+        let cost_fn = SumCost::reciprocal(3, 1e-2);
+        let (cost, up) = upgrade_single(&p, &[], &t, &cost_fn, &cfg());
+        assert_eq!(cost, 0.0);
+        assert_eq!(up, t.to_vec());
+    }
+
+    #[test]
+    fn single_dominator_takes_cheapest_dimension() {
+        let mut p = PointStore::new(2);
+        // Dominator close on dim 0, far on dim 1.
+        let s = p.push(&[0.69, 0.2]);
+        let t = [0.7, 0.8];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let (cost, up) = upgrade_single(&p, &[s], &t, &cost_fn, &cfg());
+        assert!(!dominated_by_any(&p, &[s], &up));
+        // Beating on dim 0 needs a 0.01+ε change near v=0.7 (flat zone);
+        // beating on dim 1 needs 0.6+ε near v=0.8. Dim 0 is far cheaper.
+        assert!(up[0] < 0.69 && up[1] == t[1], "up = {up:?}");
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn multi_dimension_upgrade_can_beat_single() {
+        // A staircase where squeezing between two skyline points is much
+        // cheaper than overtaking everyone on one dimension.
+        let mut p = PointStore::new(2);
+        let sky: Vec<PointId> = vec![
+            p.push(&[0.05, 0.60]),
+            p.push(&[0.30, 0.30]),
+            p.push(&[0.60, 0.05]),
+        ];
+        let t = [0.7, 0.7];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let (cost, up) = upgrade_single(&p, &sky, &t, &cost_fn, &cfg());
+        assert!(!dominated_by_any(&p, &sky, &up));
+        // The single-dimension option must pay to get below 0.05 on one
+        // axis: cost ≈ 1/(0.05+0.01) − 1/0.71 ≈ 15.3. The pair option
+        // (e.g. below (0.30,0.30)... beating s2/s3 pair) is far cheaper.
+        assert!(
+            cost < 15.0,
+            "expected multi-dimension candidate to win, cost = {cost}"
+        );
+        // Both coordinates changed.
+        assert!(up[0] < t[0] && up[1] < t[1]);
+    }
+
+    #[test]
+    fn cost_is_non_negative_and_matches_product_cost_delta() {
+        let mut p = PointStore::new(3);
+        let sky = vec![
+            p.push(&[0.1, 0.5, 0.4]),
+            p.push(&[0.4, 0.2, 0.3]),
+            p.push(&[0.3, 0.4, 0.1]),
+        ];
+        let t = [0.6, 0.6, 0.6];
+        let cost_fn = SumCost::reciprocal(3, 1e-2);
+        let (cost, up) = upgrade_single(&p, &sky, &t, &cost_fn, &cfg());
+        assert!(cost >= 0.0);
+        let delta = cost_fn.product_cost(&up) - cost_fn.product_cost(&t);
+        assert!((cost - delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extended_candidates_never_cost_more() {
+        let mut p = PointStore::new(2);
+        let sky = vec![
+            p.push(&[0.1, 0.5]),
+            p.push(&[0.3, 0.3]),
+            p.push(&[0.5, 0.1]),
+        ];
+        let t = [0.9, 0.52];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let base = upgrade_single(&p, &sky, &t, &cost_fn, &cfg()).0;
+        let mut ext_cfg = cfg();
+        ext_cfg.extended_candidates = true;
+        let (ext, up) = upgrade_single(&p, &sky, &t, &cost_fn, &ext_cfg);
+        assert!(ext <= base + 1e-12);
+        assert!(!dominated_by_any(&p, &sky, &up));
+    }
+
+    #[test]
+    fn duplicate_skyline_points_handled() {
+        let mut p = PointStore::new(2);
+        let sky = vec![p.push(&[0.3, 0.3]), p.push(&[0.3, 0.3])];
+        let t = [0.5, 0.5];
+        let cost_fn = SumCost::reciprocal(2, 1e-2);
+        let (cost, up) = upgrade_single(&p, &sky, &t, &cost_fn, &cfg());
+        assert!(cost > 0.0);
+        assert!(!dominated_by_any(&p, &sky, &up));
+    }
+}

@@ -1,0 +1,133 @@
+//! Reading and writing point sets as delimited text files.
+//!
+//! Lets downstream users run the experiments on their own data — in
+//! particular on the genuine UCI `winequality-white.csv` (semicolon
+//! delimited), replacing this crate's synthetic stand-in (see
+//! [`crate::wine::load_wine_csv`]).
+
+use skyup_geom::PointStore;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads the given `columns` (0-based) of a delimited text file into a
+/// point store, one point per line. `skip_header` drops the first line.
+/// Blank lines are ignored; any non-numeric cell is an error.
+pub fn read_delimited(
+    path: &Path,
+    delimiter: char,
+    skip_header: bool,
+    columns: &[usize],
+) -> io::Result<PointStore> {
+    assert!(!columns.is_empty(), "select at least one column");
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    parse_delimited(reader, delimiter, skip_header, columns)
+}
+
+/// [`read_delimited`] over any reader — used by tests and for in-memory
+/// data.
+pub fn parse_delimited<R: BufRead>(
+    reader: R,
+    delimiter: char,
+    skip_header: bool,
+    columns: &[usize],
+) -> io::Result<PointStore> {
+    let mut store = PointStore::new(columns.len());
+    let mut buf = vec![0.0; columns.len()];
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 && skip_header {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(delimiter).collect();
+        for (i, &col) in columns.iter().enumerate() {
+            let cell = cells.get(col).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing column {}", lineno + 1, col),
+                )
+            })?;
+            buf[i] = cell.trim().trim_matches('"').parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: column {}: {}", lineno + 1, col, e),
+                )
+            })?;
+        }
+        store.push(&buf);
+    }
+    Ok(store)
+}
+
+/// Writes a point store as a delimited text file, one point per line,
+/// full precision.
+pub fn write_delimited(path: &Path, store: &PointStore, delimiter: char) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for (_, p) in store.iter() {
+        let mut first = true;
+        for v in p {
+            if !first {
+                write!(w, "{delimiter}")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_selected_columns() {
+        let data = "a;b;c;d\n1.0;2.0;3.0;4.0\n5.0;6.0;7.0;8.0\n";
+        let store = parse_delimited(Cursor::new(data), ';', true, &[1, 3]).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.point(skyup_geom::PointId(0)), &[2.0, 4.0]);
+        assert_eq!(store.point(skyup_geom::PointId(1)), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn blank_lines_and_quotes_tolerated() {
+        let data = "\"1.5\",2.5\n\n\"3.5\",4.5\n";
+        let store = parse_delimited(Cursor::new(data), ',', false, &[0, 1]).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.point(skyup_geom::PointId(1)), &[3.5, 4.5]);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let data = "1.0;2.0\n";
+        let err = parse_delimited(Cursor::new(data), ';', false, &[0, 5]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("column 5"));
+    }
+
+    #[test]
+    fn non_numeric_cell_is_an_error() {
+        let data = "1.0;oops\n";
+        let err = parse_delimited(Cursor::new(data), ';', false, &[0, 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let store = PointStore::from_rows(3, vec![vec![0.1, 0.2, 0.3], vec![4.0, 5.0, 6.0]]);
+        let dir = std::env::temp_dir().join("skyup-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.csv");
+        write_delimited(&path, &store, ',').unwrap();
+        let back = read_delimited(&path, ',', false, &[0, 1, 2]).unwrap();
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,96 @@
+//! Normalization into the unit space and attribute-direction handling.
+
+use skyup_geom::PointStore;
+
+/// Min-max normalizes every dimension of `store` into `[0, 1]`
+/// (Section IV-B: "All data sets are normalized into the unit space").
+/// Constant dimensions map to `0`.
+pub fn normalize_unit(store: &PointStore) -> PointStore {
+    let dims = store.dims();
+    if store.is_empty() {
+        return PointStore::new(dims);
+    }
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for (_, p) in store.iter() {
+        for (i, &v) in p.iter().enumerate() {
+            lo[i] = lo[i].min(v);
+            hi[i] = hi[i].max(v);
+        }
+    }
+    let mut out = PointStore::with_capacity(dims, store.len());
+    let mut buf = vec![0.0; dims];
+    for (_, p) in store.iter() {
+        for (i, &v) in p.iter().enumerate() {
+            let span = hi[i] - lo[i];
+            buf[i] = if span > 0.0 { (v - lo[i]) / span } else { 0.0 };
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+/// Negates the listed dimensions, converting larger-is-better attributes
+/// into the smaller-is-better convention all algorithms assume (the
+/// paper's footnote 1).
+pub fn negate_dimensions(store: &PointStore, dims_to_negate: &[usize]) -> PointStore {
+    let dims = store.dims();
+    for &d in dims_to_negate {
+        assert!(d < dims, "dimension {d} out of range for {dims}-d store");
+    }
+    let mut out = PointStore::with_capacity(dims, store.len());
+    let mut buf = vec![0.0; dims];
+    for (_, p) in store.iter() {
+        buf.copy_from_slice(p);
+        for &d in dims_to_negate {
+            buf[d] = -buf[d];
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_bounds_and_order() {
+        let s = PointStore::from_rows(2, vec![vec![10.0, 5.0], vec![20.0, 5.0], vec![15.0, 9.0]]);
+        let n = normalize_unit(&s);
+        for (_, p) in n.iter() {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        // Min maps to 0, max to 1, order preserved.
+        assert_eq!(n.point(skyup_geom::PointId(0))[0], 0.0);
+        assert_eq!(n.point(skyup_geom::PointId(1))[0], 1.0);
+        assert_eq!(n.point(skyup_geom::PointId(2))[0], 0.5);
+        // Constant dimension 1 on first two rows: maps within [0,1].
+        assert_eq!(n.point(skyup_geom::PointId(0))[1], 0.0);
+        assert_eq!(n.point(skyup_geom::PointId(2))[1], 1.0);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let s = PointStore::from_rows(1, vec![vec![3.0], vec![3.0]]);
+        let n = normalize_unit(&s);
+        assert!(n.iter().all(|(_, p)| p[0] == 0.0));
+    }
+
+    #[test]
+    fn negation_flips_dominance() {
+        use skyup_geom::dominance::dominates;
+        // Larger-is-better on dim 1: (1, 9) should beat (1, 4).
+        let s = PointStore::from_rows(2, vec![vec![1.0, 9.0], vec![1.0, 4.0]]);
+        let n = negate_dimensions(&s, &[1]);
+        let a = n.point(skyup_geom::PointId(0));
+        let b = n.point(skyup_geom::PointId(1));
+        assert!(dominates(a, b));
+    }
+
+    #[test]
+    fn empty_store_normalizes_to_empty() {
+        let s = PointStore::new(3);
+        assert!(normalize_unit(&s).is_empty());
+    }
+}

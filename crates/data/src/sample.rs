@@ -1,0 +1,93 @@
+//! The paper's `P`/`T` split for real data (Section IV-B): "we pick
+//! 1,000 non-skyline tuples at random as the product data set `T` and
+//! let the remaining tuples be the competitor data set `P`".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use skyup_geom::{PointId, PointStore};
+use skyup_skyline::skyline_sfs;
+
+/// Splits `store` into `(P, T)`: `t_size` non-skyline tuples sampled
+/// uniformly (deterministic in `seed`) become `T`, everything else stays
+/// in `P`. Skyline tuples always remain in `P` — they are competitive
+/// already, so they are not upgrade candidates.
+///
+/// # Panics
+/// Panics if `store` has fewer than `t_size` non-skyline tuples.
+pub fn split_products(store: &PointStore, t_size: usize, seed: u64) -> (PointStore, PointStore) {
+    let ids: Vec<PointId> = store.ids().collect();
+    let skyline: std::collections::HashSet<PointId> =
+        skyline_sfs(store, &ids).into_iter().collect();
+    let mut non_skyline: Vec<PointId> = ids
+        .iter()
+        .copied()
+        .filter(|id| !skyline.contains(id))
+        .collect();
+    assert!(
+        non_skyline.len() >= t_size,
+        "cannot sample {} products from {} non-skyline tuples",
+        t_size,
+        non_skyline.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    non_skyline.shuffle(&mut rng);
+    let t_ids: std::collections::HashSet<PointId> =
+        non_skyline.into_iter().take(t_size).collect();
+
+    let dims = store.dims();
+    let mut p = PointStore::with_capacity(dims, store.len() - t_size);
+    let mut t = PointStore::with_capacity(dims, t_size);
+    for (id, coords) in store.iter() {
+        if t_ids.contains(&id) {
+            t.push(coords);
+        } else {
+            p.push(coords);
+        }
+    }
+    (p, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, Distribution, SyntheticConfig};
+    use skyup_geom::dominance::dominates;
+
+    #[test]
+    fn split_sizes_and_determinism() {
+        let store = generate(
+            500,
+            &SyntheticConfig::unit(2, Distribution::Independent, 11),
+        );
+        let (p1, t1) = split_products(&store, 100, 1);
+        let (p2, t2) = split_products(&store, 100, 1);
+        assert_eq!(p1.len(), 400);
+        assert_eq!(t1.len(), 100);
+        assert_eq!(p1, p2);
+        assert_eq!(t1, t2);
+        let (_, t3) = split_products(&store, 100, 2);
+        assert_ne!(t1, t3, "different seeds give different samples");
+    }
+
+    #[test]
+    fn every_t_product_is_dominated_by_some_p_product() {
+        let store = generate(
+            300,
+            &SyntheticConfig::unit(3, Distribution::Independent, 13),
+        );
+        let (p, t) = split_products(&store, 50, 7);
+        for (_, tp) in t.iter() {
+            let dominated = p.iter().any(|(_, pp)| dominates(pp, tp));
+            assert!(dominated, "sampled product {tp:?} is not dominated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let store = PointStore::from_rows(2, vec![vec![0.1, 0.9], vec![0.9, 0.1]]);
+        // Both tuples are skyline: no non-skyline tuples to sample.
+        let _ = split_products(&store, 1, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Synthetic data distributions (Börzsönyi et al., ICDE 2001).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyup_geom::PointStore;
+
+/// The three classic skyline benchmark distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Each coordinate uniform and independent: moderately many skyline
+    /// points.
+    Independent,
+    /// Coordinates positively correlated (good products are good
+    /// everywhere): few skyline points.
+    Correlated,
+    /// Coordinates anti-correlated along `Σ x_i ≈ const` (every product
+    /// trades one quality for another): very many skyline points. The
+    /// paper's hardest setting.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short name used by the benchmark harness reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Independent => "independent",
+            Distribution::Correlated => "correlated",
+            Distribution::AntiCorrelated => "anti-correlated",
+        }
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Dimensionality `c` of the product space.
+    pub dims: usize,
+    /// Which distribution to draw from.
+    pub distribution: Distribution,
+    /// Lower bound of every dimension's domain.
+    pub lo: f64,
+    /// Upper bound of every dimension's domain.
+    pub hi: f64,
+    /// RNG seed; equal seeds give equal data sets.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// A unit-domain configuration.
+    pub fn unit(dims: usize, distribution: Distribution, seed: u64) -> Self {
+        Self {
+            dims,
+            distribution,
+            lo: 0.0,
+            hi: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generates `n` points according to `cfg`.
+///
+/// ```
+/// use skyup_data::synthetic::{generate, Distribution, SyntheticConfig};
+/// let cfg = SyntheticConfig::unit(3, Distribution::AntiCorrelated, 42);
+/// let points = generate(1000, &cfg);
+/// assert_eq!(points.len(), 1000);
+/// assert_eq!(points.dims(), 3);
+/// // Deterministic per seed.
+/// assert_eq!(points, generate(1000, &cfg));
+/// ```
+///
+/// # Panics
+/// Panics if `cfg.lo >= cfg.hi` or `cfg.dims == 0`.
+pub fn generate(n: usize, cfg: &SyntheticConfig) -> PointStore {
+    assert!(cfg.lo < cfg.hi, "empty domain");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = PointStore::with_capacity(cfg.dims, n);
+    let mut buf = vec![0.0; cfg.dims];
+    let span = cfg.hi - cfg.lo;
+    for _ in 0..n {
+        match cfg.distribution {
+            Distribution::Independent => independent_point(&mut rng, &mut buf),
+            Distribution::Correlated => correlated_point(&mut rng, &mut buf),
+            Distribution::AntiCorrelated => anti_correlated_point(&mut rng, &mut buf),
+        }
+        for v in buf.iter_mut() {
+            *v = cfg.lo + span * *v;
+        }
+        store.push(&buf);
+    }
+    store
+}
+
+/// The paper's competitor set: `|P|` points in `[0,1]^c` (Section IV-A).
+pub fn paper_competitors(n: usize, dims: usize, dist: Distribution, seed: u64) -> PointStore {
+    generate(n, &SyntheticConfig::unit(dims, dist, seed))
+}
+
+/// The paper's product set: `|T|` points in `(1,2]^c` (Section IV-A) —
+/// uncompetitive by construction, as every competitor coordinate is
+/// smaller.
+pub fn paper_products(n: usize, dims: usize, dist: Distribution, seed: u64) -> PointStore {
+    generate(
+        n,
+        &SyntheticConfig {
+            dims,
+            distribution: dist,
+            lo: 1.0 + f64::EPSILON,
+            hi: 2.0,
+            seed,
+        },
+    )
+}
+
+fn independent_point(rng: &mut StdRng, out: &mut [f64]) {
+    for v in out.iter_mut() {
+        *v = rng.random::<f64>();
+    }
+}
+
+/// Correlated: a shared quality level plus small independent jitter.
+fn correlated_point(rng: &mut StdRng, out: &mut [f64]) {
+    let base = clamped_normal(rng, 0.5, 0.25);
+    for v in out.iter_mut() {
+        *v = (base + 0.15 * (rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
+    }
+}
+
+/// Anti-correlated: place the point on the hyperplane `Σ x_i = c·v`
+/// (with `v` normal around 0.5), then redistribute mass between random
+/// coordinate pairs — the construction of the original `randdataset`
+/// generator. The sum stays fixed, so improving one attribute always
+/// costs another.
+fn anti_correlated_point(rng: &mut StdRng, out: &mut [f64]) {
+    let dims = out.len();
+    // Rejection-sample the plane position so extremes stay feasible.
+    let v = loop {
+        let candidate = normal(rng, 0.5, 0.05);
+        if (0.0..=1.0).contains(&candidate) {
+            break candidate;
+        }
+    };
+    out.fill(v);
+    if dims == 1 {
+        return;
+    }
+    // One pass of pairwise transfers bounded by the line's slack
+    // l = 2·min(v, 1−v): the sum stays at dims·v and coordinates remain
+    // interior, so points spread along the hyperplane instead of piling
+    // on the domain boundary.
+    let l = 2.0 * v.min(1.0 - v);
+    if l > 0.0 {
+        for d in 0..dims - 1 {
+            let h = rng.random_range(-l / 2.0..=l / 2.0);
+            out[d] += h;
+            out[d + 1] -= h;
+        }
+    }
+    for v in out.iter_mut() {
+        *v = v.clamp(0.0, 1.0);
+    }
+}
+
+/// Box–Muller normal sample.
+fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Box–Muller normal sample clamped into `[0, 1]`.
+fn clamped_normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    normal(rng, mean, sd).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyup_skyline::skyline_sfs;
+
+    fn skyline_size(store: &PointStore) -> usize {
+        let ids: Vec<_> = store.ids().collect();
+        skyline_sfs(store, &ids).len()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig::unit(3, Distribution::AntiCorrelated, 42);
+        let a = generate(100, &cfg);
+        let b = generate(100, &cfg);
+        assert_eq!(a, b);
+        let c = generate(100, &SyntheticConfig { seed: 43, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domains_respected() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let cfg = SyntheticConfig {
+                dims: 4,
+                distribution: dist,
+                lo: 1.0,
+                hi: 2.0,
+                seed: 7,
+            };
+            let s = generate(500, &cfg);
+            for (_, p) in s.iter() {
+                assert!(p.iter().all(|&x| (1.0..=2.0).contains(&x)), "{dist:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn anti_correlated_has_many_more_skyline_points() {
+        let n = 2000;
+        let anti = generate(n, &SyntheticConfig::unit(2, Distribution::AntiCorrelated, 1));
+        let ind = generate(n, &SyntheticConfig::unit(2, Distribution::Independent, 1));
+        let corr = generate(n, &SyntheticConfig::unit(2, Distribution::Correlated, 1));
+        let (sa, si, sc) = (skyline_size(&anti), skyline_size(&ind), skyline_size(&corr));
+        assert!(
+            sa > 2 * si,
+            "anti-correlated skyline {sa} should dwarf independent {si}"
+        );
+        assert!(
+            sa > 2 * sc,
+            "anti-correlated skyline {sa} should dwarf correlated {sc}"
+        );
+    }
+
+    #[test]
+    fn anti_correlated_sums_concentrate() {
+        let s = generate(500, &SyntheticConfig::unit(4, Distribution::AntiCorrelated, 3));
+        // Coordinate sums should cluster near dims * 0.5 with modest spread.
+        let sums: Vec<f64> = s.iter().map(|(_, p)| p.iter().sum()).collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        assert!((mean - 2.0).abs() < 0.25, "mean sum {mean}");
+    }
+
+    #[test]
+    fn paper_domains_disjoint() {
+        let p = paper_competitors(200, 3, Distribution::Independent, 5);
+        let t = paper_products(50, 3, Distribution::Independent, 6);
+        let p_max = p
+            .iter()
+            .flat_map(|(_, c)| c.to_vec())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let t_min = t
+            .iter()
+            .flat_map(|(_, c)| c.to_vec())
+            .fold(f64::INFINITY, f64::min);
+        assert!(p_max <= 1.0);
+        assert!(t_min > 1.0);
+    }
+
+    #[test]
+    fn one_dimensional_generation() {
+        let s = generate(50, &SyntheticConfig::unit(1, Distribution::AntiCorrelated, 9));
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.dims(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Anti-dominant region (ADR) tests.
+//!
+//! The anti-dominant region of a product `t` (paper Section III-A, after
+//! Tao et al.'s SUBSKY) is the hyperrectangle with `t` as its maximum
+//! corner and the domain origin as its minimum corner: exactly the region
+//! where `t`'s dominators can live. We never materialize the region; we
+//! expose the predicates the algorithms need, using an unbounded lower
+//! corner so that negative coordinates (from negating larger-is-better
+//! attributes) work too.
+
+use crate::rect::Rect;
+
+/// Whether `p` lies in `ADR(t)`, i.e. `p[i] <= t[i]` on every dimension.
+/// Every dominator of `t` satisfies this; `t` itself does as well.
+#[inline]
+pub fn point_in_adr(p: &[f64], t: &[f64]) -> bool {
+    debug_assert_eq!(p.len(), t.len());
+    p.iter().zip(t).all(|(&x, &y)| x <= y)
+}
+
+/// Whether `p` lies strictly inside `ADR(t)` (`p[i] < t[i]` everywhere).
+#[inline]
+pub fn point_strictly_in_adr(p: &[f64], t: &[f64]) -> bool {
+    debug_assert_eq!(p.len(), t.len());
+    p.iter().zip(t).all(|(&x, &y)| x < y)
+}
+
+/// Whether rectangle `rect` overlaps `ADR(t)` — the pruning test of the
+/// probing and join algorithms: an R-tree node can contain dominators of
+/// `t` only if its minimum corner is `<= t` on every dimension (paper
+/// Section III-B2: ignore `e_P` iff `∃ i: e_P.min.d_i > t.d_i`).
+#[inline]
+pub fn rect_intersects_adr(rect: &Rect, t: &[f64]) -> bool {
+    debug_assert_eq!(rect.dims(), t.len());
+    rect.lo().iter().zip(t).all(|(&l, &y)| l <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+
+    #[test]
+    fn dominators_are_in_adr() {
+        let t = [2.0, 3.0];
+        for p in [[1.0, 2.0], [2.0, 2.9], [0.0, 0.0]] {
+            assert!(dominates(&p, &t));
+            assert!(point_in_adr(&p, &t));
+        }
+    }
+
+    #[test]
+    fn t_is_in_its_own_adr_but_not_strictly() {
+        let t = [2.0, 3.0];
+        assert!(point_in_adr(&t, &t));
+        assert!(!point_strictly_in_adr(&t, &t));
+    }
+
+    #[test]
+    fn non_dominators_outside_unless_equal_profile() {
+        let t = [2.0, 3.0];
+        assert!(!point_in_adr(&[2.5, 1.0], &t));
+        assert!(!point_in_adr(&[1.0, 3.5], &t));
+    }
+
+    #[test]
+    fn rect_overlap_rule() {
+        let t = [2.0, 3.0];
+        // Node whose min corner is componentwise <= t may hold dominators.
+        assert!(rect_intersects_adr(&Rect::new(&[0.0, 0.0], &[5.0, 5.0]), &t));
+        assert!(rect_intersects_adr(&Rect::new(&[2.0, 3.0], &[4.0, 4.0]), &t));
+        // One dimension beyond t => no dominators possible.
+        assert!(!rect_intersects_adr(&Rect::new(&[2.1, 0.0], &[4.0, 1.0]), &t));
+        assert!(!rect_intersects_adr(&Rect::new(&[0.0, 3.5], &[1.0, 4.0]), &t));
+    }
+
+    #[test]
+    fn negative_coordinates_supported() {
+        // Negated larger-is-better attributes produce negative values.
+        let t = [-150.0, 180.0];
+        assert!(point_in_adr(&[-200.0, 100.0], &t));
+        assert!(rect_intersects_adr(
+            &Rect::new(&[-300.0, -10.0], &[-100.0, 500.0]),
+            &t
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Dimension classification for lower-bound upgrading costs.
+//!
+//! Paper Section III-B3: comparing an `R_T` entry `e_T` (represented by
+//! its minimum corner) against an `R_P` entry `e_P` classifies every
+//! dimension `D_i` as
+//!
+//! * **disadvantaged** (`D_D`): `e_P.max.d_i < e_T.min.d_i` — every point
+//!   of `e_P` beats every point of `e_T` here;
+//! * **incomparable** (`D_I`): `e_P.min.d_i <= e_T.min.d_i <= e_P.max.d_i`;
+//! * **advantaged** (`D_A`): `e_T.min.d_i < e_P.min.d_i` — `e_T.min`
+//!   beats every point of `e_P` here.
+//!
+//! The classification is stored as bitmasks so the aggressive lower bound
+//! can group join-list entries by identical signatures cheaply.
+
+use crate::rect::Rect;
+use std::fmt;
+
+/// A set of dimension indices, stored as a bitmask. Supports product
+/// spaces of up to 64 dimensions (the paper evaluates up to 6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DimMask(pub u64);
+
+impl DimMask {
+    /// The empty set.
+    pub const EMPTY: DimMask = DimMask(0);
+
+    /// The full set over `dims` dimensions.
+    pub fn all(dims: usize) -> Self {
+        assert!(dims <= 64, "DimMask supports at most 64 dimensions");
+        if dims == 64 {
+            DimMask(u64::MAX)
+        } else {
+            DimMask((1u64 << dims) - 1)
+        }
+    }
+
+    /// Inserts dimension `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < 64);
+        self.0 |= 1 << i;
+    }
+
+    /// Whether dimension `i` is in the set.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of dimensions in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the dimension indices in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for DimMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "D{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The result of classifying all dimensions of `e_T.min` against an
+/// `e_P` MBR: the paper's `Dims(𝔻, e_T, e_P)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DimClassification {
+    /// `D_D` — dimensions where `e_T.min` is strictly worse than all of `e_P`.
+    pub disadvantaged: DimMask,
+    /// `D_I` — dimensions where `e_T.min` falls within `e_P`'s extent.
+    pub incomparable: DimMask,
+    /// `D_A` — dimensions where `e_T.min` is strictly better than all of `e_P`.
+    pub advantaged: DimMask,
+}
+
+impl DimClassification {
+    /// The `(D_D, D_I)` pair as a grouping key. Two classifications over
+    /// the same space with equal keys have identical `D_A` too (the three
+    /// masks partition the dimensions), which is the partitioning
+    /// criterion of the aggressive lower bound (Section III-B4).
+    pub fn signature(&self) -> (DimMask, DimMask) {
+        (self.disadvantaged, self.incomparable)
+    }
+}
+
+/// Classifies every dimension of `e_t_min` against `e_p` per the rules
+/// above. `e_t_min` is the minimum corner of the `R_T` entry.
+///
+/// # Panics
+/// Debug-panics if dimensionalities differ.
+pub fn classify_dims(e_t_min: &[f64], e_p: &Rect) -> DimClassification {
+    debug_assert_eq!(e_t_min.len(), e_p.dims());
+    let mut c = DimClassification {
+        disadvantaged: DimMask::EMPTY,
+        incomparable: DimMask::EMPTY,
+        advantaged: DimMask::EMPTY,
+    };
+    for (i, &t) in e_t_min.iter().enumerate() {
+        if e_p.hi()[i] < t {
+            c.disadvantaged.insert(i);
+        } else if t < e_p.lo()[i] {
+            c.advantaged.insert(i);
+        } else {
+            c.incomparable.insert(i);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_basics() {
+        let mut m = DimMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(0);
+        m.insert(3);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(0));
+        assert!(!m.contains(1));
+        assert!(m.contains(3));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(DimMask::all(3), DimMask(0b111));
+        assert_eq!(DimMask::all(64).len(), 64);
+    }
+
+    #[test]
+    fn classify_partitions_dimensions() {
+        // e_T.min = (5, 5, 5); e_P spans different relations per dim.
+        let t = [5.0, 5.0, 5.0];
+        let p = Rect::new(&[1.0, 4.0, 6.0], &[2.0, 7.0, 8.0]);
+        let c = classify_dims(&t, &p);
+        // dim 0: e_P.hi=2 < 5 => disadvantaged
+        // dim 1: 4 <= 5 <= 7 => incomparable
+        // dim 2: 5 < 6 => advantaged
+        assert!(c.disadvantaged.contains(0));
+        assert!(c.incomparable.contains(1));
+        assert!(c.advantaged.contains(2));
+        let union = c.disadvantaged.0 | c.incomparable.0 | c.advantaged.0;
+        assert_eq!(union, DimMask::all(3).0);
+        assert_eq!(c.disadvantaged.0 & c.incomparable.0, 0);
+        assert_eq!(c.disadvantaged.0 & c.advantaged.0, 0);
+    }
+
+    #[test]
+    fn boundary_values_are_incomparable() {
+        let t = [5.0];
+        assert!(classify_dims(&t, &Rect::new(&[5.0], &[9.0]))
+            .incomparable
+            .contains(0));
+        assert!(classify_dims(&t, &Rect::new(&[1.0], &[5.0]))
+            .incomparable
+            .contains(0));
+    }
+
+    #[test]
+    fn signature_groups_equal_classifications() {
+        let t = [5.0, 5.0];
+        let p1 = Rect::new(&[0.0, 0.0], &[1.0, 1.0]); // both disadvantaged
+        let p2 = Rect::new(&[2.0, 2.0], &[3.0, 3.0]); // both disadvantaged
+        let p3 = Rect::new(&[0.0, 4.0], &[1.0, 6.0]); // dim1 incomparable
+        assert_eq!(
+            classify_dims(&t, &p1).signature(),
+            classify_dims(&t, &p2).signature()
+        );
+        assert_ne!(
+            classify_dims(&t, &p1).signature(),
+            classify_dims(&t, &p3).signature()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Pareto dominance predicates.
+//!
+//! All dimensions are smaller-is-better: point `a` *dominates* `b`
+//! (written `a ≺ b`) when `a` is no larger than `b` on every dimension and
+//! strictly smaller on at least one (paper Definition 3).
+
+/// The four possible dominance relationships between two points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DomRelation {
+    /// The first point dominates the second (`a ≺ b`).
+    Dominates,
+    /// The first point is dominated by the second (`b ≺ a`).
+    DominatedBy,
+    /// The points have identical coordinates.
+    Equal,
+    /// Neither point dominates the other.
+    Incomparable,
+}
+
+/// Returns `true` when `a ≺ b`: `a[i] <= b[i]` for all `i` and
+/// `a[i] < b[i]` for at least one `i`.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths.
+///
+/// ```
+/// use skyup_geom::dominance::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal, not dominated
+/// assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0])); // incomparable
+/// ```
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Returns `true` when `a ≼ b`: `a[i] <= b[i]` for all `i` (dominates or
+/// equal). This weak form is what transitivity arguments compose with.
+#[inline]
+pub fn dominates_or_equal(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(&x, &y)| x <= y)
+}
+
+/// Classifies the relationship between `a` and `b` in a single pass.
+///
+/// ```
+/// use skyup_geom::dominance::{compare, DomRelation};
+/// assert_eq!(compare(&[1.0], &[2.0]), DomRelation::Dominates);
+/// assert_eq!(compare(&[2.0], &[1.0]), DomRelation::DominatedBy);
+/// assert_eq!(compare(&[1.0], &[1.0]), DomRelation::Equal);
+/// assert_eq!(compare(&[1.0, 3.0], &[2.0, 1.0]), DomRelation::Incomparable);
+/// ```
+pub fn compare(a: &[f64], b: &[f64]) -> DomRelation {
+    debug_assert_eq!(a.len(), b.len());
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => unreachable!("early-returned above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let p = [1.0, 2.0, 3.0];
+        assert!(!dominates(&p, &p));
+        assert!(dominates_or_equal(&p, &p));
+    }
+
+    #[test]
+    fn dominance_is_asymmetric() {
+        let a = [1.0, 2.0];
+        let b = [2.0, 2.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let a = [1.0, 1.0];
+        let b = [1.0, 2.0];
+        let c = [2.0, 2.0];
+        assert!(dominates(&a, &b));
+        assert!(dominates(&b, &c));
+        assert!(dominates(&a, &c));
+    }
+
+    #[test]
+    fn compare_matches_predicates() {
+        let cases = [
+            ([1.0, 1.0], [2.0, 2.0]),
+            ([2.0, 2.0], [1.0, 1.0]),
+            ([1.0, 2.0], [2.0, 1.0]),
+            ([1.5, 1.5], [1.5, 1.5]),
+        ];
+        for (a, b) in cases {
+            let rel = compare(&a, &b);
+            assert_eq!(rel == DomRelation::Dominates, dominates(&a, &b));
+            assert_eq!(rel == DomRelation::DominatedBy, dominates(&b, &a));
+            assert_eq!(
+                rel == DomRelation::Equal,
+                dominates_or_equal(&a, &b) && dominates_or_equal(&b, &a)
+            );
+        }
+    }
+
+    #[test]
+    fn single_dimension() {
+        assert!(dominates(&[0.0], &[1.0]));
+        assert!(!dominates(&[1.0], &[0.0]));
+        assert_eq!(compare(&[0.5], &[0.5]), DomRelation::Equal);
+    }
+
+    #[test]
+    fn paper_table_one_phones() {
+        // Table I, negated where larger-is-better (standby, camera) so
+        // that smaller is uniformly better.
+        let phones = [
+            [140.0, -200.0, -2.0], // phone 1
+            [180.0, -150.0, -3.0], // phone 2
+            [100.0, -160.0, -3.0], // phone 3
+            [180.0, -180.0, -3.0], // phone 4
+            [120.0, -180.0, -4.0], // phone 5
+            [150.0, -150.0, -3.0], // phone 6
+        ];
+        // Phones 1, 3, 5 are the skyline (not dominated by any other).
+        for (i, p) in phones.iter().enumerate() {
+            let dominated = phones
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominates(q, p));
+            let expect_skyline = matches!(i, 0 | 2 | 4);
+            assert_eq!(!dominated, expect_skyline, "phone {}", i + 1);
+        }
+    }
+}

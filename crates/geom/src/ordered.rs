@@ -1,0 +1,103 @@
+//! A totally ordered `f64` wrapper for use as priority-queue keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `f64` with the total order of [`f64::total_cmp`], usable as a
+/// `BinaryHeap` key. All values produced by the algorithms are finite or
+/// `+inf` (the "unknown cost" sentinel); NaN is rejected at construction.
+#[derive(Clone, Copy, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a non-NaN `f64`.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "OrderedF64 cannot hold NaN");
+        Self(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Positive infinity (the "not yet computed" sentinel cost).
+    pub const INFINITY: OrderedF64 = OrderedF64(f64::INFINITY);
+
+    /// Zero.
+    pub const ZERO: OrderedF64 = OrderedF64(0.0);
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let a = OrderedF64::new(1.0);
+        let b = OrderedF64::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(OrderedF64::ZERO < OrderedF64::INFINITY);
+        assert!(OrderedF64::new(-1.0) < OrderedF64::ZERO);
+    }
+
+    #[test]
+    fn min_heap_via_reverse() {
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0, f64::INFINITY, 0.5] {
+            h.push(Reverse(OrderedF64::new(v)));
+        }
+        let mut out = Vec::new();
+        while let Some(Reverse(v)) = h.pop() {
+            out.push(v.get());
+        }
+        assert_eq!(out, vec![0.5, 1.0, 2.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+}

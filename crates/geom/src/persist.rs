@@ -1,0 +1,206 @@
+//! Compact binary serialization for [`PointStore`].
+//!
+//! Building a million-point R-tree takes seconds; loading one from disk
+//! takes milliseconds. The format is little-endian, versioned, and
+//! self-describing:
+//!
+//! ```text
+//! magic "SKUPPSTO" | version u32 | dims u64 | len u64 | coords f64*
+//! ```
+
+use crate::store::PointStore;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"SKUPPSTO";
+const VERSION: u32 = 1;
+
+/// Errors from [`PointStore::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended prematurely or has trailing garbage.
+    Truncated,
+    /// A decoded value is invalid (e.g. non-finite coordinate).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a skyup point store (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Truncated => write!(f, "buffer truncated or has trailing bytes"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A little-endian cursor over a byte slice, shared with the R-tree
+/// crate's persistence code.
+#[doc(hidden)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Truncated)
+        }
+    }
+}
+
+impl PointStore {
+    /// Serializes the store to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + 16 + self.raw().len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dims() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self.raw() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a store produced by [`PointStore::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<PointStore, DecodeError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(8)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let dims = r.u64()? as usize;
+        if dims == 0 {
+            return Err(DecodeError::Corrupt("zero dimensions"));
+        }
+        let len = r.u64()? as usize;
+        let mut store = PointStore::with_capacity(dims, len);
+        let mut row = vec![0.0; dims];
+        for _ in 0..len {
+            for slot in row.iter_mut() {
+                let v = r.f64()?;
+                if !v.is_finite() {
+                    return Err(DecodeError::Corrupt("non-finite coordinate"));
+                }
+                *slot = v;
+            }
+            store.push(&row);
+        }
+        r.finish()?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointStore {
+        PointStore::from_rows(
+            3,
+            vec![vec![0.1, -2.5, 3.75], vec![1e-9, 1e9, 0.0], vec![7.0, 8.0, 9.0]],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let back = PointStore::from_bytes(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let s = PointStore::new(5);
+        let back = PointStore::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.dims(), 5);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(PointStore::from_bytes(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10, 0] {
+            let err = PointStore::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(PointStore::from_bytes(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn nan_coordinate_rejected() {
+        let mut bytes = sample().to_bytes();
+        let coord_start = bytes.len() - 8;
+        bytes[coord_start..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            PointStore::from_bytes(&bytes),
+            Err(DecodeError::Corrupt("non-finite coordinate"))
+        );
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            PointStore::from_bytes(&bytes),
+            Err(DecodeError::BadVersion(99))
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Owned points and small coordinate helpers.
+
+use std::cmp::Ordering;
+
+/// An owned point: a thin wrapper around `Vec<f64>` used where algorithms
+/// materialize *new* coordinates (upgraded products, virtual corners)
+/// rather than referencing a [`crate::PointStore`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point(pub Vec<f64>);
+
+impl Point {
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(v: Vec<f64>) -> Self {
+        Point(v)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(v: &[f64]) -> Self {
+        Point(v.to_vec())
+    }
+}
+
+impl AsRef<[f64]> for Point {
+    fn as_ref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Sum of coordinates — the L1 key BBS uses to order its heap (an
+/// admissible "mindist to the origin" for smaller-is-better skylines).
+#[inline]
+pub fn coord_sum(p: &[f64]) -> f64 {
+    p.iter().sum()
+}
+
+/// Lexicographic comparison of coordinate slices using the total order on
+/// `f64`. Used for deterministic sorting and tie-breaking in tests.
+pub fn lex_cmp(a: &[f64], b: &[f64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_sum_works() {
+        assert_eq!(coord_sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(coord_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn lex_cmp_orders() {
+        assert_eq!(lex_cmp(&[1.0, 2.0], &[1.0, 2.0]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[1.0, 1.0], &[1.0, 2.0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2.0, 0.0], &[1.0, 9.0]), Ordering::Greater);
+    }
+
+    #[test]
+    fn point_conversions() {
+        let p: Point = vec![1.0, 2.0].into();
+        assert_eq!(p.dims(), 2);
+        let q: Point = (&[1.0, 2.0][..]).into();
+        assert_eq!(p, q);
+        assert_eq!(p.as_ref(), &[1.0, 2.0]);
+    }
+}

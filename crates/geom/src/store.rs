@@ -1,0 +1,235 @@
+//! Flat columnar storage for multidimensional points.
+//!
+//! A [`PointStore`] keeps all coordinates in one contiguous `Vec<f64>`,
+//! `dims` values per point. Points are addressed by [`PointId`], a compact
+//! `u32` index. This layout avoids one heap allocation per point and keeps
+//! scans cache-friendly, which matters at the paper's cardinalities
+//! (millions of competitor products).
+
+use std::fmt;
+
+/// Identifier of a point within one [`PointStore`].
+///
+/// Ids are dense: the `i`-th pushed point has id `i`. An id is only
+/// meaningful together with the store that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A contiguous store of `len` points, each with `dims` finite `f64`
+/// coordinates.
+///
+/// ```
+/// use skyup_geom::PointStore;
+/// let mut store = PointStore::new(2);
+/// let a = store.push(&[1.0, 2.0]);
+/// let b = store.push(&[3.0, 0.5]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.point(a), &[1.0, 2.0]);
+/// assert_eq!(store.point(b), &[3.0, 0.5]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointStore {
+    dims: usize,
+    coords: Vec<f64>,
+}
+
+impl PointStore {
+    /// Creates an empty store for `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a product space needs at least one dimension");
+        Self {
+            dims,
+            coords: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store with room for `capacity` points.
+    pub fn with_capacity(dims: usize, capacity: usize) -> Self {
+        assert!(dims > 0, "a product space needs at least one dimension");
+        Self {
+            dims,
+            coords: Vec::with_capacity(dims * capacity),
+        }
+    }
+
+    /// Builds a store from an iterator of coordinate rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dims`, or if any
+    /// coordinate is not finite.
+    pub fn from_rows<I, R>(dims: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut store = Self::new(dims);
+        for row in rows {
+            store.push(row.as_ref());
+        }
+        store
+    }
+
+    /// Appends a point and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dims()`, if a coordinate is not
+    /// finite, or if the store already holds `u32::MAX` points.
+    pub fn push(&mut self, coords: &[f64]) -> PointId {
+        assert_eq!(
+            coords.len(),
+            self.dims,
+            "point dimensionality {} does not match store dimensionality {}",
+            coords.len(),
+            self.dims
+        );
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "coordinates must be finite, got {coords:?}"
+        );
+        let id = u32::try_from(self.len()).expect("PointStore supports at most u32::MAX points");
+        self.coords.extend_from_slice(coords);
+        PointId(id)
+    }
+
+    /// The dimensionality of every point in the store.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of points currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dims
+    }
+
+    /// Whether the store holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Borrows the coordinates of point `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let start = id.index() * self.dims;
+        &self.coords[start..start + self.dims]
+    }
+
+    /// Returns the coordinates of point `id`, or `None` if out of bounds.
+    pub fn get(&self, id: PointId) -> Option<&[f64]> {
+        if id.index() < self.len() {
+            Some(self.point(id))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(id, coordinates)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.coords
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, c)| (PointId(i as u32), c))
+    }
+
+    /// Iterates over all ids in the store.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> {
+        (0..self.len() as u32).map(PointId)
+    }
+
+    /// The raw coordinate buffer (row-major, `dims` values per point).
+    pub fn raw(&self) -> &[f64] {
+        &self.coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = PointStore::new(3);
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, PointId(0));
+        assert_eq!(b, PointId(1));
+        assert_eq!(s.point(a), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.point(b), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
+        let s = PointStore::from_rows(2, &rows);
+        assert_eq!(s.len(), 3);
+        for (i, (id, coords)) in s.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(coords, rows[i].as_slice());
+        }
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let mut s = PointStore::new(2);
+        s.push(&[0.0, 0.0]);
+        assert!(s.get(PointId(0)).is_some());
+        assert!(s.get(PointId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn push_wrong_dims_panics() {
+        let mut s = PointStore::new(2);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_nan_panics() {
+        let mut s = PointStore::new(1);
+        s.push(&[f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dims_panics() {
+        let _ = PointStore::new(0);
+    }
+
+    #[test]
+    fn ids_cover_all_points() {
+        let s = PointStore::from_rows(1, vec![[1.0], [2.0], [3.0]]);
+        let ids: Vec<_> = s.ids().collect();
+        assert_eq!(ids, vec![PointId(0), PointId(1), PointId(2)]);
+    }
+}

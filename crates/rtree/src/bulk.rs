@@ -1,0 +1,170 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! STR packs `n` points into `ceil(n / M)` full leaves by recursively
+//! sorting and slicing the data one dimension at a time, then packs the
+//! resulting nodes the same way level by level. It produces well-shaped,
+//! nearly 100%-full trees and is the standard way to index a static data
+//! set — which is exactly how the paper uses its R-trees (both `P` and
+//! `T` are loaded into memory before the algorithms run).
+
+use crate::node::{Node, NodeId};
+use crate::tree::{RTree, RTreeParams};
+use crate::{PointStore, Rect};
+
+impl RTree {
+    /// Builds an R-tree over every point of `store` using STR packing.
+    pub fn bulk_load(store: &PointStore, params: RTreeParams) -> Self {
+        let dims = store.dims();
+        let mut tree = RTree::new(dims, params);
+        if store.is_empty() {
+            return tree;
+        }
+
+        // Level 0: pack points into leaves.
+        let mut items: Vec<(Vec<f64>, u32)> = store
+            .iter()
+            .map(|(id, coords)| (coords.to_vec(), id.0))
+            .collect();
+        let groups = str_partition(&mut items, dims, params.max_entries);
+        let mut level_nodes: Vec<NodeId> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut node = Node::new_leaf(dims);
+            let mut mbr = Rect::empty(dims);
+            for (coords, raw) in group {
+                mbr.expand_point(&coords);
+                node.points.push(skyup_geom::PointId(raw));
+            }
+            node.mbr = mbr;
+            level_nodes.push(tree.alloc(node));
+        }
+
+        // Upper levels: pack node MBR centers until one root remains.
+        let mut level = 1u32;
+        while level_nodes.len() > 1 {
+            let mut items: Vec<(Vec<f64>, u32)> = level_nodes
+                .iter()
+                .map(|&id| (tree.node(id).mbr.center(), id.0))
+                .collect();
+            let groups = str_partition(&mut items, dims, params.max_entries);
+            let mut next: Vec<NodeId> = Vec::with_capacity(groups.len());
+            for group in groups {
+                let mut node = Node::new_internal(dims, level);
+                let mut mbr = Rect::empty(dims);
+                for (_, raw) in group {
+                    let child = NodeId(raw);
+                    mbr.expand(&tree.node(child).mbr);
+                    node.children.push(child);
+                }
+                node.mbr = mbr;
+                next.push(tree.alloc(node));
+            }
+            level_nodes = next;
+            level += 1;
+        }
+
+        tree.root = level_nodes[0];
+        tree.num_points = store.len();
+        tree
+    }
+}
+
+/// Recursively sort-tile the items into groups of at most `cap`, keyed by
+/// the first element (a coordinate vector used for ordering).
+fn str_partition(
+    items: &mut [(Vec<f64>, u32)],
+    dims: usize,
+    cap: usize,
+) -> Vec<Vec<(Vec<f64>, u32)>> {
+    let mut out = Vec::with_capacity(items.len().div_ceil(cap));
+    str_rec(items, 0, dims, cap, &mut out);
+    out
+}
+
+fn str_rec(
+    items: &mut [(Vec<f64>, u32)],
+    dim: usize,
+    dims: usize,
+    cap: usize,
+    out: &mut Vec<Vec<(Vec<f64>, u32)>>,
+) {
+    if items.len() <= cap {
+        out.push(items.to_vec());
+        return;
+    }
+    items.sort_unstable_by(|a, b| a.0[dim].total_cmp(&b.0[dim]));
+    if dim + 1 == dims {
+        for chunk in items.chunks(cap) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    let pages = items.len().div_ceil(cap);
+    let remaining = (dims - dim) as f64;
+    let slabs = (pages as f64).powf(1.0 / remaining).ceil() as usize;
+    let slab_size = items.len().div_ceil(slabs.max(1));
+    for chunk in items.chunks_mut(slab_size.max(cap)) {
+        str_rec(chunk, dim + 1, dims, cap, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyup_geom::PointId;
+
+    fn grid_store(side: usize) -> PointStore {
+        let mut s = PointStore::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f64, j as f64]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mut s = PointStore::new(2);
+        s.push(&[0.5, 0.5]);
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.iter_points(), vec![PointId(0)]);
+    }
+
+    #[test]
+    fn all_points_present_exactly_once() {
+        let s = grid_store(20); // 400 points
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        let mut pts = t.iter_points();
+        pts.sort();
+        let expected: Vec<PointId> = s.ids().collect();
+        assert_eq!(pts, expected);
+        assert!(t.height() >= 3, "400 points at fanout 8 need >= 3 levels");
+    }
+
+    #[test]
+    fn mbrs_contain_children() {
+        let s = grid_store(15);
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(10));
+        t.validate(&s).expect("bulk-loaded tree must validate");
+    }
+
+    #[test]
+    fn leaves_nearly_full() {
+        let s = grid_store(16); // 256 points
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(16));
+        // STR packs all but boundary leaves full; 256/16 = 16 exact.
+        let stats = t.stats();
+        assert_eq!(stats.num_points, 256);
+        assert!(stats.avg_leaf_fill > 0.9, "fill was {}", stats.avg_leaf_fill);
+    }
+
+    #[test]
+    fn empty_store_gives_empty_tree() {
+        let s = PointStore::new(3);
+        let t = RTree::bulk_load(&s, RTreeParams::default());
+        assert!(t.is_empty());
+        t.validate(&s).unwrap();
+    }
+}

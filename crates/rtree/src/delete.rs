@@ -1,0 +1,256 @@
+//! Point deletion with tree condensation (Guttman's `CondenseTree`).
+//!
+//! Product catalogs change: competitors get discontinued, own products
+//! get retired. Deletion locates the leaf holding the point, removes it,
+//! dissolves any node that underflows below the minimum fill (its
+//! remaining points are reinserted), and shrinks the root when it is
+//! left with a single child.
+
+use crate::node::{EntryRef, NodeId};
+use crate::tree::RTree;
+use crate::{PointId, PointStore, Rect};
+
+enum Outcome {
+    NotFound,
+    /// Point removed below this child; `dissolve` means the child fell
+    /// under the minimum fill and its contents are queued for reinsert.
+    Removed {
+        dissolve: bool,
+    },
+}
+
+impl RTree {
+    /// Removes point `pid` from the tree. Returns `true` when the point
+    /// was present. Coordinates are looked up in `store`, which must be
+    /// the store the tree indexes (the point itself must still be
+    /// present in the store — stores are append-only).
+    pub fn remove(&mut self, store: &PointStore, pid: PointId) -> bool {
+        assert_eq!(store.dims(), self.dims, "store dimensionality mismatch");
+        let coords = store.point(pid).to_vec();
+        let mut reinsert: Vec<PointId> = Vec::new();
+        let outcome = self.remove_rec(store, self.root, pid, &coords, &mut reinsert);
+        match outcome {
+            Outcome::NotFound => false,
+            Outcome::Removed { dissolve } => {
+                // A dissolving root just means the tree is small; the
+                // root may hold fewer than `m` entries.
+                let _ = dissolve;
+                self.num_points -= 1;
+
+                // Shrink the root while it is an internal node with a
+                // single child.
+                while !self.node(self.root).is_leaf() && self.node(self.root).children.len() == 1 {
+                    self.root = self.node(self.root).children[0];
+                }
+                // An internal root that lost all children collapses to an
+                // empty leaf.
+                if !self.node(self.root).is_leaf() && self.node(self.root).children.is_empty() {
+                    let dims = self.dims;
+                    let root = self.root;
+                    let node = self.node_mut(root);
+                    node.level = 0;
+                    node.mbr = Rect::empty(dims);
+                }
+
+                // Reinsert points from dissolved nodes without disturbing
+                // the point count.
+                for p in reinsert {
+                    let saved = self.num_points;
+                    self.insert(store, p);
+                    self.num_points = saved;
+                }
+                true
+            }
+        }
+    }
+
+    fn remove_rec(
+        &mut self,
+        store: &PointStore,
+        node_id: NodeId,
+        pid: PointId,
+        coords: &[f64],
+        reinsert: &mut Vec<PointId>,
+    ) -> Outcome {
+        if self.node(node_id).is_leaf() {
+            let node = self.node_mut(node_id);
+            let Some(pos) = node.points.iter().position(|&p| p == pid) else {
+                return Outcome::NotFound;
+            };
+            node.points.swap_remove(pos);
+            self.refresh_mbr(store, node_id);
+            let dissolve = self.node(node_id).points.len() < self.params.min_entries;
+            return Outcome::Removed { dissolve };
+        }
+
+        let candidates: Vec<NodeId> = self
+            .node(node_id)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.node(c).mbr.contains_point(coords))
+            .collect();
+        for child in candidates {
+            match self.remove_rec(store, child, pid, coords, reinsert) {
+                Outcome::NotFound => continue,
+                Outcome::Removed { dissolve } => {
+                    if dissolve {
+                        // Queue the child's remaining points and unlink it.
+                        self.collect_points(EntryRef::Node(child), reinsert);
+                        let node = self.node_mut(node_id);
+                        let pos = node
+                            .children
+                            .iter()
+                            .position(|&c| c == child)
+                            .expect("child is present");
+                        node.children.swap_remove(pos);
+                    }
+                    self.refresh_mbr(store, node_id);
+                    let dissolve_self =
+                        self.node(node_id).children.len() < self.params.min_entries;
+                    return Outcome::Removed {
+                        dissolve: dissolve_self,
+                    };
+                }
+            }
+        }
+        Outcome::NotFound
+    }
+
+    /// Recomputes one node's MBR from its direct contents.
+    fn refresh_mbr(&mut self, store: &PointStore, node_id: NodeId) {
+        let dims = self.dims;
+        let mut mbr = Rect::empty(dims);
+        let node = self.node(node_id);
+        if node.is_leaf() {
+            for &p in &node.points {
+                mbr.expand_point(store.point(p));
+            }
+        } else {
+            for &c in &node.children.clone() {
+                mbr.expand(&self.nodes[c.index()].mbr);
+            }
+        }
+        self.node_mut(node_id).mbr = mbr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+
+    fn store_grid(side: usize) -> PointStore {
+        let mut s = PointStore::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f64, j as f64]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn remove_existing_point() {
+        let s = store_grid(10);
+        let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        assert!(t.remove(&s, PointId(42)));
+        assert_eq!(t.len(), 99);
+        assert!(!t.contains_coords(&s, s.point(PointId(42))) || {
+            // Another point may share coordinates in general; in a grid
+            // coordinates are unique, so the probe must now be empty.
+            false
+        });
+        // The point set is exactly the original minus the victim.
+        let mut pts = t.iter_points();
+        pts.sort();
+        let expected: Vec<PointId> = s.ids().filter(|&p| p != PointId(42)).collect();
+        assert_eq!(pts, expected);
+    }
+
+    #[test]
+    fn remove_missing_point_is_noop() {
+        let mut s = store_grid(5);
+        let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        assert!(t.remove(&s, PointId(7)));
+        // Second removal of the same id fails cleanly.
+        assert!(!t.remove(&s, PointId(7)));
+        assert_eq!(t.len(), 24);
+        // Structure still valid after failed removal... but validate
+        // requires the store to match; rebuild expectation by pushing a
+        // sentinel is unnecessary — validate() checks ids 0..len, so use
+        // the manual invariants instead.
+        let _ = &mut s;
+    }
+
+    #[test]
+    fn drain_the_whole_tree() {
+        let s = store_grid(8);
+        let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        for id in s.ids() {
+            assert!(t.remove(&s, id), "{id:?} should be present");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.iter_points().is_empty());
+        // The tree remains usable.
+        let range = Rect::new(&[-10.0, -10.0], &[100.0, 100.0]);
+        assert!(t.range_query(&s, &range).is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_and_remove_stay_consistent() {
+        let mut s = PointStore::new(2);
+        let mut t = RTree::new(2, RTreeParams::with_max_entries(4));
+        let mut live: Vec<PointId> = Vec::new();
+        let mut x = 12345u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..600 {
+            if round % 3 == 2 && !live.is_empty() {
+                let victim = live.swap_remove((next() as usize) % live.len());
+                assert!(t.remove(&s, victim));
+            } else {
+                let a = (next() % 1000) as f64 / 10.0;
+                let b = (next() % 1000) as f64 / 10.0;
+                let id = s.push(&[a, b]);
+                t.insert(&s, id);
+                live.push(id);
+            }
+            assert_eq!(t.len(), live.len(), "round {round}");
+        }
+        let mut pts = t.iter_points();
+        pts.sort();
+        live.sort();
+        assert_eq!(pts, live);
+        // MBRs stay tight and levels consistent even after churn: check
+        // queries against a scan.
+        let range = Rect::new(&[10.0, 10.0], &[60.0, 60.0]);
+        let mut got = t.range_query(&s, &range);
+        got.sort();
+        let mut want: Vec<PointId> = live
+            .iter()
+            .copied()
+            .filter(|&p| range.contains_point(s.point(p)))
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn removal_with_duplicate_coordinates() {
+        let mut s = PointStore::new(2);
+        let ids: Vec<PointId> = (0..10).map(|_| s.push(&[1.0, 1.0])).collect();
+        let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        // Remove one specific duplicate: the others must remain.
+        assert!(t.remove(&s, ids[3]));
+        assert_eq!(t.len(), 9);
+        let pts = t.iter_points();
+        assert!(!pts.contains(&ids[3]));
+        assert_eq!(pts.len(), 9);
+    }
+}

@@ -1,0 +1,172 @@
+//! k-nearest-neighbor queries (best-first, Hjaltason & Samet style).
+
+use crate::node::EntryRef;
+use crate::tree::RTree;
+use crate::{PointId, PointStore, Rect};
+use skyup_geom::OrderedF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+impl RTree {
+    /// Returns the `k` points nearest to `query` in Euclidean distance,
+    /// closest first, as `(id, distance)` pairs. Fewer than `k` results
+    /// when the tree is smaller.
+    pub fn nearest_neighbors(
+        &self,
+        store: &PointStore,
+        query: &[f64],
+        k: usize,
+    ) -> Vec<(PointId, f64)> {
+        assert_eq!(query.len(), self.dims(), "query dimensionality mismatch");
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+
+        // Min-heap on (distance, entry); tie-break by entry for a total
+        // order.
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, EntryRef)>> = BinaryHeap::new();
+        let root = EntryRef::Node(self.root_id());
+        heap.push(Reverse((
+            OrderedF64::new(mindist(self.root().mbr(), query)),
+            root,
+        )));
+
+        while let Some(Reverse((dist, entry))) = heap.pop() {
+            match entry {
+                EntryRef::Point(p) => {
+                    out.push((p, dist.get()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                EntryRef::Node(n) => {
+                    let node = self.node(n);
+                    if node.is_leaf() {
+                        for &p in node.points() {
+                            let d = euclidean(store.point(p), query);
+                            heap.push(Reverse((OrderedF64::new(d), EntryRef::Point(p))));
+                        }
+                    } else {
+                        for &c in node.children() {
+                            let d = mindist(self.node(c).mbr(), query);
+                            heap.push(Reverse((OrderedF64::new(d), EntryRef::Node(c))));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The single nearest neighbor, if the tree is non-empty.
+    pub fn nearest_neighbor(&self, store: &PointStore, query: &[f64]) -> Option<(PointId, f64)> {
+        self.nearest_neighbors(store, query, 1).into_iter().next()
+    }
+}
+
+/// Minimum Euclidean distance from `query` to any point of `rect`.
+fn mindist(rect: &Rect, query: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (i, &q) in query.iter().enumerate() {
+        let d = if q < rect.lo()[i] {
+            rect.lo()[i] - q
+        } else if q > rect.hi()[i] {
+            q - rect.hi()[i]
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+
+    fn grid(side: usize) -> (PointStore, RTree) {
+        let mut s = PointStore::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f64, j as f64]);
+            }
+        }
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        (s, t)
+    }
+
+    fn brute_force(store: &PointStore, q: &[f64], k: usize) -> Vec<(PointId, f64)> {
+        let mut all: Vec<(PointId, f64)> = store
+            .iter()
+            .map(|(id, c)| (id, euclidean(c, q)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (s, t) = grid(15);
+        for q in [[3.3, 7.8], [0.0, 0.0], [20.0, -5.0], [7.5, 7.5]] {
+            let got = t.nearest_neighbors(&s, &q, 7);
+            let want = brute_force(&s, &q, 7);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                // Distances must agree exactly; ids may differ on ties.
+                assert!((g.1 - w.1).abs() < 1e-12, "query {q:?}");
+            }
+            // Ascending distances.
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn single_nearest() {
+        let (s, t) = grid(5);
+        let (id, d) = t.nearest_neighbor(&s, &[2.2, 3.1]).unwrap();
+        assert_eq!(s.point(id), &[2.0, 3.0]);
+        assert!((d - (0.2f64 * 0.2 + 0.1 * 0.1).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_tree() {
+        let (s, t) = grid(2);
+        let got = t.nearest_neighbors(&s, &[0.0, 0.0], 100);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn empty_tree_and_zero_k() {
+        let s = PointStore::new(2);
+        let t = RTree::bulk_load(&s, RTreeParams::default());
+        assert!(t.nearest_neighbor(&s, &[0.0, 0.0]).is_none());
+        let (s2, t2) = grid(3);
+        assert!(t2.nearest_neighbors(&s2, &[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn works_on_insertion_built_tree() {
+        let mut s = PointStore::new(2);
+        let mut t = crate::RTree::new(2, RTreeParams::with_max_entries(4));
+        for i in 0..200 {
+            let id = s.push(&[(i * 7 % 50) as f64, (i * 13 % 50) as f64]);
+            t.insert(&s, id);
+        }
+        let got = t.nearest_neighbors(&s, &[25.0, 25.0], 5);
+        let want = brute_force(&s, &[25.0, 25.0], 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Tree nodes and entry references.
+
+use crate::{PointId, Rect};
+use std::fmt;
+
+/// Identifier of a node within one [`crate::RTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into the node arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A reference to an R-tree entry as seen by traversal algorithms: either
+/// an internal entry (a child node with an MBR) or a point entry in a
+/// leaf.
+///
+/// The join algorithm's join lists hold values of this type so they can
+/// mix levels freely while drilling down.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum EntryRef {
+    /// A subtree, identified by its root node.
+    Node(NodeId),
+    /// A single data point in a leaf.
+    Point(PointId),
+}
+
+impl EntryRef {
+    /// Whether this entry is a point (leaf-level) entry.
+    #[inline]
+    pub fn is_point(self) -> bool {
+        matches!(self, EntryRef::Point(_))
+    }
+}
+
+/// An R-tree node. `level == 0` means leaf (holds points); otherwise the
+/// node holds child nodes of level `level - 1`.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub(crate) mbr: Rect,
+    pub(crate) level: u32,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) points: Vec<PointId>,
+}
+
+impl Node {
+    pub(crate) fn new_leaf(dims: usize) -> Self {
+        Node {
+            mbr: Rect::empty(dims),
+            level: 0,
+            children: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new_internal(dims: usize, level: u32) -> Self {
+        Node {
+            mbr: Rect::empty(dims),
+            level,
+            children: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The node's minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> &Rect {
+        &self.mbr
+    }
+
+    /// The node's level; leaves are level 0.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Whether the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Child node ids (empty for leaves).
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Point ids (empty for internal nodes).
+    #[inline]
+    pub fn points(&self) -> &[PointId] {
+        &self.points
+    }
+
+    /// Number of entries (children or points).
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.is_leaf() {
+            self.points.len()
+        } else {
+            self.children.len()
+        }
+    }
+
+    /// Whether the node holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node's entries as [`EntryRef`]s.
+    pub fn entries(&self) -> impl Iterator<Item = EntryRef> + '_ {
+        let nodes = self.children.iter().copied().map(EntryRef::Node);
+        let points = self.points.iter().copied().map(EntryRef::Point);
+        nodes.chain(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_internal_shapes() {
+        let mut leaf = Node::new_leaf(2);
+        assert!(leaf.is_leaf());
+        assert!(leaf.is_empty());
+        leaf.points.push(PointId(7));
+        assert_eq!(leaf.len(), 1);
+        assert_eq!(
+            leaf.entries().collect::<Vec<_>>(),
+            vec![EntryRef::Point(PointId(7))]
+        );
+
+        let mut internal = Node::new_internal(2, 1);
+        assert!(!internal.is_leaf());
+        internal.children.push(NodeId(3));
+        assert_eq!(internal.len(), 1);
+        assert_eq!(
+            internal.entries().collect::<Vec<_>>(),
+            vec![EntryRef::Node(NodeId(3))]
+        );
+    }
+
+    #[test]
+    fn entry_ref_kind() {
+        assert!(EntryRef::Point(PointId(0)).is_point());
+        assert!(!EntryRef::Node(NodeId(0)).is_point());
+    }
+}

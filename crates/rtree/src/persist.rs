@@ -1,0 +1,229 @@
+//! Compact binary serialization for [`RTree`].
+//!
+//! Saves the full node arena so a bulk-loaded index can be reloaded
+//! without rebuilding. The coordinates stay in the point store (persist
+//! it with [`skyup_geom::PointStore::to_bytes`]); loading validates the
+//! tree against the store before use.
+//!
+//! ```text
+//! magic "SKUPRTRE" | version u32 | dims u64 | max u64 | min u64
+//! | root u32 | num_points u64 | num_nodes u64
+//! | node*: level u32, mbr (lo f64*d, hi f64*d) or empty-marker u8,
+//!          child_count u64, children u32*, point_count u64, points u32*
+//! ```
+
+use crate::node::{Node, NodeId};
+use crate::tree::{RTree, RTreeParams};
+use crate::{PointId, PointStore, Rect};
+use skyup_geom::persist::{DecodeError, Reader};
+
+const MAGIC: &[u8; 8] = b"SKUPRTRE";
+const VERSION: u32 = 1;
+
+impl RTree {
+    /// Serializes the tree to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dims as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.max_entries as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.min_entries as u64).to_le_bytes());
+        out.extend_from_slice(&self.root.0.to_le_bytes());
+        out.extend_from_slice(&(self.num_points as u64).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for node in &self.nodes {
+            out.extend_from_slice(&node.level.to_le_bytes());
+            if node.mbr.is_empty_accumulator() {
+                out.push(0);
+            } else {
+                out.push(1);
+                for v in node.mbr.lo().iter().chain(node.mbr.hi()) {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(node.children.len() as u64).to_le_bytes());
+            for c in &node.children {
+                out.extend_from_slice(&c.0.to_le_bytes());
+            }
+            out.extend_from_slice(&(node.points.len() as u64).to_le_bytes());
+            for p in &node.points {
+                out.extend_from_slice(&p.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a tree and validates it against `store` (the point
+    /// store it was built over). Any structural inconsistency —
+    /// including a store that does not match — is rejected.
+    pub fn from_bytes(buf: &[u8], store: &PointStore) -> Result<RTree, DecodeError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(8)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let dims = r.u64()? as usize;
+        if dims == 0 || dims != store.dims() {
+            return Err(DecodeError::Corrupt("dimensionality mismatch"));
+        }
+        let max_entries = r.u64()? as usize;
+        let min_entries = r.u64()? as usize;
+        if min_entries < 2 || min_entries > max_entries / 2 {
+            return Err(DecodeError::Corrupt("invalid fanout parameters"));
+        }
+        let root = NodeId(r.u32()?);
+        let num_points = r.u64()? as usize;
+        let num_nodes = r.u64()? as usize;
+
+        let mut nodes = Vec::with_capacity(num_nodes.min(1 << 20));
+        for _ in 0..num_nodes {
+            let level = r.u32()?;
+            let has_mbr = r.bytes(1)?[0];
+            let mbr = match has_mbr {
+                0 => Rect::empty(dims),
+                1 => {
+                    let mut lo = vec![0.0f64; dims];
+                    let mut hi = vec![0.0f64; dims];
+                    for v in lo.iter_mut() {
+                        *v = r.f64()?;
+                    }
+                    for v in hi.iter_mut() {
+                        *v = r.f64()?;
+                    }
+                    if lo
+                        .iter()
+                        .zip(&hi)
+                        .any(|(&l, &h)| !l.is_finite() || !h.is_finite() || l > h)
+                    {
+                        return Err(DecodeError::Corrupt("invalid MBR"));
+                    }
+                    Rect::new(&lo, &hi)
+                }
+                _ => return Err(DecodeError::Corrupt("bad MBR marker")),
+            };
+            let child_count = r.u64()? as usize;
+            let mut children = Vec::with_capacity(child_count.min(max_entries + 1));
+            for _ in 0..child_count {
+                children.push(NodeId(r.u32()?));
+            }
+            let point_count = r.u64()? as usize;
+            let mut points = Vec::with_capacity(point_count.min(max_entries + 1));
+            for _ in 0..point_count {
+                points.push(PointId(r.u32()?));
+            }
+            nodes.push(Node {
+                mbr,
+                level,
+                children,
+                points,
+            });
+        }
+        r.finish()?;
+
+        if root.index() >= nodes.len() {
+            return Err(DecodeError::Corrupt("root out of range"));
+        }
+        for node in &nodes {
+            if node.children.iter().any(|c| c.index() >= nodes.len()) {
+                return Err(DecodeError::Corrupt("child id out of range"));
+            }
+            if node.points.iter().any(|p| p.index() >= store.len()) {
+                return Err(DecodeError::Corrupt("point id out of range"));
+            }
+        }
+
+        let tree = RTree {
+            dims,
+            params: RTreeParams::new(max_entries, min_entries),
+            nodes,
+            root,
+            num_points,
+        };
+        tree.validate(store)
+            .map_err(|_| DecodeError::Corrupt("tree fails structural validation"))?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (PointStore, RTree) {
+        let mut s = PointStore::new(2);
+        for i in 0..200 {
+            s.push(&[(i % 17) as f64, (i % 13) as f64]);
+        }
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        (s, t)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let (s, t) = sample();
+        let bytes = t.to_bytes();
+        let back = RTree::from_bytes(&bytes, &s).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.height(), t.height());
+        let range = Rect::new(&[2.0, 3.0], &[9.0, 11.0]);
+        let mut a = t.range_query(&s, &range);
+        let mut b = back.range_query(&s, &range);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let s = PointStore::new(3);
+        let t = RTree::bulk_load(&s, RTreeParams::default());
+        let back = RTree::from_bytes(&t.to_bytes(), &s).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn wrong_store_rejected() {
+        let (s, t) = sample();
+        let bytes = t.to_bytes();
+        // A store with fewer points: ids dangle.
+        let mut small = PointStore::new(2);
+        small.push(&[0.0, 0.0]);
+        assert!(RTree::from_bytes(&bytes, &small).is_err());
+        // A store with different contents: MBR validation fails.
+        let mut shifted = PointStore::new(2);
+        for (_, c) in s.iter() {
+            shifted.push(&[c[0] + 1.0, c[1]]);
+        }
+        assert!(RTree::from_bytes(&bytes, &shifted).is_err());
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let (s, t) = sample();
+        let bytes = t.to_bytes();
+        assert_eq!(
+            RTree::from_bytes(&bytes[..10], &s).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'!';
+        assert_eq!(RTree::from_bytes(&bad, &s).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn insertion_tree_roundtrip() {
+        let mut s = PointStore::new(2);
+        let mut t = RTree::new(2, RTreeParams::with_max_entries(4));
+        for i in 0..100 {
+            let id = s.push(&[(i * 7 % 31) as f64, (i * 3 % 29) as f64]);
+            t.insert(&s, id);
+        }
+        let back = RTree::from_bytes(&t.to_bytes(), &s).unwrap();
+        back.validate(&s).unwrap();
+        assert_eq!(back.len(), 100);
+    }
+}

@@ -1,0 +1,167 @@
+//! Range queries and traversal helpers.
+
+use crate::node::{EntryRef, NodeId};
+use crate::tree::RTree;
+use crate::{PointId, PointStore, Rect};
+
+impl RTree {
+    /// Returns every indexed point inside `range` (borders included).
+    ///
+    /// This is the query the basic probing algorithm issues with
+    /// `range = ADR(t)` to fetch all of `t`'s potential dominators.
+    pub fn range_query(&self, store: &PointStore, range: &Rect) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.range_query_into(store, range, &mut out);
+        out
+    }
+
+    /// [`Self::range_query`] writing into a caller-provided buffer
+    /// (cleared first), so hot loops can reuse the allocation.
+    pub fn range_query_into(&self, store: &PointStore, range: &Rect, out: &mut Vec<PointId>) {
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        let mut stack: Vec<NodeId> = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if !node.mbr.intersects(range) {
+                continue;
+            }
+            if node.is_leaf() {
+                for &p in &node.points {
+                    if range.contains_point(store.point(p)) {
+                        out.push(p);
+                    }
+                }
+            } else if range.contains_rect(&node.mbr) {
+                // Fully covered: take the whole subtree without point tests.
+                self.collect_points(EntryRef::Node(id), out);
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Counts the points inside `range` without materializing them.
+    pub fn range_count(&self, store: &PointStore, range: &Rect) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut count = 0;
+        let mut stack: Vec<NodeId> = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if !node.mbr.intersects(range) {
+                continue;
+            }
+            if range.contains_rect(&node.mbr) {
+                count += self.subtree_point_count(id);
+            } else if node.is_leaf() {
+                count += node
+                    .points
+                    .iter()
+                    .filter(|&&p| range.contains_point(store.point(p)))
+                    .count();
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        count
+    }
+
+    fn subtree_point_count(&self, id: NodeId) -> usize {
+        let node = self.node(id);
+        if node.is_leaf() {
+            node.points.len()
+        } else {
+            node.children
+                .iter()
+                .map(|&c| self.subtree_point_count(c))
+                .sum()
+        }
+    }
+
+    /// Whether the tree contains a point with exactly these coordinates.
+    pub fn contains_coords(&self, store: &PointStore, coords: &[f64]) -> bool {
+        let probe = Rect::point(coords);
+        !self.range_query(store, &probe).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+
+    fn grid(side: usize) -> (PointStore, RTree) {
+        let mut s = PointStore::new(2);
+        for i in 0..side {
+            for j in 0..side {
+                s.push(&[i as f64, j as f64]);
+            }
+        }
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        (s, t)
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let (s, t) = grid(12);
+        let range = Rect::new(&[2.5, 3.0], &[7.0, 9.5]);
+        let mut got = t.range_query(&s, &range);
+        got.sort();
+        let mut expected: Vec<PointId> = s
+            .iter()
+            .filter(|(_, c)| range.contains_point(c))
+            .map(|(id, _)| id)
+            .collect();
+        expected.sort();
+        assert_eq!(got, expected);
+        assert_eq!(t.range_count(&s, &range), expected.len());
+    }
+
+    #[test]
+    fn covering_range_returns_everything() {
+        let (s, t) = grid(9);
+        let range = Rect::new(&[-1.0, -1.0], &[100.0, 100.0]);
+        assert_eq!(t.range_query(&s, &range).len(), 81);
+        assert_eq!(t.range_count(&s, &range), 81);
+    }
+
+    #[test]
+    fn disjoint_range_returns_nothing() {
+        let (s, t) = grid(5);
+        let range = Rect::new(&[50.0, 50.0], &[60.0, 60.0]);
+        assert!(t.range_query(&s, &range).is_empty());
+        assert_eq!(t.range_count(&s, &range), 0);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let s = PointStore::new(2);
+        let t = RTree::bulk_load(&s, RTreeParams::default());
+        let range = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(t.range_query(&s, &range).is_empty());
+        assert_eq!(t.range_count(&s, &range), 0);
+    }
+
+    #[test]
+    fn contains_coords_exact() {
+        let (s, t) = grid(4);
+        assert!(t.contains_coords(&s, &[2.0, 3.0]));
+        assert!(!t.contains_coords(&s, &[2.0, 3.5]));
+    }
+
+    #[test]
+    fn insertion_tree_queries_match_bulk() {
+        let (s, bulk) = grid(10);
+        let ins = RTree::from_insertion(&s, RTreeParams::with_max_entries(8));
+        let range = Rect::new(&[1.5, 0.0], &[6.5, 4.0]);
+        let mut a = bulk.range_query(&s, &range);
+        let mut b = ins.range_query(&s, &range);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

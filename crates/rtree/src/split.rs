@@ -1,0 +1,178 @@
+//! Quadratic node splitting (Guttman 1984).
+//!
+//! Used by one-at-a-time insertion when a node overflows. Quadratic split
+//! picks the pair of entries that would waste the most area if grouped
+//! together as seeds, then assigns remaining entries to whichever group's
+//! MBR grows least, respecting the minimum fill `m`.
+
+use crate::Rect;
+
+/// A splittable entry: an MBR plus an opaque payload (point id or node id).
+pub(crate) type SplitEntry = (Rect, u32);
+
+/// Splits `entries` (which overflows a node) into two groups, each with at
+/// least `min` entries. Returns `(group_a, group_b)`.
+///
+/// # Panics
+/// Panics if `entries.len() < 2 * min` (cannot satisfy minimum fill) —
+/// callers only split overflowing nodes, where `len == M + 1 >= 2m + 1`.
+pub(crate) fn quadratic_split(
+    mut entries: Vec<SplitEntry>,
+    min: usize,
+) -> (Vec<SplitEntry>, Vec<SplitEntry>) {
+    assert!(
+        entries.len() >= 2 * min,
+        "cannot split {} entries with minimum fill {}",
+        entries.len(),
+        min
+    );
+
+    let (seed_a, seed_b) = pick_seeds(&entries);
+    // Remove the later index first so the earlier stays valid.
+    let (hi, lo) = if seed_a > seed_b {
+        (seed_a, seed_b)
+    } else {
+        (seed_b, seed_a)
+    };
+    let entry_hi = entries.swap_remove(hi);
+    let entry_lo = entries.swap_remove(lo);
+
+    let mut mbr_a = entry_lo.0.clone();
+    let mut mbr_b = entry_hi.0.clone();
+    let mut group_a = vec![entry_lo];
+    let mut group_b = vec![entry_hi];
+
+    while !entries.is_empty() {
+        let remaining = entries.len();
+        // Force-assign if one group otherwise cannot reach `min`.
+        if group_a.len() + remaining == min {
+            for e in entries.drain(..) {
+                mbr_a.expand(&e.0);
+                group_a.push(e);
+            }
+            break;
+        }
+        if group_b.len() + remaining == min {
+            for e in entries.drain(..) {
+                mbr_b.expand(&e.0);
+                group_b.push(e);
+            }
+            break;
+        }
+
+        // PickNext: the entry with the greatest preference difference.
+        let mut best = 0;
+        let mut best_diff = -1.0;
+        for (i, e) in entries.iter().enumerate() {
+            let d_a = mbr_a.enlargement(&e.0);
+            let d_b = mbr_b.enlargement(&e.0);
+            let diff = (d_a - d_b).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best = i;
+            }
+        }
+        let e = entries.swap_remove(best);
+        let d_a = mbr_a.enlargement(&e.0);
+        let d_b = mbr_b.enlargement(&e.0);
+        let to_a = match d_a.partial_cmp(&d_b).expect("finite enlargements") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Ties: smaller area, then fewer entries.
+                let (area_a, area_b) = (mbr_a.area(), mbr_b.area());
+                if area_a != area_b {
+                    area_a < area_b
+                } else {
+                    group_a.len() <= group_b.len()
+                }
+            }
+        };
+        if to_a {
+            mbr_a.expand(&e.0);
+            group_a.push(e);
+        } else {
+            mbr_b.expand(&e.0);
+            group_b.push(e);
+        }
+    }
+
+    (group_a, group_b)
+}
+
+/// PickSeeds: the pair whose combined MBR wastes the most area.
+fn pick_seeds(entries: &[SplitEntry]) -> (usize, usize) {
+    let mut best = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let mut cover = entries[i].0.clone();
+            cover.expand(&entries[j].0);
+            let waste = cover.area() - entries[i].0.area() - entries[j].0.area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, id: u32) -> SplitEntry {
+        (Rect::point(&[x, y]), id)
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two tight clusters far apart: the split should separate them.
+        let entries = vec![
+            pt(0.0, 0.0, 0),
+            pt(0.1, 0.1, 1),
+            pt(0.2, 0.0, 2),
+            pt(10.0, 10.0, 3),
+            pt(10.1, 10.1, 4),
+            pt(10.2, 10.0, 5),
+        ];
+        let (a, b) = quadratic_split(entries, 2);
+        let ids =
+            |g: &[SplitEntry]| g.iter().map(|e| e.1).collect::<std::collections::BTreeSet<_>>();
+        let (ia, ib) = (ids(&a), ids(&b));
+        let low: std::collections::BTreeSet<u32> = [0, 1, 2].into();
+        let high: std::collections::BTreeSet<u32> = [3, 4, 5].into();
+        assert!(
+            (ia == low && ib == high) || (ia == high && ib == low),
+            "clusters were mixed: {ia:?} vs {ib:?}"
+        );
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let entries: Vec<SplitEntry> = (0..9).map(|i| pt(i as f64, 0.0, i)).collect();
+        let (a, b) = quadratic_split(entries, 4);
+        assert!(a.len() >= 4, "group a has {}", a.len());
+        assert!(b.len() >= 4, "group b has {}", b.len());
+        assert_eq!(a.len() + b.len(), 9);
+    }
+
+    #[test]
+    fn split_preserves_all_entries() {
+        let entries: Vec<SplitEntry> = (0..17)
+            .map(|i| pt((i % 5) as f64, (i / 5) as f64, i))
+            .collect();
+        let (a, b) = quadratic_split(entries, 3);
+        let mut all: Vec<u32> = a.iter().chain(&b).map(|e| e.1).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_few_entries_panics() {
+        let entries = vec![pt(0.0, 0.0, 0), pt(1.0, 1.0, 1)];
+        let _ = quadratic_split(entries, 2);
+    }
+}

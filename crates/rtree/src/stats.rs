@@ -1,0 +1,122 @@
+//! Tree shape statistics (used by benchmarks and diagnostics).
+
+use crate::node::NodeId;
+use crate::tree::RTree;
+
+/// Aggregate shape statistics of an [`RTree`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Indexed point count.
+    pub num_points: usize,
+    /// Total node count.
+    pub num_nodes: usize,
+    /// Leaf node count.
+    pub num_leaves: usize,
+    /// Tree height (1 = a single leaf).
+    pub height: u32,
+    /// Mean leaf fill ratio relative to `max_entries`.
+    pub avg_leaf_fill: f64,
+    /// Mean internal-node fill ratio relative to `max_entries` (1.0 when
+    /// there are no internal nodes).
+    pub avg_internal_fill: f64,
+    /// Total leaf MBR volume (a proxy for packing quality).
+    pub total_leaf_area: f64,
+}
+
+impl RTree {
+    /// Computes shape statistics by walking the tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut s = StatsAcc::default();
+        self.stats_rec(self.root_id(), &mut s);
+        let max = self.params().max_entries as f64;
+        TreeStats {
+            num_points: self.len(),
+            num_nodes: s.nodes,
+            num_leaves: s.leaves,
+            height: self.height(),
+            avg_leaf_fill: if s.leaves == 0 {
+                0.0
+            } else {
+                s.leaf_entries as f64 / (s.leaves as f64 * max)
+            },
+            avg_internal_fill: if s.internals == 0 {
+                1.0
+            } else {
+                s.internal_entries as f64 / (s.internals as f64 * max)
+            },
+            total_leaf_area: s.leaf_area,
+        }
+    }
+
+    fn stats_rec(&self, id: NodeId, s: &mut StatsAcc) {
+        let node = self.node(id);
+        s.nodes += 1;
+        if node.is_leaf() {
+            s.leaves += 1;
+            s.leaf_entries += node.points().len();
+            s.leaf_area += node.mbr().area();
+        } else {
+            s.internals += 1;
+            s.internal_entries += node.children().len();
+            for &c in node.children() {
+                self.stats_rec(c, s);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsAcc {
+    nodes: usize,
+    leaves: usize,
+    internals: usize,
+    leaf_entries: usize,
+    internal_entries: usize,
+    leaf_area: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+    use skyup_geom::PointStore;
+
+    #[test]
+    fn stats_consistency() {
+        let mut store = PointStore::new(2);
+        for i in 0..1000 {
+            store.push(&[(i % 37) as f64, (i % 101) as f64]);
+        }
+        let t = RTree::bulk_load(&store, RTreeParams::with_max_entries(16));
+        let s = t.stats();
+        assert_eq!(s.num_points, 1000);
+        assert_eq!(s.height, t.height());
+        assert!(s.num_leaves >= 1000 / 16);
+        assert!(s.num_nodes > s.num_leaves);
+        assert!(s.avg_leaf_fill > 0.5 && s.avg_leaf_fill <= 1.0);
+        assert!(s.avg_internal_fill > 0.0 && s.avg_internal_fill <= 1.0);
+    }
+
+    #[test]
+    fn str_packs_tighter_than_insertion() {
+        let mut store = PointStore::new(2);
+        // Pseudo-random scatter.
+        let mut x = 1u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(48271) % 0x7fffffff;
+            let a = (x % 1000) as f64 / 1000.0;
+            x = x.wrapping_mul(48271) % 0x7fffffff;
+            let b = (x % 1000) as f64 / 1000.0;
+            store.push(&[a, b]);
+        }
+        let params = RTreeParams::with_max_entries(16);
+        let bulk = RTree::bulk_load(&store, params).stats();
+        let ins = RTree::from_insertion(&store, params).stats();
+        assert!(
+            bulk.avg_leaf_fill >= ins.avg_leaf_fill,
+            "STR fill {} < insertion fill {}",
+            bulk.avg_leaf_fill,
+            ins.avg_leaf_fill
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Structural validation: invariant checks used by tests and debugging.
+
+use crate::node::NodeId;
+use crate::tree::RTree;
+use crate::{PointStore, Rect};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An invariant violation found by [`RTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A node has more than `max_entries` entries.
+    Overfull { node: u32, len: usize },
+    /// A node MBR does not tightly bound its contents.
+    LooseMbr { node: u32 },
+    /// A child's level is not its parent's level minus one.
+    LevelMismatch { parent: u32, child: u32 },
+    /// The set of points reachable from the root differs from the store.
+    PointSetMismatch { missing: usize, extra: usize },
+    /// The recorded point count disagrees with reality.
+    CountMismatch { recorded: usize, actual: usize },
+    /// A non-root node is empty.
+    EmptyNode { node: u32 },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Overfull { node, len } => {
+                write!(f, "node n{node} overfull with {len} entries")
+            }
+            ValidationError::LooseMbr { node } => {
+                write!(f, "node n{node} MBR is not tight")
+            }
+            ValidationError::LevelMismatch { parent, child } => {
+                write!(f, "child n{child} level inconsistent with parent n{parent}")
+            }
+            ValidationError::PointSetMismatch { missing, extra } => {
+                write!(f, "tree points differ from store: {missing} missing, {extra} extra")
+            }
+            ValidationError::CountMismatch { recorded, actual } => {
+                write!(f, "recorded {recorded} points but found {actual}")
+            }
+            ValidationError::EmptyNode { node } => write!(f, "non-root node n{node} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl RTree {
+    /// Checks every structural invariant of the tree against `store`:
+    /// node fanout, MBR tightness, level consistency, and exact point
+    /// coverage. Intended for tests; cost is `O(n)`.
+    pub fn validate(&self, store: &PointStore) -> Result<(), ValidationError> {
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        self.validate_node(store, self.root, true, &mut seen)?;
+
+        let expected: BTreeSet<u32> = (0..store.len() as u32).collect();
+        if seen != expected {
+            return Err(ValidationError::PointSetMismatch {
+                missing: expected.difference(&seen).count(),
+                extra: seen.difference(&expected).count(),
+            });
+        }
+        if seen.len() != self.num_points {
+            return Err(ValidationError::CountMismatch {
+                recorded: self.num_points,
+                actual: seen.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        store: &PointStore,
+        id: NodeId,
+        is_root: bool,
+        seen: &mut BTreeSet<u32>,
+    ) -> Result<(), ValidationError> {
+        let node = self.node(id);
+        if node.len() > self.params.max_entries {
+            return Err(ValidationError::Overfull {
+                node: id.0,
+                len: node.len(),
+            });
+        }
+        if node.is_empty() {
+            if is_root {
+                return Ok(()); // empty tree
+            }
+            return Err(ValidationError::EmptyNode { node: id.0 });
+        }
+
+        // Recompute the tight MBR and compare.
+        let mut tight = Rect::empty(self.dims);
+        if node.is_leaf() {
+            for &p in node.points() {
+                seen.insert(p.0);
+                tight.expand_point(store.point(p));
+            }
+        } else {
+            for &c in node.children() {
+                let child = self.node(c);
+                if child.level + 1 != node.level {
+                    return Err(ValidationError::LevelMismatch {
+                        parent: id.0,
+                        child: c.0,
+                    });
+                }
+                tight.expand(&child.mbr);
+                self.validate_node(store, c, false, seen)?;
+            }
+        }
+        if tight != *node.mbr() {
+            return Err(ValidationError::LooseMbr { node: id.0 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeParams;
+
+    #[test]
+    fn valid_trees_pass() {
+        let mut s = PointStore::new(2);
+        for i in 0..100 {
+            s.push(&[(i % 10) as f64, (i / 10) as f64]);
+        }
+        RTree::bulk_load(&s, RTreeParams::with_max_entries(6))
+            .validate(&s)
+            .unwrap();
+        RTree::from_insertion(&s, RTreeParams::with_max_entries(6))
+            .validate(&s)
+            .unwrap();
+    }
+
+    #[test]
+    fn detects_missing_points() {
+        let mut s = PointStore::new(2);
+        for i in 0..10 {
+            s.push(&[i as f64, 0.0]);
+        }
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        // Grow the store after building: validation must flag the gap.
+        s.push(&[99.0, 99.0]);
+        match t.validate(&s) {
+            Err(ValidationError::PointSetMismatch { missing, extra }) => {
+                assert_eq!((missing, extra), (1, 0));
+            }
+            other => panic!("expected PointSetMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_loose_mbr() {
+        let mut s = PointStore::new(2);
+        for i in 0..8 {
+            s.push(&[i as f64, i as f64]);
+        }
+        let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        // Corrupt a leaf MBR.
+        let leaf = {
+            let mut id = t.root_id();
+            while !t.node(id).is_leaf() {
+                id = t.node(id).children()[0];
+            }
+            id
+        };
+        t.node_mut(leaf).mbr = Rect::new(&[-100.0, -100.0], &[100.0, 100.0]);
+        assert!(matches!(
+            t.validate(&s),
+            Err(ValidationError::LooseMbr { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = ValidationError::Overfull { node: 3, len: 99 };
+        assert!(e.to_string().contains("n3"));
+        let e = ValidationError::CountMismatch {
+            recorded: 5,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("recorded 5"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Branch-and-Bound Skyline over an R-tree (Papadias et al., SIGMOD 2003).
+//!
+//! BBS performs a best-first traversal ordered by the L1 distance of each
+//! entry's minimum corner to the origin (its coordinate sum). Because a
+//! dominator always has a strictly smaller coordinate sum than the points
+//! it dominates, every point popped from the heap that is not dominated
+//! by the skyline found so far is itself a skyline point — BBS is both
+//! progressive and I/O-optimal.
+
+use crate::{PointId, PointStore};
+use skyup_geom::dominance::dominates;
+use skyup_geom::point::coord_sum;
+use skyup_geom::OrderedF64;
+use skyup_rtree::{EntryRef, RTree};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heap item ordered by mindist key, tie-broken deterministically by
+/// entry identity so the heap order is total.
+#[derive(PartialEq, Eq)]
+pub(crate) struct HeapItem {
+    pub key: OrderedF64,
+    pub rank: (u8, u32),
+}
+
+impl HeapItem {
+    pub(crate) fn new(key: f64, entry: EntryRef) -> (Self, EntryRef) {
+        let rank = match entry {
+            EntryRef::Node(n) => (0, n.0),
+            EntryRef::Point(p) => (1, p.0),
+        };
+        (
+            HeapItem {
+                key: OrderedF64::new(key),
+                rank,
+            },
+            entry,
+        )
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.rank.cmp(&other.rank))
+    }
+}
+
+/// Computes the skyline of every point indexed by `tree` using BBS.
+pub fn skyline_bbs(store: &PointStore, tree: &RTree) -> Vec<PointId> {
+    let mut skyline: Vec<PointId> = Vec::new();
+    if tree.is_empty() {
+        return skyline;
+    }
+
+    let mut heap: BinaryHeap<Reverse<(HeapItem, EntryRef)>> = BinaryHeap::new();
+    let root = EntryRef::Node(tree.root_id());
+    heap.push(Reverse(HeapItem::new(
+        coord_sum(tree.entry_lo(store, root)),
+        root,
+    )));
+
+    while let Some(Reverse((_, entry))) = heap.pop() {
+        // Lazy re-check: the skyline may have grown since this entry was
+        // pushed (Algorithm 3 line 9 does the same re-check).
+        let lo = tree.entry_lo(store, entry);
+        if skyline
+            .iter()
+            .any(|&s| dominates(store.point(s), lo))
+        {
+            continue;
+        }
+        match entry {
+            EntryRef::Point(p) => skyline.push(p),
+            EntryRef::Node(n) => {
+                for child in tree.node(n).entries() {
+                    let child_lo = tree.entry_lo(store, child);
+                    if !skyline
+                        .iter()
+                        .any(|&s| dominates(store.point(s), child_lo))
+                    {
+                        heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
+                    }
+                }
+            }
+        }
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline_naive;
+    use skyup_rtree::RTreeParams;
+
+    fn pseudo_random_store(n: usize, dims: usize, seed: u64) -> PointStore {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(dims);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dims).map(|_| next()).collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    #[test]
+    fn agrees_with_naive() {
+        for dims in [2, 3, 4] {
+            let s = pseudo_random_store(500, dims, 0xbb5 + dims as u64);
+            let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+            let ids: Vec<PointId> = s.ids().collect();
+            let mut a = skyline_bbs(&s, &t);
+            let mut b = skyline_naive(&s, &ids);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "dims={dims}");
+        }
+    }
+
+    #[test]
+    fn progressive_order_is_by_coordinate_sum() {
+        let s = pseudo_random_store(300, 2, 0x5eed);
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        let sky = skyline_bbs(&s, &t);
+        let sums: Vec<f64> = sky.iter().map(|&p| coord_sum(s.point(p))).collect();
+        assert!(
+            sums.windows(2).all(|w| w[0] <= w[1]),
+            "BBS must emit skyline points in mindist order"
+        );
+    }
+
+    #[test]
+    fn works_on_insertion_built_tree() {
+        let s = pseudo_random_store(400, 3, 0x77);
+        let t = RTree::from_insertion(&s, RTreeParams::with_max_entries(8));
+        let ids: Vec<PointId> = s.ids().collect();
+        let mut a = skyline_bbs(&s, &t);
+        let mut b = skyline_naive(&s, &ids);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let s = PointStore::new(2);
+        let t = RTree::bulk_load(&s, RTreeParams::default());
+        assert!(skyline_bbs(&s, &t).is_empty());
+    }
+
+    #[test]
+    fn duplicate_skyline_points_kept() {
+        let mut s = PointStore::new(2);
+        s.push(&[0.1, 0.9]);
+        s.push(&[0.1, 0.9]);
+        s.push(&[0.9, 0.1]);
+        s.push(&[0.5, 0.5]);
+        s.push(&[0.6, 0.6]); // dominated
+        let t = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        let sky = skyline_bbs(&s, &t);
+        assert_eq!(sky.len(), 4);
+    }
+}

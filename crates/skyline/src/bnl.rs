@@ -1,0 +1,94 @@
+//! Block-Nested-Loops skyline (Börzsönyi et al., ICDE 2001).
+//!
+//! Maintains a window of candidate skyline points; each incoming point is
+//! compared against the window, evicting window points it dominates and
+//! being discarded if dominated itself. In-memory data means one pass
+//! suffices (no temp-file overflow handling is needed).
+
+use crate::{PointId, PointStore};
+use skyup_geom::dominance::{compare, DomRelation};
+
+/// Computes the skyline of `ids` with the BNL window algorithm.
+pub fn skyline_bnl(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
+    let mut window: Vec<PointId> = Vec::new();
+    'next_point: for &candidate in ids {
+        let c = store.point(candidate);
+        let mut i = 0;
+        while i < window.len() {
+            match compare(store.point(window[i]), c) {
+                DomRelation::Dominates => continue 'next_point,
+                DomRelation::DominatedBy => {
+                    window.swap_remove(i);
+                }
+                DomRelation::Equal | DomRelation::Incomparable => i += 1,
+            }
+        }
+        window.push(candidate);
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline_naive;
+
+    fn pseudo_random_store(n: usize, dims: usize, seed: u64) -> PointStore {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(dims);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dims).map(|_| next()).collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_data() {
+        for dims in [1, 2, 3, 4] {
+            let s = pseudo_random_store(300, dims, 0xfeed + dims as u64);
+            let ids: Vec<PointId> = s.ids().collect();
+            let mut a = skyline_bnl(&s, &ids);
+            let mut b = skyline_naive(&s, &ids);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "dims={dims}");
+        }
+    }
+
+    #[test]
+    fn window_eviction_order_independent() {
+        // A point arriving late that dominates several window entries.
+        let s = PointStore::from_rows(
+            2,
+            vec![
+                vec![5.0, 5.0],
+                vec![4.0, 6.0],
+                vec![6.0, 4.0],
+                vec![1.0, 1.0], // dominates all of the above
+            ],
+        );
+        let ids: Vec<PointId> = s.ids().collect();
+        let sky = skyline_bnl(&s, &ids);
+        assert_eq!(sky, vec![PointId(3)]);
+    }
+
+    #[test]
+    fn all_equal_points_survive() {
+        let s = PointStore::from_rows(3, vec![vec![1.0, 2.0, 3.0]; 5]);
+        let ids: Vec<PointId> = s.ids().collect();
+        assert_eq!(skyline_bnl(&s, &ids).len(), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = PointStore::new(2);
+        assert!(skyline_bnl(&s, &[]).is_empty());
+    }
+}

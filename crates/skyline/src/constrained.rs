@@ -1,0 +1,227 @@
+//! `getDominatingSky` — the paper's Algorithm 3.
+//!
+//! Given the competitor R-tree `R_P` and a product `t`, returns the
+//! skyline of `t`'s dominators by integrating the ADR range restriction
+//! into a BBS traversal: only entries whose MBR overlaps `ADR(t)` are
+//! visited, and entries dominated by the skyline found so far are pruned
+//! (paper Figure 2 shows the node-level savings over a plain range
+//! query).
+
+use crate::bbs::HeapItem;
+use crate::{PointId, PointStore};
+use skyup_geom::adr::rect_intersects_adr;
+use skyup_geom::dominance::dominates;
+use skyup_geom::point::coord_sum;
+use skyup_rtree::{EntryRef, RTree};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes the skyline of the points of `tree` that dominate `t`
+/// (Algorithm 3). The result is the minimal set an upgrade of `t` must
+/// escape: `t` upgraded to be non-dominated w.r.t. this set is
+/// non-dominated w.r.t. all of the indexed set, by transitivity.
+///
+/// ```
+/// use skyup_geom::PointStore;
+/// use skyup_rtree::{RTree, RTreeParams};
+/// use skyup_skyline::dominating_skyline;
+///
+/// let store = PointStore::from_rows(2, vec![
+///     vec![0.1, 0.9], // dominates t, skyline of dominators
+///     vec![0.3, 0.3], // dominates t, skyline of dominators
+///     vec![0.4, 0.4], // dominates t but shadowed by (0.3, 0.3)
+///     vec![0.9, 0.9], // does not dominate t
+/// ]);
+/// let tree = RTree::bulk_load(&store, RTreeParams::default());
+/// let sky = dominating_skyline(&store, &tree, &[0.5, 0.95]);
+/// let ids: Vec<u32> = sky.iter().map(|p| p.0).collect();
+/// assert_eq!(ids.len(), 2);
+/// assert!(ids.contains(&0) && ids.contains(&1));
+/// ```
+pub fn dominating_skyline(store: &PointStore, tree: &RTree, t: &[f64]) -> Vec<PointId> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    dominating_skyline_from(store, tree, &[EntryRef::Node(tree.root_id())], t)
+}
+
+/// Generalization of [`dominating_skyline`] that starts the constrained
+/// BBS traversal from an arbitrary set of `seeds` (entries of `tree`)
+/// instead of the root. The join algorithm uses this to compute the
+/// dominator skyline of a leaf product against the subtrees remaining in
+/// its join list (Algorithm 4, line 9) without materializing their
+/// points.
+///
+/// Seeds must reference disjoint subtrees / distinct points, as join
+/// lists always do; a duplicated seed would double-count its points.
+pub fn dominating_skyline_from(
+    store: &PointStore,
+    tree: &RTree,
+    seeds: &[EntryRef],
+    t: &[f64],
+) -> Vec<PointId> {
+    assert_eq!(store.dims(), t.len(), "product dimensionality mismatch");
+    let mut skyline: Vec<PointId> = Vec::new();
+
+    let mut heap: BinaryHeap<Reverse<(HeapItem, EntryRef)>> = BinaryHeap::new();
+    for &seed in seeds {
+        // Lines 3-6: consider a seed only if it can contain dominators.
+        let admit = match seed {
+            EntryRef::Node(n) => rect_intersects_adr(tree.node(n).mbr(), t),
+            EntryRef::Point(p) => store.point(p).iter().zip(t).all(|(&x, &y)| x <= y),
+        };
+        if admit {
+            let lo = tree.entry_lo(store, seed);
+            heap.push(Reverse(HeapItem::new(coord_sum(lo), seed)));
+        }
+    }
+
+    while let Some(Reverse((_, entry))) = heap.pop() {
+        // Line 9: re-check dominance against the grown skyline.
+        let lo = tree.entry_lo(store, entry);
+        if skyline.iter().any(|&s| dominates(store.point(s), lo)) {
+            continue;
+        }
+        match entry {
+            EntryRef::Point(p) => {
+                // Only actual dominators of t enter S: a point inside
+                // ADR(t) with some coordinate equal to t's may fail to
+                // dominate t (e.g. t itself).
+                if dominates(store.point(p), t) {
+                    skyline.push(p);
+                }
+            }
+            EntryRef::Node(n) => {
+                // Lines 11-13: push children that overlap ADR(t) and are
+                // not dominated by the current skyline.
+                for child in tree.node(n).entries() {
+                    let child_lo = tree.entry_lo(store, child);
+                    let overlaps = match child {
+                        EntryRef::Node(c) => rect_intersects_adr(tree.node(c).mbr(), t),
+                        EntryRef::Point(_) => child_lo.iter().zip(t).all(|(&x, &y)| x <= y),
+                    };
+                    if overlaps
+                        && !skyline
+                            .iter()
+                            .any(|&s| dominates(store.point(s), child_lo))
+                    {
+                        heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
+                    }
+                }
+            }
+        }
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline_naive;
+    use skyup_geom::adr::point_in_adr;
+    use skyup_rtree::RTreeParams;
+
+    fn pseudo_random_store(n: usize, dims: usize, seed: u64) -> PointStore {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(dims);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dims).map(|_| next()).collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    /// Reference: filter dominators by scan, then take their skyline.
+    fn oracle(store: &PointStore, t: &[f64]) -> Vec<PointId> {
+        let dominators: Vec<PointId> = store
+            .iter()
+            .filter(|(_, c)| dominates(c, t))
+            .map(|(id, _)| id)
+            .collect();
+        skyline_naive(store, &dominators)
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        for dims in [2, 3, 4] {
+            let s = pseudo_random_store(600, dims, 0xd0d0 + dims as u64);
+            let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+            for t_seed in 0..5u32 {
+                let t: Vec<f64> = (0..dims)
+                    .map(|d| 0.3 + 0.6 * ((t_seed as usize + d) % 3) as f64 / 3.0)
+                    .collect();
+                let mut got = dominating_skyline(&s, &tree, &t);
+                let mut want = oracle(&s, &t);
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "dims={dims}, t={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_result_dominates_t_and_is_undominated() {
+        let s = pseudo_random_store(500, 3, 0xccc);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(16));
+        let t = [0.8, 0.8, 0.8];
+        let sky = dominating_skyline(&s, &tree, &t);
+        for &p in &sky {
+            assert!(dominates(s.point(p), &t));
+            assert!(point_in_adr(s.point(p), &t));
+            assert!(!sky
+                .iter()
+                .any(|&q| q != p && dominates(s.point(q), s.point(p))));
+        }
+    }
+
+    #[test]
+    fn point_with_no_dominators() {
+        let s = pseudo_random_store(200, 2, 0x11);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        // The origin cannot be dominated.
+        assert!(dominating_skyline(&s, &tree, &[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn t_equal_to_existing_point_is_not_its_own_dominator() {
+        let mut s = PointStore::new(2);
+        s.push(&[0.5, 0.5]);
+        s.push(&[0.2, 0.9]);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(4));
+        // t coincides with point 0; neither stored point dominates it.
+        assert!(dominating_skyline(&s, &tree, &[0.5, 0.5]).is_empty());
+        // A strictly worse t is dominated by point 0 only.
+        let sky = dominating_skyline(&s, &tree, &[0.6, 0.6]);
+        assert_eq!(sky, vec![PointId(0)]);
+    }
+
+    #[test]
+    fn seeded_traversal_matches_root_traversal() {
+        let s = pseudo_random_store(400, 2, 0x999);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        let t = [0.7, 0.7];
+        // Seeding with the root's children must give the same skyline as
+        // seeding with the root.
+        let seeds: Vec<EntryRef> = tree.root().entries().collect();
+        let mut a = dominating_skyline_from(&s, &tree, &seeds, &t);
+        let mut b = dominating_skyline(&s, &tree, &t);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Empty seed list: empty skyline.
+        assert!(dominating_skyline_from(&s, &tree, &[], &t).is_empty());
+    }
+
+    #[test]
+    fn empty_tree_yields_empty() {
+        let s = PointStore::new(2);
+        let tree = RTree::bulk_load(&s, RTreeParams::default());
+        assert!(dominating_skyline(&s, &tree, &[0.5, 0.5]).is_empty());
+    }
+}

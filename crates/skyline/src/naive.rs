@@ -1,0 +1,67 @@
+//! Quadratic reference skyline: the oracle every other algorithm is
+//! checked against.
+
+use crate::{PointId, PointStore};
+use skyup_geom::dominance::dominates;
+
+/// Returns the ids in `ids` whose points are dominated by no other point
+/// in `ids`. `O(n²)`; intended for tests and tiny inputs.
+pub fn skyline_naive(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
+    ids.iter()
+        .copied()
+        .filter(|&a| {
+            let pa = store.point(a);
+            !ids.iter()
+                .any(|&b| b != a && dominates(store.point(b), pa))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_of(rows: &[[f64; 2]]) -> (PointStore, Vec<PointId>) {
+        let s = PointStore::from_rows(2, rows.iter().map(|r| r.to_vec()));
+        let ids = s.ids().collect();
+        (s, ids)
+    }
+
+    #[test]
+    fn simple_staircase() {
+        let (s, ids) = store_of(&[
+            [1.0, 5.0],
+            [2.0, 4.0],
+            [3.0, 3.0],
+            [4.0, 2.0],
+            [5.0, 1.0],
+            [3.5, 3.5], // dominated by nothing? (3,3) dominates it
+        ]);
+        let sky = skyline_naive(&s, &ids);
+        let got: Vec<u32> = sky.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        let (s, ids) = store_of(&[[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]);
+        let sky = skyline_naive(&s, &ids);
+        assert_eq!(sky.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (s, _) = store_of(&[[1.0, 1.0]]);
+        assert!(skyline_naive(&s, &[]).is_empty());
+        assert_eq!(skyline_naive(&s, &[PointId(0)]).len(), 1);
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let (s, _) = store_of(&[[1.0, 1.0], [2.0, 2.0], [3.0, 0.5]]);
+        // Over the full set: {0, 2}. Over {1, 2} only: both survive?
+        // (2,2) vs (3,0.5): incomparable, so both.
+        let sky = skyline_naive(&s, &[PointId(1), PointId(2)]);
+        assert_eq!(sky.len(), 2);
+    }
+}

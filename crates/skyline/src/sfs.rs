@@ -1,0 +1,99 @@
+//! Sort-Filter-Skyline (Chomicki et al., ICDE 2003).
+//!
+//! Presorting by a monotone score (here: coordinate sum, with a
+//! lexicographic tie-break) guarantees that no later point can dominate
+//! an earlier one, so every point that survives the window test is
+//! immediately a confirmed skyline point and the window never shrinks.
+
+use crate::{PointId, PointStore};
+use skyup_geom::dominance::dominates;
+use skyup_geom::point::{coord_sum, lex_cmp};
+
+/// Computes the skyline of `ids` with the SFS algorithm. The input slice
+/// is not modified; ids are copied and sorted internally.
+pub fn skyline_sfs(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
+    let mut sorted: Vec<PointId> = ids.to_vec();
+    sorted.sort_by(|&a, &b| {
+        let (pa, pb) = (store.point(a), store.point(b));
+        coord_sum(pa)
+            .total_cmp(&coord_sum(pb))
+            .then_with(|| lex_cmp(pa, pb))
+    });
+
+    let mut skyline: Vec<PointId> = Vec::new();
+    for candidate in sorted {
+        let c = store.point(candidate);
+        // A dominator has a strictly smaller coordinate sum, so it must
+        // already sit in the window; a pure membership test suffices.
+        if !skyline.iter().any(|&s| dominates(store.point(s), c)) {
+            skyline.push(candidate);
+        }
+    }
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{skyline_bnl, skyline_naive};
+
+    fn anti_correlated(n: usize, seed: u64) -> PointStore {
+        // x + y ≈ const with jitter: many skyline points.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(2);
+        for _ in 0..n {
+            let x = next();
+            let jitter = 0.1 * (next() - 0.5);
+            let y = (1.0 - x + jitter).clamp(0.0, 1.0);
+            s.push(&[x, y]);
+        }
+        s
+    }
+
+    #[test]
+    fn agrees_with_naive_and_bnl() {
+        let s = anti_correlated(400, 0xabc);
+        let ids: Vec<PointId> = s.ids().collect();
+        let mut a = skyline_sfs(&s, &ids);
+        let mut b = skyline_naive(&s, &ids);
+        let mut c = skyline_bnl(&s, &ids);
+        a.sort();
+        b.sort();
+        c.sort();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a.len() > 10, "anti-correlated data should have many skyline points");
+    }
+
+    #[test]
+    fn window_only_holds_skyline_points() {
+        let s = anti_correlated(200, 0x123);
+        let ids: Vec<PointId> = s.ids().collect();
+        let sfs = skyline_sfs(&s, &ids);
+        let naive: std::collections::BTreeSet<_> =
+            skyline_naive(&s, &ids).into_iter().collect();
+        // Every point SFS ever emitted must be a true skyline point.
+        for p in &sfs {
+            assert!(naive.contains(p));
+        }
+    }
+
+    #[test]
+    fn duplicates_kept() {
+        let s = PointStore::from_rows(2, vec![vec![0.5, 0.5]; 3]);
+        let ids: Vec<PointId> = s.ids().collect();
+        assert_eq!(skyline_sfs(&s, &ids).len(), 3);
+    }
+
+    #[test]
+    fn handles_empty() {
+        let s = PointStore::new(2);
+        assert!(skyline_sfs(&s, &[]).is_empty());
+    }
+}

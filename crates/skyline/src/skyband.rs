@@ -1,0 +1,134 @@
+//! k-skyband computation.
+//!
+//! The *k-skyband* of a point set is the subset of points dominated by
+//! fewer than `k` other points; the skyline is the 1-skyband. Skybands
+//! quantify *how* uncompetitive a product is — a natural companion
+//! analysis to upgrading: products just outside the skyline (in the
+//! 2- or 3-skyband) are typically the cheap upgrades the paper's top-k
+//! query surfaces.
+
+use crate::{PointId, PointStore};
+use skyup_geom::dominance::dominates;
+
+/// Returns the ids in `ids` dominated by fewer than `k` points of `ids`,
+/// together with each survivor's dominator count, sorted by id.
+///
+/// ```
+/// use skyup_geom::PointStore;
+/// use skyup_skyline::skyband;
+///
+/// let store = PointStore::from_rows(2, vec![
+///     vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0], // skyline
+///     vec![2.5, 2.5],                                 // 1 dominator
+/// ]);
+/// let ids: Vec<_> = store.ids().collect();
+/// assert_eq!(skyband(&store, &ids, 1).len(), 3);
+/// assert_eq!(skyband(&store, &ids, 2).len(), 4);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0` (the 0-skyband is empty by definition and almost
+/// always a caller bug).
+pub fn skyband(store: &PointStore, ids: &[PointId], k: usize) -> Vec<(PointId, usize)> {
+    assert!(k > 0, "the 0-skyband is empty; use k >= 1");
+    let mut out: Vec<(PointId, usize)> = Vec::new();
+    for &a in ids {
+        let pa = store.point(a);
+        let mut count = 0usize;
+        for &b in ids {
+            if b != a && dominates(store.point(b), pa) {
+                count += 1;
+                if count >= k {
+                    break;
+                }
+            }
+        }
+        if count < k {
+            out.push((a, count));
+        }
+    }
+    out
+}
+
+/// Counts, for one probe point `t`, how many points of `ids` dominate
+/// it. Useful to gauge how far a product is from competitiveness.
+pub fn dominator_count(store: &PointStore, ids: &[PointId], t: &[f64]) -> usize {
+    ids.iter()
+        .filter(|&&p| dominates(store.point(p), t))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline_naive;
+
+    fn staircase_with_tail() -> (PointStore, Vec<PointId>) {
+        let s = PointStore::from_rows(
+            2,
+            vec![
+                vec![1.0, 4.0], // 0: skyline
+                vec![2.0, 3.0], // 1: skyline
+                vec![3.0, 2.0], // 2: skyline
+                vec![2.5, 3.5], // 3: dominated by 1 only
+                vec![3.0, 4.0], // 4: dominated by 0? (1<=3,4<=4 strict on x) yes; 1 yes; 3 yes
+                vec![9.0, 9.0], // 5: dominated by everything
+            ],
+        );
+        let ids = s.ids().collect();
+        (s, ids)
+    }
+
+    #[test]
+    fn one_skyband_is_the_skyline() {
+        let (s, ids) = staircase_with_tail();
+        let band: Vec<PointId> = skyband(&s, &ids, 1).into_iter().map(|(p, _)| p).collect();
+        let mut sky = skyline_naive(&s, &ids);
+        sky.sort();
+        assert_eq!(band, sky);
+        // Skyline members report zero dominators.
+        for (_, count) in skyband(&s, &ids, 1) {
+            assert_eq!(count, 0);
+        }
+    }
+
+    #[test]
+    fn band_grows_with_k() {
+        let (s, ids) = staircase_with_tail();
+        let sizes: Vec<usize> = (1..=6).map(|k| skyband(&s, &ids, k).len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*sizes.last().unwrap(), 6, "k = n admits everything");
+        // Point 3 has exactly one dominator: enters at k = 2.
+        let two: Vec<PointId> = skyband(&s, &ids, 2).into_iter().map(|(p, _)| p).collect();
+        assert!(two.contains(&PointId(3)));
+        assert!(!skyband(&s, &ids, 1)
+            .iter()
+            .any(|(p, _)| *p == PointId(3)));
+    }
+
+    #[test]
+    fn dominator_counts_reported() {
+        let (s, ids) = staircase_with_tail();
+        let band = skyband(&s, &ids, 6);
+        let count_of = |id: u32| band.iter().find(|(p, _)| p.0 == id).unwrap().1;
+        assert_eq!(count_of(0), 0);
+        assert_eq!(count_of(3), 1);
+        assert_eq!(count_of(5), 5);
+    }
+
+    #[test]
+    fn probe_counting() {
+        let (s, ids) = staircase_with_tail();
+        assert_eq!(dominator_count(&s, &ids, &[10.0, 10.0]), 6);
+        assert_eq!(dominator_count(&s, &ids, &[0.5, 0.5]), 0);
+        // A probe equal to a stored point is not dominated by it.
+        assert_eq!(dominator_count(&s, &ids, &[1.0, 4.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-skyband")]
+    fn zero_k_rejected() {
+        let (s, ids) = staircase_with_tail();
+        let _ = skyband(&s, &ids, 0);
+    }
+}

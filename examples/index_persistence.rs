@@ -1,0 +1,65 @@
+//! Build the competitor index once, persist it, and answer upgrade
+//! queries from the reloaded artifact — the deployment pattern for a
+//! market-monitoring service that reuses a nightly-built index all day.
+//!
+//! ```sh
+//! cargo run --release --example index_persistence
+//! ```
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{join_topk, LowerBound};
+use skyup::core::UpgradeConfig;
+use skyup::data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup::geom::PointStore;
+use skyup::rtree::{RTree, RTreeParams};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join("skyup-index-demo");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let store_path = dir.join("market.store");
+    let tree_path = dir.join("market.rtree");
+
+    // Nightly job: build and persist the market index.
+    let p = paper_competitors(200_000, 3, Distribution::Independent, 99);
+    let build_start = Instant::now();
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let build_time = build_start.elapsed();
+    std::fs::write(&store_path, p.to_bytes()).expect("write store");
+    std::fs::write(&tree_path, rp.to_bytes()).expect("write tree");
+    println!(
+        "built index over {} competitors in {build_time:?}; persisted {} + {} bytes",
+        p.len(),
+        std::fs::metadata(&store_path).unwrap().len(),
+        std::fs::metadata(&tree_path).unwrap().len(),
+    );
+
+    // Daytime service: load and query.
+    let load_start = Instant::now();
+    let p2 = PointStore::from_bytes(&std::fs::read(&store_path).unwrap()).expect("load store");
+    let rp2 = RTree::from_bytes(&std::fs::read(&tree_path).unwrap(), &p2).expect("load tree");
+    println!("reloaded and validated in {:?}", load_start.elapsed());
+
+    let t = paper_products(5_000, 3, Distribution::Independent, 100);
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    let cost = SumCost::reciprocal(3, 1e-3);
+
+    let query_start = Instant::now();
+    let plan = join_topk(
+        &p2,
+        &rp2,
+        &t,
+        &rt,
+        3,
+        &cost,
+        UpgradeConfig::default(),
+        LowerBound::Aggressive,
+    );
+    println!("top-3 upgrades in {:?}:", query_start.elapsed());
+    for r in &plan {
+        println!("  product {} at cost {:.4}", r.product, r.cost);
+    }
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&tree_path).ok();
+}

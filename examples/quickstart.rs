@@ -1,0 +1,68 @@
+//! Quickstart: upgrade the cheapest products of a small catalog.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{join_topk, LowerBound};
+use skyup::core::UpgradeConfig;
+use skyup::geom::PointStore;
+use skyup::rtree::{RTree, RTreeParams};
+
+fn main() {
+    // A 2-d product space: (price index, defect rate) — smaller is
+    // better on both. Competitors spread along a quality/price frontier.
+    let competitors = PointStore::from_rows(
+        2,
+        vec![
+            vec![0.10, 0.80],
+            vec![0.25, 0.55],
+            vec![0.40, 0.40],
+            vec![0.55, 0.25],
+            vec![0.80, 0.10],
+            vec![0.50, 0.60], // not on the frontier
+        ],
+    );
+    // Our products: all dominated by at least one competitor.
+    let ours = PointStore::from_rows(
+        2,
+        vec![
+            vec![0.45, 0.45], // barely dominated by (0.40, 0.40)
+            vec![0.90, 0.90], // deeply dominated
+            vec![0.30, 0.70],
+        ],
+    );
+
+    let rp = RTree::bulk_load(&competitors, RTreeParams::default());
+    let rt = RTree::bulk_load(&ours, RTreeParams::default());
+
+    // Manufacturing cost grows as attributes approach their ideal value
+    // 0: f_a(v) = 1/(v + 0.05) per dimension, summed.
+    let cost_fn = SumCost::reciprocal(2, 0.05);
+
+    let results = join_topk(
+        &competitors,
+        &rp,
+        &ours,
+        &rt,
+        2, // top-2
+        &cost_fn,
+        UpgradeConfig::default(),
+        LowerBound::Conservative,
+    );
+
+    println!("Top-{} products to upgrade:", results.len());
+    for r in &results {
+        println!(
+            "  product {}: {:?} -> {:?}  (upgrade cost {:.3})",
+            r.product, r.original, r.upgraded, r.cost
+        );
+        // The upgraded product escapes every competitor.
+        let clear = competitors
+            .iter()
+            .all(|(_, c)| !skyup::geom::dominance::dominates(c, &r.upgraded));
+        assert!(clear);
+    }
+    println!("both upgrades verified non-dominated against all competitors");
+}

@@ -1,0 +1,20 @@
+//! The `skyup` command-line tool: top-k product upgrading over
+//! delimited text files. See `skyup --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match skyup::cli::Config::parse(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match skyup::cli::run(&cfg) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

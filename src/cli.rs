@@ -1,0 +1,480 @@
+//! Implementation of the `skyup` command-line tool.
+//!
+//! The binary (`cargo run --bin skyup -- …`) loads competitor and
+//! product sets from delimited text files and prints the top-k upgrade
+//! plan. All logic lives here so the argument parsing and the run can
+//! be unit-tested without spawning processes.
+
+use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
+use skyup_core::join::{BoundMode, LowerBound};
+use skyup_core::join::join_topk;
+use skyup_core::{basic_probing_topk, improved_probing_topk, UpgradeConfig, UpgradeResult};
+use skyup_data::{negate_dimensions, normalize_unit, read_delimited};
+use skyup_geom::PointStore;
+use skyup_rtree::{RTree, RTreeParams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Which algorithm the CLI runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 2 (baseline).
+    Basic,
+    /// Improved probing (Algorithm 2 + `getDominatingSky`).
+    Probing,
+    /// The progressive R-tree join (Algorithm 4).
+    Join,
+}
+
+/// Parsed CLI configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path to the competitor file.
+    pub competitors: PathBuf,
+    /// Path to the own-product file.
+    pub products: PathBuf,
+    /// Number of products to upgrade.
+    pub k: usize,
+    /// Cell delimiter.
+    pub delimiter: char,
+    /// Whether the files start with a header line to skip.
+    pub header: bool,
+    /// 0-based columns to read (same for both files).
+    pub columns: Vec<usize>,
+    /// Dimensions (indices into `columns`) where larger is better.
+    pub negate: Vec<usize>,
+    /// Normalize both sets jointly into the unit space.
+    pub normalize: bool,
+    /// Algorithm selection.
+    pub algorithm: Algorithm,
+    /// Join lower bound.
+    pub bound: LowerBound,
+    /// Join bound mode.
+    pub mode: BoundMode,
+    /// Algorithm 1's ε.
+    pub epsilon: f64,
+    /// Cost model: `("reciprocal", eps)` or `("linear", slope)`.
+    pub cost: CostSpec,
+}
+
+/// The CLI's cost-model choice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostSpec {
+    /// `1/(v + eps)` per dimension.
+    Reciprocal(f64),
+    /// `base − slope·v` per dimension (base fixed at 1000·slope·scale).
+    Linear(f64),
+}
+
+/// Usage text printed on `--help` or errors.
+pub const USAGE: &str = "\
+usage: skyup --competitors <file> --products <file> [options]
+
+required:
+  --competitors <file>   delimited text file with the competitor set P
+  --products <file>      delimited text file with the upgrade candidates T
+
+options:
+  -k <n>                 number of products to upgrade (default 3)
+  --delimiter <c>        cell delimiter (default ',')
+  --header               skip the first line of each file
+  --columns a,b,...      0-based columns to use (default: all of line 1)
+  --negate i,j,...       dimensions (after column selection) where larger
+                         is better; they are negated on load
+  --normalize            min-max normalize P and T jointly to [0,1]^c
+  --algorithm <a>        basic | probing | join (default join)
+  --bound <b>            nlb | clb | alb (default clb)
+  --admissible           use the admissible bound mode (exact top-k order)
+  --epsilon <f>          strict-improvement margin (default 1e-6)
+  --cost reciprocal:<eps> | linear:<slope>   (default reciprocal:0.001)
+";
+
+impl Config {
+    /// Parses the argument list (without the program name).
+    pub fn parse(args: &[String]) -> Result<Config, String> {
+        let mut competitors = None;
+        let mut products = None;
+        let mut k = 3usize;
+        let mut delimiter = ',';
+        let mut header = false;
+        let mut columns: Vec<usize> = Vec::new();
+        let mut negate: Vec<usize> = Vec::new();
+        let mut normalize = false;
+        let mut algorithm = Algorithm::Join;
+        let mut bound = LowerBound::Conservative;
+        let mut mode = BoundMode::Paper;
+        let mut epsilon = 1e-6;
+        let mut cost = CostSpec::Reciprocal(1e-3);
+
+        let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--competitors" => {
+                    competitors = Some(PathBuf::from(value(args, i, "--competitors")?));
+                    i += 2;
+                }
+                "--products" => {
+                    products = Some(PathBuf::from(value(args, i, "--products")?));
+                    i += 2;
+                }
+                "-k" => {
+                    k = value(args, i, "-k")?
+                        .parse()
+                        .map_err(|e| format!("-k: {e}"))?;
+                    if k == 0 {
+                        return Err("-k must be at least 1".into());
+                    }
+                    i += 2;
+                }
+                "--delimiter" => {
+                    let v = value(args, i, "--delimiter")?;
+                    let mut chars = v.chars();
+                    delimiter = chars
+                        .next()
+                        .filter(|_| chars.next().is_none())
+                        .ok_or("--delimiter takes a single character")?;
+                    i += 2;
+                }
+                "--header" => {
+                    header = true;
+                    i += 1;
+                }
+                "--columns" => {
+                    columns = parse_usize_list(&value(args, i, "--columns")?)?;
+                    i += 2;
+                }
+                "--negate" => {
+                    negate = parse_usize_list(&value(args, i, "--negate")?)?;
+                    i += 2;
+                }
+                "--normalize" => {
+                    normalize = true;
+                    i += 1;
+                }
+                "--algorithm" => {
+                    algorithm = match value(args, i, "--algorithm")?.as_str() {
+                        "basic" => Algorithm::Basic,
+                        "probing" => Algorithm::Probing,
+                        "join" => Algorithm::Join,
+                        other => return Err(format!("unknown algorithm {other}")),
+                    };
+                    i += 2;
+                }
+                "--bound" => {
+                    bound = match value(args, i, "--bound")?.as_str() {
+                        "nlb" => LowerBound::Naive,
+                        "clb" => LowerBound::Conservative,
+                        "alb" => LowerBound::Aggressive,
+                        other => return Err(format!("unknown bound {other}")),
+                    };
+                    i += 2;
+                }
+                "--admissible" => {
+                    mode = BoundMode::Admissible;
+                    i += 1;
+                }
+                "--epsilon" => {
+                    epsilon = value(args, i, "--epsilon")?
+                        .parse()
+                        .map_err(|e| format!("--epsilon: {e}"))?;
+                    i += 2;
+                }
+                "--cost" => {
+                    let v = value(args, i, "--cost")?;
+                    cost = parse_cost(&v)?;
+                    i += 2;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument {other}\n{USAGE}")),
+            }
+        }
+
+        Ok(Config {
+            competitors: competitors.ok_or_else(|| format!("--competitors missing\n{USAGE}"))?,
+            products: products.ok_or_else(|| format!("--products missing\n{USAGE}"))?,
+            k,
+            delimiter,
+            header,
+            columns,
+            negate,
+            normalize,
+            algorithm,
+            bound,
+            mode,
+            epsilon,
+            cost,
+        })
+    }
+
+    fn cost_fn(&self, dims: usize) -> SumCost {
+        match self.cost {
+            CostSpec::Reciprocal(eps) => SumCost::reciprocal(dims, eps),
+            CostSpec::Linear(slope) => SumCost::new(
+                (0..dims)
+                    .map(|_| {
+                        Box::new(LinearCost::new(1000.0 * slope, slope)) as Box<dyn AttributeCost>
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+fn parse_usize_list(v: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|c| c.trim().parse::<usize>().map_err(|e| format!("{c}: {e}")))
+        .collect()
+}
+
+fn parse_cost(v: &str) -> Result<CostSpec, String> {
+    let (kind, param) = v
+        .split_once(':')
+        .ok_or("cost format: reciprocal:<eps> or linear:<slope>")?;
+    let value: f64 = param.parse().map_err(|e| format!("cost parameter: {e}"))?;
+    match kind {
+        "reciprocal" => {
+            if value <= 0.0 {
+                return Err("reciprocal eps must be positive".into());
+            }
+            Ok(CostSpec::Reciprocal(value))
+        }
+        "linear" => {
+            if value < 0.0 {
+                return Err("linear slope must be non-negative".into());
+            }
+            Ok(CostSpec::Linear(value))
+        }
+        other => Err(format!("unknown cost kind {other}")),
+    }
+}
+
+/// Loads one file per the config.
+fn load(cfg: &Config, path: &std::path::Path) -> Result<PointStore, String> {
+    let columns = if cfg.columns.is_empty() {
+        // Default: every column of the first data line.
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut lines = text.lines();
+        if cfg.header {
+            lines.next();
+        }
+        let first = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty file", path.display()))?;
+        (0..first.split(cfg.delimiter).count()).collect()
+    } else {
+        cfg.columns.clone()
+    };
+    read_delimited(path, cfg.delimiter, cfg.header, &columns)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs the CLI end to end, returning the report text.
+pub fn run(cfg: &Config) -> Result<String, String> {
+    let mut p = load(cfg, &cfg.competitors)?;
+    let mut t = load(cfg, &cfg.products)?;
+    if p.dims() != t.dims() {
+        return Err(format!(
+            "dimensionality mismatch: P has {}, T has {}",
+            p.dims(),
+            t.dims()
+        ));
+    }
+    if !cfg.negate.is_empty() {
+        p = negate_dimensions(&p, &cfg.negate);
+        t = negate_dimensions(&t, &cfg.negate);
+    }
+    if cfg.normalize {
+        // Normalize jointly so P and T stay comparable.
+        let dims = p.dims();
+        let mut joint = PointStore::with_capacity(dims, p.len() + t.len());
+        for (_, c) in p.iter().chain(t.iter()) {
+            joint.push(c);
+        }
+        let normalized = normalize_unit(&joint);
+        let mut np = PointStore::with_capacity(dims, p.len());
+        let mut nt = PointStore::with_capacity(dims, t.len());
+        for (i, (_, c)) in normalized.iter().enumerate() {
+            if i < p.len() {
+                np.push(c);
+            } else {
+                nt.push(c);
+            }
+        }
+        p = np;
+        t = nt;
+    }
+
+    let cost_fn = cfg.cost_fn(p.dims());
+    let upgrade_cfg = UpgradeConfig::with_epsilon(cfg.epsilon);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+
+    let results: Vec<UpgradeResult> = match cfg.algorithm {
+        Algorithm::Basic => basic_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg),
+        Algorithm::Probing => improved_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg),
+        Algorithm::Join => {
+            let rt = RTree::bulk_load(&t, RTreeParams::default());
+            match cfg.mode {
+                BoundMode::Paper => {
+                    join_topk(&p, &rp, &t, &rt, cfg.k, &cost_fn, upgrade_cfg, cfg.bound)
+                }
+                BoundMode::Admissible => skyup_core::JoinUpgrader::new(
+                    &p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound,
+                )
+                .with_bound_mode(BoundMode::Admissible)
+                .take(cfg.k)
+                .collect(),
+            }
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "|P| = {}, |T| = {}, d = {}, algorithm = {:?}, k = {}",
+        p.len(),
+        t.len(),
+        p.dims(),
+        cfg.algorithm,
+        cfg.k
+    );
+    if results.is_empty() {
+        let _ = writeln!(out, "no products to upgrade");
+    }
+    for (rank, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{} product {} cost {:.6}\n    from {:?}\n    to   {:?}",
+            rank + 1,
+            r.product,
+            r.cost,
+            r.original,
+            r.upgraded
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let cfg = Config::parse(&args("--competitors p.csv --products t.csv")).unwrap();
+        assert_eq!(cfg.k, 3);
+        assert_eq!(cfg.algorithm, Algorithm::Join);
+        assert_eq!(cfg.bound, LowerBound::Conservative);
+        assert_eq!(cfg.mode, BoundMode::Paper);
+        assert_eq!(cfg.cost, CostSpec::Reciprocal(1e-3));
+    }
+
+    #[test]
+    fn parse_full() {
+        let cfg = Config::parse(&args(
+            "--competitors p.csv --products t.csv -k 7 --delimiter ; --header \
+             --columns 0,2,3 --negate 1 --normalize --algorithm probing \
+             --bound alb --admissible --epsilon 0.5 --cost linear:2.5",
+        ))
+        .unwrap();
+        assert_eq!(cfg.k, 7);
+        assert_eq!(cfg.delimiter, ';');
+        assert!(cfg.header);
+        assert_eq!(cfg.columns, vec![0, 2, 3]);
+        assert_eq!(cfg.negate, vec![1]);
+        assert!(cfg.normalize);
+        assert_eq!(cfg.algorithm, Algorithm::Probing);
+        assert_eq!(cfg.bound, LowerBound::Aggressive);
+        assert_eq!(cfg.mode, BoundMode::Admissible);
+        assert_eq!(cfg.epsilon, 0.5);
+        assert_eq!(cfg.cost, CostSpec::Linear(2.5));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Config::parse(&args("--products t.csv")).is_err());
+        assert!(Config::parse(&args("--competitors p --products t -k 0")).is_err());
+        assert!(Config::parse(&args("--competitors p --products t --bound zzz")).is_err());
+        assert!(Config::parse(&args("--competitors p --products t --cost bogus")).is_err());
+        assert!(Config::parse(&args("--competitors p --products t --what")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let dir = std::env::temp_dir().join("skyup-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_path = dir.join("p.csv");
+        let t_path = dir.join("t.csv");
+        std::fs::write(&p_path, "0.2,0.8\n0.5,0.5\n0.8,0.2\n").unwrap();
+        std::fs::write(&t_path, "0.9,0.9\n0.6,0.7\n").unwrap();
+        let cfg = Config::parse(&args(&format!(
+            "--competitors {} --products {} -k 2 --admissible",
+            p_path.display(),
+            t_path.display()
+        )))
+        .unwrap();
+        let report = run(&cfg).unwrap();
+        assert!(report.contains("|P| = 3, |T| = 2"));
+        assert!(report.contains("#1 product"));
+        assert!(report.contains("#2 product"));
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&t_path).ok();
+    }
+
+    #[test]
+    fn algorithms_agree_through_cli() {
+        let dir = std::env::temp_dir().join("skyup-cli-agree");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_path = dir.join("p.csv");
+        let t_path = dir.join("t.csv");
+        let mut p_text = String::new();
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            p_text.push_str(&format!("{},{}\n", next(), next()));
+        }
+        let mut t_text = String::new();
+        for _ in 0..30 {
+            t_text.push_str(&format!("{},{}\n", 1.0 + next(), 1.0 + next()));
+        }
+        std::fs::write(&p_path, p_text).unwrap();
+        std::fs::write(&t_path, t_text).unwrap();
+
+        let base = format!(
+            "--competitors {} --products {} -k 3",
+            p_path.display(),
+            t_path.display()
+        );
+        let join = run(&Config::parse(&args(&format!("{base} --algorithm join --admissible"))).unwrap())
+            .unwrap();
+        let probing =
+            run(&Config::parse(&args(&format!("{base} --algorithm probing"))).unwrap()).unwrap();
+        let basic =
+            run(&Config::parse(&args(&format!("{base} --algorithm basic"))).unwrap()).unwrap();
+        // Reports list identical products in identical order (cost lines
+        // include the algorithm-independent exact costs).
+        let pick = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.starts_with('#'))
+                .map(|l| l.to_string())
+                .collect()
+        };
+        assert_eq!(pick(&join), pick(&probing));
+        assert_eq!(pick(&probing), pick(&basic));
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&t_path).ok();
+    }
+}

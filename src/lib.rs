@@ -1,0 +1,78 @@
+//! # skyup — top-k product upgrading over skylines
+//!
+//! A production-quality Rust implementation of *Upgrading Uncompetitive
+//! Products Economically* (Hua Lu and Christian S. Jensen, ICDE 2012).
+//!
+//! Given a set `P` of competitor products and a set `T` of your own
+//! uncompetitive products — both as multidimensional quality points
+//! where smaller is better on every dimension — the library finds the
+//! `k` products of `T` that can be **upgraded most cheaply** so that no
+//! competitor dominates them, under a monotone manufacturing-cost model.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`geom`] — point stores, rectangles, dominance, anti-dominant
+//!   regions;
+//! * [`rtree`] — a from-scratch R-tree (STR bulk loading + Guttman
+//!   insertion) whose node structure is open for traversal algorithms;
+//! * [`skyline`] — BNL / SFS / BBS skyline algorithms and the
+//!   constrained `getDominatingSky` traversal;
+//! * [`core`] — the cost-function framework, Algorithm 1
+//!   (single-product upgrade), the probing algorithms, and the
+//!   progressive R-tree join with the NLB / CLB / ALB lower bounds;
+//! * [`data`] — synthetic workload generators and the wine-quality-like
+//!   real-data stand-in used by the paper's experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use skyup::core::cost::SumCost;
+//! use skyup::core::join::{JoinUpgrader, LowerBound};
+//! use skyup::core::UpgradeConfig;
+//! use skyup::geom::PointStore;
+//! use skyup::rtree::{RTree, RTreeParams};
+//!
+//! // Competitor phones: (weight, -standby, -megapixels) — negate
+//! // larger-is-better attributes so smaller is uniformly better.
+//! let p = PointStore::from_rows(3, vec![
+//!     vec![140.0, -200.0, -2.0],
+//!     vec![100.0, -160.0, -3.0],
+//!     vec![120.0, -180.0, -4.0],
+//! ]);
+//! // Our phones, all currently dominated.
+//! let t = PointStore::from_rows(3, vec![
+//!     vec![150.0, -120.0, -2.0],
+//!     vec![180.0, -130.0, -1.0],
+//! ]);
+//!
+//! let rp = RTree::bulk_load(&p, RTreeParams::default());
+//! let rt = RTree::bulk_load(&t, RTreeParams::default());
+//! let cost = SumCost::reciprocal(3, 250.0); // keep 1/(v+eps) finite on negated dims
+//!
+//! let mut join = JoinUpgrader::new(
+//!     &p, &rp, &t, &rt, &cost, UpgradeConfig::default(), LowerBound::Conservative,
+//! );
+//! let best = join.next().unwrap();
+//! println!("upgrade {:?} -> {:?} at cost {}", best.original, best.upgraded, best.cost);
+//! ```
+
+pub mod cli;
+
+pub use skyup_core as core;
+pub use skyup_data as data;
+pub use skyup_geom as geom;
+pub use skyup_rtree as rtree;
+pub use skyup_skyline as skyline;
+
+/// Crate version, for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let store = crate::geom::PointStore::new(2);
+        assert_eq!(store.dims(), 2);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Cross-algorithm oracles: the three top-k approaches must agree on
+//! upgrade costs across distributions, dimensionalities, and domain
+//! layouts (using the admissible bound mode where exact ordering is
+//! required; see DESIGN.md §3).
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{BoundMode, JoinUpgrader, LowerBound};
+use skyup::core::{
+    basic_probing_topk, improved_probing_topk, single_set_topk, UpgradeConfig,
+};
+use skyup::data::synthetic::{generate, Distribution, SyntheticConfig};
+use skyup::geom::PointStore;
+use skyup::rtree::{RTree, RTreeParams};
+
+fn costs(rs: &[skyup::core::UpgradeResult]) -> Vec<f64> {
+    rs.iter().map(|r| r.cost).collect()
+}
+
+fn assert_costs_eq(a: &[f64], b: &[f64], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < 1e-9, "{label}: rank {i}: {x} vs {y}");
+    }
+}
+
+fn run_case(dist: Distribution, dims: usize, p_lo: f64, p_hi: f64, t_lo: f64, t_hi: f64) {
+    let p = generate(
+        800,
+        &SyntheticConfig {
+            dims,
+            distribution: dist,
+            lo: p_lo,
+            hi: p_hi,
+            seed: 100 + dims as u64,
+        },
+    );
+    let t = generate(
+        150,
+        &SyntheticConfig {
+            dims,
+            distribution: dist,
+            lo: t_lo,
+            hi: t_hi,
+            seed: 200 + dims as u64,
+        },
+    );
+    let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(16));
+    let rt = RTree::bulk_load(&t, RTreeParams::with_max_entries(16));
+    let cost_fn = SumCost::reciprocal(dims, 1e-2);
+    let cfg = UpgradeConfig::default();
+    let k = 12;
+
+    let basic = basic_probing_topk(&p, &rp, &t, k, &cost_fn, &cfg);
+    let improved = improved_probing_topk(&p, &rp, &t, k, &cost_fn, &cfg);
+    assert_costs_eq(
+        &costs(&basic),
+        &costs(&improved),
+        &format!("{dist:?} d={dims} basic vs improved"),
+    );
+    // Identical tie-breaking: same products chosen, not just same costs.
+    let ids_basic: Vec<_> = basic.iter().map(|r| r.product).collect();
+    let ids_improved: Vec<_> = improved.iter().map(|r| r.product).collect();
+    assert_eq!(ids_basic, ids_improved);
+
+    for bound in LowerBound::ALL {
+        let join: Vec<_> = JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, cfg, bound)
+            .with_bound_mode(BoundMode::Admissible)
+            .take(k)
+            .collect();
+        assert_costs_eq(
+            &costs(&join),
+            &costs(&improved),
+            &format!("{dist:?} d={dims} join-{bound:?} vs probing"),
+        );
+    }
+}
+
+#[test]
+fn agreement_on_paper_domains() {
+    for dist in [
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+    ] {
+        for dims in [2, 4] {
+            run_case(dist, dims, 0.0, 1.0, 1.0001, 2.0);
+        }
+    }
+}
+
+#[test]
+fn agreement_on_interleaved_domains() {
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for dims in [2, 3] {
+            run_case(dist, dims, 0.0, 1.0, 0.3, 1.3);
+        }
+    }
+}
+
+#[test]
+fn single_set_agrees_with_probing_against_self() {
+    // Splitting a catalog into {t} vs rest, probing each singleton,
+    // must equal the single-set sweep.
+    let store = generate(
+        300,
+        &SyntheticConfig::unit(3, Distribution::Independent, 77),
+    );
+    let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(16));
+    let cost_fn = SumCost::reciprocal(3, 1e-2);
+    let cfg = UpgradeConfig::default();
+
+    let sweep = single_set_topk(&store, &tree, None, 300, &cost_fn, &cfg);
+    assert_eq!(sweep.len(), 300);
+
+    // Reference: per-product dominator skyline via scan + Algorithm 1.
+    use skyup::core::upgrade_single;
+    use skyup::geom::dominance::dominates;
+    use skyup::skyline::skyline_naive;
+    for r in sweep.iter().take(40) {
+        let t = store.point(r.product);
+        let dominators: Vec<_> = store
+            .iter()
+            .filter(|(id, c)| *id != r.product && dominates(c, t))
+            .map(|(id, _)| id)
+            .collect();
+        let sky = skyline_naive(&store, &dominators);
+        let (cost, _) = upgrade_single(&store, &sky, t, &cost_fn, &cfg);
+        assert!((cost - r.cost).abs() < 1e-9, "product {:?}", r.product);
+    }
+}
+
+#[test]
+fn extreme_k_values() {
+    let p = generate(
+        400,
+        &SyntheticConfig::unit(2, Distribution::Independent, 5),
+    );
+    let t = generate(
+        50,
+        &SyntheticConfig {
+            dims: 2,
+            distribution: Distribution::Independent,
+            lo: 1.0,
+            hi: 2.0,
+            seed: 6,
+        },
+    );
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    let cost_fn = SumCost::reciprocal(2, 1e-2);
+    let cfg = UpgradeConfig::default();
+
+    // k = 1.
+    let one = improved_probing_topk(&p, &rp, &t, 1, &cost_fn, &cfg);
+    assert_eq!(one.len(), 1);
+    // k > |T|: everything returned, still sorted.
+    let all = improved_probing_topk(&p, &rp, &t, 1000, &cost_fn, &cfg);
+    assert_eq!(all.len(), 50);
+    assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
+    assert!((one[0].cost - all[0].cost).abs() < 1e-12);
+    // Join agrees on the full ranking.
+    let join: Vec<_> = JoinUpgrader::new(
+        &p,
+        &rp,
+        &t,
+        &rt,
+        &cost_fn,
+        cfg,
+        LowerBound::Conservative,
+    )
+    .with_bound_mode(BoundMode::Admissible)
+    .collect();
+    assert_eq!(join.len(), 50);
+    for (a, b) in join.iter().zip(&all) {
+        assert!((a.cost - b.cost).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn one_dimensional_space() {
+    // Degenerate but legal: upgrades must undercut the global minimum.
+    let p = PointStore::from_rows(1, vec![vec![0.5], vec![0.3], vec![0.9]]);
+    let t = PointStore::from_rows(1, vec![vec![0.7], vec![0.95]]);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let cost_fn = SumCost::reciprocal(1, 1e-2);
+    let cfg = UpgradeConfig::with_epsilon(1e-3);
+    let out = improved_probing_topk(&p, &rp, &t, 2, &cost_fn, &cfg);
+    assert_eq!(out.len(), 2);
+    for r in &out {
+        assert!(r.upgraded[0] < 0.3, "must beat the best competitor");
+    }
+    // The closer product is cheaper to upgrade.
+    assert_eq!(out[0].product, skyup::geom::PointId(0));
+}

@@ -1,0 +1,77 @@
+//! Smoke tests for the figure drivers: every experiment pipeline must
+//! run end-to-end at a miniature scale, so a regression in any layer is
+//! caught by `cargo test` without waiting for a full benchmark run.
+
+use skyup_bench::figures::{large_figure, progressive_figure, small_figure};
+use skyup_bench::runner::{build_trees, progressive_times, run_basic, run_improved, run_join};
+use skyup_bench::{k_sweep, BenchArgs, LargeParams, SmallParams};
+use skyup_core::join::LowerBound;
+use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup_data::wine::WineAttr;
+use skyup_data::{split_products, wine_dataset};
+
+fn tiny_args() -> BenchArgs {
+    BenchArgs {
+        scale: 0.001,
+        seed: 7,
+    }
+}
+
+#[test]
+fn parameter_tables_scale() {
+    let args = tiny_args();
+    let small = SmallParams::new(&args);
+    assert_eq!(small.p_default, 1000);
+    assert_eq!(small.t_default, 100);
+    let large = LargeParams::new(&args);
+    assert_eq!(large.d_default, 5);
+    assert_eq!(LargeParams::p_sweep(&args).len(), 4);
+    assert_eq!(k_sweep(), vec![1, 5, 10, 15, 20]);
+}
+
+#[test]
+fn figure4_pipeline_runs_small() {
+    // One wine combination, reduced T, all five algorithm columns.
+    let attrs = [WineAttr::Chlorides, WineAttr::Sulphates];
+    let full = wine_dataset(&attrs, 7);
+    let (p, t_full) = split_products(&full, 1000, 7);
+    // Shrink T for speed.
+    let mut t = skyup_geom::PointStore::new(2);
+    for (i, (_, c)) in t_full.iter().enumerate() {
+        if i < 100 {
+            t.push(c);
+        }
+    }
+    let (rp, rt) = build_trees(&p, &t);
+    assert!(run_basic(&p, &rp, &t, 1).as_nanos() > 0);
+    assert!(run_improved(&p, &rp, &t, 1).as_nanos() > 0);
+    for bound in LowerBound::ALL {
+        assert!(run_join(&p, &rp, &t, &rt, 1, bound).as_nanos() > 0);
+    }
+}
+
+#[test]
+fn progressive_measurement_is_monotone() {
+    let p = paper_competitors(2000, 2, Distribution::AntiCorrelated, 1);
+    let t = paper_products(300, 2, Distribution::AntiCorrelated, 2);
+    let (rp, rt) = build_trees(&p, &t);
+    let ks = k_sweep();
+    for bound in LowerBound::ALL {
+        let series = progressive_times(&p, &rp, &t, &rt, &ks, bound);
+        assert_eq!(series.len(), ks.len());
+        assert!(
+            series.windows(2).all(|w| w[0].1 <= w[1].1),
+            "time to k must be non-decreasing in k ({bound:?})"
+        );
+    }
+}
+
+#[test]
+fn figure_drivers_run_end_to_end_tiny() {
+    // The printed output goes to the test harness's captured stdout;
+    // what matters is that every panel completes without panicking.
+    let args = tiny_args();
+    small_figure(Distribution::Independent, &args);
+    large_figure(Distribution::Independent, &args);
+    progressive_figure(Distribution::Independent, &args);
+}

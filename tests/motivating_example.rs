@@ -1,0 +1,95 @@
+//! The paper's motivating example (Section I-B, Tables I and II): the
+//! dominator structure stated in the text, verified end to end.
+
+use skyup::core::cost::SumCost;
+use skyup::core::{improved_probing_topk, UpgradeConfig};
+use skyup::geom::dominance::dominates;
+use skyup::geom::{PointId, PointStore};
+use skyup::rtree::{RTree, RTreeParams};
+use skyup::skyline::{skyline_bnl, skyline_sfs};
+
+fn phone(weight: f64, standby: f64, megapixels: f64) -> Vec<f64> {
+    // Negate larger-is-better attributes (footnote 1).
+    vec![weight, -standby, -megapixels]
+}
+
+fn table_one() -> PointStore {
+    PointStore::from_rows(
+        3,
+        vec![
+            phone(140.0, 200.0, 2.0),
+            phone(180.0, 150.0, 3.0),
+            phone(100.0, 160.0, 3.0),
+            phone(180.0, 180.0, 3.0),
+            phone(120.0, 180.0, 4.0),
+            phone(150.0, 150.0, 3.0),
+        ],
+    )
+}
+
+fn table_two() -> PointStore {
+    PointStore::from_rows(
+        3,
+        vec![
+            phone(150.0, 120.0, 2.0), // A
+            phone(180.0, 130.0, 1.0), // B
+            phone(180.0, 120.0, 3.0), // C
+            phone(220.0, 180.0, 2.0), // D
+        ],
+    )
+}
+
+#[test]
+fn phones_1_3_5_form_the_skyline() {
+    let p = table_one();
+    let ids: Vec<PointId> = p.ids().collect();
+    let mut sky = skyline_sfs(&p, &ids);
+    sky.sort();
+    assert_eq!(sky, vec![PointId(0), PointId(2), PointId(4)]);
+    let mut sky_bnl = skyline_bnl(&p, &ids);
+    sky_bnl.sort();
+    assert_eq!(sky, sky_bnl);
+}
+
+#[test]
+fn dominator_structure_matches_the_paper_text() {
+    // "phone A is dominated by phones 1, 3, 5, and 6, phone B by all
+    // phones in P, phone C by all phones save phone 1, and phone D by
+    // phones 1, 4, and 5."
+    let p = table_one();
+    let t = table_two();
+    let expected: [&[usize]; 4] = [
+        &[1, 3, 5, 6],
+        &[1, 2, 3, 4, 5, 6],
+        &[2, 3, 4, 5, 6],
+        &[1, 4, 5],
+    ];
+    for (tid, tp) in t.iter() {
+        let dominators: Vec<usize> = p
+            .iter()
+            .filter(|(_, pp)| dominates(pp, tp))
+            .map(|(id, _)| id.index() + 1)
+            .collect();
+        assert_eq!(dominators, expected[tid.index()], "phone {:?}", tid);
+    }
+}
+
+#[test]
+fn every_table_two_phone_can_be_upgraded() {
+    let p = table_one();
+    let t = table_two();
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    // Reciprocal costs need positive inputs; shift epsilon past the
+    // most-negated value (-200 standby hours).
+    let cost_fn = SumCost::reciprocal(3, 250.0);
+    let out = improved_probing_topk(&p, &rp, &t, 4, &cost_fn, &UpgradeConfig::with_epsilon(0.5));
+    assert_eq!(out.len(), 4);
+    for r in &out {
+        assert!(r.cost > 0.0, "every T phone is dominated, so upgrading costs");
+        let clear = p.iter().all(|(_, pp)| !dominates(pp, &r.upgraded));
+        assert!(clear, "upgraded phone {:?} still dominated", r.product);
+        // Upgrades only improve attributes.
+        assert!(r.upgraded.iter().zip(&r.original).all(|(u, o)| u <= o));
+    }
+    assert!(out.windows(2).all(|w| w[0].cost <= w[1].cost));
+}

@@ -1,0 +1,68 @@
+//! End-to-end persistence: build → save → load → query must be
+//! indistinguishable from using the original index.
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{join_topk, LowerBound};
+use skyup::core::UpgradeConfig;
+use skyup::data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup::geom::PointStore;
+use skyup::rtree::{RTree, RTreeParams};
+
+#[test]
+fn join_on_reloaded_index_matches() {
+    let p = paper_competitors(4000, 3, Distribution::AntiCorrelated, 77);
+    let t = paper_products(400, 3, Distribution::AntiCorrelated, 78);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+
+    // Round-trip everything through bytes (as a file would).
+    let p2 = PointStore::from_bytes(&p.to_bytes()).unwrap();
+    let t2 = PointStore::from_bytes(&t.to_bytes()).unwrap();
+    let rp2 = RTree::from_bytes(&rp.to_bytes(), &p2).unwrap();
+    let rt2 = RTree::from_bytes(&rt.to_bytes(), &t2).unwrap();
+
+    let cost = SumCost::reciprocal(3, 1e-3);
+    let cfg = UpgradeConfig::default();
+    let a = join_topk(&p, &rp, &t, &rt, 8, &cost, cfg, LowerBound::Conservative);
+    let b = join_topk(&p2, &rp2, &t2, &rt2, 8, &cost, cfg, LowerBound::Conservative);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.product, y.product);
+        assert_eq!(x.upgraded, y.upgraded);
+        assert_eq!(x.cost.to_bits(), y.cost.to_bits(), "bit-identical costs");
+    }
+}
+
+#[test]
+fn file_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join("skyup-persist-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = paper_competitors(1000, 2, Distribution::Independent, 5);
+    let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(16));
+
+    let store_path = dir.join("p.store");
+    let tree_path = dir.join("p.rtree");
+    std::fs::write(&store_path, p.to_bytes()).unwrap();
+    std::fs::write(&tree_path, rp.to_bytes()).unwrap();
+
+    let p2 = PointStore::from_bytes(&std::fs::read(&store_path).unwrap()).unwrap();
+    let rp2 = RTree::from_bytes(&std::fs::read(&tree_path).unwrap(), &p2).unwrap();
+    assert_eq!(p, p2);
+    rp2.validate(&p2).unwrap();
+    assert_eq!(rp2.stats(), rp.stats());
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&tree_path).ok();
+}
+
+#[test]
+fn cross_loading_store_and_tree_is_rejected() {
+    let p = paper_competitors(500, 2, Distribution::Independent, 1);
+    let q = paper_competitors(500, 2, Distribution::Independent, 2);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    // Loading p's tree against q's store must fail validation.
+    assert!(RTree::from_bytes(&rp.to_bytes(), &q).is_err());
+    // And against a different dimensionality, fail fast.
+    let r3 = paper_competitors(500, 3, Distribution::Independent, 3);
+    assert!(RTree::from_bytes(&rp.to_bytes(), &r3).is_err());
+}

@@ -1,0 +1,154 @@
+//! Progressiveness guarantees of the join (the property Figures 5, 10,
+//! and 11 measure).
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{BoundMode, JoinUpgrader, LowerBound};
+use skyup::core::UpgradeConfig;
+use skyup::data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup::rtree::{RTree, RTreeParams};
+
+fn setup(
+    dist: Distribution,
+    np: usize,
+    nt: usize,
+    dims: usize,
+) -> (
+    skyup::geom::PointStore,
+    RTree,
+    skyup::geom::PointStore,
+    RTree,
+) {
+    let p = paper_competitors(np, dims, dist, 1000);
+    let t = paper_products(nt, dims, dist, 2000);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    (p, rp, t, rt)
+}
+
+#[test]
+fn emission_is_ascending_in_admissible_mode() {
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let (p, rp, t, rt) = setup(dist, 5000, 800, 3);
+        let cost_fn = SumCost::reciprocal(3, 1e-3);
+        for bound in LowerBound::ALL {
+            let join = JoinUpgrader::new(
+                &p,
+                &rp,
+                &t,
+                &rt,
+                &cost_fn,
+                UpgradeConfig::default(),
+                bound,
+            )
+            .with_bound_mode(BoundMode::Admissible);
+            let all: Vec<_> = join.collect();
+            assert_eq!(all.len(), 800);
+            assert!(
+                all.windows(2).all(|w| w[0].cost <= w[1].cost + 1e-9),
+                "{dist:?}/{bound:?}: non-ascending emission"
+            );
+        }
+    }
+}
+
+#[test]
+fn emission_is_ascending_with_paper_bounds_on_paper_domains() {
+    // On the paper's disjoint domains, the paper bounds behave.
+    let (p, rp, t, rt) = setup(Distribution::AntiCorrelated, 5000, 500, 2);
+    let cost_fn = SumCost::reciprocal(2, 1e-3);
+    for bound in LowerBound::ALL {
+        let join = JoinUpgrader::new(
+            &p,
+            &rp,
+            &t,
+            &rt,
+            &cost_fn,
+            UpgradeConfig::default(),
+            bound,
+        );
+        let first_fifty: Vec<_> = join.take(50).collect();
+        // The paper's LBC is only approximately admissible (DESIGN.md
+        // §3), so allow a couple of inversions even here.
+        let inversions = first_fifty
+            .windows(2)
+            .filter(|w| w[0].cost > w[1].cost + 1e-9)
+            .count();
+        assert!(
+            inversions <= 2,
+            "{bound:?}: {inversions} inversions in the first 50 results"
+        );
+    }
+}
+
+#[test]
+fn early_stopping_touches_few_products() {
+    // The point of progressiveness: k = 1 must not resolve most of T.
+    let (p, rp, t, rt) = setup(Distribution::AntiCorrelated, 10_000, 2_000, 3);
+    let cost_fn = SumCost::reciprocal(3, 1e-3);
+    let mut join = JoinUpgrader::new(
+        &p,
+        &rp,
+        &t,
+        &rt,
+        &cost_fn,
+        UpgradeConfig::default(),
+        LowerBound::Conservative,
+    );
+    let _ = join.next().expect("a result exists");
+    let stats = join.stats();
+    assert!(
+        stats.exact_upgrades < 200,
+        "k=1 resolved {} of 2000 products — not progressive",
+        stats.exact_upgrades
+    );
+}
+
+#[test]
+fn stats_accumulate_monotonically() {
+    let (p, rp, t, rt) = setup(Distribution::Independent, 3000, 400, 2);
+    let cost_fn = SumCost::reciprocal(2, 1e-3);
+    let mut join = JoinUpgrader::new(
+        &p,
+        &rp,
+        &t,
+        &rt,
+        &cost_fn,
+        UpgradeConfig::default(),
+        LowerBound::Naive,
+    );
+    let mut last = join.stats();
+    for _ in 0..20 {
+        if join.next().is_none() {
+            break;
+        }
+        let now = join.stats();
+        assert!(now.results_emitted > last.results_emitted);
+        assert!(now.heap_pushes >= last.heap_pushes);
+        assert!(now.exact_upgrades >= last.exact_upgrades);
+        last = now;
+    }
+    assert_eq!(last.results_emitted, 20);
+}
+
+#[test]
+fn iterator_fuses_cleanly() {
+    let (p, rp, t, rt) = setup(Distribution::Independent, 500, 60, 2);
+    let cost_fn = SumCost::reciprocal(2, 1e-3);
+    let mut join = JoinUpgrader::new(
+        &p,
+        &rp,
+        &t,
+        &rt,
+        &cost_fn,
+        UpgradeConfig::default(),
+        LowerBound::Aggressive,
+    );
+    let mut count = 0;
+    while join.next().is_some() {
+        count += 1;
+    }
+    assert_eq!(count, 60);
+    // Exhausted: keeps returning None.
+    assert!(join.next().is_none());
+    assert!(join.next().is_none());
+}

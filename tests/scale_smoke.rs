@@ -1,0 +1,73 @@
+//! A mid-scale end-to-end smoke test: the full pipeline at a size where
+//! index pruning actually matters, still fast enough for CI.
+
+use skyup::core::cost::SumCost;
+use skyup::core::join::{join_topk, JoinUpgrader, LowerBound};
+use skyup::core::{improved_probing_topk, UpgradeConfig};
+use skyup::data::synthetic::{paper_competitors, paper_products, Distribution};
+use skyup::geom::dominance::dominates;
+use skyup::rtree::{RTree, RTreeParams};
+
+#[test]
+fn mid_scale_end_to_end() {
+    let dims = 4;
+    let p = paper_competitors(4_000, dims, Distribution::AntiCorrelated, 1);
+    let t = paper_products(400, dims, Distribution::AntiCorrelated, 2);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    rp.validate(&p).unwrap();
+    rt.validate(&t).unwrap();
+
+    let cost_fn = SumCost::reciprocal(dims, 1e-3);
+    let cfg = UpgradeConfig::default();
+    let k = 10;
+
+    let probe = improved_probing_topk(&p, &rp, &t, k, &cost_fn, &cfg);
+    assert_eq!(probe.len(), k);
+
+    for bound in LowerBound::ALL {
+        let join = join_topk(&p, &rp, &t, &rt, k, &cost_fn, cfg, bound);
+        assert_eq!(join.len(), k, "{bound:?}");
+        for (a, b) in join.iter().zip(&probe) {
+            assert!(
+                (a.cost - b.cost).abs() < 1e-6,
+                "{bound:?}: {} vs {}",
+                a.cost,
+                b.cost
+            );
+        }
+        // Every reported upgrade escapes every competitor.
+        for r in &join {
+            assert!(p.iter().all(|(_, c)| !dominates(c, &r.upgraded)));
+        }
+    }
+}
+
+#[test]
+fn join_progressiveness_at_scale() {
+    let dims = 3;
+    let p = paper_competitors(10_000, dims, Distribution::Independent, 3);
+    let t = paper_products(2_000, dims, Distribution::Independent, 4);
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let rt = RTree::bulk_load(&t, RTreeParams::default());
+    let cost_fn = SumCost::reciprocal(dims, 1e-3);
+
+    let mut join = JoinUpgrader::new(
+        &p,
+        &rp,
+        &t,
+        &rt,
+        &cost_fn,
+        UpgradeConfig::default(),
+        LowerBound::Conservative,
+    );
+    let top: Vec<_> = join.by_ref().take(20).collect();
+    assert_eq!(top.len(), 20);
+    let stats = join.stats();
+    assert!(
+        (stats.exact_upgrades as usize) < t.len() / 10,
+        "resolved {} of {} — pruning ineffective",
+        stats.exact_upgrades,
+        t.len()
+    );
+}
