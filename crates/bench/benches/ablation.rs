@@ -5,10 +5,13 @@
 //! * R-tree fanout;
 //! * the paper's LBC vs. the admissible bound mode;
 //! * Algorithm 1 with and without the extended candidate set.
+//!
+//! Hand-rolled timing loops — criterion is unavailable in this offline
+//! environment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skyup_bench::harness::microbench;
 use skyup_core::cost::SumCost;
-use skyup_core::join::{JoinUpgrader, BoundMode, LowerBound};
+use skyup_core::join::{BoundMode, JoinUpgrader, LowerBound};
 use skyup_core::{upgrade_single, UpgradeConfig};
 use skyup_data::synthetic::{paper_competitors, paper_products, Distribution};
 use skyup_geom::PointStore;
@@ -25,48 +28,50 @@ fn workload() -> (PointStore, PointStore) {
     )
 }
 
-fn join_time(
-    p: &PointStore,
-    rp: &RTree,
-    t: &PointStore,
-    rt: &RTree,
-    mode: BoundMode,
-) -> usize {
+fn join_time(p: &PointStore, rp: &RTree, t: &PointStore, rt: &RTree, mode: BoundMode) -> usize {
     let cost = SumCost::reciprocal(p.dims(), 1e-3);
-    let join = JoinUpgrader::new(p, rp, t, rt, &cost, UpgradeConfig::default(), LowerBound::Conservative)
-        .with_bound_mode(mode);
+    let join = JoinUpgrader::new(
+        p,
+        rp,
+        t,
+        rt,
+        &cost,
+        UpgradeConfig::default(),
+        LowerBound::Conservative,
+    )
+    .with_bound_mode(mode);
     join.take(5).count()
 }
 
-fn bench_build_strategy(c: &mut Criterion) {
+fn bench_build_strategy() {
     let (p, t) = workload();
     let params = RTreeParams::default();
     let rt = RTree::bulk_load(&t, params);
 
     let rp_str = RTree::bulk_load(&p, params);
-    c.bench_function("ablation/join_on_str_tree", |b| {
-        b.iter(|| black_box(join_time(&p, &rp_str, &t, &rt, BoundMode::Paper)))
+    microbench("ablation/join_on_str_tree", || {
+        black_box(join_time(&p, &rp_str, &t, &rt, BoundMode::Paper))
     });
 
     let rp_ins = RTree::from_insertion(&p, params);
-    c.bench_function("ablation/join_on_insertion_tree", |b| {
-        b.iter(|| black_box(join_time(&p, &rp_ins, &t, &rt, BoundMode::Paper)))
+    microbench("ablation/join_on_insertion_tree", || {
+        black_box(join_time(&p, &rp_ins, &t, &rt, BoundMode::Paper))
     });
 }
 
-fn bench_fanout(c: &mut Criterion) {
+fn bench_fanout() {
     let (p, t) = workload();
     for fanout in [16usize, 64, 256] {
         let params = RTreeParams::with_max_entries(fanout);
         let rp = RTree::bulk_load(&p, params);
         let rt = RTree::bulk_load(&t, params);
-        c.bench_function(&format!("ablation/fanout/{fanout}"), |b| {
-            b.iter(|| black_box(join_time(&p, &rp, &t, &rt, BoundMode::Paper)))
+        microbench(&format!("ablation/fanout/{fanout}"), || {
+            black_box(join_time(&p, &rp, &t, &rt, BoundMode::Paper))
         });
     }
 }
 
-fn bench_bound_mode(c: &mut Criterion) {
+fn bench_bound_mode() {
     let (p, t) = workload();
     let params = RTreeParams::default();
     let rp = RTree::bulk_load(&p, params);
@@ -75,13 +80,13 @@ fn bench_bound_mode(c: &mut Criterion) {
         ("paper", BoundMode::Paper),
         ("admissible", BoundMode::Admissible),
     ] {
-        c.bench_function(&format!("ablation/bound_mode/{name}"), |b| {
-            b.iter(|| black_box(join_time(&p, &rp, &t, &rt, mode)))
+        microbench(&format!("ablation/bound_mode/{name}"), || {
+            black_box(join_time(&p, &rp, &t, &rt, mode))
         });
     }
 }
 
-fn bench_extended_candidates(c: &mut Criterion) {
+fn bench_extended_candidates() {
     let (p, _) = workload();
     let ids: Vec<_> = p.ids().collect();
     let skyline = skyline_sfs(&p, &ids);
@@ -92,17 +97,15 @@ fn bench_extended_candidates(c: &mut Criterion) {
             extended_candidates: extended,
             ..UpgradeConfig::default()
         };
-        c.bench_function(&format!("ablation/candidates/{name}"), |b| {
-            b.iter(|| upgrade_single(black_box(&p), black_box(&skyline), &t, &cost, &cfg))
+        microbench(&format!("ablation/candidates/{name}"), || {
+            upgrade_single(black_box(&p), black_box(&skyline), &t, &cost, &cfg)
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_build_strategy,
-    bench_fanout,
-    bench_bound_mode,
-    bench_extended_candidates
-);
-criterion_main!(benches);
+fn main() {
+    bench_build_strategy();
+    bench_fanout();
+    bench_bound_mode();
+    bench_extended_candidates();
+}

@@ -1,8 +1,15 @@
-//! Criterion micro-benchmarks for the substrates: R-tree construction
-//! and queries, the skyline algorithms, Algorithm 1, and the LBC
-//! machinery. These are developer benchmarks, not paper figures.
+//! Micro-benchmarks for the substrates: R-tree construction and
+//! queries, the skyline algorithms, Algorithm 1, the LBC machinery, and
+//! the instrumentation overhead spot-check. These are developer
+//! benchmarks, not paper figures. Hand-rolled timing loops — criterion
+//! is unavailable in this offline environment.
+//!
+//! ```sh
+//! cargo bench --bench micro            # or: cargo run --release --bench micro
+//! SKYUP_BENCH_MS=1000 cargo bench --bench micro   # longer sampling
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skyup_bench::harness::microbench;
 use skyup_core::cost::SumCost;
 use skyup_core::join::{list_bound, BoundMode, LowerBound};
 use skyup_core::{upgrade_single, UpgradeConfig};
@@ -13,88 +20,140 @@ use skyup_skyline::{dominating_skyline, skyline_bbs, skyline_bnl, skyline_naive,
 use std::hint::black_box;
 
 fn anti(n: usize, dims: usize, seed: u64) -> PointStore {
-    generate(n, &SyntheticConfig::unit(dims, Distribution::AntiCorrelated, seed))
+    generate(
+        n,
+        &SyntheticConfig::unit(dims, Distribution::AntiCorrelated, seed),
+    )
 }
 
-fn bench_rtree(c: &mut Criterion) {
+fn bench_rtree() {
     let store = anti(20_000, 3, 1);
-    c.bench_function("rtree/bulk_load/20k", |b| {
-        b.iter(|| RTree::bulk_load(black_box(&store), RTreeParams::default()))
+    microbench("rtree/bulk_load/20k", || {
+        RTree::bulk_load(black_box(&store), RTreeParams::default())
     });
 
     let small = anti(2_000, 3, 2);
-    c.bench_function("rtree/insert_build/2k", |b| {
-        b.iter(|| RTree::from_insertion(black_box(&small), RTreeParams::default()))
+    microbench("rtree/insert_build/2k", || {
+        RTree::from_insertion(black_box(&small), RTreeParams::default())
     });
 
     let tree = RTree::bulk_load(&store, RTreeParams::default());
     let range = Rect::new(&[0.2, 0.2, 0.2], &[0.5, 0.5, 0.5]);
-    c.bench_function("rtree/range_query/20k", |b| {
-        b.iter(|| tree.range_query(black_box(&store), black_box(&range)))
+    microbench("rtree/range_query/20k", || {
+        tree.range_query(black_box(&store), black_box(&range))
     });
 }
 
-fn bench_skyline(c: &mut Criterion) {
+fn bench_skyline() {
     let store = anti(5_000, 3, 3);
     let ids: Vec<_> = store.ids().collect();
     let tree = RTree::bulk_load(&store, RTreeParams::default());
 
-    c.bench_function("skyline/naive/1k", |b| {
-        let small: Vec<_> = ids.iter().copied().take(1000).collect();
-        b.iter(|| skyline_naive(black_box(&store), black_box(&small)))
+    let small: Vec<_> = ids.iter().copied().take(1000).collect();
+    microbench("skyline/naive/1k", || {
+        skyline_naive(black_box(&store), black_box(&small))
     });
-    c.bench_function("skyline/bnl/5k", |b| {
-        b.iter(|| skyline_bnl(black_box(&store), black_box(&ids)))
+    microbench("skyline/bnl/5k", || {
+        skyline_bnl(black_box(&store), black_box(&ids))
     });
-    c.bench_function("skyline/sfs/5k", |b| {
-        b.iter(|| skyline_sfs(black_box(&store), black_box(&ids)))
+    microbench("skyline/sfs/5k", || {
+        skyline_sfs(black_box(&store), black_box(&ids))
     });
-    c.bench_function("skyline/bbs/5k", |b| {
-        b.iter(|| skyline_bbs(black_box(&store), black_box(&tree)))
+    microbench("skyline/bbs/5k", || {
+        skyline_bbs(black_box(&store), black_box(&tree))
     });
-    c.bench_function("skyline/dominating/5k", |b| {
-        b.iter(|| dominating_skyline(black_box(&store), black_box(&tree), &[0.9, 0.9, 0.9]))
+    microbench("skyline/dominating/5k", || {
+        dominating_skyline(black_box(&store), black_box(&tree), &[0.9, 0.9, 0.9])
     });
 }
 
-fn bench_upgrade(c: &mut Criterion) {
+fn bench_upgrade() {
     let store = anti(5_000, 3, 4);
     let ids: Vec<_> = store.ids().collect();
     let skyline = skyline_sfs(&store, &ids);
     let cost = SumCost::reciprocal(3, 1e-3);
     let cfg = UpgradeConfig::default();
     let t = [1.5, 1.5, 1.5];
-    c.bench_function(&format!("upgrade_single/skyline{}", skyline.len()), |b| {
-        b.iter(|| upgrade_single(black_box(&store), black_box(&skyline), &t, &cost, &cfg))
+    microbench(&format!("upgrade_single/skyline{}", skyline.len()), || {
+        upgrade_single(black_box(&store), black_box(&skyline), &t, &cost, &cfg)
     });
 }
 
-fn bench_lbc(c: &mut Criterion) {
+fn bench_lbc() {
     let store = anti(10_000, 3, 5);
     let tree = RTree::bulk_load(&store, RTreeParams::default());
     let jl: Vec<EntryRef> = tree.root().entries().collect();
     let cost = SumCost::reciprocal(3, 1e-3);
     let t_min = [1.2, 1.2, 1.2];
     for bound in LowerBound::ALL {
-        c.bench_function(&format!("lbc/list_bound/{}", bound.abbrev()), |b| {
-            b.iter_batched(
-                || jl.clone(),
-                |jl| {
-                    list_bound(
-                        black_box(&t_min),
-                        &jl,
-                        &store,
-                        &tree,
-                        &cost,
-                        bound,
-                        BoundMode::Paper,
-                    )
-                },
-                BatchSize::SmallInput,
+        microbench(&format!("lbc/list_bound/{}", bound.abbrev()), || {
+            list_bound(
+                black_box(&t_min),
+                &jl.clone(),
+                &store,
+                &tree,
+                &cost,
+                bound,
+                BoundMode::Paper,
             )
         });
     }
 }
 
-criterion_group!(benches, bench_rtree, bench_skyline, bench_upgrade, bench_lbc);
-criterion_main!(benches);
+/// Acceptance-criterion spot-check: improved probing with the
+/// `NullRecorder` must be within noise of the uninstrumented timing,
+/// and the collecting recorder's overhead should be visible but small.
+fn bench_obs_overhead() {
+    use skyup_core::probing::{improved_probing_topk, improved_probing_topk_rec};
+    use skyup_obs::{NullRecorder, QueryMetrics};
+
+    let p = generate(
+        5_000,
+        &SyntheticConfig::unit(3, Distribution::AntiCorrelated, 6),
+    );
+    let t = generate(
+        200,
+        &SyntheticConfig {
+            dims: 3,
+            distribution: Distribution::AntiCorrelated,
+            lo: 1.0 + f64::EPSILON,
+            hi: 2.0,
+            seed: 7,
+        },
+    );
+    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let cost = SumCost::reciprocal(3, 1e-3);
+    let cfg = UpgradeConfig::default();
+
+    let legacy = microbench("obs/improved_probing/legacy_api", || {
+        improved_probing_topk(black_box(&p), &rp, black_box(&t), 10, &cost, &cfg)
+    });
+    let null = microbench("obs/improved_probing/null_recorder", || {
+        improved_probing_topk_rec(
+            black_box(&p),
+            &rp,
+            black_box(&t),
+            10,
+            &cost,
+            &cfg,
+            &mut NullRecorder,
+        )
+    });
+    let collecting = microbench("obs/improved_probing/query_metrics", || {
+        let mut m = QueryMetrics::new();
+        improved_probing_topk_rec(black_box(&p), &rp, black_box(&t), 10, &cost, &cfg, &mut m)
+    });
+    println!(
+        "obs overhead: null/legacy = {:.3}x, collecting/legacy = {:.3}x",
+        null.as_secs_f64() / legacy.as_secs_f64(),
+        collecting.as_secs_f64() / legacy.as_secs_f64()
+    );
+}
+
+fn main() {
+    bench_rtree();
+    bench_skyline();
+    bench_upgrade();
+    bench_lbc();
+    bench_obs_overhead();
+}

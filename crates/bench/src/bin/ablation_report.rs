@@ -81,13 +81,21 @@ fn main() {
     let rt = RTree::bulk_load(&t, RTreeParams::default());
     let mut table = Table::new(
         "3. Paper LBC vs admissible bound (k=5, per strategy)",
-        &["bound", "mode", "time", "exact upgrades", "P-nodes expanded"],
+        &[
+            "bound",
+            "mode",
+            "time",
+            "exact upgrades",
+            "P-nodes expanded",
+        ],
     );
     for bound in LowerBound::ALL {
-        for (mode_name, mode) in [("paper", BoundMode::Paper), ("admissible", BoundMode::Admissible)]
-        {
-            let mut join = JoinUpgrader::new(&p, &rp, &t, &rt, &f, cfg, bound)
-                .with_bound_mode(mode);
+        for (mode_name, mode) in [
+            ("paper", BoundMode::Paper),
+            ("admissible", BoundMode::Admissible),
+        ] {
+            let mut join =
+                JoinUpgrader::new(&p, &rp, &t, &rt, &f, cfg, bound).with_bound_mode(mode);
             let (elapsed, _) = time(|| join.by_ref().take(5).count());
             let stats = join.stats();
             table.row(&[
@@ -104,7 +112,12 @@ fn main() {
     // 4. Algorithm 1 optimality gap on small random instances.
     let mut table = Table::new(
         "4. Algorithm 1 vs exhaustive optimum (200 random instances, d=2..3)",
-        &["candidates", "mean gap %", "max gap %", "instances with gap"],
+        &[
+            "candidates",
+            "mean gap %",
+            "max gap %",
+            "instances with gap",
+        ],
     );
     for (name, extended) in [("paper", false), ("extended", true)] {
         let mut run_cfg = cfg;

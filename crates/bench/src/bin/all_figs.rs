@@ -8,8 +8,7 @@ use skyup_data::synthetic::Distribution;
 fn main() {
     // Each figure family has its own sensible default scale; an explicit
     // --scale or SKYUP_SCALE overrides all of them.
-    let explicit = std::env::args().any(|a| a == "--scale")
-        || std::env::var("SKYUP_SCALE").is_ok();
+    let explicit = std::env::args().any(|a| a == "--scale") || std::env::var("SKYUP_SCALE").is_ok();
     let pick = |default: f64| {
         let mut args = parse_args(default);
         if !explicit {

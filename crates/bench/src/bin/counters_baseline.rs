@@ -1,0 +1,82 @@
+//! Records a machine-independent counter baseline for the Figure 4
+//! workload (wine data set, k = 1) as JSON.
+//!
+//! Timings drift with hardware; the counters in the `skyup-obs` schema
+//! (dominance tests, R-tree accesses, heap traffic, …) do not. This
+//! binary snapshots them per attribute combination and algorithm so
+//! regressions in pruning effectiveness show up as diffs of
+//! `bench_results/counters_baseline.json` rather than as noisy timing
+//! shifts. Phase timings are deliberately omitted: they are the
+//! machine-dependent part of the schema (`--stats` and `fig4` report
+//! them live instead).
+//!
+//! The product set is capped at 250 tuples (vs. Figure 4's 1,000) so
+//! the snapshot regenerates in seconds; the counters still separate the
+//! algorithms clearly.
+
+use skyup_bench::parse_args;
+use skyup_bench::runner::{build_trees, run_basic_metrics, run_improved_metrics, run_join_metrics};
+use skyup_core::join::LowerBound;
+use skyup_data::wine::WineAttr;
+use skyup_data::{split_products, wine_dataset};
+use skyup_obs::json::Json;
+use skyup_obs::{Counter, QueryMetrics};
+
+/// Products held out as upgrade candidates (small-scale Figure 4).
+const T_SIZE: usize = 250;
+
+fn counters_json(m: &QueryMetrics) -> Json {
+    Json::obj(
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), Json::Num(m.get(c) as f64)))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args = parse_args(1.0);
+    let mut combos = Vec::new();
+
+    for attrs in WineAttr::table_three() {
+        let label: String = attrs
+            .iter()
+            .map(|a| a.abbrev())
+            .collect::<Vec<_>>()
+            .join(",");
+        let full = wine_dataset(&attrs, args.seed);
+        let (p, t) = split_products(&full, T_SIZE, args.seed);
+        let (rp, rt) = build_trees(&p, &t);
+
+        let (_, basic) = run_basic_metrics(&p, &rp, &t, 1);
+        let (_, improved) = run_improved_metrics(&p, &rp, &t, 1);
+        let (_, join) = run_join_metrics(&p, &rp, &t, &rt, 1, LowerBound::Conservative);
+
+        eprintln!(
+            "{label}: basic {} / improved {} entry accesses",
+            basic.get(Counter::RtreeEntryAccesses),
+            improved.get(Counter::RtreeEntryAccesses),
+        );
+        combos.push(Json::obj(vec![
+            ("attrs", Json::Str(label)),
+            ("basic", counters_json(&basic)),
+            ("improved", counters_json(&improved)),
+            ("join_clb", counters_json(&join)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("skyup-obs-baseline/1".into())),
+        ("workload", Json::Str("fig4-wine".into())),
+        ("seed", Json::Num(args.seed as f64)),
+        ("t_size", Json::Num(T_SIZE as f64)),
+        ("k", Json::Num(1.0)),
+        ("combos", Json::Arr(combos)),
+    ]);
+
+    let path = "bench_results/counters_baseline.json";
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write(path, format!("{}\n", doc.render_pretty()))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

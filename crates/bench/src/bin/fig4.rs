@@ -2,11 +2,15 @@
 //! (Table III), comparing basic probing, improved probing, and the join
 //! with all three lower bounds. |P| = 3,898, |T| = 1,000, k = 1.
 
-use skyup_bench::runner::{build_trees, run_basic, run_improved, run_join};
+use skyup_bench::runner::{
+    build_trees, run_basic, run_basic_metrics, run_improved, run_improved_metrics, run_join,
+    run_join_metrics,
+};
 use skyup_bench::{fmt_duration, parse_args, Table};
 use skyup_core::join::LowerBound;
 use skyup_data::wine::WineAttr;
 use skyup_data::{split_products, wine_dataset};
+use skyup_obs::Counter;
 
 fn main() {
     // The wine experiment always runs at full size (4,898 tuples).
@@ -15,7 +19,13 @@ fn main() {
 
     let mut table = Table::new(
         "Execution time per attribute combination",
-        &["attrs", "basic", "improved", "join-NLB", "join-CLB", "join-ALB"],
+        &[
+            "attrs", "basic", "improved", "join-NLB", "join-CLB", "join-ALB",
+        ],
+    );
+    let mut counters = Table::new(
+        "Work counters per attribute combination (basic | improved | join-CLB)",
+        &["attrs", "dom-tests", "entry-accesses", "node-accesses"],
     );
 
     for attrs in WineAttr::table_three() {
@@ -36,15 +46,29 @@ fn main() {
             .collect();
 
         table.row(&[
-            label,
+            label.clone(),
             fmt_duration(basic),
             fmt_duration(improved),
             fmt_duration(joins[0]),
             fmt_duration(joins[1]),
             fmt_duration(joins[2]),
         ]);
+
+        // Machine-independent cost-model counters for the same workload
+        // (Section V argues in exactly these units).
+        let (_, mb) = run_basic_metrics(&p, &rp, &t, 1);
+        let (_, mi) = run_improved_metrics(&p, &rp, &t, 1);
+        let (_, mj) = run_join_metrics(&p, &rp, &t, &rt, 1, LowerBound::Conservative);
+        let tri = |c: Counter| format!("{} | {} | {}", mb.get(c), mi.get(c), mj.get(c));
+        counters.row(&[
+            label,
+            tri(Counter::DominanceTests),
+            tri(Counter::RtreeEntryAccesses),
+            tri(Counter::RtreeNodeAccesses),
+        ]);
     }
     println!("{table}");
+    println!("{counters}");
     println!(
         "expected shape: basic slowest; improved cuts 1/3-1/2; join fastest; \
          bounds differ only modestly on this small data set"

@@ -25,10 +25,7 @@ fn main() {
     let (rp, rt) = build_trees(&p, &t);
 
     let ks = k_sweep();
-    let mut table = Table::new(
-        "Time to k-th result",
-        &["k", "NLB", "CLB", "ALB"],
-    );
+    let mut table = Table::new("Time to k-th result", &["k", "NLB", "CLB", "ALB"]);
     let series: Vec<Vec<(usize, std::time::Duration)>> = LowerBound::ALL
         .iter()
         .map(|&b| progressive_times(&p, &rp, &t, &rt, &ks, b))

@@ -86,7 +86,12 @@ pub fn large_figure(dist: Distribution, args: &BenchArgs) {
         let p = paper_competitors(np, params.d_default, dist, args.seed + i as u64);
         let t = paper_products(params.t_default, params.d_default, dist, args.seed + 1000);
         let cells = run_bounds(&p, &t);
-        table.row(&[np.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        table.row(&[
+            np.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
     println!("{table}");
 
@@ -95,7 +100,12 @@ pub fn large_figure(dist: Distribution, args: &BenchArgs) {
     for (i, &nt) in LargeParams::t_sweep(args).iter().enumerate() {
         let t = paper_products(nt, params.d_default, dist, args.seed + 2000 + i as u64);
         let cells = run_bounds(&p, &t);
-        table.row(&[nt.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        table.row(&[
+            nt.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
     println!("{table}");
 
@@ -104,7 +114,12 @@ pub fn large_figure(dist: Distribution, args: &BenchArgs) {
         let p = paper_competitors(params.p_default, d, dist, args.seed + d as u64);
         let t = paper_products(params.t_default, d, dist, args.seed + 3000 + d as u64);
         let cells = run_bounds(&p, &t);
-        table.row(&[d.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        table.row(&[
+            d.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
     println!("{table}");
     println!(

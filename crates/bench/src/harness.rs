@@ -67,6 +67,35 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
     (start.elapsed(), out)
 }
 
+/// A minimal hand-rolled micro-benchmark (criterion is unavailable
+/// offline): one warm-up call, then repeated timed calls until the
+/// sample budget (`SKYUP_BENCH_MS`, default 300 ms per benchmark) is
+/// spent. Prints and returns the median.
+pub fn microbench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
+    let budget = Duration::from_millis(
+        std::env::var("SKYUP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+    );
+    std::hint::black_box(f()); // warm-up
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.is_empty() || (start.elapsed() < budget && samples.len() < 10_000) {
+        let (d, out) = time(&mut f);
+        std::hint::black_box(out);
+        samples.push(d);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<44} median {:>12}  (n={})",
+        fmt_duration(median),
+        samples.len()
+    );
+    median
+}
+
 /// Formats a duration in adaptive units, matching how the paper's plots
 /// span milliseconds to kiloseconds.
 pub fn fmt_duration(d: Duration) -> String {

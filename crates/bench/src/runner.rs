@@ -2,8 +2,12 @@
 
 use skyup_core::cost::SumCost;
 use skyup_core::join::{JoinUpgrader, LowerBound};
-use skyup_core::{basic_probing_topk, improved_probing_topk, UpgradeConfig};
+use skyup_core::{
+    basic_probing_topk, basic_probing_topk_rec, improved_probing_topk, improved_probing_topk_rec,
+    UpgradeConfig,
+};
 use skyup_geom::PointStore;
+use skyup_obs::{QueryMetrics, Recorder};
 use skyup_rtree::{RTree, RTreeParams};
 use std::time::{Duration, Instant};
 
@@ -62,6 +66,59 @@ pub fn run_join(
     let elapsed = start.elapsed();
     std::hint::black_box(out);
     elapsed
+}
+
+/// [`run_basic`] with instrumentation: also returns the run's counters
+/// and per-phase timings.
+pub fn run_basic_metrics(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    k: usize,
+) -> (Duration, QueryMetrics) {
+    let f = cost_fn(p.dims());
+    let mut m = QueryMetrics::new();
+    let start = Instant::now();
+    let out = basic_probing_topk_rec(p, rp, t, k, &f, &UpgradeConfig::default(), &mut m);
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    (elapsed, m)
+}
+
+/// [`run_improved`] with instrumentation.
+pub fn run_improved_metrics(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    k: usize,
+) -> (Duration, QueryMetrics) {
+    let f = cost_fn(p.dims());
+    let mut m = QueryMetrics::new();
+    let start = Instant::now();
+    let out = improved_probing_topk_rec(p, rp, t, k, &f, &UpgradeConfig::default(), &mut m);
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    (elapsed, m)
+}
+
+/// [`run_join`] with instrumentation.
+pub fn run_join_metrics(
+    p: &PointStore,
+    rp: &RTree,
+    t: &PointStore,
+    rt: &RTree,
+    k: usize,
+    bound: LowerBound,
+) -> (Duration, QueryMetrics) {
+    let f = cost_fn(p.dims());
+    let mut m = QueryMetrics::new();
+    let start = Instant::now();
+    let mut join = JoinUpgrader::new(p, rp, t, rt, &f, UpgradeConfig::default(), bound);
+    let out: Vec<_> = join.by_ref().take(k).collect();
+    let elapsed = start.elapsed();
+    m.absorb(join.metrics());
+    std::hint::black_box(out);
+    (elapsed, m)
 }
 
 /// Measures the join's progressiveness: for each `k` in `ks` (ascending),

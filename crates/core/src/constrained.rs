@@ -155,7 +155,10 @@ mod tests {
                 .unwrap();
         assert!(floored.upgraded[0] >= 0.55);
         assert!(floored.upgraded[1] < 0.2, "escape moved to dim 1");
-        assert!(floored.cost >= unconstrained.0, "constraints cannot be cheaper");
+        assert!(
+            floored.cost >= unconstrained.0,
+            "constraints cannot be cheaper"
+        );
         // Still non-dominated.
         assert!(!dominates(p.point(s), &floored.upgraded));
     }

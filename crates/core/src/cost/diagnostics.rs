@@ -122,7 +122,12 @@ mod tests {
         let f = SumCost::reciprocal(2, 1e-2);
         let store = PointStore::from_rows(
             2,
-            vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.2, 0.9], vec![0.3, 0.3]],
+            vec![
+                vec![0.1, 0.2],
+                vec![0.3, 0.4],
+                vec![0.2, 0.9],
+                vec![0.3, 0.3],
+            ],
         );
         assert!(verify_monotone_on(&f, &store, usize::MAX).is_ok());
         assert!(verify_monotone_axes(&f, 0.0, 2.0, 64).is_ok());

@@ -33,12 +33,17 @@ use crate::result::UpgradeResult;
 use crate::upgrade::upgrade_single;
 use skyup_geom::dominance::dominates;
 use skyup_geom::{OrderedF64, PointStore};
+use skyup_obs::{timed, Counter, Phase, QueryMetrics, Recorder};
 use skyup_rtree::{EntryRef, RTree};
-use skyup_skyline::dominating_skyline_from;
+use skyup_skyline::dominating_skyline_from_rec;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Instrumentation counters exposed by [`JoinUpgrader::stats`].
+///
+/// This is a view derived from the join's [`QueryMetrics`] (see
+/// [`JoinUpgrader::metrics`]), kept for API stability; the full counter
+/// and per-phase timing breakdown lives in the metrics object.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JoinStats {
     /// `R_T` nodes expanded (Heuristic 1 or the all-points fallback).
@@ -47,12 +52,27 @@ pub struct JoinStats {
     pub p_nodes_expanded: u64,
     /// Exact upgrades computed with Algorithm 1.
     pub exact_upgrades: u64,
-    /// Total heap pushes.
+    /// Total heap pushes: the join heap plus the constrained-BBS heaps
+    /// used to resolve leaf products.
     pub heap_pushes: u64,
     /// Join-list entries dropped by the mutual-dominance check.
     pub jl_entries_pruned: u64,
     /// Results emitted so far.
     pub results_emitted: u64,
+}
+
+impl JoinStats {
+    /// Derives the legacy stats view from a unified metrics object.
+    pub fn from_metrics(m: &QueryMetrics) -> Self {
+        JoinStats {
+            t_nodes_expanded: m.get(Counter::TNodesExpanded),
+            p_nodes_expanded: m.get(Counter::PNodesExpanded),
+            exact_upgrades: m.get(Counter::ExactUpgrades),
+            heap_pushes: m.get(Counter::HeapPushes),
+            jl_entries_pruned: m.get(Counter::JlEntriesPruned),
+            results_emitted: m.get(Counter::ResultsEmitted),
+        }
+    }
 }
 
 /// The progressive join (Algorithm 4), exposed as an [`Iterator`] that
@@ -71,7 +91,7 @@ pub struct JoinUpgrader<'a, C: CostFunction + ?Sized> {
     mode: BoundMode,
     heap: BinaryHeap<Reverse<JoinHeapEntry>>,
     seq: u64,
-    stats: JoinStats,
+    metrics: QueryMetrics,
 }
 
 impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
@@ -90,7 +110,11 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         cfg: UpgradeConfig,
         bound: LowerBound,
     ) -> Self {
-        assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+        assert_eq!(
+            p_store.dims(),
+            t_store.dims(),
+            "P and T dimensionality differ"
+        );
         assert_eq!(p_tree.len(), p_store.len(), "R_P does not index all of P");
         assert_eq!(t_tree.len(), t_store.len(), "R_T does not index all of T");
 
@@ -105,7 +129,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             mode: BoundMode::default(),
             heap: BinaryHeap::new(),
             seq: 0,
-            stats: JoinStats::default(),
+            metrics: QueryMetrics::new(),
         };
 
         // Line 2: enheap(⟨{R_P.root}, R_T.root, null, ∞⟩) — we compute
@@ -139,7 +163,8 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
     /// before consuming any results: the root entry's key is recomputed.
     pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
         assert_eq!(
-            self.stats.results_emitted, 0,
+            self.metrics.get(Counter::ResultsEmitted),
+            0,
             "bound mode must be chosen before iteration starts"
         );
         self.mode = mode;
@@ -162,9 +187,18 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         self.mode
     }
 
-    /// Instrumentation counters accumulated so far.
+    /// Instrumentation counters accumulated so far (legacy view over
+    /// [`JoinUpgrader::metrics`]).
     pub fn stats(&self) -> JoinStats {
-        self.stats
+        JoinStats::from_metrics(&self.metrics)
+    }
+
+    /// The full unified metrics accumulated so far: every counter the
+    /// join and its constrained-BBS resolutions touch, plus per-phase
+    /// span timings ([`Phase::JoinExpansion`], [`Phase::DominatingSky`],
+    /// [`Phase::Upgrade`]).
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.metrics
     }
 
     fn t_lo(&self, e: EntryRef) -> &[f64] {
@@ -185,21 +219,24 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
     fn push(&mut self, target: EntryRef, jl: Vec<EntryRef>, resolved: Option<(f64, Vec<f64>)>) {
         let (cost, resolved_coords) = match resolved {
             Some((cost, coords)) => (cost, Some(coords)),
-            None => (
-                list_bound(
-                    self.t_lo(target),
-                    &jl,
-                    self.p_store,
-                    self.p_tree,
-                    self.cost_fn,
-                    self.bound,
-                    self.mode,
-                ),
-                None,
-            ),
+            None => {
+                self.metrics.bump(Counter::LowerBoundEvals);
+                (
+                    list_bound(
+                        self.t_lo(target),
+                        &jl,
+                        self.p_store,
+                        self.p_tree,
+                        self.cost_fn,
+                        self.bound,
+                        self.mode,
+                    ),
+                    None,
+                )
+            }
         };
         self.seq += 1;
-        self.stats.heap_pushes += 1;
+        self.metrics.bump(Counter::HeapPushes);
         self.heap.push(Reverse(JoinHeapEntry {
             cost: OrderedF64::new(cost),
             seq: self.seq,
@@ -216,10 +253,16 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             EntryRef::Node(_) => unreachable!("resolve_product takes leaf entries"),
         };
         let t = self.t_store.point(tid);
-        let skyline = dominating_skyline_from(self.p_store, self.p_tree, &jl, t);
+        let (p_store, p_tree) = (self.p_store, self.p_tree);
+        let skyline = timed(&mut self.metrics, Phase::DominatingSky, |m| {
+            dominating_skyline_from_rec(p_store, p_tree, &jl, t, m)
+        });
         debug_assert!(skyline.iter().all(|&s| dominates(self.p_store.point(s), t)));
-        let (cost, upgraded) = upgrade_single(self.p_store, &skyline, t, self.cost_fn, &self.cfg);
-        self.stats.exact_upgrades += 1;
+        let (cost_fn, cfg) = (self.cost_fn, &self.cfg);
+        let (cost, upgraded) = timed(&mut self.metrics, Phase::Upgrade, |_| {
+            upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+        });
+        self.metrics.bump(Counter::ExactUpgrades);
         self.push(target, Vec::new(), Some((cost, upgraded)));
     }
 
@@ -229,7 +272,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             EntryRef::Node(n) => n,
             EntryRef::Point(_) => unreachable!("expand_target takes node entries"),
         };
-        self.stats.t_nodes_expanded += 1;
+        self.metrics.bump(Counter::TNodesExpanded);
         let children: Vec<EntryRef> = self.t_tree.node(node).entries().collect();
         for child in children {
             let child_max = self.t_hi(child).to_vec();
@@ -251,7 +294,15 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             if e.is_point() {
                 continue;
             }
-            let b = entry_bound(e_t_min, e, self.p_store, self.p_tree, self.cost_fn, self.mode).cost;
+            let b = entry_bound(
+                e_t_min,
+                e,
+                self.p_store,
+                self.p_tree,
+                self.cost_fn,
+                self.mode,
+            )
+            .cost;
             if self.bound == LowerBound::Aggressive
                 && achieving.is_none()
                 && (b - lbc).abs() <= 1e-12 * lbc.max(1.0)
@@ -286,7 +337,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             EntryRef::Node(n) => n,
             EntryRef::Point(_) => unreachable!("only node entries are expanded"),
         };
-        self.stats.p_nodes_expanded += 1;
+        self.metrics.bump(Counter::PNodesExpanded);
         let t_max = self.t_hi(target).to_vec();
 
         for child in self.p_tree.node(node).entries() {
@@ -308,13 +359,13 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
                     // child: the child contributes no dominator-skyline
                     // point.
                     child_dominated = true;
-                    self.stats.jl_entries_pruned += 1;
+                    self.metrics.bump(Counter::JlEntriesPruned);
                     break;
                 }
                 if dominates(&child_hi, other_lo) {
                     // Symmetric: jl[i] is wholesale dominated.
                     jl.swap_remove(i);
-                    self.stats.jl_entries_pruned += 1;
+                    self.metrics.bump(Counter::JlEntriesPruned);
                     continue;
                 }
                 i += 1;
@@ -333,6 +384,7 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
 
     fn next(&mut self) -> Option<UpgradeResult> {
         while let Some(Reverse(entry)) = self.heap.pop() {
+            self.metrics.bump(Counter::HeapPops);
             let JoinHeapEntry {
                 cost,
                 target,
@@ -348,7 +400,7 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
                     EntryRef::Point(p) => p,
                     EntryRef::Node(_) => unreachable!("only products resolve"),
                 };
-                self.stats.results_emitted += 1;
+                self.metrics.bump(Counter::ResultsEmitted);
                 return Some(UpgradeResult {
                     product: tid,
                     original: self.t_store.point(tid).to_vec(),
@@ -361,10 +413,15 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
                 // Lines 8-11: leaf product with a pending join list.
                 EntryRef::Point(_) => self.resolve_product(target, jl),
                 EntryRef::Node(_) => {
+                    self.metrics.enter(Phase::JoinExpansion);
                     if cost.get() == 0.0 {
                         // Lines 13-20, Heuristic 1.
                         self.expand_target(target, &jl);
                     } else {
+                        self.metrics.incr(
+                            Counter::LowerBoundEvals,
+                            jl.iter().filter(|e| !e.is_point()).count() as u64,
+                        );
                         match self.pick_jl_entry(self.t_lo(target), &jl, cost.get()) {
                             // Lines 22-32, Heuristic 2.
                             Some(idx) => self.expand_jl_entry(target, jl, idx),
@@ -373,6 +430,7 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
                             None => self.expand_target(target, &jl),
                         }
                     }
+                    self.metrics.exit(Phase::JoinExpansion);
                 }
             }
         }

@@ -177,7 +177,15 @@ mod tests {
     fn empty_list_is_zero() {
         let (store, tree) = setup(&[[0.1, 0.1]]);
         assert_eq!(
-            list_bound(&[0.5, 0.5], &[], &store, &tree, &f(), LowerBound::Naive, BoundMode::Paper),
+            list_bound(
+                &[0.5, 0.5],
+                &[],
+                &store,
+                &tree,
+                &f(),
+                LowerBound::Naive,
+                BoundMode::Paper
+            ),
             0.0
         );
     }
@@ -190,8 +198,24 @@ mod tests {
         ]);
         let jl = vec![EntryRef::Point(PointId(0)), EntryRef::Point(PointId(1))];
         let t_min = [0.5, 0.5];
-        let nlb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Naive, BoundMode::Paper);
-        let clb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Conservative, BoundMode::Paper);
+        let nlb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Naive,
+            BoundMode::Paper,
+        );
+        let clb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Conservative,
+            BoundMode::Paper,
+        );
         assert_eq!(nlb, 0.0);
         assert!(clb > 0.0, "CLB uses the positive entry (Lemma 2)");
     }
@@ -204,9 +228,33 @@ mod tests {
         ]);
         let jl = vec![EntryRef::Point(PointId(0)), EntryRef::Point(PointId(1))];
         let t_min = [0.5, 0.5];
-        let clb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Conservative, BoundMode::Paper);
-        let near = entry_bound(&t_min, EntryRef::Point(PointId(0)), &store, &tree, &f(), BoundMode::Paper).cost;
-        let far = entry_bound(&t_min, EntryRef::Point(PointId(1)), &store, &tree, &f(), BoundMode::Paper).cost;
+        let clb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Conservative,
+            BoundMode::Paper,
+        );
+        let near = entry_bound(
+            &t_min,
+            EntryRef::Point(PointId(0)),
+            &store,
+            &tree,
+            &f(),
+            BoundMode::Paper,
+        )
+        .cost;
+        let far = entry_bound(
+            &t_min,
+            EntryRef::Point(PointId(1)),
+            &store,
+            &tree,
+            &f(),
+            BoundMode::Paper,
+        )
+        .cost;
         assert!(near < far);
         assert!((clb - near).abs() < 1e-12);
     }
@@ -218,10 +266,34 @@ mod tests {
         let (store, tree) = setup(&[[0.4, 0.4], [0.1, 0.1]]);
         let jl = vec![EntryRef::Point(PointId(0)), EntryRef::Point(PointId(1))];
         let t_min = [0.5, 0.5];
-        let clb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Conservative, BoundMode::Paper);
-        let alb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Aggressive, BoundMode::Paper);
+        let clb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Conservative,
+            BoundMode::Paper,
+        );
+        let alb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Aggressive,
+            BoundMode::Paper,
+        );
         assert!(alb >= clb);
-        let far = entry_bound(&t_min, EntryRef::Point(PointId(1)), &store, &tree, &f(), BoundMode::Paper).cost;
+        let far = entry_bound(
+            &t_min,
+            EntryRef::Point(PointId(1)),
+            &store,
+            &tree,
+            &f(),
+            BoundMode::Paper,
+        )
+        .cost;
         assert!((alb - far).abs() < 1e-12, "same signature: ALB = max");
     }
 
@@ -233,9 +305,33 @@ mod tests {
         let (store, tree) = setup(&[[0.2, 0.5], [0.5, 0.1]]);
         let jl = vec![EntryRef::Point(PointId(0)), EntryRef::Point(PointId(1))];
         let t_min = [0.5, 0.5];
-        let b0 = entry_bound(&t_min, EntryRef::Point(PointId(0)), &store, &tree, &f(), BoundMode::Paper).cost;
-        let b1 = entry_bound(&t_min, EntryRef::Point(PointId(1)), &store, &tree, &f(), BoundMode::Paper).cost;
-        let alb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Aggressive, BoundMode::Paper);
+        let b0 = entry_bound(
+            &t_min,
+            EntryRef::Point(PointId(0)),
+            &store,
+            &tree,
+            &f(),
+            BoundMode::Paper,
+        )
+        .cost;
+        let b1 = entry_bound(
+            &t_min,
+            EntryRef::Point(PointId(1)),
+            &store,
+            &tree,
+            &f(),
+            BoundMode::Paper,
+        )
+        .cost;
+        let alb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Aggressive,
+            BoundMode::Paper,
+        );
         assert!((alb - b0.min(b1)).abs() < 1e-12);
     }
 
@@ -245,10 +341,17 @@ mod tests {
         let (store, tree) = setup(&[[0.1, 0.2], [0.3, 0.4], [0.2, 0.1], [0.4, 0.3]]);
         let jl = vec![EntryRef::Node(tree.root_id())];
         let t_min = [0.9, 0.9];
-        let got = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Naive, BoundMode::Paper);
+        let got = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Naive,
+            BoundMode::Paper,
+        );
         let cost_fn = f();
-        let expected =
-            cost_fn.product_cost(&[0.4, 0.4]) - cost_fn.product_cost(&[0.9, 0.9]);
+        let expected = cost_fn.product_cost(&[0.4, 0.4]) - cost_fn.product_cost(&[0.9, 0.9]);
         assert!((got - expected).abs() < 1e-12);
     }
 
@@ -259,9 +362,33 @@ mod tests {
         let (store, tree) = setup(&[[0.2, 0.5], [0.5, 0.1], [0.1, 0.1], [0.45, 0.45]]);
         let jl: Vec<EntryRef> = (0..4).map(|i| EntryRef::Point(PointId(i))).collect();
         let t_min = [0.5, 0.5];
-        let nlb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Naive, BoundMode::Paper);
-        let clb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Conservative, BoundMode::Paper);
-        let alb = list_bound(&t_min, &jl, &store, &tree, &f(), LowerBound::Aggressive, BoundMode::Paper);
+        let nlb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Naive,
+            BoundMode::Paper,
+        );
+        let clb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Conservative,
+            BoundMode::Paper,
+        );
+        let alb = list_bound(
+            &t_min,
+            &jl,
+            &store,
+            &tree,
+            &f(),
+            LowerBound::Aggressive,
+            BoundMode::Paper,
+        );
         assert!(nlb <= clb + 1e-12);
         assert!(clb <= alb + 1e-12);
     }

@@ -40,9 +40,7 @@ impl PartialOrd for JoinHeapEntry {
 /// min-heap the algorithm needs.
 impl Ord for JoinHeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.cost
-            .cmp(&other.cost)
-            .then(self.seq.cmp(&other.seq))
+        self.cost.cmp(&other.cost).then(self.seq.cmp(&other.seq))
     }
 }
 

@@ -154,8 +154,7 @@ mod tests {
         let q = store.push(&[0.3, 0.4]);
         let t = [0.8, 0.9];
         let adm = lbc_entry_admissible(&t, &[0.3, 0.4], &f);
-        let (exact, _) =
-            upgrade_single(&store, &[q], &t, &f, &UpgradeConfig::with_epsilon(1e-9));
+        let (exact, _) = upgrade_single(&store, &[q], &t, &f, &UpgradeConfig::with_epsilon(1e-9));
         assert!(
             adm <= exact + 1e-9,
             "admissible bound {adm} exceeds exact cost {exact}"

@@ -127,8 +127,7 @@ mod tests {
         let by_id: std::collections::HashMap<u32, f64> =
             truth.iter().map(|r| (r.product.0, r.cost)).collect();
         for bound in LowerBound::ALL {
-            let join: Vec<_> =
-                JoinUpgrader::new(&p, &rp, &t, &rt, &cost, cfg, bound).collect();
+            let join: Vec<_> = JoinUpgrader::new(&p, &rp, &t, &rt, &cost, cfg, bound).collect();
             assert_eq!(join.len(), truth.len());
             let mut seen = std::collections::HashSet::new();
             let mut inversions = 0usize;
@@ -191,7 +190,13 @@ mod tests {
         let rt = RTree::bulk_load(&t, RTreeParams::with_max_entries(8));
         let cost = SumCost::reciprocal(2, 1e-3);
         let all: Vec<_> = JoinUpgrader::new(
-            &p, &rp, &t, &rt, &cost, UpgradeConfig::default(), LowerBound::Conservative,
+            &p,
+            &rp,
+            &t,
+            &rt,
+            &cost,
+            UpgradeConfig::default(),
+            LowerBound::Conservative,
         )
         .collect();
         assert_eq!(all.len(), 40);
@@ -208,7 +213,14 @@ mod tests {
         let rt = RTree::bulk_load(&t, RTreeParams::default());
         let cost = SumCost::reciprocal(2, 1e-3);
         let out = join_topk(
-            &p, &rp, &t, &rt, 5, &cost, UpgradeConfig::default(), LowerBound::Naive,
+            &p,
+            &rp,
+            &t,
+            &rt,
+            5,
+            &cost,
+            UpgradeConfig::default(),
+            LowerBound::Naive,
         );
         assert!(out.is_empty());
     }
@@ -221,7 +233,14 @@ mod tests {
         let rt = RTree::bulk_load(&t, RTreeParams::default());
         let cost = SumCost::reciprocal(2, 1e-3);
         let out = join_topk(
-            &p, &rp, &t, &rt, 10, &cost, UpgradeConfig::default(), LowerBound::Aggressive,
+            &p,
+            &rp,
+            &t,
+            &rt,
+            10,
+            &cost,
+            UpgradeConfig::default(),
+            LowerBound::Aggressive,
         );
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|r| r.cost == 0.0));
@@ -235,7 +254,13 @@ mod tests {
         let rt = RTree::bulk_load(&t, RTreeParams::with_max_entries(8));
         let cost = SumCost::reciprocal(2, 1e-3);
         let mut join = JoinUpgrader::new(
-            &p, &rp, &t, &rt, &cost, UpgradeConfig::default(), LowerBound::Conservative,
+            &p,
+            &rp,
+            &t,
+            &rt,
+            &cost,
+            UpgradeConfig::default(),
+            LowerBound::Conservative,
         );
         let _ = join.next();
         let stats = join.stats();

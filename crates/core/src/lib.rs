@@ -57,13 +57,16 @@ pub mod upgrade;
 
 pub use config::UpgradeConfig;
 pub use constrained::{upgrade_single_with_floors, ConstrainedUpgrade};
-pub use discrete::{upgrade_single_discrete, DiscreteDomains};
 pub use cost::{
     AttributeCost, CostFunction, LinearCost, PowerCost, ReciprocalCost, SumCost, WeightedSumCost,
 };
+pub use discrete::{upgrade_single_discrete, DiscreteDomains};
 pub use join::{BoundMode, JoinStats, JoinUpgrader, LowerBound};
 pub use optimal::optimal_upgrade;
-pub use probing::{basic_probing_topk, improved_probing_topk, improved_probing_topk_parallel};
+pub use probing::{
+    basic_probing_topk, basic_probing_topk_rec, improved_probing_topk,
+    improved_probing_topk_parallel, improved_probing_topk_parallel_rec, improved_probing_topk_rec,
+};
 pub use result::UpgradeResult;
 pub use single_set::single_set_topk;
 pub use upgrade::upgrade_single;

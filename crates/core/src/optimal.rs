@@ -114,7 +114,15 @@ fn enumerate<C: CostFunction + ?Sized>(
     for &v in &grid[dim] {
         candidate[dim] = v;
         enumerate(
-            p_store, skyline, cost_fn, grid, dim + 1, candidate, base, best_cost, best,
+            p_store,
+            skyline,
+            cost_fn,
+            grid,
+            dim + 1,
+            candidate,
+            base,
+            best_cost,
+            best,
         );
     }
 }

@@ -7,8 +7,9 @@ use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::dominance::dominates;
 use skyup_geom::{PointId, PointStore, Rect};
+use skyup_obs::{timed, Counter, NullRecorder, Phase, Recorder};
 use skyup_rtree::RTree;
-use skyup_skyline::skyline_sfs;
+use skyup_skyline::skyline_sfs_rec;
 
 /// Runs the basic probing algorithm: for every `t ∈ T`, fetch all
 /// dominators with a range query over `ADR(t)`, compute their skyline in
@@ -28,7 +29,28 @@ pub fn basic_probing_topk<C: CostFunction + ?Sized>(
     cost_fn: &C,
     cfg: &UpgradeConfig,
 ) -> Vec<UpgradeResult> {
-    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    basic_probing_topk_rec(p_store, p_tree, t_store, k, cost_fn, cfg, &mut NullRecorder)
+}
+
+/// [`basic_probing_topk`] with instrumentation: times the probe loop and
+/// its per-product range-query (`DominatingSky`) and upgrade phases,
+/// counts ADR candidates, dominance tests, R-tree accesses, and products
+/// evaluated.
+#[allow(clippy::too_many_arguments)]
+pub fn basic_probing_topk_rec<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    rec: &mut R,
+) -> Vec<UpgradeResult> {
+    assert_eq!(
+        p_store.dims(),
+        t_store.dims(),
+        "P and T dimensionality differ"
+    );
     if t_store.is_empty() {
         return Vec::new();
     }
@@ -36,33 +58,45 @@ pub fn basic_probing_topk<C: CostFunction + ?Sized>(
     let mut topk = TopK::new(k);
     let mut candidates: Vec<PointId> = Vec::new();
 
-    for (tid, t) in t_store.iter() {
-        // Line 3: dominators <- RangeQuery(R_P, ADR(t)).
-        let dominators: Vec<PointId> = if p_tree.is_empty() {
-            Vec::new()
-        } else {
-            let root_lo = p_tree.root().mbr().lo();
-            let adr_lo: Vec<f64> = (0..dims).map(|i| root_lo[i].min(t[i])).collect();
-            let adr = Rect::new(&adr_lo, t);
-            p_tree.range_query_into(p_store, &adr, &mut candidates);
-            candidates
-                .iter()
-                .copied()
-                .filter(|&p| dominates(p_store.point(p), t))
-                .collect()
-        };
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            // Lines 3-4: dominators <- RangeQuery(R_P, ADR(t)), then their
+            // skyline — the basic algorithm's stand-in for Algorithm 3.
+            let skyline = timed(rec, Phase::DominatingSky, |rec| {
+                let dominators: Vec<PointId> = if p_tree.is_empty() {
+                    Vec::new()
+                } else {
+                    let root_lo = p_tree.root().mbr().lo();
+                    let adr_lo: Vec<f64> = (0..dims).map(|i| root_lo[i].min(t[i])).collect();
+                    let adr = Rect::new(&adr_lo, t);
+                    p_tree.range_query_into_rec(p_store, &adr, &mut candidates, rec);
+                    rec.incr(Counter::AdrCandidates, candidates.len() as u64);
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&p| {
+                            rec.bump(Counter::DominanceTests);
+                            dominates(p_store.point(p), t)
+                        })
+                        .collect()
+                };
+                skyline_sfs_rec(p_store, &dominators, rec)
+            });
 
-        // Line 4: the dominators' skyline.
-        let skyline = skyline_sfs(p_store, &dominators);
-
-        // Line 5: upgrade(S, t, f_p).
-        let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
-        topk.offer(UpgradeResult {
-            product: tid,
-            original: t.to_vec(),
-            upgraded,
-            cost,
-        });
-    }
-    topk.into_sorted()
+            // Line 5: upgrade(S, t, f_p).
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            rec.bump(Counter::ProductsEvaluated);
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
+        }
+    });
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    results
 }

@@ -7,8 +7,9 @@ use crate::result::UpgradeResult;
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::PointStore;
+use skyup_obs::{timed, Counter, NullRecorder, Phase, Recorder};
 use skyup_rtree::RTree;
-use skyup_skyline::dominating_skyline;
+use skyup_skyline::dominating_skyline_rec;
 
 /// Runs the improved probing algorithm: for every `t ∈ T`, the skyline
 /// of `t`'s dominators is computed directly by a constrained BBS
@@ -24,20 +25,49 @@ pub fn improved_probing_topk<C: CostFunction + ?Sized>(
     cost_fn: &C,
     cfg: &UpgradeConfig,
 ) -> Vec<UpgradeResult> {
-    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    improved_probing_topk_rec(p_store, p_tree, t_store, k, cost_fn, cfg, &mut NullRecorder)
+}
+
+/// [`improved_probing_topk`] with instrumentation: times the probe loop
+/// and its `getDominatingSky` / upgrade phases, counts R-tree accesses,
+/// dominance tests, and products evaluated.
+#[allow(clippy::too_many_arguments)]
+pub fn improved_probing_topk_rec<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    rec: &mut R,
+) -> Vec<UpgradeResult> {
+    assert_eq!(
+        p_store.dims(),
+        t_store.dims(),
+        "P and T dimensionality differ"
+    );
     if t_store.is_empty() {
         return Vec::new();
     }
     let mut topk = TopK::new(k);
-    for (tid, t) in t_store.iter() {
-        let skyline = dominating_skyline(p_store, p_tree, t);
-        let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
-        topk.offer(UpgradeResult {
-            product: tid,
-            original: t.to_vec(),
-            upgraded,
-            cost,
-        });
-    }
-    topk.into_sorted()
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            let skyline = timed(rec, Phase::DominatingSky, |rec| {
+                dominating_skyline_rec(p_store, p_tree, t, rec)
+            });
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            rec.bump(Counter::ProductsEvaluated);
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
+        }
+    });
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    results
 }

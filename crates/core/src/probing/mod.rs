@@ -24,10 +24,10 @@ mod improved;
 mod parallel;
 mod pruned;
 
-pub use basic::basic_probing_topk;
-pub use improved::improved_probing_topk;
-pub use parallel::improved_probing_topk_parallel;
-pub use pruned::{improved_probing_topk_pruned, PruningStats};
+pub use basic::{basic_probing_topk, basic_probing_topk_rec};
+pub use improved::{improved_probing_topk, improved_probing_topk_rec};
+pub use parallel::{improved_probing_topk_parallel, improved_probing_topk_parallel_rec};
+pub use pruned::{improved_probing_topk_pruned, improved_probing_topk_pruned_rec, PruningStats};
 
 #[cfg(test)]
 mod tests {

@@ -13,8 +13,9 @@ use crate::result::UpgradeResult;
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::{PointId, PointStore};
+use skyup_obs::{timed, Counter, NullRecorder, Phase, QueryMetrics, Recorder};
 use skyup_rtree::RTree;
-use skyup_skyline::dominating_skyline;
+use skyup_skyline::{dominating_skyline, dominating_skyline_rec};
 
 /// Runs improved probing across `threads` worker threads and returns the
 /// `k` cheapest upgrades, sorted by `(cost, product id)` — exactly the
@@ -34,54 +35,114 @@ pub fn improved_probing_topk_parallel<C>(
 where
     C: CostFunction + Sync + ?Sized,
 {
+    improved_probing_topk_parallel_rec(
+        p_store,
+        p_tree,
+        t_store,
+        k,
+        cost_fn,
+        cfg,
+        threads,
+        &mut NullRecorder,
+    )
+}
+
+/// [`improved_probing_topk_parallel`] with instrumentation. Each worker
+/// collects into a private [`QueryMetrics`] (only when the caller's
+/// recorder is enabled) which is folded into `rec` after the join, so
+/// counters equal the sequential run's and phase times sum worker time.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn improved_probing_topk_parallel_rec<C, R>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    rec: &mut R,
+) -> Vec<UpgradeResult>
+where
+    C: CostFunction + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
     assert!(threads > 0, "need at least one worker thread");
-    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    assert_eq!(
+        p_store.dims(),
+        t_store.dims(),
+        "P and T dimensionality differ"
+    );
     if t_store.is_empty() {
         return Vec::new();
     }
 
     let n = t_store.len();
     let chunk = n.div_ceil(threads);
-    let mut partials: Vec<Vec<UpgradeResult>> = Vec::with_capacity(threads);
+    let collect = rec.is_enabled();
 
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for w in 0..threads {
-            let lo = w * chunk;
-            if lo >= n {
-                break;
-            }
-            let hi = ((w + 1) * chunk).min(n);
-            handles.push(scope.spawn(move |_| {
-                let mut topk = TopK::new(k);
-                for raw in lo..hi {
-                    let tid = PointId(raw as u32);
-                    let t = t_store.point(tid);
-                    let skyline = dominating_skyline(p_store, p_tree, t);
-                    let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
-                    topk.offer(UpgradeResult {
-                        product: tid,
-                        original: t.to_vec(),
-                        upgraded,
-                        cost,
-                    });
+    let partials: Vec<(Vec<UpgradeResult>, Option<QueryMetrics>)> =
+        timed(rec, Phase::ProbeLoop, |_| {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for w in 0..threads {
+                    let lo = w * chunk;
+                    if lo >= n {
+                        break;
+                    }
+                    let hi = ((w + 1) * chunk).min(n);
+                    handles.push(scope.spawn(move || {
+                        let mut local = collect.then(QueryMetrics::new);
+                        let mut topk = TopK::new(k);
+                        for raw in lo..hi {
+                            let tid = PointId(raw as u32);
+                            let t = t_store.point(tid);
+                            let skyline = match &mut local {
+                                Some(m) => timed(m, Phase::DominatingSky, |m| {
+                                    dominating_skyline_rec(p_store, p_tree, t, m)
+                                }),
+                                None => dominating_skyline(p_store, p_tree, t),
+                            };
+                            let (cost, upgraded) = match &mut local {
+                                Some(m) => timed(m, Phase::Upgrade, |_| {
+                                    upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+                                }),
+                                None => upgrade_single(p_store, &skyline, t, cost_fn, cfg),
+                            };
+                            if let Some(m) = &mut local {
+                                m.bump(Counter::ProductsEvaluated);
+                            }
+                            topk.offer(UpgradeResult {
+                                product: tid,
+                                original: t.to_vec(),
+                                upgraded,
+                                cost,
+                            });
+                        }
+                        (topk.into_sorted(), local)
+                    }));
                 }
-                topk.into_sorted()
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("probing worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probing worker panicked"))
+                    .collect()
+            })
+        });
 
     let mut merged = TopK::new(k);
-    for part in partials {
+    for (part, local) in partials {
+        if let Some(m) = local {
+            rec.absorb(&m);
+        }
         for r in part {
             merged.offer(r);
         }
     }
-    merged.into_sorted()
+    let results = merged.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    results
 }
 
 #[cfg(test)]
@@ -155,7 +216,6 @@ mod tests {
         let t = PointStore::new(2);
         let rp = RTree::bulk_load(&p, RTreeParams::default());
         let cost = SumCost::reciprocal(2, 1e-3);
-        let _ =
-            improved_probing_topk_parallel(&p, &rp, &t, 1, &cost, &UpgradeConfig::default(), 0);
+        let _ = improved_probing_topk_parallel(&p, &rp, &t, 1, &cost, &UpgradeConfig::default(), 0);
     }
 }

@@ -16,16 +16,28 @@ use crate::result::UpgradeResult;
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::PointStore;
+use skyup_obs::{timed, Counter, NullRecorder, Phase, QueryMetrics, Recorder};
 use skyup_rtree::{EntryRef, RTree};
-use skyup_skyline::dominating_skyline;
+use skyup_skyline::dominating_skyline_rec;
 
-/// Statistics from one pruned-probing run.
+/// Statistics from one pruned-probing run — a view over the unified
+/// [`skyup_obs`] counters (`ProductsEvaluated` / `ThresholdPrunes`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PruningStats {
     /// Products fully evaluated (skyline + Algorithm 1).
     pub evaluated: u64,
     /// Products skipped by the lower-bound screen.
     pub pruned: u64,
+}
+
+impl PruningStats {
+    /// Extracts the pruning view from collected metrics.
+    pub fn from_metrics(m: &QueryMetrics) -> Self {
+        Self {
+            evaluated: m.get(Counter::ProductsEvaluated),
+            pruned: m.get(Counter::ThresholdPrunes),
+        }
+    }
 }
 
 /// Improved probing with the admissible lower-bound screen. Returns the
@@ -39,7 +51,29 @@ pub fn improved_probing_topk_pruned<C: CostFunction + ?Sized>(
     cost_fn: &C,
     cfg: &UpgradeConfig,
 ) -> (Vec<UpgradeResult>, PruningStats) {
-    assert_eq!(p_store.dims(), t_store.dims(), "P and T dimensionality differ");
+    improved_probing_topk_pruned_rec(p_store, p_tree, t_store, k, cost_fn, cfg, &mut NullRecorder)
+}
+
+/// [`improved_probing_topk_pruned`] with instrumentation: in addition to
+/// the improved-probing counters, every lower-bound screen is a
+/// `LowerBoundEvals` and every screened-out product a `ThresholdPrunes`.
+/// The returned [`PruningStats`] always matches the recorder's
+/// `ProductsEvaluated` / `ThresholdPrunes` counters.
+#[allow(clippy::too_many_arguments)]
+pub fn improved_probing_topk_pruned_rec<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    rec: &mut R,
+) -> (Vec<UpgradeResult>, PruningStats) {
+    assert_eq!(
+        p_store.dims(),
+        t_store.dims(),
+        "P and T dimensionality differ"
+    );
     let mut stats = PruningStats::default();
     if t_store.is_empty() {
         return (Vec::new(), stats);
@@ -77,44 +111,55 @@ pub fn improved_probing_topk_pruned<C: CostFunction + ?Sized>(
     };
 
     let mut topk = TopK::new(k);
-    for (tid, t) in t_store.iter() {
-        if topk.is_full() && !screen_entries.is_empty() {
-            let screened: Vec<EntryRef> = screen_entries
-                .iter()
-                .copied()
-                .filter(|&e| {
-                    p_tree
-                        .entry_lo(p_store, e)
-                        .iter()
-                        .zip(t)
-                        .all(|(&l, &y)| l <= y)
-                })
-                .collect();
-            let lb = list_bound(
-                t,
-                &screened,
-                p_store,
-                p_tree,
-                cost_fn,
-                LowerBound::Aggressive,
-                BoundMode::Admissible,
-            );
-            if lb > topk.threshold() {
-                stats.pruned += 1;
-                continue;
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            if topk.is_full() && !screen_entries.is_empty() {
+                let screened: Vec<EntryRef> = screen_entries
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        p_tree
+                            .entry_lo(p_store, e)
+                            .iter()
+                            .zip(t)
+                            .all(|(&l, &y)| l <= y)
+                    })
+                    .collect();
+                let lb = list_bound(
+                    t,
+                    &screened,
+                    p_store,
+                    p_tree,
+                    cost_fn,
+                    LowerBound::Aggressive,
+                    BoundMode::Admissible,
+                );
+                rec.bump(Counter::LowerBoundEvals);
+                if lb > topk.threshold() {
+                    stats.pruned += 1;
+                    rec.bump(Counter::ThresholdPrunes);
+                    continue;
+                }
             }
+            stats.evaluated += 1;
+            rec.bump(Counter::ProductsEvaluated);
+            let skyline = timed(rec, Phase::DominatingSky, |rec| {
+                dominating_skyline_rec(p_store, p_tree, t, rec)
+            });
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
         }
-        stats.evaluated += 1;
-        let skyline = dominating_skyline(p_store, p_tree, t);
-        let (cost, upgraded) = upgrade_single(p_store, &skyline, t, cost_fn, cfg);
-        topk.offer(UpgradeResult {
-            product: tid,
-            original: t.to_vec(),
-            upgraded,
-            cost,
-        });
-    }
-    (topk.into_sorted(), stats)
+    });
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    (results, stats)
 }
 
 #[cfg(test)]

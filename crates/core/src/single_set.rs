@@ -67,10 +67,10 @@ mod tests {
         let store = PointStore::from_rows(
             2,
             vec![
-                vec![0.1, 0.9], // skyline
-                vec![0.5, 0.5], // skyline
-                vec![0.9, 0.1], // skyline
-                vec![0.6, 0.6], // dominated by (0.5, 0.5), barely
+                vec![0.1, 0.9],   // skyline
+                vec![0.5, 0.5],   // skyline
+                vec![0.9, 0.1],   // skyline
+                vec![0.6, 0.6],   // dominated by (0.5, 0.5), barely
                 vec![0.95, 0.95], // deeply dominated
             ],
         );

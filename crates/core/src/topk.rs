@@ -142,6 +142,33 @@ mod tests {
     }
 
     #[test]
+    fn full_collector_tie_breaks_by_smaller_id() {
+        // With the collector full, an equal-cost offer displaces the
+        // kept entry only when its product id is smaller.
+        let mut tk = TopK::new(1);
+        tk.offer(result(7, 2.0));
+        tk.offer(result(9, 2.0)); // larger id, same cost: rejected
+        tk.offer(result(4, 2.0)); // smaller id, same cost: replaces
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].product.0, 4);
+    }
+
+    #[test]
+    fn threshold_unchanged_by_rejected_ties() {
+        let mut tk = TopK::new(2);
+        tk.offer(result(1, 3.0));
+        tk.offer(result(2, 5.0));
+        assert_eq!(tk.threshold(), 5.0);
+        // Same cost, larger id than the worst kept: no change.
+        tk.offer(result(8, 5.0));
+        assert_eq!(tk.threshold(), 5.0);
+        assert!(tk.is_full());
+        let ids: Vec<u32> = tk.into_sorted().iter().map(|r| r.product.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
     fn fewer_results_than_k() {
         let mut tk = TopK::new(10);
         tk.offer(result(0, 2.0));

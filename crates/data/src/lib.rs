@@ -10,17 +10,21 @@
 //!   negation of larger-is-better attributes.
 //! * [`sample`] — the paper's `P`/`T` split: sample non-skyline tuples
 //!   at random as the upgrade candidates `T`, keep the rest as `P`.
+//! * [`rng`] — the deterministic in-repo PRNG backing all of the above
+//!   (the offline environment has no `rand` crate).
 //!
 //! All generators are deterministic given a seed.
 
 pub mod io;
 pub mod normalize;
+pub mod rng;
 pub mod sample;
 pub mod synthetic;
 pub mod wine;
 
 pub use io::{read_delimited, write_delimited};
 pub use normalize::{negate_dimensions, normalize_unit};
+pub use rng::Rng;
 pub use sample::split_products;
 pub use synthetic::{generate, paper_competitors, paper_products, Distribution, SyntheticConfig};
 pub use wine::{load_wine_csv, wine_dataset, WineAttr};

@@ -1,0 +1,188 @@
+//! A small deterministic PRNG (splitmix64 seeding + xoshiro256++).
+//!
+//! The offline environment cannot pull the `rand` crate, and workload
+//! generation only needs uniform doubles, bounded integers, and a
+//! Fisher–Yates shuffle — all deterministic per seed so data sets are
+//! reproducible across runs and platforms. Not cryptographic.
+
+/// Deterministic pseudo-random generator. Equal seeds produce equal
+/// streams on every platform.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose state is expanded from `seed` with
+    /// splitmix64, the recommended seeding for the xoshiro family.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform double in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's multiply-shift with a
+    /// rejection step to remove modulo bias.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        let n = n as u64;
+        // Reject the low-order overhang so every value is equally likely.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle, deterministic per seed.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.range_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A standard normal sample (Box–Muller; one of the pair is
+    /// discarded to keep the stream simple).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.std_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn doubles_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+        assert_eq!(rng.range_f64(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn range_usize_unbiased_enough_and_bounded() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.range_usize(5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+        // Same seed, same permutation.
+        let mut rng2 = Rng::seed_from_u64(9);
+        let mut v2: Vec<u32> = (0..100).collect();
+        rng2.shuffle(&mut v2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

@@ -2,9 +2,7 @@
 //! 1,000 non-skyline tuples at random as the product data set `T` and
 //! let the remaining tuples be the competitor data set `P`".
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::Rng;
 use skyup_geom::{PointId, PointStore};
 use skyup_skyline::skyline_sfs;
 
@@ -30,10 +28,9 @@ pub fn split_products(store: &PointStore, t_size: usize, seed: u64) -> (PointSto
         t_size,
         non_skyline.len()
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    non_skyline.shuffle(&mut rng);
-    let t_ids: std::collections::HashSet<PointId> =
-        non_skyline.into_iter().take(t_size).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut non_skyline);
+    let t_ids: std::collections::HashSet<PointId> = non_skyline.into_iter().take(t_size).collect();
 
     let dims = store.dims();
     let mut p = PointStore::with_capacity(dims, store.len() - t_size);

@@ -17,9 +17,9 @@
 //! the larger-is-better attribute is negated before normalization, per
 //! the paper's footnote 1.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use skyup_geom::PointStore;
+
+use crate::rng::Rng;
 
 use crate::normalize::{negate_dimensions, normalize_unit};
 
@@ -80,7 +80,7 @@ pub fn wine_dataset(attrs: &[WineAttr], seed: u64) -> PointStore {
         );
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut full = PointStore::with_capacity(3, WINE_ROWS);
     for _ in 0..WINE_ROWS {
         full.push(&wine_row(&mut rng));
@@ -148,14 +148,14 @@ pub fn load_wine_csv(path: &std::path::Path, attrs: &[WineAttr]) -> std::io::Res
 /// One (chlorides, sulphates, total SO₂) tuple via a Gaussian copula
 /// with the real data's weak positive correlations
 /// (ρ(c,s) ≈ 0.02, ρ(c,t) ≈ 0.20, ρ(s,t) ≈ 0.13).
-fn wine_row(rng: &mut StdRng) -> [f64; 3] {
-    let z_c = std_normal(rng);
-    let z_s = 0.02 * z_c + (1.0f64 - 0.02 * 0.02).sqrt() * std_normal(rng);
+fn wine_row(rng: &mut Rng) -> [f64; 3] {
+    let z_c = rng.std_normal();
+    let z_s = 0.02 * z_c + (1.0f64 - 0.02 * 0.02).sqrt() * rng.std_normal();
     // Cholesky third row for the correlation matrix above.
     let l31 = 0.20;
     let l32 = (0.13 - 0.20 * 0.02) / (1.0f64 - 0.02 * 0.02).sqrt();
     let l33 = (1.0f64 - l31 * l31 - l32 * l32).sqrt();
-    let z_t = l31 * z_c + l32 * z_s + l33 * std_normal(rng);
+    let z_t = l31 * z_c + l32 * z_s + l33 * rng.std_normal();
 
     // Log-normal marginals for the concentrations (right-skewed),
     // near-normal for total SO2; parameters fitted to the published
@@ -170,12 +170,6 @@ fn wine_row(rng: &mut StdRng) -> [f64; 3] {
         sulphates.clamp(SULPHATES_RANGE.0, SULPHATES_RANGE.1),
         tsd.clamp(TSD_RANGE.0, TSD_RANGE.1),
     ]
-}
-
-fn std_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -196,7 +190,7 @@ mod tests {
 
     #[test]
     fn raw_marginals_match_published_statistics() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         let rows: Vec<[f64; 3]> = (0..WINE_ROWS).map(|_| wine_row(&mut rng)).collect();
         let mean = |i: usize| rows.iter().map(|r| r[i]).sum::<f64>() / rows.len() as f64;
         let sd = |i: usize, m: f64| {
@@ -219,7 +213,7 @@ mod tests {
 
     #[test]
     fn chlorides_tsd_positively_correlated() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let rows: Vec<[f64; 3]> = (0..WINE_ROWS).map(|_| wine_row(&mut rng)).collect();
         let n = rows.len() as f64;
         let mc = rows.iter().map(|r| r[0]).sum::<f64>() / n;

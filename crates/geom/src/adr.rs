@@ -67,11 +67,23 @@ mod tests {
     fn rect_overlap_rule() {
         let t = [2.0, 3.0];
         // Node whose min corner is componentwise <= t may hold dominators.
-        assert!(rect_intersects_adr(&Rect::new(&[0.0, 0.0], &[5.0, 5.0]), &t));
-        assert!(rect_intersects_adr(&Rect::new(&[2.0, 3.0], &[4.0, 4.0]), &t));
+        assert!(rect_intersects_adr(
+            &Rect::new(&[0.0, 0.0], &[5.0, 5.0]),
+            &t
+        ));
+        assert!(rect_intersects_adr(
+            &Rect::new(&[2.0, 3.0], &[4.0, 4.0]),
+            &t
+        ));
         // One dimension beyond t => no dominators possible.
-        assert!(!rect_intersects_adr(&Rect::new(&[2.1, 0.0], &[4.0, 1.0]), &t));
-        assert!(!rect_intersects_adr(&Rect::new(&[0.0, 3.5], &[1.0, 4.0]), &t));
+        assert!(!rect_intersects_adr(
+            &Rect::new(&[2.1, 0.0], &[4.0, 1.0]),
+            &t
+        ));
+        assert!(!rect_intersects_adr(
+            &Rect::new(&[0.0, 3.5], &[1.0, 4.0]),
+            &t
+        ));
     }
 
     #[test]

@@ -137,7 +137,11 @@ mod tests {
     fn sample() -> PointStore {
         PointStore::from_rows(
             3,
-            vec![vec![0.1, -2.5, 3.75], vec![1e-9, 1e9, 0.0], vec![7.0, 8.0, 9.0]],
+            vec![
+                vec![0.1, -2.5, 3.75],
+                vec![1e-9, 1e9, 0.0],
+                vec![7.0, 8.0, 9.0],
+            ],
         )
     }
 

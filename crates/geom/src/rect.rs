@@ -84,20 +84,14 @@ impl Rect {
     /// Whether `other` lies entirely inside `self` (borders included).
     pub fn contains_rect(&self, other: &Rect) -> bool {
         debug_assert_eq!(other.dims(), self.dims());
-        self.lo
-            .iter()
-            .zip(&other.lo)
-            .all(|(&a, &b)| a <= b)
+        self.lo.iter().zip(&other.lo).all(|(&a, &b)| a <= b)
             && self.hi.iter().zip(&other.hi).all(|(&a, &b)| b <= a)
     }
 
     /// Whether the two rectangles intersect (shared borders count).
     pub fn intersects(&self, other: &Rect) -> bool {
         debug_assert_eq!(other.dims(), self.dims());
-        self.lo
-            .iter()
-            .zip(&other.hi)
-            .all(|(&l, &h)| l <= h)
+        self.lo.iter().zip(&other.hi).all(|(&l, &h)| l <= h)
             && other.lo.iter().zip(self.hi.iter()).all(|(&l, &h)| l <= h)
     }
 

@@ -1,0 +1,178 @@
+//! The closed vocabulary of counters and phases.
+
+/// Named counters covering the paper's cost model (Section IV measures
+/// node accesses, dominance tests, and pruning effectiveness across the
+/// probing and join algorithms) plus the library's own extensions.
+///
+/// The set is closed on purpose: a fixed `#[repr(usize)]` enum indexes a
+/// flat array in [`crate::QueryMetrics`], so recording is one add with
+/// no hashing or allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Point-vs-point dominance tests (`dominates` evaluations) in the
+    /// skyline and screening code paths.
+    DominanceTests,
+    /// R-tree nodes read during traversals — the paper's node/page
+    /// access metric.
+    RtreeNodeAccesses,
+    /// R-tree entries (child node refs or leaf points) examined during
+    /// traversals.
+    RtreeEntryAccesses,
+    /// Points returned by ADR range queries before the exact dominance
+    /// filter (basic probing's candidate volume).
+    AdrCandidates,
+    /// Skyline points retained across skyline computations.
+    SkylinePointsRetained,
+    /// Lower-bound evaluations (`LBC` list bounds, NLB/CLB/ALB, and the
+    /// pruned-probing screen).
+    LowerBoundEvals,
+    /// Products short-circuited by the top-k threshold before full
+    /// evaluation (pruned probing's screen hits).
+    ThresholdPrunes,
+    /// Products fully evaluated (dominator skyline + Algorithm 1).
+    ProductsEvaluated,
+    /// Pushes onto a best-first priority queue (join heap).
+    HeapPushes,
+    /// Pops from a best-first priority queue (join heap).
+    HeapPops,
+    /// `R_T` nodes expanded by the join (Heuristic 1 or the all-points
+    /// fallback).
+    TNodesExpanded,
+    /// `R_P` nodes expanded out of join lists (Heuristic 2).
+    PNodesExpanded,
+    /// Join-list entries dropped by the mutual-dominance check.
+    JlEntriesPruned,
+    /// Exact upgrades computed with Algorithm 1.
+    ExactUpgrades,
+    /// Results emitted to the caller.
+    ResultsEmitted,
+}
+
+impl Counter {
+    /// Every counter, in declaration (= array) order.
+    pub const ALL: [Counter; 15] = [
+        Counter::DominanceTests,
+        Counter::RtreeNodeAccesses,
+        Counter::RtreeEntryAccesses,
+        Counter::AdrCandidates,
+        Counter::SkylinePointsRetained,
+        Counter::LowerBoundEvals,
+        Counter::ThresholdPrunes,
+        Counter::ProductsEvaluated,
+        Counter::HeapPushes,
+        Counter::HeapPops,
+        Counter::TNodesExpanded,
+        Counter::PNodesExpanded,
+        Counter::JlEntriesPruned,
+        Counter::ExactUpgrades,
+        Counter::ResultsEmitted,
+    ];
+
+    /// Number of counters (the metrics array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable snake_case name used as the JSON key and text label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DominanceTests => "dominance_tests",
+            Counter::RtreeNodeAccesses => "rtree_node_accesses",
+            Counter::RtreeEntryAccesses => "rtree_entry_accesses",
+            Counter::AdrCandidates => "adr_candidates",
+            Counter::SkylinePointsRetained => "skyline_points_retained",
+            Counter::LowerBoundEvals => "lower_bound_evals",
+            Counter::ThresholdPrunes => "threshold_prunes",
+            Counter::ProductsEvaluated => "products_evaluated",
+            Counter::HeapPushes => "heap_pushes",
+            Counter::HeapPops => "heap_pops",
+            Counter::TNodesExpanded => "t_nodes_expanded",
+            Counter::PNodesExpanded => "p_nodes_expanded",
+            Counter::JlEntriesPruned => "jl_entries_pruned",
+            Counter::ExactUpgrades => "exact_upgrades",
+            Counter::ResultsEmitted => "results_emitted",
+        }
+    }
+
+    /// Array slot of this counter.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The coarse query phases timed by span recorders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// R-tree construction (bulk load or insertion build).
+    IndexBuild,
+    /// The per-product probing loop (basic, improved, parallel, or
+    /// pruned).
+    ProbeLoop,
+    /// `getDominatingSky` traversals (Algorithm 3) and the basic
+    /// algorithm's range-query + skyline replacement for it.
+    DominatingSky,
+    /// Join heap processing: target/join-list expansion and product
+    /// resolution (Algorithm 4).
+    JoinExpansion,
+    /// Algorithm 1 exact upgrades (the per-product optimization step).
+    Upgrade,
+}
+
+impl Phase {
+    /// Every phase, in declaration (= array) order.
+    pub const ALL: [Phase; 5] = [
+        Phase::IndexBuild,
+        Phase::ProbeLoop,
+        Phase::DominatingSky,
+        Phase::JoinExpansion,
+        Phase::Upgrade,
+    ];
+
+    /// Number of phases (the metrics array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable snake_case name used as the JSON key and text label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::IndexBuild => "index_build",
+            Phase::ProbeLoop => "probe_loop",
+            Phase::DominatingSky => "dominating_sky",
+            Phase::JoinExpansion => "join_expansion",
+            Phase::Upgrade => "upgrade",
+        }
+    }
+
+    /// Array slot of this phase.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(seen.insert(p.name()), "duplicate phase name {}", p.name());
+        }
+    }
+
+    #[test]
+    fn indices_match_declaration_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Query instrumentation for the `skyup` workspace: named counters,
+//! per-phase span timers, and report emitters — std-only, zero external
+//! dependencies.
+//!
+//! The paper's entire evaluation (Figures 4–11) is counter-based: page
+//! and node accesses, dominance tests, and runtime across the probing
+//! and join algorithms. This crate gives every algorithm one shared
+//! vocabulary for those costs:
+//!
+//! * [`Recorder`] — the sink trait the algorithms write into. Hot paths
+//!   take a generic `R: Recorder + ?Sized` parameter, so the disabled
+//!   [`NullRecorder`] monomorphizes to nothing; `&mut dyn Recorder`
+//!   works where object safety is preferred.
+//! * [`Counter`] — the closed set of named counters covering the
+//!   paper's cost model (dominance tests, R-tree node/entry accesses,
+//!   lower-bound evaluations, …).
+//! * [`Phase`] — the coarse query phases timed with [`Instant`]-based
+//!   spans (index build, probe loop, `getDominatingSky`, join
+//!   expansion, Algorithm 1 upgrades).
+//! * [`QueryMetrics`] — the collecting recorder: fixed-size counter and
+//!   phase arrays, a span stack for nesting, and JSON / aligned-text
+//!   report emitters ([`QueryMetrics::to_json`],
+//!   [`QueryMetrics::render_text`]).
+//! * [`json`] — a minimal hand-rolled JSON value type with a renderer
+//!   and parser, used both to emit reports and to round-trip them in
+//!   tests (the environment has no network access to crates.io, so no
+//!   `serde`).
+//!
+//! # Example
+//!
+//! ```
+//! use skyup_obs::{timed, Counter, Phase, QueryMetrics, Recorder};
+//!
+//! let mut m = QueryMetrics::new();
+//! timed(&mut m, Phase::ProbeLoop, |rec| {
+//!     rec.bump(Counter::DominanceTests);
+//!     rec.incr(Counter::RtreeNodeAccesses, 3);
+//! });
+//! assert_eq!(m.get(Counter::DominanceTests), 1);
+//! assert_eq!(m.get(Counter::RtreeNodeAccesses), 3);
+//! assert_eq!(m.phase_calls(Phase::ProbeLoop), 1);
+//! let report = m.to_json(); // valid JSON, parseable by skyup_obs::json
+//! assert!(skyup_obs::json::parse(&report).is_ok());
+//! ```
+
+pub mod json;
+pub mod report;
+
+mod counter;
+mod metrics;
+
+pub use counter::{Counter, Phase};
+pub use metrics::QueryMetrics;
+
+use std::time::Instant;
+
+/// A sink for instrumentation events.
+///
+/// Algorithms thread a `&mut R` (or `&mut dyn Recorder`) through their
+/// hot paths and call [`Recorder::bump`] / [`Recorder::incr`] on the
+/// way. The [`NullRecorder`] implementation is a set of empty inlined
+/// bodies, so instrumented code paths compile to the uninstrumented
+/// machine code when disabled.
+pub trait Recorder {
+    /// Adds `by` to counter `c`.
+    fn incr(&mut self, c: Counter, by: u64);
+
+    /// Opens a span for `phase`. Spans nest; each `enter` must be
+    /// matched by an [`Recorder::exit`] of the same phase.
+    fn enter(&mut self, phase: Phase);
+
+    /// Closes the innermost span, which must belong to `phase`.
+    fn exit(&mut self, phase: Phase);
+
+    /// Adds `by` to the total time and `calls` to the invocation count
+    /// of `phase` without an open span — used to merge pre-aggregated
+    /// timings (e.g. from worker threads).
+    fn add_phase(&mut self, phase: Phase, nanos: u64, calls: u64) {
+        let _ = (phase, nanos, calls);
+    }
+
+    /// Increments counter `c` by one.
+    #[inline]
+    fn bump(&mut self, c: Counter) {
+        self.incr(c, 1);
+    }
+
+    /// Whether this recorder keeps anything. Lets callers skip building
+    /// auxiliary state (per-thread collectors, derived counts) that
+    /// only matters when metrics are actually collected.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Folds a finished [`QueryMetrics`] into this recorder: counters,
+    /// phase totals, and call counts are added.
+    fn absorb(&mut self, metrics: &QueryMetrics) {
+        for c in Counter::ALL {
+            let v = metrics.get(c);
+            if v > 0 {
+                self.incr(c, v);
+            }
+        }
+        for p in Phase::ALL {
+            let nanos = metrics.phase_nanos(p);
+            let calls = metrics.phase_calls(p);
+            if nanos > 0 || calls > 0 {
+                self.add_phase(p, nanos, calls);
+            }
+        }
+    }
+}
+
+/// The always-off recorder: every method is an empty `#[inline]` body,
+/// so generic instrumentation disappears at compile time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn incr(&mut self, _c: Counter, _by: u64) {}
+    #[inline]
+    fn enter(&mut self, _phase: Phase) {}
+    #[inline]
+    fn exit(&mut self, _phase: Phase) {}
+    #[inline]
+    fn bump(&mut self, _c: Counter) {}
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn absorb(&mut self, _metrics: &QueryMetrics) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn incr(&mut self, c: Counter, by: u64) {
+        (**self).incr(c, by);
+    }
+    #[inline]
+    fn enter(&mut self, phase: Phase) {
+        (**self).enter(phase);
+    }
+    #[inline]
+    fn exit(&mut self, phase: Phase) {
+        (**self).exit(phase);
+    }
+    #[inline]
+    fn add_phase(&mut self, phase: Phase, nanos: u64, calls: u64) {
+        (**self).add_phase(phase, nanos, calls);
+    }
+    #[inline]
+    fn bump(&mut self, c: Counter) {
+        (**self).bump(c);
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+    #[inline]
+    fn absorb(&mut self, metrics: &QueryMetrics) {
+        (**self).absorb(metrics);
+    }
+}
+
+/// Runs `f` inside a span of `phase` on `rec`. With a [`NullRecorder`]
+/// this inlines to a plain call of `f`; with [`QueryMetrics`] the
+/// phase's total time and call count grow by this invocation.
+#[inline]
+pub fn timed<R: Recorder + ?Sized, T>(rec: &mut R, phase: Phase, f: impl FnOnce(&mut R) -> T) -> T {
+    rec.enter(phase);
+    let out = f(rec);
+    rec.exit(phase);
+    out
+}
+
+/// Times `f` with a plain [`Instant`] and returns `(nanos, result)` —
+/// the building block for callers that aggregate timings themselves.
+#[inline]
+pub fn clocked<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_nanos().min(u64::MAX as u128) as u64, out)
+}

@@ -1,0 +1,206 @@
+//! The collecting recorder.
+
+use std::time::Instant;
+
+use crate::{Counter, Phase, Recorder};
+
+/// The collecting [`Recorder`]: fixed-size counter and phase arrays plus
+/// a span stack for nested timers.
+///
+/// Recording a counter is a single array add; opening/closing a span is
+/// one `Instant::now()` each. The struct is cheap to create per query
+/// and to merge across threads (see [`Recorder::absorb`]).
+#[derive(Clone, Debug, Default)]
+pub struct QueryMetrics {
+    counters: [u64; Counter::COUNT],
+    phase_nanos: [u64; Phase::COUNT],
+    phase_calls: [u64; Phase::COUNT],
+    stack: Vec<(Phase, Instant)>,
+}
+
+impl QueryMetrics {
+    /// A fresh, all-zero metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of counter `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Total nanoseconds accumulated for `phase` across closed spans.
+    #[inline]
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// Number of closed spans (plus merged calls) for `phase`.
+    #[inline]
+    pub fn phase_calls(&self, phase: Phase) -> u64 {
+        self.phase_calls[phase.index()]
+    }
+
+    /// Sum of all phase times, in nanoseconds. Spans nest, so this can
+    /// exceed wall time; it is a workload breakdown, not a total.
+    pub fn total_phase_nanos(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+
+    /// Whether any counter or phase has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&v| v == 0)
+            && self.phase_nanos.iter().all(|&v| v == 0)
+            && self.phase_calls.iter().all(|&v| v == 0)
+    }
+
+    /// Resets every counter and phase to zero. Open spans are dropped.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The JSON report (pretty-printed; first line is `{`). See
+    /// [`crate::report`] for the schema.
+    pub fn to_json(&self) -> String {
+        crate::report::to_json(self).render_pretty()
+    }
+
+    /// The JSON report as a [`crate::json::Json`] value, for embedding
+    /// into larger documents (bench snapshots).
+    pub fn to_json_value(&self) -> crate::json::Json {
+        crate::report::to_json(self)
+    }
+
+    /// The aligned-text report (phases table, then non-zero counters).
+    pub fn render_text(&self) -> String {
+        crate::report::render_text(self)
+    }
+}
+
+impl Recorder for QueryMetrics {
+    #[inline]
+    fn incr(&mut self, c: Counter, by: u64) {
+        self.counters[c.index()] += by;
+    }
+
+    #[inline]
+    fn enter(&mut self, phase: Phase) {
+        self.stack.push((phase, Instant::now()));
+    }
+
+    #[inline]
+    fn exit(&mut self, phase: Phase) {
+        let (opened, start) = self.stack.pop().expect("Recorder::exit with no open span");
+        debug_assert_eq!(
+            opened, phase,
+            "span mismatch: exited {phase:?} but innermost open span is {opened:?}"
+        );
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.phase_nanos[opened.index()] += nanos;
+        self.phase_calls[opened.index()] += 1;
+    }
+
+    #[inline]
+    fn add_phase(&mut self, phase: Phase, nanos: u64, calls: u64) {
+        self.phase_nanos[phase.index()] += nanos;
+        self.phase_calls[phase.index()] += calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timed;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = QueryMetrics::new();
+        assert!(m.is_empty());
+        m.bump(Counter::DominanceTests);
+        m.incr(Counter::DominanceTests, 4);
+        m.incr(Counter::HeapPushes, 2);
+        assert_eq!(m.get(Counter::DominanceTests), 5);
+        assert_eq!(m.get(Counter::HeapPushes), 2);
+        assert_eq!(m.get(Counter::HeapPops), 0);
+        assert!(!m.is_empty());
+        m.reset();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate_per_phase() {
+        let mut m = QueryMetrics::new();
+        timed(&mut m, Phase::ProbeLoop, |rec| {
+            timed(rec, Phase::DominatingSky, |rec| {
+                rec.bump(Counter::RtreeNodeAccesses);
+            });
+            timed(rec, Phase::Upgrade, |_| {});
+            timed(rec, Phase::Upgrade, |_| {});
+        });
+        assert_eq!(m.phase_calls(Phase::ProbeLoop), 1);
+        assert_eq!(m.phase_calls(Phase::DominatingSky), 1);
+        assert_eq!(m.phase_calls(Phase::Upgrade), 2);
+        assert_eq!(m.phase_calls(Phase::IndexBuild), 0);
+        // The outer span contains the inner ones, so its time is at
+        // least as large as each child's.
+        assert!(m.phase_nanos(Phase::ProbeLoop) >= m.phase_nanos(Phase::DominatingSky));
+        assert!(m.phase_nanos(Phase::ProbeLoop) >= m.phase_nanos(Phase::Upgrade));
+        assert_eq!(m.get(Counter::RtreeNodeAccesses), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn exit_without_enter_panics() {
+        let mut m = QueryMetrics::new();
+        m.exit(Phase::ProbeLoop);
+    }
+
+    #[test]
+    fn add_phase_merges_preaggregated_time() {
+        let mut m = QueryMetrics::new();
+        m.add_phase(Phase::ProbeLoop, 1_000, 3);
+        m.add_phase(Phase::ProbeLoop, 500, 1);
+        assert_eq!(m.phase_nanos(Phase::ProbeLoop), 1_500);
+        assert_eq!(m.phase_calls(Phase::ProbeLoop), 4);
+        assert_eq!(m.total_phase_nanos(), 1_500);
+    }
+
+    #[test]
+    fn absorb_folds_counters_and_phases() {
+        let mut worker = QueryMetrics::new();
+        worker.incr(Counter::ProductsEvaluated, 7);
+        worker.add_phase(Phase::Upgrade, 2_000, 7);
+
+        let mut main = QueryMetrics::new();
+        main.incr(Counter::ProductsEvaluated, 1);
+        main.absorb(&worker);
+        assert_eq!(main.get(Counter::ProductsEvaluated), 8);
+        assert_eq!(main.phase_nanos(Phase::Upgrade), 2_000);
+        assert_eq!(main.phase_calls(Phase::Upgrade), 7);
+    }
+
+    #[test]
+    fn report_totals_match_recorded_spans() {
+        let mut m = QueryMetrics::new();
+        m.add_phase(Phase::IndexBuild, 3_000_000, 1);
+        m.add_phase(Phase::ProbeLoop, 7_000_000, 2);
+        m.incr(Counter::DominanceTests, 42);
+        assert_eq!(m.total_phase_nanos(), 10_000_000);
+
+        let doc = crate::json::parse(&m.to_json()).unwrap();
+        let phases = doc.get("phases").unwrap();
+        let probe = phases.get("probe_loop").unwrap();
+        assert_eq!(probe.get("nanos").and_then(|v| v.as_u64()), Some(7_000_000));
+        assert_eq!(probe.get("calls").and_then(|v| v.as_u64()), Some(2));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("dominance_tests").and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        assert_eq!(
+            doc.get("total_phase_nanos").and_then(|v| v.as_u64()),
+            Some(10_000_000)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Report emitters: JSON document and aligned-text table.
+//!
+//! JSON schema (stable keys; every counter and phase always present so
+//! consumers can diff snapshots field-by-field):
+//!
+//! ```json
+//! {
+//!   "schema": "skyup-obs/1",
+//!   "phases": {
+//!     "index_build": { "nanos": 0, "calls": 0 },
+//!     ...
+//!   },
+//!   "total_phase_nanos": 0,
+//!   "counters": { "dominance_tests": 0, ... }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::{Counter, Phase, QueryMetrics};
+
+/// Schema identifier embedded in every JSON report.
+pub const SCHEMA: &str = "skyup-obs/1";
+
+/// Builds the JSON document for `m`.
+pub fn to_json(m: &QueryMetrics) -> Json {
+    let phases = Phase::ALL
+        .iter()
+        .map(|&p| {
+            (
+                p.name().to_string(),
+                Json::obj(vec![
+                    ("nanos", Json::Num(m.phase_nanos(p) as f64)),
+                    ("calls", Json::Num(m.phase_calls(p) as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), Json::Num(m.get(c) as f64)))
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("phases", Json::Obj(phases)),
+        ("total_phase_nanos", Json::Num(m.total_phase_nanos() as f64)),
+        ("counters", Json::Obj(counters)),
+    ])
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Renders the aligned-text report: a phases table (only phases that
+/// ran), then every non-zero counter. Zero-valued rows are omitted to
+/// keep single-algorithm reports short.
+pub fn render_text(m: &QueryMetrics) -> String {
+    let mut out = String::new();
+    out.push_str("query metrics\n");
+
+    let phase_rows: Vec<(&str, String, String)> = Phase::ALL
+        .iter()
+        .filter(|&&p| m.phase_calls(p) > 0 || m.phase_nanos(p) > 0)
+        .map(|&p| {
+            (
+                p.name(),
+                fmt_nanos(m.phase_nanos(p)),
+                m.phase_calls(p).to_string(),
+            )
+        })
+        .collect();
+    if !phase_rows.is_empty() {
+        out.push_str("  phases\n");
+        let name_w = phase_rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+        let time_w = phase_rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+        for (name, time, calls) in &phase_rows {
+            let _ = writeln!(out, "    {name:<name_w$}  {time:>time_w$}  ({calls} calls)");
+        }
+        let _ = writeln!(
+            out,
+            "    {:<name_w$}  {:>time_w$}",
+            "total",
+            fmt_nanos(m.total_phase_nanos())
+        );
+    }
+
+    let counter_rows: Vec<(&str, String)> = Counter::ALL
+        .iter()
+        .filter(|&&c| m.get(c) > 0)
+        .map(|&c| (c.name(), m.get(c).to_string()))
+        .collect();
+    if !counter_rows.is_empty() {
+        out.push_str("  counters\n");
+        let name_w = counter_rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+        let val_w = counter_rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+        for (name, value) in &counter_rows {
+            let _ = writeln!(out, "    {name:<name_w$}  {value:>val_w$}");
+        }
+    }
+
+    if phase_rows.is_empty() && counter_rows.is_empty() {
+        out.push_str("  (nothing recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn json_report_contains_every_key() {
+        let m = QueryMetrics::new();
+        let doc = crate::json::parse(&m.to_json()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let phases = doc.get("phases").unwrap();
+        for p in Phase::ALL {
+            assert!(phases.get(p.name()).is_some(), "missing phase {}", p.name());
+        }
+        let counters = doc.get("counters").unwrap();
+        for c in Counter::ALL {
+            assert!(
+                counters.get(c.name()).is_some(),
+                "missing counter {}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn json_first_line_is_open_brace() {
+        let m = QueryMetrics::new();
+        assert_eq!(m.to_json().lines().next(), Some("{"));
+    }
+
+    #[test]
+    fn text_report_skips_zero_rows() {
+        let mut m = QueryMetrics::new();
+        assert!(m.render_text().contains("(nothing recorded)"));
+        m.incr(Counter::DominanceTests, 9);
+        m.add_phase(Phase::ProbeLoop, 1_234_567, 1);
+        let text = m.render_text();
+        assert!(text.contains("dominance_tests"));
+        assert!(text.contains("probe_loop"));
+        assert!(text.contains("1.235 ms"));
+        assert!(!text.contains("heap_pushes"));
+        assert!(!text.contains("index_build"));
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(12), "12 ns");
+        assert_eq!(fmt_nanos(12_500), "12.500 µs");
+        assert_eq!(fmt_nanos(3_000_000), "3.000 ms");
+        assert_eq!(fmt_nanos(2_500_000_000), "2.500 s");
+    }
+}

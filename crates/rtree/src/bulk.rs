@@ -157,7 +157,11 @@ mod tests {
         // STR packs all but boundary leaves full; 256/16 = 16 exact.
         let stats = t.stats();
         assert_eq!(stats.num_points, 256);
-        assert!(stats.avg_leaf_fill > 0.9, "fill was {}", stats.avg_leaf_fill);
+        assert!(
+            stats.avg_leaf_fill > 0.9,
+            "fill was {}",
+            stats.avg_leaf_fill
+        );
     }
 
     #[test]

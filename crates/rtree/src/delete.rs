@@ -106,8 +106,7 @@ impl RTree {
                         node.children.swap_remove(pos);
                     }
                     self.refresh_mbr(store, node_id);
-                    let dissolve_self =
-                        self.node(node_id).children.len() < self.params.min_entries;
+                    let dissolve_self = self.node(node_id).children.len() < self.params.min_entries;
                     return Outcome::Removed {
                         dissolve: dissolve_self,
                     };
@@ -156,11 +155,13 @@ mod tests {
         let mut t = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
         assert!(t.remove(&s, PointId(42)));
         assert_eq!(t.len(), 99);
-        assert!(!t.contains_coords(&s, s.point(PointId(42))) || {
-            // Another point may share coordinates in general; in a grid
-            // coordinates are unique, so the probe must now be empty.
-            false
-        });
+        assert!(
+            !t.contains_coords(&s, s.point(PointId(42))) || {
+                // Another point may share coordinates in general; in a grid
+                // coordinates are unique, so the probe must now be empty.
+                false
+            }
+        );
         // The point set is exactly the original minus the victim.
         let mut pts = t.iter_points();
         pts.sort();

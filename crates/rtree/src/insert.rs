@@ -159,7 +159,9 @@ mod tests {
         // Simple deterministic LCG so this test has no dev-dependency needs.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut s = PointStore::new(dims);
@@ -203,7 +205,10 @@ mod tests {
             heights.push(t.height());
         }
         assert!(t.height() >= 3);
-        assert!(heights.windows(2).all(|w| w[1] >= w[0]), "height never shrinks");
+        assert!(
+            heights.windows(2).all(|w| w[1] >= w[0]),
+            "height never shrinks"
+        );
         t.validate(&s).unwrap();
     }
 

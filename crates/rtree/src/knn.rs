@@ -106,10 +106,8 @@ mod tests {
     }
 
     fn brute_force(store: &PointStore, q: &[f64], k: usize) -> Vec<(PointId, f64)> {
-        let mut all: Vec<(PointId, f64)> = store
-            .iter()
-            .map(|(id, c)| (id, euclidean(c, q)))
-            .collect();
+        let mut all: Vec<(PointId, f64)> =
+            store.iter().map(|(id, c)| (id, euclidean(c, q))).collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all

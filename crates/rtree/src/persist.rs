@@ -211,7 +211,10 @@ mod tests {
         );
         let mut bad = bytes.clone();
         bad[0] = b'!';
-        assert_eq!(RTree::from_bytes(&bad, &s).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            RTree::from_bytes(&bad, &s).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::node::{EntryRef, NodeId};
 use crate::tree::RTree;
 use crate::{PointId, PointStore, Rect};
+use skyup_obs::{Counter, NullRecorder, Recorder};
 
 impl RTree {
     /// Returns every indexed point inside `range` (borders included).
@@ -18,6 +19,19 @@ impl RTree {
     /// [`Self::range_query`] writing into a caller-provided buffer
     /// (cleared first), so hot loops can reuse the allocation.
     pub fn range_query_into(&self, store: &PointStore, range: &Rect, out: &mut Vec<PointId>) {
+        self.range_query_into_rec(store, range, out, &mut NullRecorder);
+    }
+
+    /// [`Self::range_query_into`] with instrumentation: counts every
+    /// node read (`RtreeNodeAccesses`) and every entry examined
+    /// (`RtreeEntryAccesses`) during the traversal.
+    pub fn range_query_into_rec<R: Recorder + ?Sized>(
+        &self,
+        store: &PointStore,
+        range: &Rect,
+        out: &mut Vec<PointId>,
+        rec: &mut R,
+    ) {
         out.clear();
         if self.is_empty() {
             return;
@@ -25,10 +39,12 @@ impl RTree {
         let mut stack: Vec<NodeId> = vec![self.root];
         while let Some(id) = stack.pop() {
             let node = self.node(id);
+            rec.bump(Counter::RtreeNodeAccesses);
             if !node.mbr.intersects(range) {
                 continue;
             }
             if node.is_leaf() {
+                rec.incr(Counter::RtreeEntryAccesses, node.points.len() as u64);
                 for &p in &node.points {
                     if range.contains_point(store.point(p)) {
                         out.push(p);
@@ -36,8 +52,11 @@ impl RTree {
                 }
             } else if range.contains_rect(&node.mbr) {
                 // Fully covered: take the whole subtree without point tests.
+                let before = out.len();
                 self.collect_points(EntryRef::Node(id), out);
+                rec.incr(Counter::RtreeEntryAccesses, (out.len() - before) as u64);
             } else {
+                rec.incr(Counter::RtreeEntryAccesses, node.children.len() as u64);
                 stack.extend_from_slice(&node.children);
             }
         }

@@ -138,8 +138,11 @@ mod tests {
             pt(10.2, 10.0, 5),
         ];
         let (a, b) = quadratic_split(entries, 2);
-        let ids =
-            |g: &[SplitEntry]| g.iter().map(|e| e.1).collect::<std::collections::BTreeSet<_>>();
+        let ids = |g: &[SplitEntry]| {
+            g.iter()
+                .map(|e| e.1)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
         let (ia, ib) = (ids(&a), ids(&b));
         let low: std::collections::BTreeSet<u32> = [0, 1, 2].into();
         let high: std::collections::BTreeSet<u32> = [3, 4, 5].into();

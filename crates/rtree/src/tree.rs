@@ -186,7 +186,6 @@ impl RTree {
         }
         out
     }
-
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "child n{child} level inconsistent with parent n{parent}")
             }
             ValidationError::PointSetMismatch { missing, extra } => {
-                write!(f, "tree points differ from store: {missing} missing, {extra} extra")
+                write!(
+                    f,
+                    "tree points differ from store: {missing} missing, {extra} extra"
+                )
             }
             ValidationError::CountMismatch { recorded, actual } => {
                 write!(f, "recorded {recorded} points but found {actual}")

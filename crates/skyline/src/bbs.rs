@@ -11,6 +11,7 @@ use crate::{PointId, PointStore};
 use skyup_geom::dominance::dominates;
 use skyup_geom::point::coord_sum;
 use skyup_geom::OrderedF64;
+use skyup_obs::{Counter, NullRecorder, Recorder};
 use skyup_rtree::{EntryRef, RTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -51,8 +52,34 @@ impl Ord for HeapItem {
     }
 }
 
+/// `skyline.iter().any(dominates)` with every comparison counted.
+pub(crate) fn dominated_by_any<R: Recorder + ?Sized>(
+    store: &PointStore,
+    skyline: &[PointId],
+    target: &[f64],
+    rec: &mut R,
+) -> bool {
+    for &s in skyline {
+        rec.bump(Counter::DominanceTests);
+        if dominates(store.point(s), target) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Computes the skyline of every point indexed by `tree` using BBS.
 pub fn skyline_bbs(store: &PointStore, tree: &RTree) -> Vec<PointId> {
+    skyline_bbs_rec(store, tree, &mut NullRecorder)
+}
+
+/// [`skyline_bbs`] with instrumentation: counts heap traffic, node and
+/// entry accesses, dominance tests, and skyline points retained.
+pub fn skyline_bbs_rec<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    rec: &mut R,
+) -> Vec<PointId> {
     let mut skyline: Vec<PointId> = Vec::new();
     if tree.is_empty() {
         return skyline;
@@ -64,32 +91,32 @@ pub fn skyline_bbs(store: &PointStore, tree: &RTree) -> Vec<PointId> {
         coord_sum(tree.entry_lo(store, root)),
         root,
     )));
+    rec.bump(Counter::HeapPushes);
 
     while let Some(Reverse((_, entry))) = heap.pop() {
+        rec.bump(Counter::HeapPops);
         // Lazy re-check: the skyline may have grown since this entry was
         // pushed (Algorithm 3 line 9 does the same re-check).
         let lo = tree.entry_lo(store, entry);
-        if skyline
-            .iter()
-            .any(|&s| dominates(store.point(s), lo))
-        {
+        if dominated_by_any(store, &skyline, lo, rec) {
             continue;
         }
         match entry {
             EntryRef::Point(p) => skyline.push(p),
             EntryRef::Node(n) => {
+                rec.bump(Counter::RtreeNodeAccesses);
                 for child in tree.node(n).entries() {
+                    rec.bump(Counter::RtreeEntryAccesses);
                     let child_lo = tree.entry_lo(store, child);
-                    if !skyline
-                        .iter()
-                        .any(|&s| dominates(store.point(s), child_lo))
-                    {
+                    if !dominated_by_any(store, &skyline, child_lo, rec) {
                         heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
+                        rec.bump(Counter::HeapPushes);
                     }
                 }
             }
         }
     }
+    rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);
     skyline
 }
 

@@ -7,14 +7,26 @@
 
 use crate::{PointId, PointStore};
 use skyup_geom::dominance::{compare, DomRelation};
+use skyup_obs::{Counter, NullRecorder, Recorder};
 
 /// Computes the skyline of `ids` with the BNL window algorithm.
 pub fn skyline_bnl(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
+    skyline_bnl_rec(store, ids, &mut NullRecorder)
+}
+
+/// [`skyline_bnl`] with instrumentation: counts every window comparison
+/// and the skyline points retained.
+pub fn skyline_bnl_rec<R: Recorder + ?Sized>(
+    store: &PointStore,
+    ids: &[PointId],
+    rec: &mut R,
+) -> Vec<PointId> {
     let mut window: Vec<PointId> = Vec::new();
     'next_point: for &candidate in ids {
         let c = store.point(candidate);
         let mut i = 0;
         while i < window.len() {
+            rec.bump(Counter::DominanceTests);
             match compare(store.point(window[i]), c) {
                 DomRelation::Dominates => continue 'next_point,
                 DomRelation::DominatedBy => {
@@ -25,6 +37,7 @@ pub fn skyline_bnl(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
         }
         window.push(candidate);
     }
+    rec.incr(Counter::SkylinePointsRetained, window.len() as u64);
     window
 }
 

@@ -7,11 +7,12 @@
 //! (paper Figure 2 shows the node-level savings over a plain range
 //! query).
 
-use crate::bbs::HeapItem;
+use crate::bbs::{dominated_by_any, HeapItem};
 use crate::{PointId, PointStore};
 use skyup_geom::adr::rect_intersects_adr;
 use skyup_geom::dominance::dominates;
 use skyup_geom::point::coord_sum;
+use skyup_obs::{Counter, NullRecorder, Recorder};
 use skyup_rtree::{EntryRef, RTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -39,10 +40,22 @@ use std::collections::BinaryHeap;
 /// assert!(ids.contains(&0) && ids.contains(&1));
 /// ```
 pub fn dominating_skyline(store: &PointStore, tree: &RTree, t: &[f64]) -> Vec<PointId> {
+    dominating_skyline_rec(store, tree, t, &mut NullRecorder)
+}
+
+/// [`dominating_skyline`] with instrumentation: counts heap traffic,
+/// node and entry accesses, dominance tests, and the dominator-skyline
+/// points retained.
+pub fn dominating_skyline_rec<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    t: &[f64],
+    rec: &mut R,
+) -> Vec<PointId> {
     if tree.is_empty() {
         return Vec::new();
     }
-    dominating_skyline_from(store, tree, &[EntryRef::Node(tree.root_id())], t)
+    dominating_skyline_from_rec(store, tree, &[EntryRef::Node(tree.root_id())], t, rec)
 }
 
 /// Generalization of [`dominating_skyline`] that starts the constrained
@@ -60,6 +73,18 @@ pub fn dominating_skyline_from(
     seeds: &[EntryRef],
     t: &[f64],
 ) -> Vec<PointId> {
+    dominating_skyline_from_rec(store, tree, seeds, t, &mut NullRecorder)
+}
+
+/// [`dominating_skyline_from`] with instrumentation (see
+/// [`dominating_skyline_rec`]).
+pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    seeds: &[EntryRef],
+    t: &[f64],
+    rec: &mut R,
+) -> Vec<PointId> {
     assert_eq!(store.dims(), t.len(), "product dimensionality mismatch");
     let mut skyline: Vec<PointId> = Vec::new();
 
@@ -73,13 +98,15 @@ pub fn dominating_skyline_from(
         if admit {
             let lo = tree.entry_lo(store, seed);
             heap.push(Reverse(HeapItem::new(coord_sum(lo), seed)));
+            rec.bump(Counter::HeapPushes);
         }
     }
 
     while let Some(Reverse((_, entry))) = heap.pop() {
+        rec.bump(Counter::HeapPops);
         // Line 9: re-check dominance against the grown skyline.
         let lo = tree.entry_lo(store, entry);
-        if skyline.iter().any(|&s| dominates(store.point(s), lo)) {
+        if dominated_by_any(store, &skyline, lo, rec) {
             continue;
         }
         match entry {
@@ -87,6 +114,7 @@ pub fn dominating_skyline_from(
                 // Only actual dominators of t enter S: a point inside
                 // ADR(t) with some coordinate equal to t's may fail to
                 // dominate t (e.g. t itself).
+                rec.bump(Counter::DominanceTests);
                 if dominates(store.point(p), t) {
                     skyline.push(p);
                 }
@@ -94,23 +122,23 @@ pub fn dominating_skyline_from(
             EntryRef::Node(n) => {
                 // Lines 11-13: push children that overlap ADR(t) and are
                 // not dominated by the current skyline.
+                rec.bump(Counter::RtreeNodeAccesses);
                 for child in tree.node(n).entries() {
+                    rec.bump(Counter::RtreeEntryAccesses);
                     let child_lo = tree.entry_lo(store, child);
                     let overlaps = match child {
                         EntryRef::Node(c) => rect_intersects_adr(tree.node(c).mbr(), t),
                         EntryRef::Point(_) => child_lo.iter().zip(t).all(|(&x, &y)| x <= y),
                     };
-                    if overlaps
-                        && !skyline
-                            .iter()
-                            .any(|&s| dominates(store.point(s), child_lo))
-                    {
+                    if overlaps && !dominated_by_any(store, &skyline, child_lo, rec) {
                         heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
+                        rec.bump(Counter::HeapPushes);
                     }
                 }
             }
         }
     }
+    rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);
     skyline
 }
 

@@ -32,12 +32,15 @@ pub mod naive;
 pub mod sfs;
 pub mod skyband;
 
-pub use bbs::skyline_bbs;
-pub use bnl::skyline_bnl;
-pub use constrained::{dominating_skyline, dominating_skyline_from};
+pub use bbs::{skyline_bbs, skyline_bbs_rec};
+pub use bnl::{skyline_bnl, skyline_bnl_rec};
+pub use constrained::{
+    dominating_skyline, dominating_skyline_from, dominating_skyline_from_rec,
+    dominating_skyline_rec,
+};
 pub use dnc::skyline_dnc;
 pub use naive::skyline_naive;
-pub use sfs::skyline_sfs;
+pub use sfs::{skyline_sfs, skyline_sfs_rec};
 pub use skyband::{dominator_count, skyband};
 
 pub(crate) use skyup_geom::{PointId, PointStore};

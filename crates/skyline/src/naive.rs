@@ -11,8 +11,7 @@ pub fn skyline_naive(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
         .copied()
         .filter(|&a| {
             let pa = store.point(a);
-            !ids.iter()
-                .any(|&b| b != a && dominates(store.point(b), pa))
+            !ids.iter().any(|&b| b != a && dominates(store.point(b), pa))
         })
         .collect()
 }

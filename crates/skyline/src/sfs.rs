@@ -8,10 +8,21 @@
 use crate::{PointId, PointStore};
 use skyup_geom::dominance::dominates;
 use skyup_geom::point::{coord_sum, lex_cmp};
+use skyup_obs::{Counter, NullRecorder, Recorder};
 
 /// Computes the skyline of `ids` with the SFS algorithm. The input slice
 /// is not modified; ids are copied and sorted internally.
 pub fn skyline_sfs(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
+    skyline_sfs_rec(store, ids, &mut NullRecorder)
+}
+
+/// [`skyline_sfs`] with instrumentation: counts every window dominance
+/// test and the skyline points retained.
+pub fn skyline_sfs_rec<R: Recorder + ?Sized>(
+    store: &PointStore,
+    ids: &[PointId],
+    rec: &mut R,
+) -> Vec<PointId> {
     let mut sorted: Vec<PointId> = ids.to_vec();
     sorted.sort_by(|&a, &b| {
         let (pa, pb) = (store.point(a), store.point(b));
@@ -25,10 +36,19 @@ pub fn skyline_sfs(store: &PointStore, ids: &[PointId]) -> Vec<PointId> {
         let c = store.point(candidate);
         // A dominator has a strictly smaller coordinate sum, so it must
         // already sit in the window; a pure membership test suffices.
-        if !skyline.iter().any(|&s| dominates(store.point(s), c)) {
+        let mut dominated = false;
+        for &s in &skyline {
+            rec.bump(Counter::DominanceTests);
+            if dominates(store.point(s), c) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
             skyline.push(candidate);
         }
     }
+    rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);
     skyline
 }
 
@@ -68,7 +88,10 @@ mod tests {
         c.sort();
         assert_eq!(a, b);
         assert_eq!(a, c);
-        assert!(a.len() > 10, "anti-correlated data should have many skyline points");
+        assert!(
+            a.len() > 10,
+            "anti-correlated data should have many skyline points"
+        );
     }
 
     #[test]
@@ -76,8 +99,7 @@ mod tests {
         let s = anti_correlated(200, 0x123);
         let ids: Vec<PointId> = s.ids().collect();
         let sfs = skyline_sfs(&s, &ids);
-        let naive: std::collections::BTreeSet<_> =
-            skyline_naive(&s, &ids).into_iter().collect();
+        let naive: std::collections::BTreeSet<_> = skyline_naive(&s, &ids).into_iter().collect();
         // Every point SFS ever emitted must be a true skyline point.
         for p in &sfs {
             assert!(naive.contains(p));

@@ -101,9 +101,7 @@ mod tests {
         // Point 3 has exactly one dominator: enters at k = 2.
         let two: Vec<PointId> = skyband(&s, &ids, 2).into_iter().map(|(p, _)| p).collect();
         assert!(two.contains(&PointId(3)));
-        assert!(!skyband(&s, &ids, 1)
-            .iter()
-            .any(|(p, _)| *p == PointId(3)));
+        assert!(!skyband(&s, &ids, 1).iter().any(|(p, _)| *p == PointId(3)));
     }
 
     #[test]

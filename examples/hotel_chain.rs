@@ -10,23 +10,21 @@
 //! cargo run --example hotel_chain
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use skyup::core::cost::SumCost;
 use skyup::core::{single_set_topk, UpgradeConfig};
-use skyup::data::normalize_unit;
+use skyup::data::{normalize_unit, Rng};
 use skyup::geom::{PointId, PointStore};
 use skyup::rtree::{RTree, RTreeParams};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
 
     // A city-wide catalog of 500 hotels; ours are ids 0..25.
     let mut raw = PointStore::new(3);
     for _ in 0..500 {
-        let price = 60.0 + 240.0 * rng.random::<f64>();
-        let distance = 0.2 + 9.8 * rng.random::<f64>();
-        let rating = 5.0 + 5.0 * rng.random::<f64>();
+        let price = rng.range_f64(60.0, 300.0);
+        let distance = rng.range_f64(0.2, 10.0);
+        let rating = rng.range_f64(5.0, 10.0);
         raw.push(&[price, distance, -rating]);
     }
     // Normalize so the reciprocal cost model treats dimensions evenly.

@@ -54,15 +54,19 @@ fn main() {
             .filter(|(_, pp)| dominates(pp, tp))
             .map(|(id, _)| id.index() + 1)
             .collect();
-        println!("phone {} is dominated by competitor phones {:?}", names[tid.index()], dominators);
+        println!(
+            "phone {} is dominated by competitor phones {:?}",
+            names[tid.index()],
+            dominators
+        );
     }
 
     // Engineering cost model: shaving weight is expensive; battery and
     // camera upgrades are linear in the (negated) attribute. Weights
     // reflect how hard each attribute is to change.
     let attrs: Vec<Box<dyn AttributeCost>> = vec![
-        Box::new(LinearCost::new(500.0, 2.0)),  // weight: -2 cost units per gram added
-        Box::new(LinearCost::new(300.0, 1.0)),  // -standby: cheaper per hour
+        Box::new(LinearCost::new(500.0, 2.0)), // weight: -2 cost units per gram added
+        Box::new(LinearCost::new(300.0, 1.0)), // -standby: cheaper per hour
         Box::new(LinearCost::new(100.0, 10.0)), // -megapixels: 10 per MP
     ];
     let cost_fn = WeightedSumCost::new(attrs, vec![1.0, 0.5, 1.5]);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: formatting, lints, and the tier-1 test suite.
+# Everything runs with --offline so an unreachable registry can never
+# fail the build (the workspace has zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --offline --release
+
+echo "== tier-1: cargo test =="
+cargo test --offline -q
+
+echo "== workspace tests =="
+cargo test --offline -q --workspace
+
+echo "CI OK"

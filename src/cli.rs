@@ -7,10 +7,12 @@
 
 use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
 use skyup_core::join::{BoundMode, LowerBound};
-use skyup_core::join::join_topk;
-use skyup_core::{basic_probing_topk, improved_probing_topk, UpgradeConfig, UpgradeResult};
+use skyup_core::{
+    basic_probing_topk_rec, improved_probing_topk_rec, JoinUpgrader, UpgradeConfig, UpgradeResult,
+};
 use skyup_data::{negate_dimensions, normalize_unit, read_delimited};
 use skyup_geom::PointStore;
+use skyup_obs::{timed, Phase, QueryMetrics, Recorder};
 use skyup_rtree::{RTree, RTreeParams};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -55,6 +57,17 @@ pub struct Config {
     pub epsilon: f64,
     /// Cost model: `("reciprocal", eps)` or `("linear", slope)`.
     pub cost: CostSpec,
+    /// Instrumentation report appended to the output, if requested.
+    pub stats: Option<StatsFormat>,
+}
+
+/// How `--stats` renders the collected query metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Aligned-text phase/counter report.
+    Text,
+    /// Pretty-printed JSON (schema `skyup-obs/1`; first line is `{`).
+    Json,
 }
 
 /// The CLI's cost-model choice.
@@ -87,6 +100,8 @@ options:
   --admissible           use the admissible bound mode (exact top-k order)
   --epsilon <f>          strict-improvement margin (default 1e-6)
   --cost reciprocal:<eps> | linear:<slope>   (default reciprocal:0.001)
+  --stats[=json]         append a per-phase timing and counter report
+                         (text by default, pretty JSON with =json)
 ";
 
 impl Config {
@@ -105,6 +120,7 @@ impl Config {
         let mut mode = BoundMode::Paper;
         let mut epsilon = 1e-6;
         let mut cost = CostSpec::Reciprocal(1e-3);
+        let mut stats = None;
 
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -189,8 +205,23 @@ impl Config {
                     cost = parse_cost(&v)?;
                     i += 2;
                 }
+                "--stats" => {
+                    stats = Some(StatsFormat::Text);
+                    i += 1;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
-                other => return Err(format!("unknown argument {other}\n{USAGE}")),
+                other => {
+                    if let Some(fmt) = other.strip_prefix("--stats=") {
+                        stats = Some(match fmt {
+                            "text" => StatsFormat::Text,
+                            "json" => StatsFormat::Json,
+                            bad => return Err(format!("--stats takes text or json, not {bad}")),
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    return Err(format!("unknown argument {other}\n{USAGE}"));
+                }
             }
         }
 
@@ -208,6 +239,7 @@ impl Config {
             mode,
             epsilon,
             cost,
+            stats,
         })
     }
 
@@ -273,8 +305,29 @@ fn load(cfg: &Config, path: &std::path::Path) -> Result<PointStore, String> {
         .map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Runs the CLI end to end, returning the report text.
+/// Runs the CLI end to end, returning the report text. When
+/// `cfg.stats` is set, the instrumentation report is appended in the
+/// requested format (for JSON, everything from the first `{`-only line
+/// on is the document).
 pub fn run(cfg: &Config) -> Result<String, String> {
+    let (mut out, metrics) = run_with_metrics(cfg)?;
+    if let Some(m) = &metrics {
+        out.push('\n');
+        match cfg.stats {
+            Some(StatsFormat::Json) => {
+                out.push_str(&m.to_json());
+                out.push('\n');
+            }
+            _ => out.push_str(&m.render_text()),
+        }
+    }
+    Ok(out)
+}
+
+/// [`run`] without the report formatting: returns the top-k result text
+/// and, when `cfg.stats` is set, the raw [`QueryMetrics`] (index build,
+/// query phases, and every counter the chosen algorithm touches).
+pub fn run_with_metrics(cfg: &Config) -> Result<(String, Option<QueryMetrics>), String> {
     let mut p = load(cfg, &cfg.competitors)?;
     let mut t = load(cfg, &cfg.products)?;
     if p.dims() != t.dims() {
@@ -311,24 +364,33 @@ pub fn run(cfg: &Config) -> Result<String, String> {
 
     let cost_fn = cfg.cost_fn(p.dims());
     let upgrade_cfg = UpgradeConfig::with_epsilon(cfg.epsilon);
-    let rp = RTree::bulk_load(&p, RTreeParams::default());
+    let mut metrics = cfg.stats.map(|_| QueryMetrics::new());
+    let mut null = skyup_obs::NullRecorder;
+    let rec: &mut dyn Recorder = match &mut metrics {
+        Some(m) => m,
+        None => &mut null,
+    };
+
+    let rp = timed(rec, Phase::IndexBuild, |_| {
+        RTree::bulk_load(&p, RTreeParams::default())
+    });
 
     let results: Vec<UpgradeResult> = match cfg.algorithm {
-        Algorithm::Basic => basic_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg),
-        Algorithm::Probing => improved_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg),
+        Algorithm::Basic => basic_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec),
+        Algorithm::Probing => {
+            improved_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec)
+        }
         Algorithm::Join => {
-            let rt = RTree::bulk_load(&t, RTreeParams::default());
-            match cfg.mode {
-                BoundMode::Paper => {
-                    join_topk(&p, &rp, &t, &rt, cfg.k, &cost_fn, upgrade_cfg, cfg.bound)
-                }
-                BoundMode::Admissible => skyup_core::JoinUpgrader::new(
-                    &p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound,
-                )
-                .with_bound_mode(BoundMode::Admissible)
-                .take(cfg.k)
-                .collect(),
+            let rt = timed(rec, Phase::IndexBuild, |_| {
+                RTree::bulk_load(&t, RTreeParams::default())
+            });
+            let mut join = JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound);
+            if cfg.mode == BoundMode::Admissible {
+                join = join.with_bound_mode(BoundMode::Admissible);
             }
+            let results: Vec<UpgradeResult> = join.by_ref().take(cfg.k).collect();
+            rec.absorb(join.metrics());
+            results
         }
     };
 
@@ -356,7 +418,7 @@ pub fn run(cfg: &Config) -> Result<String, String> {
             r.upgraded
         );
     }
-    Ok(out)
+    Ok((out, metrics))
 }
 
 #[cfg(test)]
@@ -399,6 +461,31 @@ mod tests {
     }
 
     #[test]
+    fn parse_stats_flag() {
+        let base = "--competitors p.csv --products t.csv";
+        assert_eq!(Config::parse(&args(base)).unwrap().stats, None);
+        assert_eq!(
+            Config::parse(&args(&format!("{base} --stats")))
+                .unwrap()
+                .stats,
+            Some(StatsFormat::Text)
+        );
+        assert_eq!(
+            Config::parse(&args(&format!("{base} --stats=text")))
+                .unwrap()
+                .stats,
+            Some(StatsFormat::Text)
+        );
+        assert_eq!(
+            Config::parse(&args(&format!("{base} --stats=json")))
+                .unwrap()
+                .stats,
+            Some(StatsFormat::Json)
+        );
+        assert!(Config::parse(&args(&format!("{base} --stats=yaml"))).is_err());
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(Config::parse(&args("--products t.csv")).is_err());
         assert!(Config::parse(&args("--competitors p --products t -k 0")).is_err());
@@ -425,6 +512,60 @@ mod tests {
         assert!(report.contains("|P| = 3, |T| = 2"));
         assert!(report.contains("#1 product"));
         assert!(report.contains("#2 product"));
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&t_path).ok();
+    }
+
+    #[test]
+    fn stats_report_appended_and_json_round_trips() {
+        let dir = std::env::temp_dir().join("skyup-cli-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_path = dir.join("p.csv");
+        let t_path = dir.join("t.csv");
+        std::fs::write(&p_path, "0.2,0.8\n0.5,0.5\n0.8,0.2\n").unwrap();
+        std::fs::write(&t_path, "0.9,0.9\n0.6,0.7\n").unwrap();
+        let base = format!(
+            "--competitors {} --products {} -k 2",
+            p_path.display(),
+            t_path.display()
+        );
+
+        for algo in ["basic", "probing", "join"] {
+            // Text report: phase table plus non-zero counters.
+            let text =
+                run(&Config::parse(&args(&format!("{base} --algorithm {algo} --stats"))).unwrap())
+                    .unwrap();
+            assert!(text.contains("phase"), "{algo}: {text}");
+            assert!(text.contains("index_build"), "{algo}: {text}");
+            assert!(text.contains("results_emitted"), "{algo}: {text}");
+
+            // JSON report: everything from the first `{` line on parses
+            // back and carries the schema marker and counters.
+            let out = run(&Config::parse(&args(&format!(
+                "{base} --algorithm {algo} --stats=json"
+            )))
+            .unwrap())
+            .unwrap();
+            let start = out.find("\n{\n").expect("JSON document present") + 1;
+            let doc = skyup_obs::json::parse(&out[start..]).expect("valid JSON");
+            assert_eq!(
+                doc.get("schema").and_then(|s| s.as_str()),
+                Some(skyup_obs::report::SCHEMA),
+                "{algo}"
+            );
+            let counters = doc.get("counters").expect("counters object");
+            assert_eq!(
+                counters.get("results_emitted").and_then(|v| v.as_u64()),
+                Some(2),
+                "{algo}"
+            );
+            assert!(
+                doc.get("phases")
+                    .and_then(|p| p.get("index_build"))
+                    .is_some(),
+                "{algo}"
+            );
+        }
         std::fs::remove_file(&p_path).ok();
         std::fs::remove_file(&t_path).ok();
     }
@@ -458,8 +599,9 @@ mod tests {
             p_path.display(),
             t_path.display()
         );
-        let join = run(&Config::parse(&args(&format!("{base} --algorithm join --admissible"))).unwrap())
-            .unwrap();
+        let join =
+            run(&Config::parse(&args(&format!("{base} --algorithm join --admissible"))).unwrap())
+                .unwrap();
         let probing =
             run(&Config::parse(&args(&format!("{base} --algorithm probing"))).unwrap()).unwrap();
         let basic =

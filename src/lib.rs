@@ -21,7 +21,11 @@
 //!   (single-product upgrade), the probing algorithms, and the
 //!   progressive R-tree join with the NLB / CLB / ALB lower bounds;
 //! * [`data`] — synthetic workload generators and the wine-quality-like
-//!   real-data stand-in used by the paper's experiments.
+//!   real-data stand-in used by the paper's experiments;
+//! * [`obs`] — the zero-dependency instrumentation layer: a `Recorder`
+//!   trait threaded through every algorithm, counters matching the
+//!   paper's cost model, span timers, and JSON/text reports (see the
+//!   CLI's `--stats`).
 //!
 //! ## Example
 //!
@@ -61,6 +65,7 @@ pub mod cli;
 pub use skyup_core as core;
 pub use skyup_data as data;
 pub use skyup_geom as geom;
+pub use skyup_obs as obs;
 pub use skyup_rtree as rtree;
 pub use skyup_skyline as skyline;
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_report-65be31fd004d728f.d: crates/bench/src/bin/ablation_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_report-65be31fd004d728f.rmeta: crates/bench/src/bin/ablation_report.rs Cargo.toml
+
+crates/bench/src/bin/ablation_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_report-96ed16439d6fda33.d: crates/bench/src/bin/ablation_report.rs
+
+/root/repo/target/debug/deps/ablation_report-96ed16439d6fda33: crates/bench/src/bin/ablation_report.rs
+
+crates/bench/src/bin/ablation_report.rs:

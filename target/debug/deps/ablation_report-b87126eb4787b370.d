@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_report-b87126eb4787b370.d: crates/bench/src/bin/ablation_report.rs
+
+/root/repo/target/debug/deps/ablation_report-b87126eb4787b370: crates/bench/src/bin/ablation_report.rs
+
+crates/bench/src/bin/ablation_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_report-c362fefa1f82eb57.d: crates/bench/src/bin/ablation_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_report-c362fefa1f82eb57.rmeta: crates/bench/src/bin/ablation_report.rs Cargo.toml
+
+crates/bench/src/bin/ablation_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

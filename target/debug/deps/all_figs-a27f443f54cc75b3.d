@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figs-a27f443f54cc75b3.d: crates/bench/src/bin/all_figs.rs
+
+/root/repo/target/debug/deps/all_figs-a27f443f54cc75b3: crates/bench/src/bin/all_figs.rs
+
+crates/bench/src/bin/all_figs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figs-d49b100dd7439e74.d: crates/bench/src/bin/all_figs.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figs-d49b100dd7439e74.rmeta: crates/bench/src/bin/all_figs.rs Cargo.toml
+
+crates/bench/src/bin/all_figs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figs-f61e00d0b1c41691.d: crates/bench/src/bin/all_figs.rs
+
+/root/repo/target/debug/deps/all_figs-f61e00d0b1c41691: crates/bench/src/bin/all_figs.rs
+
+crates/bench/src/bin/all_figs.rs:

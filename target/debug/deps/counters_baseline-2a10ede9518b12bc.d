@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counters_baseline-2a10ede9518b12bc.d: crates/bench/src/bin/counters_baseline.rs
+
+/root/repo/target/debug/deps/counters_baseline-2a10ede9518b12bc: crates/bench/src/bin/counters_baseline.rs
+
+crates/bench/src/bin/counters_baseline.rs:

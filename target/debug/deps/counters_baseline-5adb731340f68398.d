@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counters_baseline-5adb731340f68398.d: crates/bench/src/bin/counters_baseline.rs
+
+/root/repo/target/debug/deps/counters_baseline-5adb731340f68398: crates/bench/src/bin/counters_baseline.rs
+
+crates/bench/src/bin/counters_baseline.rs:

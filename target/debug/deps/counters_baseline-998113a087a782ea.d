@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counters_baseline-998113a087a782ea.d: crates/bench/src/bin/counters_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounters_baseline-998113a087a782ea.rmeta: crates/bench/src/bin/counters_baseline.rs Cargo.toml
+
+crates/bench/src/bin/counters_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counters_baseline-9d37e34053cbbedc.d: crates/bench/src/bin/counters_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounters_baseline-9d37e34053cbbedc.rmeta: crates/bench/src/bin/counters_baseline.rs Cargo.toml
+
+crates/bench/src/bin/counters_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

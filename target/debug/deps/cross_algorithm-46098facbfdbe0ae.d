@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_algorithm-46098facbfdbe0ae.d: tests/cross_algorithm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_algorithm-46098facbfdbe0ae.rmeta: tests/cross_algorithm.rs Cargo.toml
+
+tests/cross_algorithm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_algorithm-559a2ea87a75a710.d: tests/cross_algorithm.rs
+
+/root/repo/target/debug/deps/cross_algorithm-559a2ea87a75a710: tests/cross_algorithm.rs
+
+tests/cross_algorithm.rs:

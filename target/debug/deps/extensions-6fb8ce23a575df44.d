@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-6fb8ce23a575df44.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-6fb8ce23a575df44: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-0bfdc986c74a9a07.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-0bfdc986c74a9a07.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-339a7fe06b4204bf.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-339a7fe06b4204bf: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5e61d29340183367.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5e61d29340183367: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2072b437ce64334a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-2072b437ce64334a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e151e89d61789417.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-e151e89d61789417: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4948758de29fe033.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4948758de29fe033: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

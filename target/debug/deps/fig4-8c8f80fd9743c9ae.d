@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8c8f80fd9743c9ae.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8c8f80fd9743c9ae: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

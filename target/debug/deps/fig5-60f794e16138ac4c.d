@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-60f794e16138ac4c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-60f794e16138ac4c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-a8b38c78f1ba0af5.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-a8b38c78f1ba0af5.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-be57fc8057e4cc5e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-be57fc8057e4cc5e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

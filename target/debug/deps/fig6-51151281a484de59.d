@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-51151281a484de59.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-51151281a484de59: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

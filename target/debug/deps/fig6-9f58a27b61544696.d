@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9f58a27b61544696.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9f58a27b61544696: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

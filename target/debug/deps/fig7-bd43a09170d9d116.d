@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-bd43a09170d9d116.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-bd43a09170d9d116: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c97681967fa5ef56.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c97681967fa5ef56: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

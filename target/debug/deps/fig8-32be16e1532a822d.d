@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-32be16e1532a822d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-32be16e1532a822d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9372caac3276a634.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9372caac3276a634: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

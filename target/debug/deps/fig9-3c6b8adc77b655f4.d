@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-3c6b8adc77b655f4.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-3c6b8adc77b655f4: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-744a2a473a0ce722.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-744a2a473a0ce722: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-618d81ab070c6718.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-618d81ab070c6718: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motivating_example-0c6631c4851cc7ac.d: tests/motivating_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotivating_example-0c6631c4851cc7ac.rmeta: tests/motivating_example.rs Cargo.toml
+
+tests/motivating_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivating_example-7af5b152110cfae3.d: tests/motivating_example.rs
+
+/root/repo/target/debug/deps/motivating_example-7af5b152110cfae3: tests/motivating_example.rs
+
+tests/motivating_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-3ab2e583678ce60a.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-3ab2e583678ce60a: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-4d68273df32d165c.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-4d68273df32d165c.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

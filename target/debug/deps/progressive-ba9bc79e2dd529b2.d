@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/progressive-ba9bc79e2dd529b2.d: tests/progressive.rs
+
+/root/repo/target/debug/deps/progressive-ba9bc79e2dd529b2: tests/progressive.rs
+
+tests/progressive.rs:

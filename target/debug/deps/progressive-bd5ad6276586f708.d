@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/progressive-bd5ad6276586f708.d: tests/progressive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprogressive-bd5ad6276586f708.rmeta: tests/progressive.rs Cargo.toml
+
+tests/progressive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8fe587e38ac38ff4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8fe587e38ac38ff4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_smoke-1083f7a783921b26.d: tests/scale_smoke.rs
+
+/root/repo/target/debug/deps/scale_smoke-1083f7a783921b26: tests/scale_smoke.rs
+
+tests/scale_smoke.rs:

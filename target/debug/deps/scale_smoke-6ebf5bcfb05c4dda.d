@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_smoke-6ebf5bcfb05c4dda.d: tests/scale_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_smoke-6ebf5bcfb05c4dda.rmeta: tests/scale_smoke.rs Cargo.toml
+
+tests/scale_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skyup-258eb37adf8d9e5f.d: src/bin/skyup.rs
+
+/root/repo/target/debug/deps/skyup-258eb37adf8d9e5f: src/bin/skyup.rs
+
+src/bin/skyup.rs:

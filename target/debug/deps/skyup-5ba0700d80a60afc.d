@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skyup-5ba0700d80a60afc.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup-5ba0700d80a60afc.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

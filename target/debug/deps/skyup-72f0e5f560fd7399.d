@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skyup-72f0e5f560fd7399.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libskyup-72f0e5f560fd7399.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libskyup-72f0e5f560fd7399.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/skyup-855ffa88ec074152.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/skyup-855ffa88ec074152: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skyup-8e5afa6498ddfa20.d: src/bin/skyup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup-8e5afa6498ddfa20.rmeta: src/bin/skyup.rs Cargo.toml
+
+src/bin/skyup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skyup-9a4aa070b42f618a.d: src/bin/skyup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup-9a4aa070b42f618a.rmeta: src/bin/skyup.rs Cargo.toml
+
+src/bin/skyup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

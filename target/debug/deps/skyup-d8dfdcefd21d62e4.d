@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skyup-d8dfdcefd21d62e4.d: src/bin/skyup.rs
+
+/root/repo/target/debug/deps/skyup-d8dfdcefd21d62e4: src/bin/skyup.rs
+
+src/bin/skyup.rs:

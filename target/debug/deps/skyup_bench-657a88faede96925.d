@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/skyup_bench-657a88faede96925.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_bench-657a88faede96925.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/params.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

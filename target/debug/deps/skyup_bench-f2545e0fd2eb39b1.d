@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skyup_bench-f2545e0fd2eb39b1.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/skyup_bench-f2545e0fd2eb39b1: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/params.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/skyup_core-559d06c63586e944.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/cost/mod.rs crates/core/src/cost/attr.rs crates/core/src/cost/diagnostics.rs crates/core/src/cost/integrate.rs crates/core/src/discrete.rs crates/core/src/join/mod.rs crates/core/src/join/algorithm.rs crates/core/src/join/bounds.rs crates/core/src/join/heap.rs crates/core/src/join/lbc.rs crates/core/src/optimal.rs crates/core/src/probing/mod.rs crates/core/src/probing/basic.rs crates/core/src/probing/improved.rs crates/core/src/probing/parallel.rs crates/core/src/probing/pruned.rs crates/core/src/result.rs crates/core/src/single_set.rs crates/core/src/topk.rs crates/core/src/upgrade.rs
+
+/root/repo/target/debug/deps/skyup_core-559d06c63586e944: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/constrained.rs crates/core/src/cost/mod.rs crates/core/src/cost/attr.rs crates/core/src/cost/diagnostics.rs crates/core/src/cost/integrate.rs crates/core/src/discrete.rs crates/core/src/join/mod.rs crates/core/src/join/algorithm.rs crates/core/src/join/bounds.rs crates/core/src/join/heap.rs crates/core/src/join/lbc.rs crates/core/src/optimal.rs crates/core/src/probing/mod.rs crates/core/src/probing/basic.rs crates/core/src/probing/improved.rs crates/core/src/probing/parallel.rs crates/core/src/probing/pruned.rs crates/core/src/result.rs crates/core/src/single_set.rs crates/core/src/topk.rs crates/core/src/upgrade.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/constrained.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/attr.rs:
+crates/core/src/cost/diagnostics.rs:
+crates/core/src/cost/integrate.rs:
+crates/core/src/discrete.rs:
+crates/core/src/join/mod.rs:
+crates/core/src/join/algorithm.rs:
+crates/core/src/join/bounds.rs:
+crates/core/src/join/heap.rs:
+crates/core/src/join/lbc.rs:
+crates/core/src/optimal.rs:
+crates/core/src/probing/mod.rs:
+crates/core/src/probing/basic.rs:
+crates/core/src/probing/improved.rs:
+crates/core/src/probing/parallel.rs:
+crates/core/src/probing/pruned.rs:
+crates/core/src/result.rs:
+crates/core/src/single_set.rs:
+crates/core/src/topk.rs:
+crates/core/src/upgrade.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/skyup_data-4941b6e415157205.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_data-4941b6e415157205.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/normalize.rs:
+crates/data/src/rng.rs:
+crates/data/src/sample.rs:
+crates/data/src/synthetic.rs:
+crates/data/src/wine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

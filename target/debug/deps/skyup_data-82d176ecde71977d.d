@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skyup_data-82d176ecde71977d.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+/root/repo/target/debug/deps/skyup_data-82d176ecde71977d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/normalize.rs:
+crates/data/src/rng.rs:
+crates/data/src/sample.rs:
+crates/data/src/synthetic.rs:
+crates/data/src/wine.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skyup_data-e2106d5cc22bc5fd.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+/root/repo/target/debug/deps/libskyup_data-e2106d5cc22bc5fd.rlib: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+/root/repo/target/debug/deps/libskyup_data-e2106d5cc22bc5fd.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/normalize.rs:
+crates/data/src/rng.rs:
+crates/data/src/sample.rs:
+crates/data/src/synthetic.rs:
+crates/data/src/wine.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/skyup_geom-1ffb2aca414e2b90.d: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_geom-1ffb2aca414e2b90.rmeta: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/adr.rs:
+crates/geom/src/dims.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/ordered.rs:
+crates/geom/src/persist.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

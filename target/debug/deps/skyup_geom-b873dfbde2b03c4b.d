@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/skyup_geom-b873dfbde2b03c4b.d: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+/root/repo/target/debug/deps/libskyup_geom-b873dfbde2b03c4b.rlib: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+/root/repo/target/debug/deps/libskyup_geom-b873dfbde2b03c4b.rmeta: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/adr.rs:
+crates/geom/src/dims.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/ordered.rs:
+crates/geom/src/persist.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/store.rs:

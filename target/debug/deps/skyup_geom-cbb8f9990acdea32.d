@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skyup_geom-cbb8f9990acdea32.d: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+/root/repo/target/debug/deps/skyup_geom-cbb8f9990acdea32: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/adr.rs:
+crates/geom/src/dims.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/ordered.rs:
+crates/geom/src/persist.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skyup_obs-0983dcdba91152e3.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_obs-0983dcdba91152e3.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/report.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skyup_obs-36eeb13c49758d09.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libskyup_obs-36eeb13c49758d09.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libskyup_obs-36eeb13c49758d09.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/report.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skyup_obs-e131250f24f80690.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/skyup_obs-e131250f24f80690: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/report.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/skyup_rtree-a83527e7ec08c869.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_rtree-a83527e7ec08c869.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs Cargo.toml
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/delete.rs:
+crates/rtree/src/insert.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/query.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/stats.rs:
+crates/rtree/src/tree.rs:
+crates/rtree/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/skyup_rtree-c09e1e3bfa564ec4.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+/root/repo/target/debug/deps/libskyup_rtree-c09e1e3bfa564ec4.rlib: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+/root/repo/target/debug/deps/libskyup_rtree-c09e1e3bfa564ec4.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/delete.rs:
+crates/rtree/src/insert.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/query.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/stats.rs:
+crates/rtree/src/tree.rs:
+crates/rtree/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/skyup_skyline-a42de59825447f40.d: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+/root/repo/target/debug/deps/skyup_skyline-a42de59825447f40: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+crates/skyline/src/lib.rs:
+crates/skyline/src/bbs.rs:
+crates/skyline/src/bnl.rs:
+crates/skyline/src/constrained.rs:
+crates/skyline/src/dnc.rs:
+crates/skyline/src/naive.rs:
+crates/skyline/src/sfs.rs:
+crates/skyline/src/skyband.rs:

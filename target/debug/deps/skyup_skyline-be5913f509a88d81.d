@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/skyup_skyline-be5913f509a88d81.d: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskyup_skyline-be5913f509a88d81.rmeta: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs Cargo.toml
+
+crates/skyline/src/lib.rs:
+crates/skyline/src/bbs.rs:
+crates/skyline/src/bnl.rs:
+crates/skyline/src/constrained.rs:
+crates/skyline/src/dnc.rs:
+crates/skyline/src/naive.rs:
+crates/skyline/src/sfs.rs:
+crates/skyline/src/skyband.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/skyup_skyline-c415906607b2dd50.d: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+/root/repo/target/debug/deps/libskyup_skyline-c415906607b2dd50.rlib: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+/root/repo/target/debug/deps/libskyup_skyline-c415906607b2dd50.rmeta: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+crates/skyline/src/lib.rs:
+crates/skyline/src/bbs.rs:
+crates/skyline/src/bnl.rs:
+crates/skyline/src/constrained.rs:
+crates/skyline/src/dnc.rs:
+crates/skyline/src/naive.rs:
+crates/skyline/src/sfs.rs:
+crates/skyline/src/skyband.rs:

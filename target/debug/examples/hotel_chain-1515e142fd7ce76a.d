@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotel_chain-1515e142fd7ce76a.d: examples/hotel_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotel_chain-1515e142fd7ce76a.rmeta: examples/hotel_chain.rs Cargo.toml
+
+examples/hotel_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotel_chain-bcd5102719f32d39.d: examples/hotel_chain.rs
+
+/root/repo/target/debug/examples/hotel_chain-bcd5102719f32d39: examples/hotel_chain.rs
+
+examples/hotel_chain.rs:

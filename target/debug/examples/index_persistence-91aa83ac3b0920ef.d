@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/index_persistence-91aa83ac3b0920ef.d: examples/index_persistence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindex_persistence-91aa83ac3b0920ef.rmeta: examples/index_persistence.rs Cargo.toml
+
+examples/index_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/index_persistence-e823ce5edd38929b.d: examples/index_persistence.rs
+
+/root/repo/target/debug/examples/index_persistence-e823ce5edd38929b: examples/index_persistence.rs
+
+examples/index_persistence.rs:

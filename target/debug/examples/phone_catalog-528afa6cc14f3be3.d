@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phone_catalog-528afa6cc14f3be3.d: examples/phone_catalog.rs
+
+/root/repo/target/debug/examples/phone_catalog-528afa6cc14f3be3: examples/phone_catalog.rs
+
+examples/phone_catalog.rs:

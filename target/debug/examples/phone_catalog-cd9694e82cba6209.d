@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phone_catalog-cd9694e82cba6209.d: examples/phone_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphone_catalog-cd9694e82cba6209.rmeta: examples/phone_catalog.rs Cargo.toml
+
+examples/phone_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_seeds-1aab1af640c63b6f.d: crates/data/examples/probe_seeds.rs
+
+/root/repo/target/debug/examples/probe_seeds-1aab1af640c63b6f: crates/data/examples/probe_seeds.rs
+
+crates/data/examples/probe_seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/progressive_monitor-3b6ff30c390d6816.d: examples/progressive_monitor.rs
+
+/root/repo/target/debug/examples/progressive_monitor-3b6ff30c390d6816: examples/progressive_monitor.rs
+
+examples/progressive_monitor.rs:

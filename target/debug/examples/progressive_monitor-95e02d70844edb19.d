@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/progressive_monitor-95e02d70844edb19.d: examples/progressive_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogressive_monitor-95e02d70844edb19.rmeta: examples/progressive_monitor.rs Cargo.toml
+
+examples/progressive_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

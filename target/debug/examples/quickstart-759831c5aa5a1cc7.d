@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-759831c5aa5a1cc7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-759831c5aa5a1cc7: examples/quickstart.rs
+
+examples/quickstart.rs:

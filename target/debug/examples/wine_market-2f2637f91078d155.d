@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wine_market-2f2637f91078d155.d: examples/wine_market.rs
+
+/root/repo/target/debug/examples/wine_market-2f2637f91078d155: examples/wine_market.rs
+
+examples/wine_market.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wine_market-59114db89692d229.d: examples/wine_market.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwine_market-59114db89692d229.rmeta: examples/wine_market.rs Cargo.toml
+
+examples/wine_market.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_report-9c67c94b3225522b.d: crates/bench/src/bin/ablation_report.rs
+
+/root/repo/target/release/deps/ablation_report-9c67c94b3225522b: crates/bench/src/bin/ablation_report.rs
+
+crates/bench/src/bin/ablation_report.rs:

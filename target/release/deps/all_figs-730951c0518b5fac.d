@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figs-730951c0518b5fac.d: crates/bench/src/bin/all_figs.rs
+
+/root/repo/target/release/deps/all_figs-730951c0518b5fac: crates/bench/src/bin/all_figs.rs
+
+crates/bench/src/bin/all_figs.rs:

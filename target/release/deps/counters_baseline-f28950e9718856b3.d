@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/counters_baseline-f28950e9718856b3.d: crates/bench/src/bin/counters_baseline.rs
+
+/root/repo/target/release/deps/counters_baseline-f28950e9718856b3: crates/bench/src/bin/counters_baseline.rs
+
+crates/bench/src/bin/counters_baseline.rs:

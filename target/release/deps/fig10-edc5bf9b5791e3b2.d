@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-edc5bf9b5791e3b2.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-edc5bf9b5791e3b2: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

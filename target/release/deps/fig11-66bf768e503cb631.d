@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-66bf768e503cb631.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-66bf768e503cb631: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

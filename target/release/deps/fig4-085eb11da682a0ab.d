@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-085eb11da682a0ab.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-085eb11da682a0ab: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

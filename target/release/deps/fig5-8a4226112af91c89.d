@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-8a4226112af91c89.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-8a4226112af91c89: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-32f2ffcaeea19c7c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-32f2ffcaeea19c7c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-762548ce33c7c0e9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-762548ce33c7c0e9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

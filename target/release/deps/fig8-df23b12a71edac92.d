@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-df23b12a71edac92.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-df23b12a71edac92: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-681321eef55ee494.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-681321eef55ee494: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

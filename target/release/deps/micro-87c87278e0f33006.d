@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-87c87278e0f33006.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-87c87278e0f33006: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/skyup-4007e2ab331f012e.d: src/bin/skyup.rs
+
+/root/repo/target/release/deps/skyup-4007e2ab331f012e: src/bin/skyup.rs
+
+src/bin/skyup.rs:

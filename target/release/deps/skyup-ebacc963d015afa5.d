@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/skyup-ebacc963d015afa5.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libskyup-ebacc963d015afa5.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libskyup-ebacc963d015afa5.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/skyup_bench-f0664d34aea5ca0a.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libskyup_bench-f0664d34aea5ca0a.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libskyup_bench-f0664d34aea5ca0a.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/params.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/params.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

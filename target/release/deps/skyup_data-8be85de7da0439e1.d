@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/skyup_data-8be85de7da0439e1.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+/root/repo/target/release/deps/libskyup_data-8be85de7da0439e1.rlib: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+/root/repo/target/release/deps/libskyup_data-8be85de7da0439e1.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/normalize.rs crates/data/src/rng.rs crates/data/src/sample.rs crates/data/src/synthetic.rs crates/data/src/wine.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/normalize.rs:
+crates/data/src/rng.rs:
+crates/data/src/sample.rs:
+crates/data/src/synthetic.rs:
+crates/data/src/wine.rs:

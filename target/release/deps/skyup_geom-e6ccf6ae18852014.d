@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/skyup_geom-e6ccf6ae18852014.d: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+/root/repo/target/release/deps/libskyup_geom-e6ccf6ae18852014.rlib: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+/root/repo/target/release/deps/libskyup_geom-e6ccf6ae18852014.rmeta: crates/geom/src/lib.rs crates/geom/src/adr.rs crates/geom/src/dims.rs crates/geom/src/dominance.rs crates/geom/src/ordered.rs crates/geom/src/persist.rs crates/geom/src/point.rs crates/geom/src/rect.rs crates/geom/src/store.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/adr.rs:
+crates/geom/src/dims.rs:
+crates/geom/src/dominance.rs:
+crates/geom/src/ordered.rs:
+crates/geom/src/persist.rs:
+crates/geom/src/point.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/store.rs:

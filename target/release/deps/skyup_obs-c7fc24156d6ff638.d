@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/skyup_obs-c7fc24156d6ff638.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libskyup_obs-c7fc24156d6ff638.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libskyup_obs-c7fc24156d6ff638.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/report.rs crates/obs/src/counter.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/report.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/skyup_rtree-ba26adbe020d11c5.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+/root/repo/target/release/deps/libskyup_rtree-ba26adbe020d11c5.rlib: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+/root/repo/target/release/deps/libskyup_rtree-ba26adbe020d11c5.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/delete.rs crates/rtree/src/insert.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/query.rs crates/rtree/src/split.rs crates/rtree/src/stats.rs crates/rtree/src/tree.rs crates/rtree/src/validate.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/delete.rs:
+crates/rtree/src/insert.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/query.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/stats.rs:
+crates/rtree/src/tree.rs:
+crates/rtree/src/validate.rs:

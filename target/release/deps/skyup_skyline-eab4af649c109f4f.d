@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/skyup_skyline-eab4af649c109f4f.d: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+/root/repo/target/release/deps/libskyup_skyline-eab4af649c109f4f.rlib: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+/root/repo/target/release/deps/libskyup_skyline-eab4af649c109f4f.rmeta: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/naive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs
+
+crates/skyline/src/lib.rs:
+crates/skyline/src/bbs.rs:
+crates/skyline/src/bnl.rs:
+crates/skyline/src/constrained.rs:
+crates/skyline/src/dnc.rs:
+crates/skyline/src/naive.rs:
+crates/skyline/src/sfs.rs:
+crates/skyline/src/skyband.rs:

@@ -5,11 +5,14 @@
 
 use skyup::core::cost::SumCost;
 use skyup::core::join::{BoundMode, JoinUpgrader, LowerBound};
+use skyup::core::probing::improved_probing_topk_pruned_rec;
 use skyup::core::{
-    basic_probing_topk, improved_probing_topk, single_set_topk, UpgradeConfig,
+    basic_probing_topk, basic_probing_topk_rec, improved_probing_topk,
+    improved_probing_topk_parallel_rec, improved_probing_topk_rec, single_set_topk, UpgradeConfig,
 };
 use skyup::data::synthetic::{generate, Distribution, SyntheticConfig};
 use skyup::geom::PointStore;
+use skyup::obs::{Counter, QueryMetrics};
 use skyup::rtree::{RTree, RTreeParams};
 
 fn costs(rs: &[skyup::core::UpgradeResult]) -> Vec<f64> {
@@ -97,6 +100,97 @@ fn agreement_on_interleaved_domains() {
     }
 }
 
+/// The counters must tell the same story as the paper's Figure 2 and
+/// Section V: improved probing reads strictly fewer R-tree entries than
+/// basic probing (that is the whole point of `getDominatingSky`), while
+/// the four probing variants return identical top-k answers and agree
+/// on the workload-shape counters.
+#[test]
+fn counter_consistency_across_algorithms() {
+    let p = generate(
+        1200,
+        &SyntheticConfig::unit(3, Distribution::AntiCorrelated, 31),
+    );
+    let t = generate(
+        180,
+        &SyntheticConfig {
+            dims: 3,
+            distribution: Distribution::Independent,
+            lo: 0.4,
+            hi: 1.4,
+            seed: 32,
+        },
+    );
+    let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(16));
+    let cost_fn = SumCost::reciprocal(3, 1e-2);
+    let cfg = UpgradeConfig::default();
+    let k = 10;
+
+    let mut mb = QueryMetrics::new();
+    let basic = basic_probing_topk_rec(&p, &rp, &t, k, &cost_fn, &cfg, &mut mb);
+    let mut mi = QueryMetrics::new();
+    let improved = improved_probing_topk_rec(&p, &rp, &t, k, &cost_fn, &cfg, &mut mi);
+    let mut mp = QueryMetrics::new();
+    let parallel = improved_probing_topk_parallel_rec(&p, &rp, &t, k, &cost_fn, &cfg, 4, &mut mp);
+    let mut mq = QueryMetrics::new();
+    let (pruned, _) = improved_probing_topk_pruned_rec(&p, &rp, &t, k, &cost_fn, &cfg, &mut mq);
+
+    // All four algorithms produce the identical top-k plan.
+    for (label, other) in [
+        ("improved", &improved),
+        ("parallel", &parallel),
+        ("pruned", &pruned),
+    ] {
+        assert_eq!(basic.len(), other.len(), "{label}");
+        for (a, b) in basic.iter().zip(other.iter()) {
+            assert_eq!(a.product, b.product, "{label}");
+            assert!((a.cost - b.cost).abs() < 1e-9, "{label}");
+            assert_eq!(a.upgraded, b.upgraded, "{label}");
+        }
+    }
+
+    // getDominatingSky's node pruning must beat the ADR range scan.
+    assert!(
+        mi.get(Counter::RtreeEntryAccesses) < mb.get(Counter::RtreeEntryAccesses),
+        "improved probing should access strictly fewer R-tree entries: {} vs {}",
+        mi.get(Counter::RtreeEntryAccesses),
+        mb.get(Counter::RtreeEntryAccesses),
+    );
+    assert!(mi.get(Counter::RtreeNodeAccesses) < mb.get(Counter::RtreeNodeAccesses));
+    // (Dominance tests are NOT asserted: the constrained BBS re-checks
+    // heap entries against the growing skyline, so it can run more
+    // point-level tests even while touching far fewer R-tree entries.)
+
+    // Workload-shape counters agree everywhere they are comparable.
+    for m in [&mb, &mi, &mp] {
+        assert_eq!(m.get(Counter::ProductsEvaluated), t.len() as u64);
+        assert_eq!(m.get(Counter::ResultsEmitted), k as u64);
+    }
+    // The same per-product work happens under the parallel split: its
+    // counters are deterministic and equal the sequential improved run.
+    for c in [
+        Counter::DominanceTests,
+        Counter::RtreeNodeAccesses,
+        Counter::RtreeEntryAccesses,
+        Counter::SkylinePointsRetained,
+        Counter::HeapPushes,
+        Counter::HeapPops,
+    ] {
+        assert_eq!(mp.get(c), mi.get(c), "parallel vs improved {}", c.name());
+    }
+    // Both skyline strategies retain the same dominator skylines.
+    assert_eq!(
+        mb.get(Counter::SkylinePointsRetained),
+        mi.get(Counter::SkylinePointsRetained)
+    );
+    // The screen only ever skips products, never evaluates more.
+    assert!(mq.get(Counter::ProductsEvaluated) <= t.len() as u64);
+    assert_eq!(
+        mq.get(Counter::ProductsEvaluated) + mq.get(Counter::ThresholdPrunes),
+        t.len() as u64
+    );
+}
+
 #[test]
 fn single_set_agrees_with_probing_against_self() {
     // Splitting a catalog into {t} vs rest, probing each singleton,
@@ -131,10 +225,7 @@ fn single_set_agrees_with_probing_against_self() {
 
 #[test]
 fn extreme_k_values() {
-    let p = generate(
-        400,
-        &SyntheticConfig::unit(2, Distribution::Independent, 5),
-    );
+    let p = generate(400, &SyntheticConfig::unit(2, Distribution::Independent, 5));
     let t = generate(
         50,
         &SyntheticConfig {
@@ -159,17 +250,9 @@ fn extreme_k_values() {
     assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
     assert!((one[0].cost - all[0].cost).abs() < 1e-12);
     // Join agrees on the full ranking.
-    let join: Vec<_> = JoinUpgrader::new(
-        &p,
-        &rp,
-        &t,
-        &rt,
-        &cost_fn,
-        cfg,
-        LowerBound::Conservative,
-    )
-    .with_bound_mode(BoundMode::Admissible)
-    .collect();
+    let join: Vec<_> = JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, cfg, LowerBound::Conservative)
+        .with_bound_mode(BoundMode::Admissible)
+        .collect();
     assert_eq!(join.len(), 50);
     for (a, b) in join.iter().zip(&all) {
         assert!((a.cost - b.cost).abs() < 1e-9);

@@ -4,13 +4,15 @@
 //! facade crate the way a downstream user would.
 
 use skyup::core::cost::SumCost;
+use skyup::core::probing::improved_probing_topk_pruned;
 use skyup::core::{
     improved_probing_topk, improved_probing_topk_parallel, optimal_upgrade, single_set_topk,
     upgrade_single, upgrade_single_discrete, upgrade_single_with_floors, DiscreteDomains,
     UpgradeConfig,
 };
-use skyup::core::probing::improved_probing_topk_pruned;
-use skyup::data::synthetic::{generate, paper_competitors, paper_products, Distribution, SyntheticConfig};
+use skyup::data::synthetic::{
+    generate, paper_competitors, paper_products, Distribution, SyntheticConfig,
+};
 use skyup::geom::dominance::dominates;
 use skyup::geom::{PointId, PointStore};
 use skyup::rtree::{RTree, RTreeParams};
@@ -91,15 +93,8 @@ fn floors_interpolate_between_free_and_infeasible() {
 
     let (unconstrained, _) = upgrade_single(&p, &sky, &t, &cost, &cfg);
     // No floors: matches Algorithm 1.
-    let loose = upgrade_single_with_floors(
-        &p,
-        &sky,
-        &t,
-        &[f64::NEG_INFINITY; 2],
-        &cost,
-        &cfg,
-    )
-    .unwrap();
+    let loose =
+        upgrade_single_with_floors(&p, &sky, &t, &[f64::NEG_INFINITY; 2], &cost, &cfg).unwrap();
     assert!((loose.cost - unconstrained).abs() < 1e-9);
 
     // Progressively raising floors only raises costs, until infeasible.
@@ -189,10 +184,7 @@ fn optimal_oracle_bounds_all_heuristics() {
     let cost = cost2();
     let cfg = UpgradeConfig::default();
     for seed in 0..10 {
-        let t = [
-            0.9 + 0.01 * seed as f64,
-            0.95 + 0.005 * seed as f64,
-        ];
+        let t = [0.9 + 0.01 * seed as f64, 0.95 + 0.005 * seed as f64];
         let dominators: Vec<PointId> = ids
             .iter()
             .copied()
@@ -208,8 +200,7 @@ fn optimal_oracle_bounds_all_heuristics() {
         assert!(!sky.iter().any(|&s| dominates(p.point(s), &opt_up)));
         // The floors version with no floors also respects the oracle.
         let floors =
-            upgrade_single_with_floors(&p, &sky, &t, &[f64::NEG_INFINITY; 2], &cost, &cfg)
-                .unwrap();
+            upgrade_single_with_floors(&p, &sky, &t, &[f64::NEG_INFINITY; 2], &cost, &cfg).unwrap();
         assert!(opt <= floors.cost + 1e-9);
     }
 }

@@ -85,7 +85,10 @@ fn every_table_two_phone_can_be_upgraded() {
     let out = improved_probing_topk(&p, &rp, &t, 4, &cost_fn, &UpgradeConfig::with_epsilon(0.5));
     assert_eq!(out.len(), 4);
     for r in &out {
-        assert!(r.cost > 0.0, "every T phone is dominated, so upgrading costs");
+        assert!(
+            r.cost > 0.0,
+            "every T phone is dominated, so upgrading costs"
+        );
         let clear = p.iter().all(|(_, pp)| !dominates(pp, &r.upgraded));
         assert!(clear, "upgraded phone {:?} still dominated", r.product);
         // Upgrades only improve attributes.

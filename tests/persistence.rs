@@ -24,7 +24,16 @@ fn join_on_reloaded_index_matches() {
     let cost = SumCost::reciprocal(3, 1e-3);
     let cfg = UpgradeConfig::default();
     let a = join_topk(&p, &rp, &t, &rt, 8, &cost, cfg, LowerBound::Conservative);
-    let b = join_topk(&p2, &rp2, &t2, &rt2, 8, &cost, cfg, LowerBound::Conservative);
+    let b = join_topk(
+        &p2,
+        &rp2,
+        &t2,
+        &rt2,
+        8,
+        &cost,
+        cfg,
+        LowerBound::Conservative,
+    );
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.product, y.product);

@@ -31,16 +31,9 @@ fn emission_is_ascending_in_admissible_mode() {
         let (p, rp, t, rt) = setup(dist, 5000, 800, 3);
         let cost_fn = SumCost::reciprocal(3, 1e-3);
         for bound in LowerBound::ALL {
-            let join = JoinUpgrader::new(
-                &p,
-                &rp,
-                &t,
-                &rt,
-                &cost_fn,
-                UpgradeConfig::default(),
-                bound,
-            )
-            .with_bound_mode(BoundMode::Admissible);
+            let join =
+                JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, UpgradeConfig::default(), bound)
+                    .with_bound_mode(BoundMode::Admissible);
             let all: Vec<_> = join.collect();
             assert_eq!(all.len(), 800);
             assert!(
@@ -57,15 +50,7 @@ fn emission_is_ascending_with_paper_bounds_on_paper_domains() {
     let (p, rp, t, rt) = setup(Distribution::AntiCorrelated, 5000, 500, 2);
     let cost_fn = SumCost::reciprocal(2, 1e-3);
     for bound in LowerBound::ALL {
-        let join = JoinUpgrader::new(
-            &p,
-            &rp,
-            &t,
-            &rt,
-            &cost_fn,
-            UpgradeConfig::default(),
-            bound,
-        );
+        let join = JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, UpgradeConfig::default(), bound);
         let first_fifty: Vec<_> = join.take(50).collect();
         // The paper's LBC is only approximately admissible (DESIGN.md
         // §3), so allow a couple of inversions even here.

@@ -1,55 +1,72 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Randomized-input tests over the core invariants. Formerly proptest;
+//! now deterministic loops over cases drawn from the in-repo PRNG (the
+//! offline environment cannot pull `proptest`), with the generators'
+//! shapes preserved: quantized coordinates for ties/duplicates, small
+//! stores, per-case seeds.
 
-use proptest::prelude::*;
 use skyup::core::cost::{CostFunction, SumCost};
 use skyup::core::join::{lbc_entry, lbc_entry_admissible};
 use skyup::core::{upgrade_single, UpgradeConfig};
+use skyup::data::Rng;
 use skyup::geom::dominance::{compare, dominates, dominates_or_equal, DomRelation};
 use skyup::geom::{PointId, PointStore, Rect};
 use skyup::rtree::{RTree, RTreeParams};
 use skyup::skyline::{skyline_bbs, skyline_bnl, skyline_naive, skyline_sfs};
 
 const DIMS: usize = 3;
+const CASES: u64 = 128;
 
-fn coord() -> impl Strategy<Value = f64> {
-    // Quantized coordinates produce plenty of ties and duplicates.
-    (0u32..100).prop_map(|v| v as f64 / 100.0)
+/// Quantized coordinate in `{0.00, 0.01, …, 0.99}` — plenty of ties and
+/// duplicates, as the proptest strategy produced.
+fn coord(rng: &mut Rng) -> f64 {
+    rng.range_usize(100) as f64 / 100.0
 }
 
-fn point() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(coord(), DIMS)
+fn point(rng: &mut Rng) -> Vec<f64> {
+    (0..DIMS).map(|_| coord(rng)).collect()
 }
 
-fn points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(point(), 1..max)
+/// Between 1 and `max - 1` quantized points.
+fn points(rng: &mut Rng, max: usize) -> Vec<Vec<f64>> {
+    let n = 1 + rng.range_usize(max - 1);
+    (0..n).map(|_| point(rng)).collect()
 }
 
 fn store_of(rows: &[Vec<f64>]) -> PointStore {
     PointStore::from_rows(DIMS, rows.iter().cloned())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Runs `f` once per case with a per-case seeded generator.
+fn for_each_case(test_tag: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(test_tag.wrapping_mul(0x9e37_79b9).wrapping_add(case));
+        f(&mut rng);
+    }
+}
 
-    /// Dominance is a strict partial order: irreflexive, asymmetric,
-    /// transitive; `compare` is consistent with `dominates`.
-    #[test]
-    fn dominance_partial_order(a in point(), b in point(), c in point()) {
-        prop_assert!(!dominates(&a, &a));
+/// Dominance is a strict partial order: irreflexive, asymmetric,
+/// transitive; `compare` is consistent with `dominates`.
+#[test]
+fn dominance_partial_order() {
+    for_each_case(1, |rng| {
+        let (a, b, c) = (point(rng), point(rng), point(rng));
+        assert!(!dominates(&a, &a));
         if dominates(&a, &b) {
-            prop_assert!(!dominates(&b, &a));
-            prop_assert!(dominates_or_equal(&a, &b));
-            prop_assert_eq!(compare(&a, &b), DomRelation::Dominates);
+            assert!(!dominates(&b, &a));
+            assert!(dominates_or_equal(&a, &b));
+            assert_eq!(compare(&a, &b), DomRelation::Dominates);
         }
         if dominates(&a, &b) && dominates(&b, &c) {
-            prop_assert!(dominates(&a, &c));
+            assert!(dominates(&a, &c));
         }
-    }
+    });
+}
 
-    /// All five skyline algorithms return exactly the same id set.
-    #[test]
-    fn skyline_algorithms_agree(rows in points(120)) {
-        let store = store_of(&rows);
+/// All five skyline algorithms return exactly the same id set.
+#[test]
+fn skyline_algorithms_agree() {
+    for_each_case(2, |rng| {
+        let store = store_of(&points(rng, 120));
         let ids: Vec<PointId> = store.ids().collect();
         let mut naive = skyline_naive(&store, &ids);
         let mut bnl = skyline_bnl(&store, &ids);
@@ -57,60 +74,67 @@ proptest! {
         let mut dnc = skyup::skyline::skyline_dnc(&store, &ids);
         let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
         let mut bbs = skyline_bbs(&store, &tree);
-        naive.sort(); bnl.sort(); sfs.sort(); dnc.sort(); bbs.sort();
-        prop_assert_eq!(&naive, &bnl);
-        prop_assert_eq!(&naive, &sfs);
-        prop_assert_eq!(&naive, &dnc);
-        prop_assert_eq!(&naive, &bbs);
-    }
+        naive.sort();
+        bnl.sort();
+        sfs.sort();
+        dnc.sort();
+        bbs.sort();
+        assert_eq!(naive, bnl);
+        assert_eq!(naive, sfs);
+        assert_eq!(naive, dnc);
+        assert_eq!(naive, bbs);
+    });
+}
 
-    /// k-skybands nest, the 1-skyband is the skyline, and reported
-    /// dominator counts are exact.
-    #[test]
-    fn skyband_properties(rows in points(80), k in 1usize..6) {
-        let store = store_of(&rows);
+/// k-skybands nest, the 1-skyband is the skyline, and reported
+/// dominator counts are exact.
+#[test]
+fn skyband_properties() {
+    for_each_case(3, |rng| {
+        let store = store_of(&points(rng, 80));
+        let k = 1 + rng.range_usize(5);
         let ids: Vec<PointId> = store.ids().collect();
         let band = skyup::skyline::skyband(&store, &ids, k);
         let next = skyup::skyline::skyband(&store, &ids, k + 1);
-        let band_ids: std::collections::HashSet<PointId> =
-            band.iter().map(|(p, _)| *p).collect();
-        let next_ids: std::collections::HashSet<PointId> =
-            next.iter().map(|(p, _)| *p).collect();
-        prop_assert!(band_ids.is_subset(&next_ids), "skybands must nest");
+        let band_ids: std::collections::HashSet<PointId> = band.iter().map(|(p, _)| *p).collect();
+        let next_ids: std::collections::HashSet<PointId> = next.iter().map(|(p, _)| *p).collect();
+        assert!(band_ids.is_subset(&next_ids), "skybands must nest");
         for (p, count) in &band {
             let exact = ids
                 .iter()
                 .filter(|&&q| q != *p && dominates(store.point(q), store.point(*p)))
                 .count();
-            prop_assert_eq!(*count, exact);
-            prop_assert!(*count < k);
+            assert_eq!(*count, exact);
+            assert!(*count < k);
         }
         if k == 1 {
             let mut sky = skyline_naive(&store, &ids);
             sky.sort();
             let mut got: Vec<PointId> = band.iter().map(|(p, _)| *p).collect();
             got.sort();
-            prop_assert_eq!(got, sky);
+            assert_eq!(got, sky);
         }
-    }
+    });
+}
 
-    /// Deleting a random subset leaves a structurally valid tree over
-    /// exactly the surviving points; queries match scans.
-    #[test]
-    fn rtree_delete_consistency(rows in points(60), victims in proptest::collection::vec(any::<u8>(), 0..30)) {
-        let store = store_of(&rows);
+/// Deleting a random subset leaves a structurally valid tree over
+/// exactly the surviving points; queries match scans.
+#[test]
+fn rtree_delete_consistency() {
+    for_each_case(4, |rng| {
+        let store = store_of(&points(rng, 60));
         let mut tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
-        let mut alive: std::collections::BTreeSet<u32> =
-            (0..store.len() as u32).collect();
-        for v in victims {
-            let id = PointId(v as u32 % store.len() as u32);
+        let mut alive: std::collections::BTreeSet<u32> = (0..store.len() as u32).collect();
+        let victims = rng.range_usize(30);
+        for _ in 0..victims {
+            let id = PointId(rng.range_usize(store.len()) as u32);
             let was_alive = alive.remove(&id.0);
-            prop_assert_eq!(tree.remove(&store, id), was_alive);
+            assert_eq!(tree.remove(&store, id), was_alive);
         }
-        prop_assert_eq!(tree.len(), alive.len());
+        assert_eq!(tree.len(), alive.len());
         let mut pts: Vec<u32> = tree.iter_points().iter().map(|p| p.0).collect();
         pts.sort_unstable();
-        prop_assert_eq!(pts, alive.iter().copied().collect::<Vec<_>>());
+        assert_eq!(pts, alive.iter().copied().collect::<Vec<_>>());
         // Range query still matches a scan over survivors.
         let range = Rect::new(&[0.2; DIMS], &[0.7; DIMS]);
         let mut got = tree.range_query(&store, &range);
@@ -121,29 +145,35 @@ proptest! {
             .filter(|&p| range.contains_point(store.point(p)))
             .collect();
         want.sort();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Store and tree persistence round-trips bit-exactly.
-    #[test]
-    fn persistence_roundtrip(rows in points(60)) {
-        let store = store_of(&rows);
+/// Store and tree persistence round-trips bit-exactly.
+#[test]
+fn persistence_roundtrip() {
+    for_each_case(5, |rng| {
+        let store = store_of(&points(rng, 60));
         let back = PointStore::from_bytes(&store.to_bytes()).unwrap();
-        prop_assert_eq!(&store, &back);
+        assert_eq!(store, back);
         let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
         let tree_back = RTree::from_bytes(&tree.to_bytes(), &back).unwrap();
-        prop_assert!(tree_back.validate(&back).is_ok());
-        prop_assert_eq!(tree_back.len(), tree.len());
-    }
+        assert!(tree_back.validate(&back).is_ok());
+        assert_eq!(tree_back.len(), tree.len());
+    });
+}
 
-    /// A bulk-loaded R-tree validates and contains exactly its input;
-    /// range queries match linear scans.
-    #[test]
-    fn rtree_roundtrip_and_range(rows in points(150), lo in point(), span in point()) {
-        let store = store_of(&rows);
+/// A bulk-loaded R-tree validates and contains exactly its input;
+/// range queries match linear scans.
+#[test]
+fn rtree_roundtrip_and_range() {
+    for_each_case(6, |rng| {
+        let store = store_of(&points(rng, 150));
         let tree = RTree::bulk_load(&store, RTreeParams::with_max_entries(4));
-        prop_assert!(tree.validate(&store).is_ok());
+        assert!(tree.validate(&store).is_ok());
 
+        let lo = point(rng);
+        let span = point(rng);
         let hi: Vec<f64> = lo.iter().zip(&span).map(|(l, s)| l + s).collect();
         let range = Rect::new(&lo, &hi);
         let mut got = tree.range_query(&store, &range);
@@ -154,27 +184,32 @@ proptest! {
             .map(|(id, _)| id)
             .collect();
         want.sort();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Insertion-built trees validate and index the same point set.
-    #[test]
-    fn rtree_insertion_equivalence(rows in points(80)) {
-        let store = store_of(&rows);
+/// Insertion-built trees validate and index the same point set.
+#[test]
+fn rtree_insertion_equivalence() {
+    for_each_case(7, |rng| {
+        let store = store_of(&points(rng, 80));
         let tree = RTree::from_insertion(&store, RTreeParams::with_max_entries(4));
-        prop_assert!(tree.validate(&store).is_ok());
+        assert!(tree.validate(&store).is_ok());
         let mut pts = tree.iter_points();
         pts.sort();
-        prop_assert_eq!(pts, store.ids().collect::<Vec<_>>());
-    }
+        assert_eq!(pts, store.ids().collect::<Vec<_>>());
+    });
+}
 
-    /// Algorithm 1: the upgraded product is never dominated by any
-    /// competitor (not just the skyline), never worsens an attribute,
-    /// has non-negative cost equal to the product-cost delta, and costs
-    /// zero iff the product was already non-dominated.
-    #[test]
-    fn upgrade_single_invariants(rows in points(100), t in point()) {
-        let store = store_of(&rows);
+/// Algorithm 1: the upgraded product is never dominated by any
+/// competitor (not just the skyline), never worsens an attribute, has
+/// non-negative cost equal to the product-cost delta, and costs zero
+/// iff the product was already non-dominated.
+#[test]
+fn upgrade_single_invariants() {
+    for_each_case(8, |rng| {
+        let store = store_of(&points(rng, 100));
+        let t = point(rng);
         let dominators: Vec<PointId> = store
             .iter()
             .filter(|(_, c)| dominates(c, &t))
@@ -185,28 +220,31 @@ proptest! {
         let cfg = UpgradeConfig::with_epsilon(1e-4);
         let (cost, upgraded) = upgrade_single(&store, &skyline, &t, &cost_fn, &cfg);
 
-        prop_assert!(cost >= 0.0);
-        prop_assert!(upgraded.iter().zip(&t).all(|(u, o)| u <= o));
+        assert!(cost >= 0.0);
+        assert!(upgraded.iter().zip(&t).all(|(u, o)| u <= o));
         for (_, c) in store.iter() {
-            prop_assert!(
+            assert!(
                 !dominates(c, &upgraded),
-                "upgraded {:?} dominated by {:?}", upgraded, c
+                "upgraded {upgraded:?} dominated by {c:?}"
             );
         }
         let delta = cost_fn.product_cost(&upgraded) - cost_fn.product_cost(&t);
-        prop_assert!((cost - delta).abs() < 1e-9);
+        assert!((cost - delta).abs() < 1e-9);
         if dominators.is_empty() {
-            prop_assert_eq!(cost, 0.0);
-            prop_assert_eq!(&upgraded, &t);
+            assert_eq!(cost, 0.0);
+            assert_eq!(upgraded, t);
         } else {
-            prop_assert!(cost > 0.0);
+            assert!(cost > 0.0);
         }
-    }
+    });
+}
 
-    /// The extended candidate set never increases the reported cost.
-    #[test]
-    fn extended_candidates_never_worse(rows in points(60), t in point()) {
-        let store = store_of(&rows);
+/// The extended candidate set never increases the reported cost.
+#[test]
+fn extended_candidates_never_worse() {
+    for_each_case(9, |rng| {
+        let store = store_of(&points(rng, 60));
+        let t = point(rng);
         let dominators: Vec<PointId> = store
             .iter()
             .filter(|(_, c)| dominates(c, &t))
@@ -215,25 +253,28 @@ proptest! {
         let skyline = skyline_naive(&store, &dominators);
         let cost_fn = SumCost::reciprocal(DIMS, 1e-2);
         let base_cfg = UpgradeConfig::with_epsilon(1e-4);
-        let ext_cfg = UpgradeConfig { extended_candidates: true, ..base_cfg };
+        let ext_cfg = UpgradeConfig {
+            extended_candidates: true,
+            ..base_cfg
+        };
         let (base, _) = upgrade_single(&store, &skyline, &t, &cost_fn, &base_cfg);
         let (ext, up) = upgrade_single(&store, &skyline, &t, &cost_fn, &ext_cfg);
-        prop_assert!(ext <= base + 1e-12);
+        assert!(ext <= base + 1e-12);
         for (_, c) in store.iter() {
-            prop_assert!(!dominates(c, &up));
+            assert!(!dominates(c, &up));
         }
-    }
+    });
+}
 
-    /// The admissible per-entry bound never exceeds the true cost of
-    /// upgrading any product in the `e_T` box against the points inside
-    /// the `e_P` box — and never exceeds the paper's LBC.
-    #[test]
-    fn admissible_bound_is_admissible(
-        e_t_min in point(),
-        p_rows in points(30),
-        t_offset in point(),
-    ) {
-        let store = store_of(&p_rows);
+/// The admissible per-entry bound never exceeds the true cost of
+/// upgrading any product in the `e_T` box against the points inside the
+/// `e_P` box — and never exceeds the paper's LBC.
+#[test]
+fn admissible_bound_is_admissible() {
+    for_each_case(10, |rng| {
+        let e_t_min = point(rng);
+        let store = store_of(&points(rng, 30));
+        let t_offset = point(rng);
         // e_P = MBR of the generated points.
         let mut lo = vec![f64::INFINITY; DIMS];
         let mut hi = vec![f64::NEG_INFINITY; DIMS];
@@ -246,7 +287,7 @@ proptest! {
         let cost_fn = SumCost::reciprocal(DIMS, 1e-2);
         let adm = lbc_entry_admissible(&e_t_min, &hi, &cost_fn);
         let paper = lbc_entry(&e_t_min, &lo, &hi, &cost_fn).cost;
-        prop_assert!(adm <= paper + 1e-12, "admissible {adm} > paper {paper}");
+        assert!(adm <= paper + 1e-12, "admissible {adm} > paper {paper}");
 
         // A representative product in e_T's box: e_t_min shifted up.
         let t: Vec<f64> = e_t_min.iter().zip(&t_offset).map(|(a, b)| a + b).collect();
@@ -258,19 +299,22 @@ proptest! {
         let skyline = skyline_naive(&store, &dominators);
         let cfg = UpgradeConfig::with_epsilon(1e-6);
         let (exact, _) = upgrade_single(&store, &skyline, &t, &cost_fn, &cfg);
-        prop_assert!(
+        assert!(
             adm <= exact + 1e-9,
             "admissible bound {adm} exceeds exact cost {exact}"
         );
-    }
+    });
+}
 
-    /// Monotonicity of the experiment cost function: a dominating
-    /// product never costs less.
-    #[test]
-    fn cost_function_monotone(a in point(), b in point()) {
+/// Monotonicity of the experiment cost function: a dominating product
+/// never costs less.
+#[test]
+fn cost_function_monotone() {
+    for_each_case(11, |rng| {
+        let (a, b) = (point(rng), point(rng));
         let cost_fn = SumCost::reciprocal(DIMS, 1e-2);
         if dominates(&a, &b) {
-            prop_assert!(cost_fn.product_cost(&a) >= cost_fn.product_cost(&b));
+            assert!(cost_fn.product_cost(&a) >= cost_fn.product_cost(&b));
         }
-    }
+    });
 }
