@@ -28,14 +28,19 @@
 use super::bounds::{entry_bound, list_bound, BoundMode, LowerBound};
 use super::heap::JoinHeapEntry;
 use crate::config::UpgradeConfig;
+use crate::cost::diagnostics::verify_monotone_on;
 use crate::cost::CostFunction;
-use crate::result::UpgradeResult;
+use crate::error::{SkyupError, MONOTONE_SAMPLE_LIMIT};
+use crate::result::{AnytimeTopK, UpgradeResult};
 use crate::upgrade::upgrade_single;
 use skyup_geom::dominance::dominates;
 use skyup_geom::{OrderedF64, PointStore};
-use skyup_obs::{timed, Counter, Phase, QueryMetrics, Recorder};
+use skyup_obs::{
+    timed, Completion, Counter, ExecGuard, ExecutionLimits, Interrupt, Phase, QueryMetrics,
+    Recorder,
+};
 use skyup_rtree::{EntryRef, RTree};
-use skyup_skyline::dominating_skyline_from_rec;
+use skyup_skyline::dominating_skyline_from_lim;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -92,6 +97,10 @@ pub struct JoinUpgrader<'a, C: CostFunction + ?Sized> {
     heap: BinaryHeap<Reverse<JoinHeapEntry>>,
     seq: u64,
     metrics: QueryMetrics,
+    guard: ExecGuard,
+    completion: Completion,
+    finished: bool,
+    guard_recorded: bool,
 }
 
 impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
@@ -130,6 +139,10 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             heap: BinaryHeap::new(),
             seq: 0,
             metrics: QueryMetrics::new(),
+            guard: ExecGuard::unlimited(),
+            completion: Completion::Exact,
+            finished: false,
+            guard_recorded: false,
         };
 
         // Line 2: enheap(⟨{R_P.root}, R_T.root, null, ∞⟩) — we compute
@@ -151,6 +164,127 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             join.push(target, jl, None);
         }
         join
+    }
+
+    /// Fallible twin of [`JoinUpgrader::new`]: validates the inputs —
+    /// matching dimensionalities, a cost function of the right arity, a
+    /// non-empty competitor set, indexes covering their stores, and
+    /// cost monotonicity on sampled data — and reports problems as
+    /// [`SkyupError`] instead of panicking.
+    pub fn try_new(
+        p_store: &'a PointStore,
+        p_tree: &'a RTree,
+        t_store: &'a PointStore,
+        t_tree: &'a RTree,
+        cost_fn: &'a C,
+        cfg: UpgradeConfig,
+        bound: LowerBound,
+    ) -> Result<Self, SkyupError> {
+        if p_store.dims() != t_store.dims() {
+            return Err(SkyupError::DimensionMismatch {
+                p_dims: p_store.dims(),
+                t_dims: t_store.dims(),
+            });
+        }
+        if cost_fn.dims() != p_store.dims() {
+            return Err(SkyupError::InvalidConfig(format!(
+                "cost function covers {} dimensions but products have {}",
+                cost_fn.dims(),
+                p_store.dims()
+            )));
+        }
+        if p_store.is_empty() {
+            return Err(SkyupError::EmptyCompetitorSet);
+        }
+        if p_tree.len() != p_store.len() {
+            return Err(SkyupError::IndexMismatch {
+                tree: "R_P",
+                tree_len: p_tree.len(),
+                store_len: p_store.len(),
+            });
+        }
+        if t_tree.len() != t_store.len() {
+            return Err(SkyupError::IndexMismatch {
+                tree: "R_T",
+                tree_len: t_tree.len(),
+                store_len: t_store.len(),
+            });
+        }
+        verify_monotone_on(cost_fn, p_store, MONOTONE_SAMPLE_LIMIT)
+            .map_err(SkyupError::NonMonotoneCost)?;
+        verify_monotone_on(cost_fn, t_store, MONOTONE_SAMPLE_LIMIT)
+            .map_err(SkyupError::NonMonotoneCost)?;
+        Ok(Self::new(
+            p_store, p_tree, t_store, t_tree, cost_fn, cfg, bound,
+        ))
+    }
+
+    /// Runs the join under `limits`: every `R_T` / `R_P` node expansion
+    /// and constrained-BBS traversal is charged to the guard, and every
+    /// heap insertion counts against the heap budget. When a limit
+    /// fires, iteration stops cleanly — [`Iterator::next`] returns
+    /// `None` — and [`JoinUpgrader::completion`] reports
+    /// [`Completion::Partial`]. The results already emitted are an exact
+    /// prefix of the unlimited run's emission sequence. Must be called
+    /// before consuming any results.
+    pub fn with_limits(mut self, limits: &ExecutionLimits) -> Self {
+        assert_eq!(
+            self.metrics.get(Counter::ResultsEmitted),
+            0,
+            "limits must be armed before iteration starts"
+        );
+        self.guard = limits.start();
+        self
+    }
+
+    /// Whether the join ran to completion or was interrupted by a
+    /// limit. [`Completion::Exact`] while results are still pending
+    /// means "no limit has fired yet".
+    pub fn completion(&self) -> Completion {
+        self.completion
+    }
+
+    /// Drains up to `k` results and packages them with the completion
+    /// state. The results are an exact prefix of the unlimited
+    /// emission sequence whether or not a limit fired.
+    pub fn collect_topk(&mut self, k: usize) -> AnytimeTopK {
+        let mut results = Vec::new();
+        while results.len() < k {
+            match self.next() {
+                Some(r) => results.push(r),
+                None => break,
+            }
+        }
+        self.record_guard_metrics();
+        let evaluated = results.len();
+        AnytimeTopK {
+            results,
+            completion: self.completion,
+            evaluated,
+        }
+    }
+
+    /// Folds the guard's tallies into the metrics exactly once. Only
+    /// guarded runs record them, so unlimited iteration keeps its
+    /// historical counter set bit-identical.
+    fn record_guard_metrics(&mut self) {
+        if self.guard_recorded {
+            return;
+        }
+        self.guard_recorded = true;
+        if !self.guard.is_unlimited() {
+            self.metrics
+                .incr(Counter::GuardedNodeVisits, self.guard.node_visits());
+        }
+        if !self.completion.is_exact() {
+            self.metrics.bump(Counter::LimitInterrupts);
+        }
+    }
+
+    fn interrupt(&mut self, i: Interrupt) {
+        self.completion = Completion::Partial(i);
+        self.finished = true;
+        self.record_guard_metrics();
     }
 
     /// The lower-bound strategy in use.
@@ -237,6 +371,9 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         };
         self.seq += 1;
         self.metrics.bump(Counter::HeapPushes);
+        // A tripped heap budget is sticky; the loop in `next` catches it
+        // at its next checkpoint, so the push itself stays infallible.
+        let _ = self.guard.heap_push();
         self.heap.push(Reverse(JoinHeapEntry {
             cost: OrderedF64::new(cost),
             seq: self.seq,
@@ -247,16 +384,20 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
     }
 
     /// Lines 9-11: compute the exact upgrade of leaf product `target`.
-    fn resolve_product(&mut self, target: EntryRef, jl: Vec<EntryRef>) {
+    /// On interruption the product's partial work is discarded whole — a
+    /// truncated dominator skyline may miss dominators and is unsound
+    /// for Algorithm 1.
+    fn resolve_product(&mut self, target: EntryRef, jl: Vec<EntryRef>) -> Result<(), Interrupt> {
         let tid = match target {
             EntryRef::Point(p) => p,
             EntryRef::Node(_) => unreachable!("resolve_product takes leaf entries"),
         };
         let t = self.t_store.point(tid);
         let (p_store, p_tree) = (self.p_store, self.p_tree);
+        let guard = &mut self.guard;
         let skyline = timed(&mut self.metrics, Phase::DominatingSky, |m| {
-            dominating_skyline_from_rec(p_store, p_tree, &jl, t, m)
-        });
+            dominating_skyline_from_lim(p_store, p_tree, &jl, t, m, guard)
+        })?;
         debug_assert!(skyline.iter().all(|&s| dominates(self.p_store.point(s), t)));
         let (cost_fn, cfg) = (self.cost_fn, &self.cfg);
         let (cost, upgraded) = timed(&mut self.metrics, Phase::Upgrade, |_| {
@@ -264,14 +405,16 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         });
         self.metrics.bump(Counter::ExactUpgrades);
         self.push(target, Vec::new(), Some((cost, upgraded)));
+        Ok(())
     }
 
     /// Lines 13-20 (Heuristic 1): expand the `R_T` node `target`.
-    fn expand_target(&mut self, target: EntryRef, jl: &[EntryRef]) {
+    fn expand_target(&mut self, target: EntryRef, jl: &[EntryRef]) -> Result<(), Interrupt> {
         let node = match target {
             EntryRef::Node(n) => n,
             EntryRef::Point(_) => unreachable!("expand_target takes node entries"),
         };
+        self.guard.visit_node()?;
         self.metrics.bump(Counter::TNodesExpanded);
         let children: Vec<EntryRef> = self.t_tree.node(node).entries().collect();
         for child in children {
@@ -283,6 +426,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
                 .collect();
             self.push(child, child_jl, None);
         }
+        Ok(())
     }
 
     /// Heuristics 3-4: choose which non-leaf join-list entry to expand.
@@ -331,12 +475,18 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
     }
 
     /// Lines 22-32 (Heuristic 2): expand join-list entry `idx`.
-    fn expand_jl_entry(&mut self, target: EntryRef, mut jl: Vec<EntryRef>, idx: usize) {
+    fn expand_jl_entry(
+        &mut self,
+        target: EntryRef,
+        mut jl: Vec<EntryRef>,
+        idx: usize,
+    ) -> Result<(), Interrupt> {
         let expanded = jl.swap_remove(idx);
         let node = match expanded {
             EntryRef::Node(n) => n,
             EntryRef::Point(_) => unreachable!("only node entries are expanded"),
         };
+        self.guard.visit_node()?;
         self.metrics.bump(Counter::PNodesExpanded);
         let t_max = self.t_hi(target).to_vec();
 
@@ -376,6 +526,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         }
         // Line 32: push back with the recomputed bound.
         self.push(target, jl, None);
+        Ok(())
     }
 }
 
@@ -383,7 +534,17 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
     type Item = UpgradeResult;
 
     fn next(&mut self) -> Option<UpgradeResult> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        if self.finished {
+            return None;
+        }
+        loop {
+            if let Err(i) = self.guard.checkpoint() {
+                self.interrupt(i);
+                return None;
+            }
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                break;
+            };
             self.metrics.bump(Counter::HeapPops);
             let JoinHeapEntry {
                 cost,
@@ -409,14 +570,14 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
                 });
             }
 
-            match target {
+            let step = match target {
                 // Lines 8-11: leaf product with a pending join list.
                 EntryRef::Point(_) => self.resolve_product(target, jl),
                 EntryRef::Node(_) => {
                     self.metrics.enter(Phase::JoinExpansion);
-                    if cost.get() == 0.0 {
+                    let step = if cost.get() == 0.0 {
                         // Lines 13-20, Heuristic 1.
-                        self.expand_target(target, &jl);
+                        self.expand_target(target, &jl)
                     } else {
                         self.metrics.incr(
                             Counter::LowerBoundEvals,
@@ -429,11 +590,18 @@ impl<C: CostFunction + ?Sized> Iterator for JoinUpgrader<'_, C> {
                             // into the T node instead.
                             None => self.expand_target(target, &jl),
                         }
-                    }
+                    };
                     self.metrics.exit(Phase::JoinExpansion);
+                    step
                 }
+            };
+            if let Err(i) = step {
+                self.interrupt(i);
+                return None;
             }
         }
+        self.finished = true;
+        self.record_guard_metrics();
         None
     }
 }

@@ -18,8 +18,10 @@ pub use lbc::{lbc_entry, lbc_entry_admissible, EntryLbc};
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use crate::result::UpgradeResult;
+use crate::error::SkyupError;
+use crate::result::{AnytimeTopK, UpgradeResult};
 use skyup_geom::PointStore;
+use skyup_obs::{ExecutionLimits, Recorder};
 use skyup_rtree::RTree;
 
 /// Convenience wrapper: run the join and collect the `k` cheapest
@@ -38,6 +40,35 @@ pub fn join_topk<C: CostFunction + ?Sized>(
     JoinUpgrader::new(p_store, p_tree, t_store, t_tree, cost_fn, cfg, bound)
         .take(k)
         .collect()
+}
+
+/// Fallible, guarded twin of [`join_topk`]: validates the inputs via
+/// [`JoinUpgrader::try_new`] (plus `k >= 1`), runs the progressive join
+/// under `limits`, and folds the join's metrics into `rec`. When a
+/// limit fires mid-join the results collected so far — an exact prefix
+/// of the unlimited emission sequence — come back tagged
+/// [`skyup_obs::Completion::Partial`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_join_topk<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    t_tree: &RTree,
+    k: usize,
+    cost_fn: &C,
+    cfg: UpgradeConfig,
+    bound: LowerBound,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<AnytimeTopK, SkyupError> {
+    if k == 0 {
+        return Err(SkyupError::InvalidConfig("k must be at least 1".into()));
+    }
+    let mut join = JoinUpgrader::try_new(p_store, p_tree, t_store, t_tree, cost_fn, cfg, bound)?
+        .with_limits(limits);
+    let out = join.collect_topk(k);
+    rec.absorb(join.metrics());
+    Ok(out)
 }
 
 #[cfg(test)]

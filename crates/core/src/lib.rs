@@ -17,6 +17,13 @@
 //!   the NLB / CLB / ALB lower-bound strategies (Section III-B).
 //! * [`single_set`] — the future-work variant where uncompetitive
 //!   products and competitors live in one catalog (Section VI).
+//! * [`error`] — structured errors for the fallible `try_*` entry
+//!   points, which validate their inputs and run under
+//!   [`skyup_obs::ExecutionLimits`] with anytime degradation: when a
+//!   wall-clock deadline, node-visit budget, heap budget, or external
+//!   cancellation fires, they return the best answer computed so far
+//!   tagged [`skyup_obs::Completion::Partial`] instead of panicking or
+//!   running unbounded.
 //!
 //! # Quick start
 //!
@@ -47,6 +54,7 @@ pub mod config;
 pub mod constrained;
 pub mod cost;
 pub mod discrete;
+pub mod error;
 pub mod join;
 pub mod optimal;
 pub mod probing;
@@ -61,12 +69,18 @@ pub use cost::{
     AttributeCost, CostFunction, LinearCost, PowerCost, ReciprocalCost, SumCost, WeightedSumCost,
 };
 pub use discrete::{upgrade_single_discrete, DiscreteDomains};
-pub use join::{BoundMode, JoinStats, JoinUpgrader, LowerBound};
+pub use error::SkyupError;
+pub use join::{try_join_topk, BoundMode, JoinStats, JoinUpgrader, LowerBound};
 pub use optimal::optimal_upgrade;
 pub use probing::{
     basic_probing_topk, basic_probing_topk_rec, improved_probing_topk,
     improved_probing_topk_parallel, improved_probing_topk_parallel_rec, improved_probing_topk_rec,
+    try_basic_probing_topk, try_improved_probing_topk, try_improved_probing_topk_parallel,
+    try_improved_probing_topk_pruned,
 };
-pub use result::UpgradeResult;
+pub use result::{AnytimeTopK, UpgradeResult};
 pub use single_set::single_set_topk;
-pub use upgrade::upgrade_single;
+pub use upgrade::{try_upgrade_single, upgrade_single};
+
+// Guard types re-exported so `try_*` callers need only this crate.
+pub use skyup_obs::{CancellationToken, Completion, ExecutionLimits, Interrupt};

@@ -2,12 +2,13 @@
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use crate::result::UpgradeResult;
+use crate::error::{validate_query, SkyupError};
+use crate::result::{AnytimeTopK, UpgradeResult};
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::dominance::dominates;
 use skyup_geom::{PointId, PointStore, Rect};
-use skyup_obs::{timed, Counter, NullRecorder, Phase, Recorder};
+use skyup_obs::{timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, Recorder};
 use skyup_rtree::RTree;
 use skyup_skyline::skyline_sfs_rec;
 
@@ -99,4 +100,88 @@ pub fn basic_probing_topk_rec<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
     let results = topk.into_sorted();
     rec.incr(Counter::ResultsEmitted, results.len() as u64);
     results
+}
+
+/// Fallible, guarded basic probing: validates the inputs up front
+/// (dimensionalities, `k >= 1`, non-empty `P`, index cardinality,
+/// cost-function monotonicity on sampled data) and runs the probe loop
+/// under `limits`. When a limit fires the loop stops between products
+/// and the exact top-k over the fully evaluated prefix of `T` is
+/// returned tagged [`Completion::Partial`]; with no limits the output
+/// is bit-identical to [`basic_probing_topk_rec`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_basic_probing_topk<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<AnytimeTopK, SkyupError> {
+    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
+    let mut guard = limits.start();
+    let dims = p_store.dims();
+    let mut topk = TopK::new(k);
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+    let mut candidates: Vec<PointId> = Vec::new();
+
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            if let Err(i) = guard.checkpoint() {
+                completion = Completion::Partial(i);
+                break;
+            }
+            let sky_res = timed(rec, Phase::DominatingSky, |rec| {
+                let root_lo = p_tree.root().mbr().lo();
+                let adr_lo: Vec<f64> = (0..dims).map(|i| root_lo[i].min(t[i])).collect();
+                let adr = Rect::new(&adr_lo, t);
+                p_tree.range_query_into_lim(p_store, &adr, &mut candidates, rec, &mut guard)?;
+                rec.incr(Counter::AdrCandidates, candidates.len() as u64);
+                let dominators: Vec<PointId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        rec.bump(Counter::DominanceTests);
+                        dominates(p_store.point(p), t)
+                    })
+                    .collect();
+                Ok(skyline_sfs_rec(p_store, &dominators, rec))
+            });
+            let skyline = match sky_res {
+                Ok(s) => s,
+                Err(i) => {
+                    // The interrupted product's work is discarded whole:
+                    // a truncated dominator set is unsound for upgrades.
+                    completion = Completion::Partial(i);
+                    break;
+                }
+            };
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            rec.bump(Counter::ProductsEvaluated);
+            evaluated += 1;
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
+        }
+    });
+
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    rec.incr(Counter::GuardedNodeVisits, guard.node_visits());
+    if !completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    Ok(AnytimeTopK {
+        results,
+        completion,
+        evaluated,
+    })
 }

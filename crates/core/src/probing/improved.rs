@@ -3,13 +3,14 @@
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use crate::result::UpgradeResult;
+use crate::error::{validate_query, SkyupError};
+use crate::result::{AnytimeTopK, UpgradeResult};
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::PointStore;
-use skyup_obs::{timed, Counter, NullRecorder, Phase, Recorder};
+use skyup_obs::{timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, Recorder};
 use skyup_rtree::RTree;
-use skyup_skyline::dominating_skyline_rec;
+use skyup_skyline::{dominating_skyline_lim, dominating_skyline_rec};
 
 /// Runs the improved probing algorithm: for every `t ∈ T`, the skyline
 /// of `t`'s dominators is computed directly by a constrained BBS
@@ -70,4 +71,70 @@ pub fn improved_probing_topk_rec<C: CostFunction + ?Sized, R: Recorder + ?Sized>
     let results = topk.into_sorted();
     rec.incr(Counter::ResultsEmitted, results.len() as u64);
     results
+}
+
+/// Fallible, guarded improved probing: input validation as in
+/// [`crate::probing::try_basic_probing_topk`], then the probe loop runs
+/// under `limits` with every `getDominatingSky` traversal charged to
+/// the guard. On interruption the exact top-k over the fully evaluated
+/// prefix of `T` comes back tagged [`Completion::Partial`]; unlimited
+/// runs are bit-identical to [`improved_probing_topk_rec`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_improved_probing_topk<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<AnytimeTopK, SkyupError> {
+    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
+    let mut guard = limits.start();
+    let mut topk = TopK::new(k);
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            if let Err(i) = guard.checkpoint() {
+                completion = Completion::Partial(i);
+                break;
+            }
+            let sky_res = timed(rec, Phase::DominatingSky, |rec| {
+                dominating_skyline_lim(p_store, p_tree, t, rec, &mut guard)
+            });
+            let skyline = match sky_res {
+                Ok(s) => s,
+                Err(i) => {
+                    completion = Completion::Partial(i);
+                    break;
+                }
+            };
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            rec.bump(Counter::ProductsEvaluated);
+            evaluated += 1;
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
+        }
+    });
+
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    rec.incr(Counter::GuardedNodeVisits, guard.node_visits());
+    if !completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    Ok(AnytimeTopK {
+        results,
+        completion,
+        evaluated,
+    })
 }

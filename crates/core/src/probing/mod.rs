@@ -18,16 +18,27 @@
 //! `T` across threads (bit-identical results), and
 //! [`improved_probing_topk_pruned`] screens products with a cheap
 //! admissible lower bound before paying for the full evaluation.
+//!
+//! Every variant also has a fallible `try_*` twin that validates its
+//! inputs (returning [`crate::SkyupError`] instead of panicking) and
+//! runs under [`skyup_obs::ExecutionLimits`], degrading to a tagged
+//! best-so-far answer ([`crate::AnytimeTopK`]) when a budget fires.
 
 mod basic;
 mod improved;
 mod parallel;
 mod pruned;
 
-pub use basic::{basic_probing_topk, basic_probing_topk_rec};
-pub use improved::{improved_probing_topk, improved_probing_topk_rec};
-pub use parallel::{improved_probing_topk_parallel, improved_probing_topk_parallel_rec};
-pub use pruned::{improved_probing_topk_pruned, improved_probing_topk_pruned_rec, PruningStats};
+pub use basic::{basic_probing_topk, basic_probing_topk_rec, try_basic_probing_topk};
+pub use improved::{improved_probing_topk, improved_probing_topk_rec, try_improved_probing_topk};
+pub use parallel::{
+    improved_probing_topk_parallel, improved_probing_topk_parallel_rec,
+    try_improved_probing_topk_parallel,
+};
+pub use pruned::{
+    improved_probing_topk_pruned, improved_probing_topk_pruned_rec,
+    try_improved_probing_topk_pruned, PruningStats,
+};
 
 #[cfg(test)]
 mod tests {

@@ -9,20 +9,25 @@
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use crate::result::UpgradeResult;
+use crate::error::{panic_message, validate_query, SkyupError};
+use crate::result::{AnytimeTopK, UpgradeResult};
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::{PointId, PointStore};
-use skyup_obs::{timed, Counter, NullRecorder, Phase, QueryMetrics, Recorder};
+use skyup_obs::{
+    timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, QueryMetrics, Recorder,
+};
 use skyup_rtree::RTree;
-use skyup_skyline::{dominating_skyline, dominating_skyline_rec};
+use skyup_skyline::{dominating_skyline, dominating_skyline_lim, dominating_skyline_rec};
 
 /// Runs improved probing across `threads` worker threads and returns the
 /// `k` cheapest upgrades, sorted by `(cost, product id)` — exactly the
 /// sequential [`crate::improved_probing_topk`] answer.
 ///
-/// # Panics
-/// Panics if `threads == 0`.
+/// `threads == 0` is clamped to one worker thread (historically this
+/// panicked; [`try_improved_probing_topk_parallel`] instead reports it
+/// as [`SkyupError::InvalidConfig`] so remote callers get a diagnostic
+/// rather than a silently-adjusted run).
 pub fn improved_probing_topk_parallel<C>(
     p_store: &PointStore,
     p_tree: &RTree,
@@ -52,8 +57,7 @@ where
 /// recorder is enabled) which is folded into `rec` after the join, so
 /// counters equal the sequential run's and phase times sum worker time.
 ///
-/// # Panics
-/// Panics if `threads == 0`.
+/// `threads == 0` is clamped to one worker thread.
 #[allow(clippy::too_many_arguments)]
 pub fn improved_probing_topk_parallel_rec<C, R>(
     p_store: &PointStore,
@@ -69,7 +73,7 @@ where
     C: CostFunction + Sync + ?Sized,
     R: Recorder + ?Sized,
 {
-    assert!(threads > 0, "need at least one worker thread");
+    let threads = threads.max(1);
     assert_eq!(
         p_store.dims(),
         t_store.dims(),
@@ -145,6 +149,195 @@ where
     results
 }
 
+/// What one guarded worker hands back on clean (non-panicking) exit.
+struct WorkerOut {
+    part: Vec<UpgradeResult>,
+    metrics: Option<QueryMetrics>,
+    evaluated: usize,
+    completion: Completion,
+    visits: u64,
+}
+
+/// Fallible, guarded parallel probing: input validation as in
+/// [`crate::probing::try_basic_probing_topk`] plus `threads >= 1`, then
+/// each worker runs its slice of `T` under a forked guard sharing the
+/// global budgets. A worker that panics is contained by an unwind
+/// barrier: it cancels the shared token (stopping its siblings at their
+/// next checkpoint), every worker's output is discarded, and the call
+/// returns [`SkyupError::WorkerPanicked`].
+///
+/// On a limit interruption each worker keeps the exact top-k over the
+/// prefix of its slice it fully evaluated, so the merged
+/// [`Completion::Partial`] answer is the exact top-k over the union of
+/// those prefixes. Unlimited runs are bit-identical to
+/// [`improved_probing_topk_parallel_rec`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_improved_probing_topk_parallel<C, R>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<AnytimeTopK, SkyupError>
+where
+    C: CostFunction + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
+    if threads == 0 {
+        return Err(SkyupError::InvalidConfig(
+            "need at least one worker thread".into(),
+        ));
+    }
+    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
+    if t_store.is_empty() {
+        return Ok(AnytimeTopK {
+            results: Vec::new(),
+            completion: Completion::Exact,
+            evaluated: 0,
+        });
+    }
+
+    let guard = limits.start();
+    let n = t_store.len();
+    let chunk = n.div_ceil(threads);
+    let collect = rec.is_enabled();
+
+    let outcomes: Vec<(usize, Result<WorkerOut, String>)> = timed(rec, Phase::ProbeLoop, |_| {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let lo = w * chunk;
+                if lo >= n {
+                    break;
+                }
+                let hi = ((w + 1) * chunk).min(n);
+                let mut wguard = guard.clone();
+                handles.push(scope.spawn(move || {
+                    let canceller = wguard.clone();
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut local = collect.then(QueryMetrics::new);
+                        let mut topk = TopK::new(k);
+                        let mut completion = Completion::Exact;
+                        let mut evaluated = 0usize;
+                        for raw in lo..hi {
+                            if let Err(i) = wguard.checkpoint() {
+                                completion = Completion::Partial(i);
+                                break;
+                            }
+                            let tid = PointId(raw as u32);
+                            let t = t_store.point(tid);
+                            let sky_res = match &mut local {
+                                Some(m) => timed(m, Phase::DominatingSky, |m| {
+                                    dominating_skyline_lim(p_store, p_tree, t, m, &mut wguard)
+                                }),
+                                None => dominating_skyline_lim(
+                                    p_store,
+                                    p_tree,
+                                    t,
+                                    &mut NullRecorder,
+                                    &mut wguard,
+                                ),
+                            };
+                            let skyline = match sky_res {
+                                Ok(s) => s,
+                                Err(i) => {
+                                    completion = Completion::Partial(i);
+                                    break;
+                                }
+                            };
+                            let (cost, upgraded) = match &mut local {
+                                Some(m) => timed(m, Phase::Upgrade, |_| {
+                                    upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+                                }),
+                                None => upgrade_single(p_store, &skyline, t, cost_fn, cfg),
+                            };
+                            if let Some(m) = &mut local {
+                                m.bump(Counter::ProductsEvaluated);
+                            }
+                            evaluated += 1;
+                            topk.offer(UpgradeResult {
+                                product: tid,
+                                original: t.to_vec(),
+                                upgraded,
+                                cost,
+                            });
+                        }
+                        WorkerOut {
+                            part: topk.into_sorted(),
+                            metrics: local,
+                            evaluated,
+                            completion,
+                            visits: wguard.node_visits(),
+                        }
+                    }));
+                    match out {
+                        Ok(o) => (w, Ok(o)),
+                        Err(payload) => {
+                            // Stop the sibling workers at their next
+                            // checkpoint; their output is dropped anyway.
+                            canceller.cancel();
+                            (w, Err(panic_message(payload)))
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("guarded probing worker escaped its unwind barrier")
+                })
+                .collect()
+        })
+    });
+
+    // A panic anywhere poisons the whole answer: report it before
+    // absorbing any worker's output.
+    for (w, out) in &outcomes {
+        if let Err(message) = out {
+            rec.bump(Counter::WorkerPanics);
+            return Err(SkyupError::WorkerPanicked {
+                worker: *w,
+                message: message.clone(),
+            });
+        }
+    }
+
+    let mut merged = TopK::new(k);
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+    let mut visits = 0u64;
+    for (_, out) in outcomes {
+        let o = out.expect("panics were handled above");
+        if let Some(m) = o.metrics {
+            rec.absorb(&m);
+        }
+        if completion.is_exact() {
+            completion = o.completion;
+        }
+        evaluated += o.evaluated;
+        visits += o.visits;
+        for r in o.part {
+            merged.offer(r);
+        }
+    }
+    let results = merged.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    rec.incr(Counter::GuardedNodeVisits, visits);
+    if !completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    Ok(AnytimeTopK {
+        results,
+        completion,
+        evaluated,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,12 +403,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker thread")]
-    fn zero_threads_rejected() {
-        let p = PointStore::new(2);
-        let t = PointStore::new(2);
+    fn zero_threads_clamped_to_one() {
+        let p = pseudo_random_store(200, 2, 0.0, 1.0, 0xf);
+        let t = pseudo_random_store(17, 2, 0.5, 1.5, 0x10);
         let rp = RTree::bulk_load(&p, RTreeParams::default());
         let cost = SumCost::reciprocal(2, 1e-3);
-        let _ = improved_probing_topk_parallel(&p, &rp, &t, 1, &cost, &UpgradeConfig::default(), 0);
+        let cfg = UpgradeConfig::default();
+        let clamped = improved_probing_topk_parallel(&p, &rp, &t, 5, &cost, &cfg, 0);
+        let seq = improved_probing_topk(&p, &rp, &t, 5, &cost, &cfg);
+        assert_eq!(clamped.len(), seq.len());
+        for (a, b) in seq.iter().zip(&clamped) {
+            assert_eq!(a.product, b.product);
+            assert!((a.cost - b.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn try_rejects_zero_threads() {
+        use crate::error::SkyupError;
+        use skyup_obs::ExecutionLimits;
+        let p = pseudo_random_store(50, 2, 0.0, 1.0, 0x11);
+        let t = pseudo_random_store(5, 2, 0.5, 1.5, 0x12);
+        let rp = RTree::bulk_load(&p, RTreeParams::default());
+        let cost = SumCost::reciprocal(2, 1e-3);
+        let err = try_improved_probing_topk_parallel(
+            &p,
+            &rp,
+            &t,
+            5,
+            &cost,
+            &UpgradeConfig::default(),
+            0,
+            &ExecutionLimits::none(),
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SkyupError::InvalidConfig(_)));
+        assert!(err.to_string().contains("worker thread"));
     }
 }

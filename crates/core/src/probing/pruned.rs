@@ -11,14 +11,17 @@
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
+use crate::error::{validate_query, SkyupError};
 use crate::join::{list_bound, BoundMode, LowerBound};
-use crate::result::UpgradeResult;
+use crate::result::{AnytimeTopK, UpgradeResult};
 use crate::topk::TopK;
 use crate::upgrade::upgrade_single;
 use skyup_geom::PointStore;
-use skyup_obs::{timed, Counter, NullRecorder, Phase, QueryMetrics, Recorder};
+use skyup_obs::{
+    timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, QueryMetrics, Recorder,
+};
 use skyup_rtree::{EntryRef, RTree};
-use skyup_skyline::dominating_skyline_rec;
+use skyup_skyline::{dominating_skyline_lim, dominating_skyline_rec};
 
 /// Statistics from one pruned-probing run — a view over the unified
 /// [`skyup_obs`] counters (`ProductsEvaluated` / `ThresholdPrunes`).
@@ -78,37 +81,7 @@ pub fn improved_probing_topk_pruned_rec<C: CostFunction + ?Sized, R: Recorder + 
     if t_store.is_empty() {
         return (Vec::new(), stats);
     }
-    // Screen against a shallow frontier of the competitor tree: expand
-    // top levels breadth-first until a few dozen entries are available
-    // (capped so the per-product screen stays O(1) in |P|).
-    let screen_entries: Vec<EntryRef> = if p_tree.is_empty() {
-        Vec::new()
-    } else {
-        let mut frontier: Vec<EntryRef> = vec![EntryRef::Node(p_tree.root_id())];
-        loop {
-            let expandable = frontier
-                .iter()
-                .filter(|e| matches!(e, EntryRef::Node(n) if !p_tree.node(*n).is_leaf()))
-                .count();
-            if frontier.len() >= 32 || expandable == 0 {
-                break;
-            }
-            let mut next = Vec::with_capacity(frontier.len() * 4);
-            for e in frontier {
-                match e {
-                    EntryRef::Node(n) if !p_tree.node(n).is_leaf() => {
-                        next.extend(p_tree.node(n).entries());
-                    }
-                    other => next.push(other),
-                }
-            }
-            frontier = next;
-            if frontier.len() > 512 {
-                break;
-            }
-        }
-        frontier
-    };
+    let screen_entries = screen_frontier(p_tree);
 
     let mut topk = TopK::new(k);
     timed(rec, Phase::ProbeLoop, |rec| {
@@ -160,6 +133,142 @@ pub fn improved_probing_topk_pruned_rec<C: CostFunction + ?Sized, R: Recorder + 
     let results = topk.into_sorted();
     rec.incr(Counter::ResultsEmitted, results.len() as u64);
     (results, stats)
+}
+
+/// Builds the shallow frontier of the competitor tree used by the
+/// lower-bound screen: top levels expanded breadth-first until a few
+/// dozen entries are available (capped so the per-product screen stays
+/// O(1) in |P|).
+fn screen_frontier(p_tree: &RTree) -> Vec<EntryRef> {
+    if p_tree.is_empty() {
+        return Vec::new();
+    }
+    let mut frontier: Vec<EntryRef> = vec![EntryRef::Node(p_tree.root_id())];
+    loop {
+        let expandable = frontier
+            .iter()
+            .filter(|e| matches!(e, EntryRef::Node(n) if !p_tree.node(*n).is_leaf()))
+            .count();
+        if frontier.len() >= 32 || expandable == 0 {
+            break;
+        }
+        let mut next = Vec::with_capacity(frontier.len() * 4);
+        for e in frontier {
+            match e {
+                EntryRef::Node(n) if !p_tree.node(n).is_leaf() => {
+                    next.extend(p_tree.node(n).entries());
+                }
+                other => next.push(other),
+            }
+        }
+        frontier = next;
+        if frontier.len() > 512 {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Fallible, guarded pruned probing: input validation as in
+/// [`crate::probing::try_basic_probing_topk`], then the screened probe
+/// loop runs under `limits` with every `getDominatingSky` traversal
+/// charged to the guard (the O(1) lower-bound screen itself is not
+/// charged — it reads only the prebuilt frontier). On interruption the
+/// exact top-k over the fully evaluated prefix of `T` comes back tagged
+/// [`Completion::Partial`]; unlimited runs are bit-identical to
+/// [`improved_probing_topk_pruned_rec`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_improved_probing_topk_pruned<C: CostFunction + ?Sized, R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<(AnytimeTopK, PruningStats), SkyupError> {
+    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
+    let mut guard = limits.start();
+    let mut stats = PruningStats::default();
+    let screen_entries = screen_frontier(p_tree);
+    let mut topk = TopK::new(k);
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+
+    timed(rec, Phase::ProbeLoop, |rec| {
+        for (tid, t) in t_store.iter() {
+            if let Err(i) = guard.checkpoint() {
+                completion = Completion::Partial(i);
+                break;
+            }
+            if topk.is_full() && !screen_entries.is_empty() {
+                let screened: Vec<EntryRef> = screen_entries
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        p_tree
+                            .entry_lo(p_store, e)
+                            .iter()
+                            .zip(t)
+                            .all(|(&l, &y)| l <= y)
+                    })
+                    .collect();
+                let lb = list_bound(
+                    t,
+                    &screened,
+                    p_store,
+                    p_tree,
+                    cost_fn,
+                    LowerBound::Aggressive,
+                    BoundMode::Admissible,
+                );
+                rec.bump(Counter::LowerBoundEvals);
+                if lb > topk.threshold() {
+                    stats.pruned += 1;
+                    rec.bump(Counter::ThresholdPrunes);
+                    continue;
+                }
+            }
+            let sky_res = timed(rec, Phase::DominatingSky, |rec| {
+                dominating_skyline_lim(p_store, p_tree, t, rec, &mut guard)
+            });
+            let skyline = match sky_res {
+                Ok(s) => s,
+                Err(i) => {
+                    completion = Completion::Partial(i);
+                    break;
+                }
+            };
+            let (cost, upgraded) = timed(rec, Phase::Upgrade, |_| {
+                upgrade_single(p_store, &skyline, t, cost_fn, cfg)
+            });
+            stats.evaluated += 1;
+            rec.bump(Counter::ProductsEvaluated);
+            evaluated += 1;
+            topk.offer(UpgradeResult {
+                product: tid,
+                original: t.to_vec(),
+                upgraded,
+                cost,
+            });
+        }
+    });
+
+    let results = topk.into_sorted();
+    rec.incr(Counter::ResultsEmitted, results.len() as u64);
+    rec.incr(Counter::GuardedNodeVisits, guard.node_visits());
+    if !completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    Ok((
+        AnytimeTopK {
+            results,
+            completion,
+            evaluated,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Result types returned by the upgrading algorithms.
 
 use skyup_geom::PointId;
+use skyup_obs::Completion;
 
 /// One upgraded product: which product of `T` to upgrade, the attribute
 /// values to upgrade it to, and the cost `f_p(upgraded) − f_p(original)`.
@@ -21,6 +22,39 @@ impl UpgradeResult {
     /// Whether the product required no change at all.
     pub fn already_competitive(&self) -> bool {
         self.cost == 0.0 && self.original == self.upgraded
+    }
+}
+
+/// A top-k answer from a `try_*` entry point, tagged with how complete
+/// it is.
+///
+/// With [`Completion::Exact`] the results are the algorithm's full
+/// answer — bit-identical to the infallible entry point's output. With
+/// [`Completion::Partial`] an execution limit fired first and the
+/// results are a valid best-so-far answer:
+///
+/// * probing variants return the exact top-k over the `evaluated`-long
+///   prefix of `T` that was fully processed (every returned result
+///   carries its exact per-product upgrade, and the set is a subset of
+///   the unlimited run's full `|T|`-ranking, in consistent order);
+/// * the join returns an exact prefix of its unlimited emission
+///   sequence (the deterministic traversal simply stopped early).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnytimeTopK {
+    /// The collected upgrades, sorted the same way the corresponding
+    /// infallible entry point sorts them.
+    pub results: Vec<UpgradeResult>,
+    /// Whether the answer is exact or cut short by a limit.
+    pub completion: Completion,
+    /// Products fully evaluated (probing) or results emitted (join)
+    /// before the query ended.
+    pub evaluated: usize,
+}
+
+impl AnytimeTopK {
+    /// Whether the query ran to the end.
+    pub fn is_exact(&self) -> bool {
+        self.completion.is_exact()
     }
 }
 

@@ -134,6 +134,56 @@ pub fn upgrade_single<C: CostFunction + ?Sized>(
     (best_cost, best)
 }
 
+/// Fallible twin of [`upgrade_single`]: checks the contract that the
+/// debug-build asserts only sample — matching dimensionalities, finite
+/// product coordinates, skyline ids in bounds, and every skyline point
+/// actually dominating `t` — and reports violations as
+/// [`SkyupError`](crate::SkyupError) instead of computing a garbage
+/// upgrade (or panicking) in release builds.
+pub fn try_upgrade_single<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+) -> Result<(f64, Vec<f64>), crate::SkyupError> {
+    use crate::SkyupError;
+    if p_store.dims() != t.len() {
+        return Err(SkyupError::DimensionMismatch {
+            p_dims: p_store.dims(),
+            t_dims: t.len(),
+        });
+    }
+    if cost_fn.dims() != t.len() {
+        return Err(SkyupError::InvalidConfig(format!(
+            "cost function covers {} dimensions but the product has {}",
+            cost_fn.dims(),
+            t.len()
+        )));
+    }
+    if let Some((i, v)) = t.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+        return Err(SkyupError::InvalidInput(format!(
+            "product coordinate {i} is not finite ({v})"
+        )));
+    }
+    for &s in skyline {
+        if (s.0 as usize) >= p_store.len() {
+            return Err(SkyupError::InvalidInput(format!(
+                "skyline id {} is out of bounds for a {}-point store",
+                s.0,
+                p_store.len()
+            )));
+        }
+        if !skyup_geom::dominance::dominates(p_store.point(s), t) {
+            return Err(SkyupError::InvalidInput(format!(
+                "skyline point {} does not dominate the product",
+                s.0
+            )));
+        }
+    }
+    Ok(upgrade_single(p_store, skyline, t, cost_fn, cfg))
+}
+
 /// Test/diagnostic helper: whether `candidate` is dominated by any point
 /// of `skyline`.
 pub fn dominated_by_any(p_store: &PointStore, skyline: &[PointId], candidate: &[f64]) -> bool {

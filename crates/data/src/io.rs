@@ -11,7 +11,9 @@ use std::path::Path;
 
 /// Reads the given `columns` (0-based) of a delimited text file into a
 /// point store, one point per line. `skip_header` drops the first line.
-/// Blank lines are ignored; any non-numeric cell is an error.
+/// Blank lines are ignored; any non-numeric or non-finite cell (`inf`,
+/// `NaN` parse as floats but poison dominance tests) is an error
+/// carrying its 1-based line number.
 pub fn read_delimited(
     path: &Path,
     delimiter: char,
@@ -58,7 +60,12 @@ pub fn parse_delimited<R: BufRead>(
                 )
             })?;
         }
-        store.push(&buf);
+        store.try_push(&buf).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
     }
     Ok(store)
 }
@@ -117,6 +124,22 @@ mod tests {
         let data = "1.0;oops\n";
         let err = parse_delimited(Cursor::new(data), ';', false, &[0, 1]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_finite_cell_is_an_error_with_line_context() {
+        // `inf` and `NaN` parse as f64 but would poison dominance tests
+        // downstream; the fallible store push rejects them here, at the
+        // ingestion boundary, with the offending line number.
+        let data = "1.0;2.0\n1.0;inf\n";
+        let err = parse_delimited(Cursor::new(data), ';', false, &[0, 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("finite"), "{err}");
+
+        let nan = "NaN,0.5\n";
+        let err = parse_delimited(Cursor::new(nan), ',', false, &[0, 1]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

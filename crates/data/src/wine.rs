@@ -112,8 +112,11 @@ pub fn wine_dataset(attrs: &[WineAttr], seed: u64) -> PointStore {
 
 /// Loads the **genuine** UCI `winequality-white.csv` (semicolon
 /// delimited, header line, 4,898 rows) restricted to `attrs`, applying
-/// the same negate-and-normalize pipeline as [`wine_dataset`]. Use this
-/// when the real file is available to replace the synthetic stand-in:
+/// the same negate-and-normalize pipeline as [`wine_dataset`]. Rows
+/// with missing, non-numeric, or non-finite cells are rejected with
+/// their line number (see [`crate::io::read_delimited`]) rather than
+/// poisoning the downstream dominance tests. Use this when the real
+/// file is available to replace the synthetic stand-in:
 ///
 /// ```no_run
 /// use skyup_data::wine::{load_wine_csv, WineAttr};
@@ -279,6 +282,24 @@ mod csv_tests {
         // best) maps to 0.
         assert_eq!(store.point(skyup_geom::PointId(1))[1], 0.0);
         assert_eq!(store.point(skyup_geom::PointId(2))[1], 1.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_row_reported_with_line_number() {
+        let dir = std::env::temp_dir().join("skyup-wine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("winequality-broken.csv");
+        std::fs::write(
+            &path,
+            "h1;h2;h3;h4;chlorides;h6;tsd;h8;h9;sulphates;h11;q\n\
+             7;0.27;0.36;20.7;0.045;45;170;1.001;3;0.45;8.8;6\n\
+             7;0.27;0.36;20.7;inf;45;170;1.001;3;0.45;8.8;6\n",
+        )
+        .unwrap();
+        let err = load_wine_csv(&path, &[WineAttr::Chlorides, WineAttr::Sulphates]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -24,6 +24,7 @@
 pub mod adr;
 pub mod dims;
 pub mod dominance;
+pub mod error;
 pub mod ordered;
 pub mod persist;
 pub mod point;
@@ -33,6 +34,7 @@ pub mod store;
 pub use adr::{point_in_adr, point_strictly_in_adr, rect_intersects_adr};
 pub use dims::{classify_dims, DimClassification, DimMask};
 pub use dominance::{compare, dominates, dominates_or_equal, DomRelation};
+pub use error::GeomError;
 pub use ordered::OrderedF64;
 pub use point::{coord_sum, lex_cmp, Point};
 pub use rect::Rect;

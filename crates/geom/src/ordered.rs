@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::error::GeomError;
+
 /// An `f64` with the total order of [`f64::total_cmp`], usable as a
 /// `BinaryHeap` key. All values produced by the algorithms are finite or
 /// `+inf` (the "unknown cost" sentinel); NaN is rejected at construction.
@@ -13,11 +15,24 @@ impl OrderedF64 {
     /// Wraps a non-NaN `f64`.
     ///
     /// # Panics
-    /// Panics on NaN.
+    /// Panics on NaN. Boundary code that cannot rule out NaN should use
+    /// [`OrderedF64::try_new`] instead.
     #[inline]
     pub fn new(v: f64) -> Self {
-        assert!(!v.is_nan(), "OrderedF64 cannot hold NaN");
-        Self(v)
+        match Self::try_new(v) {
+            Ok(x) => x,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Wraps a non-NaN `f64`, rejecting NaN with an error.
+    #[inline]
+    pub fn try_new(v: f64) -> Result<Self, GeomError> {
+        if v.is_nan() {
+            Err(GeomError::NanValue)
+        } else {
+            Ok(Self(v))
+        }
     }
 
     /// The wrapped value.
@@ -99,5 +114,12 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         let _ = OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_reports_nan_without_panicking() {
+        assert_eq!(OrderedF64::try_new(f64::NAN), Err(GeomError::NanValue));
+        assert_eq!(OrderedF64::try_new(1.5).map(OrderedF64::get), Ok(1.5));
+        assert!(OrderedF64::try_new(f64::INFINITY).is_ok());
     }
 }

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::error::GeomError;
+
 /// Identifier of a point within one [`PointStore`].
 ///
 /// Ids are dense: the `i`-th pushed point has id `i`. An id is only
@@ -96,22 +98,32 @@ impl PointStore {
     ///
     /// # Panics
     /// Panics if `coords.len() != self.dims()`, if a coordinate is not
-    /// finite, or if the store already holds `u32::MAX` points.
+    /// finite, or if the store already holds `u32::MAX` points. Boundary
+    /// code ingesting untrusted rows should use
+    /// [`PointStore::try_push`] instead.
     pub fn push(&mut self, coords: &[f64]) -> PointId {
-        assert_eq!(
-            coords.len(),
-            self.dims,
-            "point dimensionality {} does not match store dimensionality {}",
-            coords.len(),
-            self.dims
-        );
-        assert!(
-            coords.iter().all(|c| c.is_finite()),
-            "coordinates must be finite, got {coords:?}"
-        );
-        let id = u32::try_from(self.len()).expect("PointStore supports at most u32::MAX points");
+        match self.try_push(coords) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Appends a point, rejecting malformed rows with an error instead
+    /// of panicking: wrong dimensionality, non-finite coordinates (NaN
+    /// or ±inf), or a store already at `u32::MAX` points.
+    pub fn try_push(&mut self, coords: &[f64]) -> Result<PointId, GeomError> {
+        if coords.len() != self.dims {
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len(),
+            });
+        }
+        if let Some((dim, &value)) = coords.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate { dim, value });
+        }
+        let id = u32::try_from(self.len()).map_err(|_| GeomError::CapacityExceeded)?;
         self.coords.extend_from_slice(coords);
-        PointId(id)
+        Ok(PointId(id))
     }
 
     /// The dimensionality of every point in the store.
@@ -224,6 +236,30 @@ mod tests {
     #[should_panic(expected = "at least one dimension")]
     fn zero_dims_panics() {
         let _ = PointStore::new(0);
+    }
+
+    #[test]
+    fn try_push_reports_malformed_rows() {
+        let mut s = PointStore::new(2);
+        assert_eq!(
+            s.try_push(&[1.0]),
+            Err(GeomError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(matches!(
+            s.try_push(&[1.0, f64::NAN]),
+            Err(GeomError::NonFiniteCoordinate { dim: 1, value }) if value.is_nan()
+        ));
+        assert!(matches!(
+            s.try_push(&[f64::NEG_INFINITY, 0.0]),
+            Err(GeomError::NonFiniteCoordinate { dim: 0, .. })
+        ));
+        // Rejected rows leave the store untouched.
+        assert!(s.is_empty());
+        assert_eq!(s.try_push(&[1.0, 2.0]), Ok(PointId(0)));
+        assert_eq!(s.point(PointId(0)), &[1.0, 2.0]);
     }
 
     #[test]

@@ -47,11 +47,19 @@ pub enum Counter {
     ExactUpgrades,
     /// Results emitted to the caller.
     ResultsEmitted,
+    /// R-tree node visits charged against an execution budget (guarded
+    /// traversals only; unlimited guards still count their own visits).
+    GuardedNodeVisits,
+    /// Queries cut short by an execution limit (deadline, budget, or
+    /// cancellation) — each partial completion bumps this once.
+    LimitInterrupts,
+    /// Worker panics contained by the parallel prober's unwind barrier.
+    WorkerPanics,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -67,6 +75,9 @@ impl Counter {
         Counter::JlEntriesPruned,
         Counter::ExactUpgrades,
         Counter::ResultsEmitted,
+        Counter::GuardedNodeVisits,
+        Counter::LimitInterrupts,
+        Counter::WorkerPanics,
     ];
 
     /// Number of counters (the metrics array length).
@@ -90,6 +101,9 @@ impl Counter {
             Counter::JlEntriesPruned => "jl_entries_pruned",
             Counter::ExactUpgrades => "exact_upgrades",
             Counter::ResultsEmitted => "results_emitted",
+            Counter::GuardedNodeVisits => "guarded_node_visits",
+            Counter::LimitInterrupts => "limit_interrupts",
+            Counter::WorkerPanics => "worker_panics",
         }
     }
 

@@ -1,0 +1,531 @@
+//! Execution guardrails: wall-clock deadlines, traversal budgets, and
+//! cooperative cancellation.
+//!
+//! The paper's algorithms are evaluated on clean in-memory data, but a
+//! serving engine must be able to stop a runaway query and still return
+//! something useful. This module provides the shared machinery:
+//!
+//! * [`ExecutionLimits`] — a declarative bundle of limits (deadline,
+//!   node-visit budget, heap-entry budget) plus an optional
+//!   [`CancellationToken`], turned into a live [`ExecGuard`] per query.
+//! * [`ExecGuard`] — the object threaded through R-tree traversals,
+//!   skyline computations, and the join heap loop. Cloning a guard
+//!   *forks* it: all clones share the same budgets and trip state, so
+//!   parallel workers drain one common allowance and one worker's trip
+//!   stops the others.
+//! * [`Interrupt`] — why a guard tripped. Sticky: once a limit fires,
+//!   every subsequent check on any clone reports the same reason.
+//! * [`Completion`] — how a query ended: [`Completion::Exact`] or
+//!   [`Completion::Partial`] with the interrupt as the reason. Anytime
+//!   algorithms return best-so-far results tagged with this status
+//!   instead of erroring.
+//!
+//! The unlimited guard ([`ExecGuard::unlimited`], or
+//! [`ExecutionLimits::none`]`.start()`) carries no shared state and its
+//! checks compile down to a branch on a `None`, so instrumenting a hot
+//! path with a guard costs nothing when no limits are set — mirroring
+//! the [`crate::NullRecorder`] design.
+//!
+//! Fault injection (see [`crate::faults::FaultPlan`]) hooks into the
+//! same node-visit count, so chaos tests can deterministically panic,
+//! stall, or cancel at the Nth visit of any guarded traversal.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::faults::FaultPlan;
+
+/// Why a guarded query stopped early. Ordered roughly by "how external"
+/// the cause is; the numeric codes are an implementation detail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The R-tree node-visit budget is exhausted.
+    NodeVisitBudget,
+    /// The priority-queue entry budget is exhausted.
+    HeapBudget,
+    /// The [`CancellationToken`] was cancelled.
+    Cancelled,
+}
+
+impl Interrupt {
+    /// Human-readable reason, used in reports and CLI output.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Interrupt::DeadlineExceeded => "deadline exceeded",
+            Interrupt::NodeVisitBudget => "node visit budget exhausted",
+            Interrupt::HeapBudget => "heap entry budget exhausted",
+            Interrupt::Cancelled => "cancelled",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Interrupt::DeadlineExceeded => 1,
+            Interrupt::NodeVisitBudget => 2,
+            Interrupt::HeapBudget => 3,
+            Interrupt::Cancelled => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Interrupt> {
+        match code {
+            1 => Some(Interrupt::DeadlineExceeded),
+            2 => Some(Interrupt::NodeVisitBudget),
+            3 => Some(Interrupt::HeapBudget),
+            4 => Some(Interrupt::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
+/// How an anytime query ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Completion {
+    /// The query ran to the end; the results are the exact answer.
+    #[default]
+    Exact,
+    /// A limit fired; the results are a valid best-so-far answer (see
+    /// the individual algorithm's anytime semantics).
+    Partial(Interrupt),
+}
+
+impl Completion {
+    /// Whether the query completed exactly.
+    pub fn is_exact(self) -> bool {
+        matches!(self, Completion::Exact)
+    }
+
+    /// The interrupt behind a partial completion.
+    pub fn interrupt(self) -> Option<Interrupt> {
+        match self {
+            Completion::Exact => None,
+            Completion::Partial(i) => Some(i),
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Exact => f.write_str("exact"),
+            Completion::Partial(i) => write!(f, "partial ({i})"),
+        }
+    }
+}
+
+/// A shareable cancellation flag. Clone it, hand one clone to
+/// [`ExecutionLimits::with_token`], keep the other, and call
+/// [`CancellationToken::cancel`] from any thread to stop the query at
+/// its next guard check.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative execution limits for one query. All fields default to
+/// unlimited; builder methods opt into individual guardrails.
+///
+/// ```
+/// use skyup_obs::{CancellationToken, ExecutionLimits};
+/// use std::time::Duration;
+///
+/// let token = CancellationToken::new();
+/// let limits = ExecutionLimits::none()
+///     .with_deadline(Duration::from_millis(50))
+///     .with_max_node_visits(10_000)
+///     .with_token(token.clone());
+/// let mut guard = limits.start();
+/// assert!(guard.checkpoint().is_ok());
+/// token.cancel();
+/// assert!(guard.checkpoint().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionLimits {
+    /// Maximum wall-clock time from [`ExecutionLimits::start`].
+    pub max_wall: Option<Duration>,
+    /// Maximum R-tree node visits across every traversal of the query.
+    pub max_node_visits: Option<u64>,
+    /// Maximum priority-queue pushes across every heap of the query.
+    pub max_heap_entries: Option<u64>,
+    /// External cancellation token observed by every guard check.
+    pub token: Option<CancellationToken>,
+    /// Deterministic fault injection (test support; see
+    /// [`crate::faults`]).
+    pub faults: Option<FaultPlan>,
+}
+
+impl ExecutionLimits {
+    /// No limits at all: the resulting guard is free.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline, measured from `start()`.
+    pub fn with_deadline(mut self, max_wall: Duration) -> Self {
+        self.max_wall = Some(max_wall);
+        self
+    }
+
+    /// Sets the R-tree node-visit budget.
+    pub fn with_max_node_visits(mut self, n: u64) -> Self {
+        self.max_node_visits = Some(n);
+        self
+    }
+
+    /// Sets the heap-entry budget.
+    pub fn with_max_heap_entries(mut self, n: u64) -> Self {
+        self.max_heap_entries = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_token(mut self, token: CancellationToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Attaches a fault-injection plan (test support).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Whether no guardrail (and no fault plan) is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_wall.is_none()
+            && self.max_node_visits.is_none()
+            && self.max_heap_entries.is_none()
+            && self.token.is_none()
+            && self.faults.is_none()
+    }
+
+    /// Arms the limits: the deadline clock starts now. The returned
+    /// guard is what algorithms thread through their traversals; clone
+    /// it to share the same budgets across worker threads.
+    pub fn start(&self) -> ExecGuard {
+        if self.is_unlimited() {
+            return ExecGuard::unlimited();
+        }
+        ExecGuard {
+            core: Some(Arc::new(GuardCore {
+                deadline: self.max_wall.map(|d| Instant::now() + d),
+                max_visits: self.max_node_visits.unwrap_or(u64::MAX),
+                max_heap: self.max_heap_entries.unwrap_or(u64::MAX),
+                visits: AtomicU64::new(0),
+                heap: AtomicU64::new(0),
+                token: self.token.clone().unwrap_or_default(),
+                tripped: AtomicU8::new(0),
+                faults: self.faults.clone(),
+            })),
+            visits: 0,
+        }
+    }
+}
+
+/// Shared state behind every clone of one query's guard.
+#[derive(Debug)]
+struct GuardCore {
+    deadline: Option<Instant>,
+    max_visits: u64,
+    max_heap: u64,
+    visits: AtomicU64,
+    heap: AtomicU64,
+    token: CancellationToken,
+    tripped: AtomicU8,
+    faults: Option<FaultPlan>,
+}
+
+impl GuardCore {
+    /// Records the first trip; later trips keep the original reason.
+    fn trip(&self, i: Interrupt) -> Interrupt {
+        match self
+            .tripped
+            .compare_exchange(0, i.code(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => i,
+            Err(prev) => Interrupt::from_code(prev).unwrap_or(i),
+        }
+    }
+
+    fn tripped(&self) -> Option<Interrupt> {
+        Interrupt::from_code(self.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Sticky-trip, cancellation, and deadline checks (no counting).
+    fn check_soft(&self) -> Result<(), Interrupt> {
+        if let Some(i) = self.tripped() {
+            return Err(i);
+        }
+        if self.token.is_cancelled() {
+            return Err(self.trip(Interrupt::Cancelled));
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(self.trip(Interrupt::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The live guard threaded through guarded traversals. Obtained from
+/// [`ExecutionLimits::start`] (or [`ExecGuard::unlimited`] for the free
+/// no-op variant). `Clone` forks the guard: clones share the budgets,
+/// the deadline, the token, and the sticky trip state.
+#[derive(Debug)]
+pub struct ExecGuard {
+    core: Option<Arc<GuardCore>>,
+    /// Node visits charged through *this* clone (per-worker count; the
+    /// shared total lives in the core).
+    visits: u64,
+}
+
+impl Clone for ExecGuard {
+    fn clone(&self) -> Self {
+        ExecGuard {
+            core: self.core.clone(),
+            visits: 0,
+        }
+    }
+}
+
+impl ExecGuard {
+    /// A guard with no limits: every check is `Ok` and nearly free.
+    pub fn unlimited() -> Self {
+        ExecGuard {
+            core: None,
+            visits: 0,
+        }
+    }
+
+    /// Whether this guard can never interrupt (no limits, no faults).
+    pub fn is_unlimited(&self) -> bool {
+        self.core.is_none()
+    }
+
+    /// Charges one R-tree node visit against the budget, fires any
+    /// fault scheduled for this visit, and checks the deadline, the
+    /// token, and the sticky trip state.
+    ///
+    /// Call this *before* reading the node: a budget of `N` allows
+    /// exactly `N` node reads.
+    #[inline]
+    pub fn visit_node(&mut self) -> Result<(), Interrupt> {
+        self.visits += 1;
+        let Some(core) = &self.core else {
+            return Ok(());
+        };
+        let n = core.visits.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(f) = &core.faults {
+            f.fire(n, &core.token);
+        }
+        if n > core.max_visits {
+            return Err(core.trip(Interrupt::NodeVisitBudget));
+        }
+        core.check_soft()
+    }
+
+    /// Charges one priority-queue push against the heap budget and
+    /// checks the sticky trip state.
+    #[inline]
+    pub fn heap_push(&mut self) -> Result<(), Interrupt> {
+        let Some(core) = &self.core else {
+            return Ok(());
+        };
+        let h = core.heap.fetch_add(1, Ordering::Relaxed) + 1;
+        if h > core.max_heap {
+            return Err(core.trip(Interrupt::HeapBudget));
+        }
+        if let Some(i) = core.tripped() {
+            return Err(i);
+        }
+        Ok(())
+    }
+
+    /// Deadline + cancellation + sticky-trip check without charging any
+    /// budget — for loop boundaries (between products, between heap
+    /// pops).
+    #[inline]
+    pub fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        match &self.core {
+            None => Ok(()),
+            Some(core) => core.check_soft(),
+        }
+    }
+
+    /// The sticky interrupt, if any clone of this guard has tripped.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.core.as_ref().and_then(|c| c.tripped())
+    }
+
+    /// Node visits charged through this clone (a worker-local count).
+    pub fn node_visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// Node visits charged across *all* clones of this guard.
+    pub fn total_node_visits(&self) -> u64 {
+        match &self.core {
+            None => self.visits,
+            Some(core) => core.visits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cancels the query for every clone of this guard (no-op on the
+    /// unlimited guard). Used to stop sibling workers after a panic.
+    pub fn cancel(&self) {
+        if let Some(core) = &self.core {
+            core.token.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let mut g = ExecGuard::unlimited();
+        for _ in 0..10_000 {
+            assert!(g.visit_node().is_ok());
+            assert!(g.heap_push().is_ok());
+            assert!(g.checkpoint().is_ok());
+        }
+        assert!(g.is_unlimited());
+        assert_eq!(g.node_visits(), 10_000);
+        assert_eq!(g.interrupted(), None);
+        assert!(ExecutionLimits::none().is_unlimited());
+    }
+
+    #[test]
+    fn node_budget_trips_exactly_at_limit() {
+        let mut g = ExecutionLimits::none().with_max_node_visits(5).start();
+        for _ in 0..5 {
+            assert!(g.visit_node().is_ok());
+        }
+        assert_eq!(g.visit_node(), Err(Interrupt::NodeVisitBudget));
+        // Sticky: every later check reports the same reason.
+        assert_eq!(g.checkpoint(), Err(Interrupt::NodeVisitBudget));
+        assert_eq!(g.heap_push(), Err(Interrupt::NodeVisitBudget));
+        assert_eq!(g.interrupted(), Some(Interrupt::NodeVisitBudget));
+    }
+
+    #[test]
+    fn heap_budget_trips() {
+        let mut g = ExecutionLimits::none().with_max_heap_entries(3).start();
+        for _ in 0..3 {
+            assert!(g.heap_push().is_ok());
+        }
+        assert_eq!(g.heap_push(), Err(Interrupt::HeapBudget));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let mut g = ExecutionLimits::none()
+            .with_deadline(Duration::from_millis(0))
+            .start();
+        assert_eq!(g.checkpoint(), Err(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn token_cancellation_observed() {
+        let token = CancellationToken::new();
+        let mut g = ExecutionLimits::none().with_token(token.clone()).start();
+        assert!(g.checkpoint().is_ok());
+        assert!(g.visit_node().is_ok());
+        token.cancel();
+        assert_eq!(g.checkpoint(), Err(Interrupt::Cancelled));
+        assert_eq!(g.visit_node(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_budget_and_trip_state() {
+        let g = ExecutionLimits::none().with_max_node_visits(4).start();
+        let mut a = g.clone();
+        let mut b = g.clone();
+        assert!(a.visit_node().is_ok());
+        assert!(b.visit_node().is_ok());
+        assert!(a.visit_node().is_ok());
+        assert!(b.visit_node().is_ok());
+        // The 5th visit — through either clone — trips both.
+        assert_eq!(a.visit_node(), Err(Interrupt::NodeVisitBudget));
+        assert_eq!(b.checkpoint(), Err(Interrupt::NodeVisitBudget));
+        // Local counts are per-clone; the shared total sums them.
+        assert_eq!(a.node_visits(), 3);
+        assert_eq!(b.node_visits(), 2);
+        assert_eq!(a.total_node_visits(), 5);
+    }
+
+    #[test]
+    fn first_trip_reason_wins() {
+        let mut g = ExecutionLimits::none()
+            .with_max_node_visits(1)
+            .with_max_heap_entries(1)
+            .start();
+        assert!(g.visit_node().is_ok());
+        assert_eq!(g.visit_node(), Err(Interrupt::NodeVisitBudget));
+        // A later heap overflow still reports the original reason.
+        let _ = g.heap_push();
+        assert_eq!(g.heap_push(), Err(Interrupt::NodeVisitBudget));
+    }
+
+    #[test]
+    fn cancel_through_guard_stops_all_clones() {
+        let g = ExecutionLimits::none().with_max_node_visits(1000).start();
+        let mut other = g.clone();
+        g.cancel();
+        assert_eq!(other.checkpoint(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn completion_display_and_accessors() {
+        assert!(Completion::Exact.is_exact());
+        assert_eq!(Completion::Exact.interrupt(), None);
+        let p = Completion::Partial(Interrupt::DeadlineExceeded);
+        assert!(!p.is_exact());
+        assert_eq!(p.interrupt(), Some(Interrupt::DeadlineExceeded));
+        assert_eq!(p.to_string(), "partial (deadline exceeded)");
+        assert_eq!(Completion::Exact.to_string(), "exact");
+        assert_eq!(Completion::default(), Completion::Exact);
+    }
+
+    #[test]
+    fn interrupt_codes_round_trip() {
+        for i in [
+            Interrupt::DeadlineExceeded,
+            Interrupt::NodeVisitBudget,
+            Interrupt::HeapBudget,
+            Interrupt::Cancelled,
+        ] {
+            assert_eq!(Interrupt::from_code(i.code()), Some(i));
+            assert!(!i.reason().is_empty());
+        }
+        assert_eq!(Interrupt::from_code(0), None);
+        assert_eq!(Interrupt::from_code(99), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] rides along inside [`crate::ExecutionLimits`] and is
+//! evaluated by [`crate::ExecGuard::visit_node`] against the *shared*
+//! visit count, so a fault scheduled at visit `N` fires exactly once
+//! per query, at a reproducible point of the traversal (sequentially
+//! deterministic; under parallel probing, at the Nth global visit in
+//! whatever interleaving occurs).
+//!
+//! Three failure modes cover the interesting containment stories:
+//!
+//! * `panic_at_visit` — simulates a bug inside a traversal; the
+//!   parallel prober must contain it via `catch_unwind` and surface a
+//!   structured error instead of aborting the process.
+//! * `stall_at_visit` — simulates a slow disk/lock by sleeping inside
+//!   the traversal, burning the wall-clock deadline so the query comes
+//!   back `Partial(DeadlineExceeded)`.
+//! * `cancel_at_visit` — simulates a spurious external cancellation by
+//!   tripping the query's own token mid-traversal.
+
+use std::time::Duration;
+
+use crate::exec::CancellationToken;
+
+/// A deterministic schedule of injected faults, keyed by the shared
+/// node-visit count of the query's guard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    panic_at_visit: Option<u64>,
+    stall_at_visit: Option<(u64, Duration)>,
+    cancel_at_visit: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panics (with a `"fault injection"` message) at the `n`-th
+    /// guarded node visit.
+    pub fn panic_at_visit(mut self, n: u64) -> Self {
+        self.panic_at_visit = Some(n);
+        self
+    }
+
+    /// Sleeps for `pause` at the `n`-th guarded node visit, simulating
+    /// a stall that burns the deadline.
+    pub fn stall_at_visit(mut self, n: u64, pause: Duration) -> Self {
+        self.stall_at_visit = Some((n, pause));
+        self
+    }
+
+    /// Cancels the query's own token at the `n`-th guarded node visit.
+    pub fn cancel_at_visit(mut self, n: u64) -> Self {
+        self.cancel_at_visit = Some(n);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Fires whichever faults are scheduled for this visit. Called by
+    /// the guard with the post-increment shared visit count.
+    pub(crate) fn fire(&self, visit: u64, token: &CancellationToken) {
+        if let Some((at, pause)) = self.stall_at_visit {
+            if at == visit {
+                std::thread::sleep(pause);
+            }
+        }
+        if self.cancel_at_visit == Some(visit) {
+            token.cancel();
+        }
+        if self.panic_at_visit == Some(visit) {
+            panic!("fault injection: panic at node visit {visit}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecutionLimits, Interrupt};
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let token = CancellationToken::new();
+        for visit in 1..100 {
+            plan.fire(visit, &token);
+        }
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn panic_fault_fires_at_exact_visit() {
+        let mut g = ExecutionLimits::none()
+            .with_faults(FaultPlan::new().panic_at_visit(3))
+            .start();
+        assert!(g.visit_node().is_ok());
+        assert!(g.visit_node().is_ok());
+        let _ = g.visit_node(); // third visit panics
+    }
+
+    #[test]
+    fn cancel_fault_trips_guard() {
+        let mut g = ExecutionLimits::none()
+            .with_faults(FaultPlan::new().cancel_at_visit(2))
+            .start();
+        assert!(g.visit_node().is_ok());
+        assert_eq!(g.visit_node(), Err(Interrupt::Cancelled));
+        assert_eq!(g.interrupted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn stall_fault_burns_deadline() {
+        let mut g = ExecutionLimits::none()
+            .with_deadline(Duration::from_millis(20))
+            .with_faults(FaultPlan::new().stall_at_visit(1, Duration::from_millis(40)))
+            .start();
+        assert_eq!(g.visit_node(), Err(Interrupt::DeadlineExceeded));
+    }
+}

@@ -25,6 +25,12 @@
 //!   and parser, used both to emit reports and to round-trip them in
 //!   tests (the environment has no network access to crates.io, so no
 //!   `serde`).
+//! * [`exec`] — execution guardrails: [`ExecutionLimits`] (deadline,
+//!   node-visit and heap budgets, [`CancellationToken`]) armed into an
+//!   [`ExecGuard`] that traversals check, and the
+//!   [`Completion`]/[`Interrupt`] vocabulary for anytime results.
+//! * [`faults`] — the deterministic [`FaultPlan`] chaos-testing hook
+//!   evaluated by guards at exact node-visit counts.
 //!
 //! # Example
 //!
@@ -43,6 +49,8 @@
 //! assert!(skyup_obs::json::parse(&report).is_ok());
 //! ```
 
+pub mod exec;
+pub mod faults;
 pub mod json;
 pub mod report;
 
@@ -50,6 +58,8 @@ mod counter;
 mod metrics;
 
 pub use counter::{Counter, Phase};
+pub use exec::{CancellationToken, Completion, ExecGuard, ExecutionLimits, Interrupt};
+pub use faults::FaultPlan;
 pub use metrics::QueryMetrics;
 
 use std::time::Instant;

@@ -3,7 +3,7 @@
 use crate::node::{EntryRef, NodeId};
 use crate::tree::RTree;
 use crate::{PointId, PointStore, Rect};
-use skyup_obs::{Counter, NullRecorder, Recorder};
+use skyup_obs::{Counter, ExecGuard, Interrupt, NullRecorder, Recorder};
 
 impl RTree {
     /// Returns every indexed point inside `range` (borders included).
@@ -32,12 +32,32 @@ impl RTree {
         out: &mut Vec<PointId>,
         rec: &mut R,
     ) {
+        let unlimited =
+            self.range_query_into_lim(store, range, out, rec, &mut ExecGuard::unlimited());
+        debug_assert!(unlimited.is_ok(), "unlimited guard cannot interrupt");
+    }
+
+    /// [`Self::range_query_into_rec`] under an execution guard: every
+    /// node read is charged to `guard` *before* it happens, and the
+    /// traversal stops with `Err` the moment the guard trips. `out`
+    /// then holds the points collected so far — a valid subset of the
+    /// full answer. With [`ExecGuard::unlimited`] the traversal order
+    /// and result are identical to the unguarded query.
+    pub fn range_query_into_lim<R: Recorder + ?Sized>(
+        &self,
+        store: &PointStore,
+        range: &Rect,
+        out: &mut Vec<PointId>,
+        rec: &mut R,
+        guard: &mut ExecGuard,
+    ) -> Result<(), Interrupt> {
         out.clear();
         if self.is_empty() {
-            return;
+            return Ok(());
         }
         let mut stack: Vec<NodeId> = vec![self.root];
         while let Some(id) = stack.pop() {
+            guard.visit_node()?;
             let node = self.node(id);
             rec.bump(Counter::RtreeNodeAccesses);
             if !node.mbr.intersects(range) {
@@ -60,6 +80,7 @@ impl RTree {
                 stack.extend_from_slice(&node.children);
             }
         }
+        Ok(())
     }
 
     /// Counts the points inside `range` without materializing them.
@@ -170,6 +191,37 @@ mod tests {
         let (s, t) = grid(4);
         assert!(t.contains_coords(&s, &[2.0, 3.0]));
         assert!(!t.contains_coords(&s, &[2.0, 3.5]));
+    }
+
+    #[test]
+    fn guarded_range_query_stops_at_budget() {
+        use skyup_obs::ExecutionLimits;
+
+        let (s, t) = grid(12);
+        // Partially covering, so the traversal has to descend instead of
+        // taking the root subtree wholesale.
+        let range = Rect::new(&[2.5, 3.0], &[7.0, 9.5]);
+
+        // Unlimited guard: identical to the plain query.
+        let mut out = Vec::new();
+        t.range_query_into_lim(
+            &s,
+            &range,
+            &mut out,
+            &mut NullRecorder,
+            &mut ExecGuard::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), t.range_query(&s, &range).len());
+
+        // A one-node budget only reads the root before tripping; the
+        // partial output is a subset of the full answer.
+        let mut g = ExecutionLimits::none().with_max_node_visits(1).start();
+        let mut partial = Vec::new();
+        let err = t.range_query_into_lim(&s, &range, &mut partial, &mut NullRecorder, &mut g);
+        assert_eq!(err, Err(Interrupt::NodeVisitBudget));
+        assert!(partial.len() <= out.len());
+        assert!(partial.iter().all(|p| out.contains(p)));
     }
 
     #[test]

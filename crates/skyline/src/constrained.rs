@@ -12,7 +12,7 @@ use crate::{PointId, PointStore};
 use skyup_geom::adr::rect_intersects_adr;
 use skyup_geom::dominance::dominates;
 use skyup_geom::point::coord_sum;
-use skyup_obs::{Counter, NullRecorder, Recorder};
+use skyup_obs::{Counter, ExecGuard, Interrupt, NullRecorder, Recorder};
 use skyup_rtree::{EntryRef, RTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -58,6 +58,28 @@ pub fn dominating_skyline_rec<R: Recorder + ?Sized>(
     dominating_skyline_from_rec(store, tree, &[EntryRef::Node(tree.root_id())], t, rec)
 }
 
+/// [`dominating_skyline_rec`] under an execution guard (see
+/// [`dominating_skyline_from_lim`] for the interruption contract).
+pub fn dominating_skyline_lim<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    t: &[f64],
+    rec: &mut R,
+    guard: &mut ExecGuard,
+) -> Result<Vec<PointId>, Interrupt> {
+    if tree.is_empty() {
+        return Ok(Vec::new());
+    }
+    dominating_skyline_from_lim(
+        store,
+        tree,
+        &[EntryRef::Node(tree.root_id())],
+        t,
+        rec,
+        guard,
+    )
+}
+
 /// Generalization of [`dominating_skyline`] that starts the constrained
 /// BBS traversal from an arbitrary set of `seeds` (entries of `tree`)
 /// instead of the root. The join algorithm uses this to compute the
@@ -85,6 +107,28 @@ pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
     t: &[f64],
     rec: &mut R,
 ) -> Vec<PointId> {
+    dominating_skyline_from_lim(store, tree, seeds, t, rec, &mut ExecGuard::unlimited())
+        .expect("unlimited guard cannot interrupt")
+}
+
+/// [`dominating_skyline_from_rec`] under an execution guard: node
+/// expansions are charged via [`ExecGuard::visit_node`] (before the
+/// node is read) and heap pushes via [`ExecGuard::heap_push`]; the
+/// traversal aborts with `Err` the moment the guard trips.
+///
+/// On interruption the partially built skyline is discarded — a prefix
+/// of a BBS dominator skyline may be *missing* dominators, so it is not
+/// a safe input for Algorithm 1; callers treat the whole product as
+/// unevaluated. With [`ExecGuard::unlimited`] the traversal is
+/// bit-identical to [`dominating_skyline_from_rec`].
+pub fn dominating_skyline_from_lim<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    seeds: &[EntryRef],
+    t: &[f64],
+    rec: &mut R,
+    guard: &mut ExecGuard,
+) -> Result<Vec<PointId>, Interrupt> {
     assert_eq!(store.dims(), t.len(), "product dimensionality mismatch");
     let mut skyline: Vec<PointId> = Vec::new();
 
@@ -96,6 +140,7 @@ pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
             EntryRef::Point(p) => store.point(p).iter().zip(t).all(|(&x, &y)| x <= y),
         };
         if admit {
+            guard.heap_push()?;
             let lo = tree.entry_lo(store, seed);
             heap.push(Reverse(HeapItem::new(coord_sum(lo), seed)));
             rec.bump(Counter::HeapPushes);
@@ -122,6 +167,7 @@ pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
             EntryRef::Node(n) => {
                 // Lines 11-13: push children that overlap ADR(t) and are
                 // not dominated by the current skyline.
+                guard.visit_node()?;
                 rec.bump(Counter::RtreeNodeAccesses);
                 for child in tree.node(n).entries() {
                     rec.bump(Counter::RtreeEntryAccesses);
@@ -131,6 +177,7 @@ pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
                         EntryRef::Point(_) => child_lo.iter().zip(t).all(|(&x, &y)| x <= y),
                     };
                     if overlaps && !dominated_by_any(store, &skyline, child_lo, rec) {
+                        guard.heap_push()?;
                         heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
                         rec.bump(Counter::HeapPushes);
                     }
@@ -139,7 +186,7 @@ pub fn dominating_skyline_from_rec<R: Recorder + ?Sized>(
         }
     }
     rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);
-    skyline
+    Ok(skyline)
 }
 
 #[cfg(test)]
@@ -244,6 +291,34 @@ mod tests {
         assert_eq!(a, b);
         // Empty seed list: empty skyline.
         assert!(dominating_skyline_from(&s, &tree, &[], &t).is_empty());
+    }
+
+    #[test]
+    fn guarded_traversal_matches_unguarded_and_trips_on_budget() {
+        use skyup_obs::ExecutionLimits;
+
+        let s = pseudo_random_store(500, 3, 0xfee1);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        let t = [0.85, 0.85, 0.85];
+
+        let mut unguarded = dominating_skyline(&s, &tree, &t);
+        let mut guarded = dominating_skyline_lim(
+            &s,
+            &tree,
+            &t,
+            &mut NullRecorder,
+            &mut ExecGuard::unlimited(),
+        )
+        .unwrap();
+        unguarded.sort();
+        guarded.sort();
+        assert_eq!(guarded, unguarded);
+
+        // A tiny node budget interrupts the traversal instead of
+        // returning an incomplete skyline.
+        let mut g = ExecutionLimits::none().with_max_node_visits(1).start();
+        let err = dominating_skyline_lim(&s, &tree, &t, &mut NullRecorder, &mut g);
+        assert_eq!(err, Err(Interrupt::NodeVisitBudget));
     }
 
     #[test]

@@ -2,8 +2,15 @@
 # Offline-safe CI gate: formatting, lints, and the tier-1 test suite.
 # Everything runs with --offline so an unreachable registry can never
 # fail the build (the workspace has zero external dependencies).
+#
+# Test invocations are wrapped in a hard `timeout`: the guardrail suite
+# deliberately injects stalls and unbounded-looking budgets, and a bug
+# there must fail CI loudly instead of hanging it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Hard wall-clock cap per test command (seconds).
+TEST_TIMEOUT="${SKYUP_CI_TEST_TIMEOUT:-900}"
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -15,9 +22,15 @@ echo "== tier-1: cargo build --release =="
 cargo build --offline --release
 
 echo "== tier-1: cargo test =="
-cargo test --offline -q
+timeout "$TEST_TIMEOUT" cargo test --offline -q
 
 echo "== workspace tests =="
-cargo test --offline -q --workspace
+timeout "$TEST_TIMEOUT" cargo test --offline -q --workspace
+
+echo "== chaos: fault injection and execution limits =="
+timeout "$TEST_TIMEOUT" cargo test --offline -q -p skyup-core --test chaos
+
+echo "== CLI exit-code contract =="
+timeout "$TEST_TIMEOUT" cargo test --offline -q --test cli_contract
 
 echo "CI OK"

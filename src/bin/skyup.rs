@@ -1,17 +1,31 @@
 //! The `skyup` command-line tool: top-k product upgrading over
 //! delimited text files. See `skyup --help`.
+//!
+//! Exit codes: `0` — the printed answer is exact; `2` — a
+//! `--timeout-ms` / `--max-node-visits` budget fired and the printed
+//! answer is the best found so far (partial); `1` — error (bad
+//! arguments, unreadable input, invalid data).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", skyup::cli::USAGE);
+        return;
+    }
     let cfg = match skyup::cli::Config::parse(&args) {
         Ok(cfg) => cfg,
         Err(msg) => {
             eprintln!("{msg}");
-            std::process::exit(2);
+            std::process::exit(1);
         }
     };
     match skyup::cli::run(&cfg) {
-        Ok(report) => print!("{report}"),
+        Ok((report, completion)) => {
+            print!("{report}");
+            if !completion.is_exact() {
+                std::process::exit(2);
+            }
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(1);

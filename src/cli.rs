@@ -8,7 +8,9 @@
 use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
 use skyup_core::join::{BoundMode, LowerBound};
 use skyup_core::{
-    basic_probing_topk_rec, improved_probing_topk_rec, JoinUpgrader, UpgradeConfig, UpgradeResult,
+    basic_probing_topk_rec, improved_probing_topk_rec, try_basic_probing_topk,
+    try_improved_probing_topk, Completion, ExecutionLimits, JoinUpgrader, UpgradeConfig,
+    UpgradeResult,
 };
 use skyup_data::{negate_dimensions, normalize_unit, read_delimited};
 use skyup_geom::PointStore;
@@ -16,6 +18,7 @@ use skyup_obs::{timed, Phase, QueryMetrics, Recorder};
 use skyup_rtree::{RTree, RTreeParams};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Which algorithm the CLI runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +62,27 @@ pub struct Config {
     pub cost: CostSpec,
     /// Instrumentation report appended to the output, if requested.
     pub stats: Option<StatsFormat>,
+    /// Wall-clock budget for the query phase, in milliseconds. When it
+    /// runs out the query degrades to a best-so-far partial answer
+    /// (exit code 2 from the binary).
+    pub timeout_ms: Option<u64>,
+    /// R-tree node-visit budget for the query phase; same degradation.
+    pub max_node_visits: Option<u64>,
+}
+
+impl Config {
+    /// The execution limits implied by `--timeout-ms` /
+    /// `--max-node-visits` (unlimited when neither is given).
+    pub fn limits(&self) -> ExecutionLimits {
+        let mut limits = ExecutionLimits::none();
+        if let Some(ms) = self.timeout_ms {
+            limits = limits.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_node_visits {
+            limits = limits.with_max_node_visits(n);
+        }
+        limits
+    }
 }
 
 /// How `--stats` renders the collected query metrics.
@@ -102,6 +126,13 @@ options:
   --cost reciprocal:<eps> | linear:<slope>   (default reciprocal:0.001)
   --stats[=json]         append a per-phase timing and counter report
                          (text by default, pretty JSON with =json)
+  --timeout-ms <n>       wall-clock budget for the query; on expiry the
+                         best-so-far partial answer is printed and the
+                         binary exits with code 2
+  --max-node-visits <n>  R-tree node-visit budget; same degradation
+
+exit codes: 0 = exact answer, 2 = partial answer (a limit fired),
+1 = error (bad arguments, unreadable input, invalid data)
 ";
 
 impl Config {
@@ -121,6 +152,8 @@ impl Config {
         let mut epsilon = 1e-6;
         let mut cost = CostSpec::Reciprocal(1e-3);
         let mut stats = None;
+        let mut timeout_ms = None;
+        let mut max_node_visits = None;
 
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -209,6 +242,24 @@ impl Config {
                     stats = Some(StatsFormat::Text);
                     i += 1;
                 }
+                "--timeout-ms" => {
+                    timeout_ms = Some(
+                        value(args, i, "--timeout-ms")?
+                            .parse()
+                            .map_err(|e| format!("--timeout-ms: {e}"))?,
+                    );
+                    i += 2;
+                }
+                "--max-node-visits" => {
+                    let n: u64 = value(args, i, "--max-node-visits")?
+                        .parse()
+                        .map_err(|e| format!("--max-node-visits: {e}"))?;
+                    if n == 0 {
+                        return Err("--max-node-visits must be at least 1".into());
+                    }
+                    max_node_visits = Some(n);
+                    i += 2;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => {
                     if let Some(fmt) = other.strip_prefix("--stats=") {
@@ -240,6 +291,8 @@ impl Config {
             epsilon,
             cost,
             stats,
+            timeout_ms,
+            max_node_visits,
         })
     }
 
@@ -305,12 +358,14 @@ fn load(cfg: &Config, path: &std::path::Path) -> Result<PointStore, String> {
         .map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Runs the CLI end to end, returning the report text. When
-/// `cfg.stats` is set, the instrumentation report is appended in the
-/// requested format (for JSON, everything from the first `{`-only line
-/// on is the document).
-pub fn run(cfg: &Config) -> Result<String, String> {
-    let (mut out, metrics) = run_with_metrics(cfg)?;
+/// Runs the CLI end to end, returning the report text and how the
+/// query completed ([`Completion::Partial`] when a `--timeout-ms` /
+/// `--max-node-visits` budget fired; the results are then a valid
+/// best-so-far answer). When `cfg.stats` is set, the instrumentation
+/// report is appended in the requested format (for JSON, everything
+/// from the first `{`-only line on is the document).
+pub fn run(cfg: &Config) -> Result<(String, Completion), String> {
+    let (mut out, metrics, completion) = run_with_metrics(cfg)?;
     if let Some(m) = &metrics {
         out.push('\n');
         match cfg.stats {
@@ -321,13 +376,16 @@ pub fn run(cfg: &Config) -> Result<String, String> {
             _ => out.push_str(&m.render_text()),
         }
     }
-    Ok(out)
+    Ok((out, completion))
 }
 
-/// [`run`] without the report formatting: returns the top-k result text
-/// and, when `cfg.stats` is set, the raw [`QueryMetrics`] (index build,
-/// query phases, and every counter the chosen algorithm touches).
-pub fn run_with_metrics(cfg: &Config) -> Result<(String, Option<QueryMetrics>), String> {
+/// [`run`] without the report formatting: returns the top-k result
+/// text, the raw [`QueryMetrics`] when `cfg.stats` is set (index
+/// build, query phases, and every counter the chosen algorithm
+/// touches), and the completion state.
+pub fn run_with_metrics(
+    cfg: &Config,
+) -> Result<(String, Option<QueryMetrics>, Completion), String> {
     let mut p = load(cfg, &cfg.competitors)?;
     let mut t = load(cfg, &cfg.products)?;
     if p.dims() != t.dims() {
@@ -375,8 +433,28 @@ pub fn run_with_metrics(cfg: &Config) -> Result<(String, Option<QueryMetrics>), 
         RTree::bulk_load(&p, RTreeParams::default())
     });
 
+    let limits = cfg.limits();
+    let guarded = !limits.is_unlimited();
+    let mut completion = Completion::Exact;
+    // Without limits the historical infallible entry points run — their
+    // output (and permissiveness, e.g. toward an empty P) is preserved
+    // bit for bit. With limits the fallible guarded twins run instead.
     let results: Vec<UpgradeResult> = match cfg.algorithm {
+        Algorithm::Basic if guarded => {
+            let out =
+                try_basic_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, &limits, rec)
+                    .map_err(|e| e.to_string())?;
+            completion = out.completion;
+            out.results
+        }
         Algorithm::Basic => basic_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec),
+        Algorithm::Probing if guarded => {
+            let out =
+                try_improved_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, &limits, rec)
+                    .map_err(|e| e.to_string())?;
+            completion = out.completion;
+            out.results
+        }
         Algorithm::Probing => {
             improved_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec)
         }
@@ -384,13 +462,28 @@ pub fn run_with_metrics(cfg: &Config) -> Result<(String, Option<QueryMetrics>), 
             let rt = timed(rec, Phase::IndexBuild, |_| {
                 RTree::bulk_load(&t, RTreeParams::default())
             });
-            let mut join = JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound);
-            if cfg.mode == BoundMode::Admissible {
-                join = join.with_bound_mode(BoundMode::Admissible);
+            if guarded {
+                let mut join =
+                    JoinUpgrader::try_new(&p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound)
+                        .map_err(|e| e.to_string())?;
+                if cfg.mode == BoundMode::Admissible {
+                    join = join.with_bound_mode(BoundMode::Admissible);
+                }
+                let mut join = join.with_limits(&limits);
+                let out = join.collect_topk(cfg.k);
+                rec.absorb(join.metrics());
+                completion = out.completion;
+                out.results
+            } else {
+                let mut join =
+                    JoinUpgrader::new(&p, &rp, &t, &rt, &cost_fn, upgrade_cfg, cfg.bound);
+                if cfg.mode == BoundMode::Admissible {
+                    join = join.with_bound_mode(BoundMode::Admissible);
+                }
+                let results: Vec<UpgradeResult> = join.by_ref().take(cfg.k).collect();
+                rec.absorb(join.metrics());
+                results
             }
-            let results: Vec<UpgradeResult> = join.by_ref().take(cfg.k).collect();
-            rec.absorb(join.metrics());
-            results
         }
     };
 
@@ -418,7 +511,10 @@ pub fn run_with_metrics(cfg: &Config) -> Result<(String, Option<QueryMetrics>), 
             r.upgraded
         );
     }
-    Ok((out, metrics))
+    if guarded {
+        let _ = writeln!(out, "completion: {completion}");
+    }
+    Ok((out, metrics, completion))
 }
 
 #[cfg(test)]
@@ -437,6 +533,22 @@ mod tests {
         assert_eq!(cfg.bound, LowerBound::Conservative);
         assert_eq!(cfg.mode, BoundMode::Paper);
         assert_eq!(cfg.cost, CostSpec::Reciprocal(1e-3));
+        assert_eq!(cfg.timeout_ms, None);
+        assert_eq!(cfg.max_node_visits, None);
+        assert!(cfg.limits().is_unlimited());
+    }
+
+    #[test]
+    fn parse_limit_flags() {
+        let cfg = Config::parse(&args(
+            "--competitors p.csv --products t.csv --timeout-ms 250 --max-node-visits 1000",
+        ))
+        .unwrap();
+        assert_eq!(cfg.timeout_ms, Some(250));
+        assert_eq!(cfg.max_node_visits, Some(1000));
+        assert!(!cfg.limits().is_unlimited());
+        assert!(Config::parse(&args("--competitors p --products t --max-node-visits 0")).is_err());
+        assert!(Config::parse(&args("--competitors p --products t --timeout-ms abc")).is_err());
     }
 
     #[test]
@@ -508,10 +620,56 @@ mod tests {
             t_path.display()
         )))
         .unwrap();
-        let report = run(&cfg).unwrap();
+        let (report, completion) = run(&cfg).unwrap();
         assert!(report.contains("|P| = 3, |T| = 2"));
         assert!(report.contains("#1 product"));
         assert!(report.contains("#2 product"));
+        // Unlimited runs are exact and keep their historical output:
+        // no completion line.
+        assert!(completion.is_exact());
+        assert!(!report.contains("completion:"));
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&t_path).ok();
+    }
+
+    #[test]
+    fn guarded_run_reports_completion() {
+        let dir = std::env::temp_dir().join("skyup-cli-guarded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_path = dir.join("p.csv");
+        let t_path = dir.join("t.csv");
+        std::fs::write(&p_path, "0.2,0.8\n0.5,0.5\n0.8,0.2\n").unwrap();
+        std::fs::write(&t_path, "0.9,0.9\n0.6,0.7\n").unwrap();
+        let base = format!(
+            "--competitors {} --products {} -k 2",
+            p_path.display(),
+            t_path.display()
+        );
+
+        for algo in ["basic", "probing", "join"] {
+            // Generous budget: the guarded twin completes exactly and
+            // says so.
+            let cfg = Config::parse(&args(&format!(
+                "{base} --algorithm {algo} --max-node-visits 100000"
+            )))
+            .unwrap();
+            let (report, completion) = run(&cfg).unwrap();
+            assert!(completion.is_exact(), "{algo}");
+            assert!(report.contains("completion: exact"), "{algo}: {report}");
+
+            // One node visit: the query degrades to a partial answer
+            // instead of failing.
+            let cfg = Config::parse(&args(&format!(
+                "{base} --algorithm {algo} --max-node-visits 1"
+            )))
+            .unwrap();
+            let (report, completion) = run(&cfg).unwrap();
+            assert!(!completion.is_exact(), "{algo}");
+            assert!(
+                report.contains("completion: partial (node visit budget exhausted)"),
+                "{algo}: {report}"
+            );
+        }
         std::fs::remove_file(&p_path).ok();
         std::fs::remove_file(&t_path).ok();
     }
@@ -534,7 +692,8 @@ mod tests {
             // Text report: phase table plus non-zero counters.
             let text =
                 run(&Config::parse(&args(&format!("{base} --algorithm {algo} --stats"))).unwrap())
-                    .unwrap();
+                    .unwrap()
+                    .0;
             assert!(text.contains("phase"), "{algo}: {text}");
             assert!(text.contains("index_build"), "{algo}: {text}");
             assert!(text.contains("results_emitted"), "{algo}: {text}");
@@ -545,7 +704,8 @@ mod tests {
                 "{base} --algorithm {algo} --stats=json"
             )))
             .unwrap())
-            .unwrap();
+            .unwrap()
+            .0;
             let start = out.find("\n{\n").expect("JSON document present") + 1;
             let doc = skyup_obs::json::parse(&out[start..]).expect("valid JSON");
             assert_eq!(
@@ -601,11 +761,14 @@ mod tests {
         );
         let join =
             run(&Config::parse(&args(&format!("{base} --algorithm join --admissible"))).unwrap())
-                .unwrap();
-        let probing =
-            run(&Config::parse(&args(&format!("{base} --algorithm probing"))).unwrap()).unwrap();
-        let basic =
-            run(&Config::parse(&args(&format!("{base} --algorithm basic"))).unwrap()).unwrap();
+                .unwrap()
+                .0;
+        let probing = run(&Config::parse(&args(&format!("{base} --algorithm probing"))).unwrap())
+            .unwrap()
+            .0;
+        let basic = run(&Config::parse(&args(&format!("{base} --algorithm basic"))).unwrap())
+            .unwrap()
+            .0;
         // Reports list identical products in identical order (cost lines
         // include the algorithm-independent exact costs).
         let pick = |s: &str| -> Vec<String> {

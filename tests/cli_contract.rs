@@ -1,0 +1,146 @@
+//! Exit-code contract of the `skyup` binary, exercised end to end:
+//! `0` = exact answer, `2` = partial answer (a limit fired), `1` =
+//! error. Spawns the real binary via `CARGO_BIN_EXE_skyup`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skyup"))
+}
+
+/// Writes a small competitor/product fixture pair under a per-test
+/// directory (tests in this file run concurrently).
+fn fixture(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("skyup-cli-contract-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut competitors = String::new();
+    // A 6x6 grid of competitors in (0, 1.2)^2.
+    for i in 0..6 {
+        for j in 0..6 {
+            competitors.push_str(&format!(
+                "{},{}\n",
+                0.2 * (i + 1) as f64,
+                0.2 * (j + 1) as f64
+            ));
+        }
+    }
+    let products = "0.9,0.8\n1.1,1.0\n0.7,1.1\n0.95,0.95\n1.0,0.6\n";
+    let comp = dir.join("competitors.csv");
+    let prod = dir.join("products.csv");
+    std::fs::write(&comp, competitors).unwrap();
+    std::fs::write(&prod, products).unwrap();
+    (comp, prod)
+}
+
+fn run(comp: &PathBuf, prod: &PathBuf, extra: &[&str]) -> Output {
+    bin()
+        .arg("--competitors")
+        .arg(comp)
+        .arg("--products")
+        .arg(prod)
+        .args(extra)
+        .output()
+        .expect("failed to spawn the skyup binary")
+}
+
+#[test]
+fn exact_answer_exits_zero() {
+    let (comp, prod) = fixture("exact");
+    for algorithm in ["basic", "probing", "join"] {
+        let out = run(&comp, &prod, &["-k", "3", "--algorithm", algorithm]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(0), "{algorithm}: {stdout}");
+        assert!(stdout.contains("k = 3"), "{algorithm}: {stdout}");
+        assert!(stdout.contains("#1 product"), "{algorithm}: {stdout}");
+        // Unlimited runs keep the historical report format verbatim.
+        assert!(!stdout.contains("completion:"), "{algorithm}: {stdout}");
+    }
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = bin().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: skyup"));
+}
+
+#[test]
+fn guarded_exact_run_still_exits_zero() {
+    let (comp, prod) = fixture("guarded-exact");
+    let out = run(
+        &comp,
+        &prod,
+        &[
+            "-k",
+            "2",
+            "--algorithm",
+            "probing",
+            "--max-node-visits",
+            "1000000",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("completion: exact"), "{stdout}");
+}
+
+#[test]
+fn exhausted_budget_exits_two_with_partial_answer() {
+    let (comp, prod) = fixture("partial");
+    for algorithm in ["basic", "probing", "join"] {
+        let out = run(
+            &comp,
+            &prod,
+            &[
+                "-k",
+                "3",
+                "--algorithm",
+                algorithm,
+                "--max-node-visits",
+                "1",
+            ],
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(2), "{algorithm}: {stdout}");
+        assert!(
+            stdout.contains("completion: partial (node visit budget exhausted)"),
+            "{algorithm}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn bad_arguments_exit_one() {
+    let out = bin().arg("--no-such-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!out.stderr.is_empty());
+
+    let (comp, prod) = fixture("bad-args");
+    let out = run(&comp, &prod, &["--max-node-visits", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-node-visits"));
+}
+
+#[test]
+fn unreadable_input_exits_one() {
+    let missing = std::env::temp_dir().join("skyup-cli-contract-nope/does-not-exist.csv");
+    let (_, prod) = fixture("missing");
+    let out = run(&missing, &prod, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error:"));
+}
+
+#[test]
+fn malformed_data_exits_one_with_line_context() {
+    let dir = std::env::temp_dir().join("skyup-cli-contract-malformed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let comp = dir.join("competitors.csv");
+    let prod = dir.join("products.csv");
+    std::fs::write(&comp, "0.5,0.5\n0.4,inf\n").unwrap();
+    std::fs::write(&prod, "0.9,0.8\n").unwrap();
+    let out = run(&comp, &prod, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
