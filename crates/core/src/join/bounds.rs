@@ -128,12 +128,26 @@ pub fn list_bound<C: CostFunction + ?Sized>(
             }
         }
         LowerBound::Aggressive => {
+            // In admissible mode a positive entry bound requires *every*
+            // dimension disadvantaged ([`lbc_entry_admissible`]), so all
+            // positive entries share the all-dims signature and the
+            // grouping below degenerates to a single max — which is
+            // exactly the sound aggressive bound: the upgrade must
+            // escape every fully dominating entry. Take that path
+            // without the map (the bound-sorted probe scheduler calls
+            // this once per product; it must not allocate).
+            if mode == BoundMode::Admissible {
+                let mut max = 0.0f64;
+                for &e in jl {
+                    let b = entry_bound(e_t_min, e, p_store, p_tree, cost_fn, mode);
+                    if b.cost > max {
+                        max = b.cost;
+                    }
+                }
+                return max;
+            }
             // Group positive entries by signature; max within a group,
-            // min across groups. (In admissible mode every positive
-            // entry has the all-disadvantaged signature, so this
-            // degenerates to a single max — which is exactly the sound
-            // aggressive bound: the upgrade must escape every fully
-            // dominating entry.)
+            // min across groups.
             let mut groups: HashMap<(DimMask, DimMask), f64> = HashMap::new();
             for &e in jl {
                 let b = entry_bound(e_t_min, e, p_store, p_tree, cost_fn, mode);

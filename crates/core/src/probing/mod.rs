@@ -28,6 +28,7 @@ mod basic;
 mod improved;
 mod parallel;
 mod pruned;
+mod scheduler;
 
 pub use basic::{basic_probing_topk, basic_probing_topk_rec, try_basic_probing_topk};
 pub use improved::{improved_probing_topk, improved_probing_topk_rec, try_improved_probing_topk};
@@ -38,6 +39,10 @@ pub use parallel::{
 pub use pruned::{
     improved_probing_topk_pruned, improved_probing_topk_pruned_rec,
     try_improved_probing_topk_pruned, PruningStats,
+};
+pub use scheduler::{
+    improved_probing_topk_scheduled, improved_probing_topk_scheduled_rec,
+    try_improved_probing_topk_scheduled, ProbeStrategy,
 };
 
 #[cfg(test)]

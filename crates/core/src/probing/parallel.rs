@@ -1,24 +1,27 @@
 //! Multi-threaded improved probing.
 //!
 //! Probing processes each product of `T` independently against the
-//! read-only competitor index, so it parallelizes embarrassingly:
-//! partition `T` across threads, keep a per-thread top-k, merge. Results
-//! are bit-identical to the sequential version (the merge re-applies the
-//! same `(cost, product id)` order). The paper's algorithms are all
-//! single-threaded; this is a library extension.
+//! read-only competitor index, so it parallelizes embarrassingly. These
+//! entry points run the shared probe scheduler
+//! ([`crate::probing::scheduler`]) under
+//! [`ProbeStrategy::WorkStealing`]: workers claim products in id order
+//! from a shared atomic counter, keep a per-thread top-k, and merge.
+//! Results are bit-identical to the sequential version (the merge
+//! re-applies the same `(cost, product id)` order), and the merged
+//! counters are fully deterministic because every product is evaluated
+//! exactly once. The paper's algorithms are all single-threaded; this is
+//! a library extension.
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use crate::error::{panic_message, validate_query, SkyupError};
-use crate::result::{AnytimeTopK, UpgradeResult};
-use crate::topk::TopK;
-use crate::upgrade::upgrade_single;
-use skyup_geom::{PointId, PointStore};
-use skyup_obs::{
-    timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, QueryMetrics, Recorder,
+use crate::error::SkyupError;
+use crate::probing::scheduler::{
+    improved_probing_topk_scheduled_rec, try_improved_probing_topk_scheduled, ProbeStrategy,
 };
+use crate::result::{AnytimeTopK, UpgradeResult};
+use skyup_geom::PointStore;
+use skyup_obs::{ExecutionLimits, NullRecorder, Recorder};
 use skyup_rtree::RTree;
-use skyup_skyline::{dominating_skyline, dominating_skyline_lim, dominating_skyline_rec};
 
 /// Runs improved probing across `threads` worker threads and returns the
 /// `k` cheapest upgrades, sorted by `(cost, product id)` — exactly the
@@ -53,9 +56,10 @@ where
 }
 
 /// [`improved_probing_topk_parallel`] with instrumentation. Each worker
-/// collects into a private [`QueryMetrics`] (only when the caller's
-/// recorder is enabled) which is folded into `rec` after the join, so
-/// counters equal the sequential run's and phase times sum worker time.
+/// collects into a private [`skyup_obs::QueryMetrics`] (only when the
+/// caller's recorder is enabled) which is folded into `rec` after the
+/// join, so counters equal the sequential run's (plus `StealEvents`,
+/// one per claimed product) and phase times sum worker time.
 ///
 /// `threads == 0` is clamped to one worker thread.
 #[allow(clippy::too_many_arguments)]
@@ -73,103 +77,32 @@ where
     C: CostFunction + Sync + ?Sized,
     R: Recorder + ?Sized,
 {
-    let threads = threads.max(1);
-    assert_eq!(
-        p_store.dims(),
-        t_store.dims(),
-        "P and T dimensionality differ"
-    );
-    if t_store.is_empty() {
-        return Vec::new();
-    }
-
-    let n = t_store.len();
-    let chunk = n.div_ceil(threads);
-    let collect = rec.is_enabled();
-
-    let partials: Vec<(Vec<UpgradeResult>, Option<QueryMetrics>)> =
-        timed(rec, Phase::ProbeLoop, |_| {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for w in 0..threads {
-                    let lo = w * chunk;
-                    if lo >= n {
-                        break;
-                    }
-                    let hi = ((w + 1) * chunk).min(n);
-                    handles.push(scope.spawn(move || {
-                        let mut local = collect.then(QueryMetrics::new);
-                        let mut topk = TopK::new(k);
-                        for raw in lo..hi {
-                            let tid = PointId(raw as u32);
-                            let t = t_store.point(tid);
-                            let skyline = match &mut local {
-                                Some(m) => timed(m, Phase::DominatingSky, |m| {
-                                    dominating_skyline_rec(p_store, p_tree, t, m)
-                                }),
-                                None => dominating_skyline(p_store, p_tree, t),
-                            };
-                            let (cost, upgraded) = match &mut local {
-                                Some(m) => timed(m, Phase::Upgrade, |_| {
-                                    upgrade_single(p_store, &skyline, t, cost_fn, cfg)
-                                }),
-                                None => upgrade_single(p_store, &skyline, t, cost_fn, cfg),
-                            };
-                            if let Some(m) = &mut local {
-                                m.bump(Counter::ProductsEvaluated);
-                            }
-                            topk.offer(UpgradeResult {
-                                product: tid,
-                                original: t.to_vec(),
-                                upgraded,
-                                cost,
-                            });
-                        }
-                        (topk.into_sorted(), local)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("probing worker panicked"))
-                    .collect()
-            })
-        });
-
-    let mut merged = TopK::new(k);
-    for (part, local) in partials {
-        if let Some(m) = local {
-            rec.absorb(&m);
-        }
-        for r in part {
-            merged.offer(r);
-        }
-    }
-    let results = merged.into_sorted();
-    rec.incr(Counter::ResultsEmitted, results.len() as u64);
-    results
-}
-
-/// What one guarded worker hands back on clean (non-panicking) exit.
-struct WorkerOut {
-    part: Vec<UpgradeResult>,
-    metrics: Option<QueryMetrics>,
-    evaluated: usize,
-    completion: Completion,
-    visits: u64,
+    improved_probing_topk_scheduled_rec(
+        p_store,
+        p_tree,
+        t_store,
+        k,
+        cost_fn,
+        cfg,
+        threads,
+        ProbeStrategy::WorkStealing,
+        rec,
+    )
+    .0
 }
 
 /// Fallible, guarded parallel probing: input validation as in
 /// [`crate::probing::try_basic_probing_topk`] plus `threads >= 1`, then
-/// each worker runs its slice of `T` under a forked guard sharing the
-/// global budgets. A worker that panics is contained by an unwind
-/// barrier: it cancels the shared token (stopping its siblings at their
-/// next checkpoint), every worker's output is discarded, and the call
+/// each worker claims products under a forked guard sharing the global
+/// budgets. A worker that panics is contained by an unwind barrier: it
+/// cancels the shared token (stopping its siblings at their next
+/// checkpoint), every worker's output is discarded, and the call
 /// returns [`SkyupError::WorkerPanicked`].
 ///
 /// On a limit interruption each worker keeps the exact top-k over the
-/// prefix of its slice it fully evaluated, so the merged
-/// [`Completion::Partial`] answer is the exact top-k over the union of
-/// those prefixes. Unlimited runs are bit-identical to
+/// products it fully evaluated, so the merged
+/// [`skyup_obs::Completion::Partial`] answer is the exact top-k over the
+/// union of those sets. Unlimited runs are bit-identical to
 /// [`improved_probing_topk_parallel_rec`].
 #[allow(clippy::too_many_arguments)]
 pub fn try_improved_probing_topk_parallel<C, R>(
@@ -187,155 +120,19 @@ where
     C: CostFunction + Sync + ?Sized,
     R: Recorder + ?Sized,
 {
-    if threads == 0 {
-        return Err(SkyupError::InvalidConfig(
-            "need at least one worker thread".into(),
-        ));
-    }
-    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
-    if t_store.is_empty() {
-        return Ok(AnytimeTopK {
-            results: Vec::new(),
-            completion: Completion::Exact,
-            evaluated: 0,
-        });
-    }
-
-    let guard = limits.start();
-    let n = t_store.len();
-    let chunk = n.div_ceil(threads);
-    let collect = rec.is_enabled();
-
-    let outcomes: Vec<(usize, Result<WorkerOut, String>)> = timed(rec, Phase::ProbeLoop, |_| {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let lo = w * chunk;
-                if lo >= n {
-                    break;
-                }
-                let hi = ((w + 1) * chunk).min(n);
-                let mut wguard = guard.clone();
-                handles.push(scope.spawn(move || {
-                    let canceller = wguard.clone();
-                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut local = collect.then(QueryMetrics::new);
-                        let mut topk = TopK::new(k);
-                        let mut completion = Completion::Exact;
-                        let mut evaluated = 0usize;
-                        for raw in lo..hi {
-                            if let Err(i) = wguard.checkpoint() {
-                                completion = Completion::Partial(i);
-                                break;
-                            }
-                            let tid = PointId(raw as u32);
-                            let t = t_store.point(tid);
-                            let sky_res = match &mut local {
-                                Some(m) => timed(m, Phase::DominatingSky, |m| {
-                                    dominating_skyline_lim(p_store, p_tree, t, m, &mut wguard)
-                                }),
-                                None => dominating_skyline_lim(
-                                    p_store,
-                                    p_tree,
-                                    t,
-                                    &mut NullRecorder,
-                                    &mut wguard,
-                                ),
-                            };
-                            let skyline = match sky_res {
-                                Ok(s) => s,
-                                Err(i) => {
-                                    completion = Completion::Partial(i);
-                                    break;
-                                }
-                            };
-                            let (cost, upgraded) = match &mut local {
-                                Some(m) => timed(m, Phase::Upgrade, |_| {
-                                    upgrade_single(p_store, &skyline, t, cost_fn, cfg)
-                                }),
-                                None => upgrade_single(p_store, &skyline, t, cost_fn, cfg),
-                            };
-                            if let Some(m) = &mut local {
-                                m.bump(Counter::ProductsEvaluated);
-                            }
-                            evaluated += 1;
-                            topk.offer(UpgradeResult {
-                                product: tid,
-                                original: t.to_vec(),
-                                upgraded,
-                                cost,
-                            });
-                        }
-                        WorkerOut {
-                            part: topk.into_sorted(),
-                            metrics: local,
-                            evaluated,
-                            completion,
-                            visits: wguard.node_visits(),
-                        }
-                    }));
-                    match out {
-                        Ok(o) => (w, Ok(o)),
-                        Err(payload) => {
-                            // Stop the sibling workers at their next
-                            // checkpoint; their output is dropped anyway.
-                            canceller.cancel();
-                            (w, Err(panic_message(payload)))
-                        }
-                    }
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("guarded probing worker escaped its unwind barrier")
-                })
-                .collect()
-        })
-    });
-
-    // A panic anywhere poisons the whole answer: report it before
-    // absorbing any worker's output.
-    for (w, out) in &outcomes {
-        if let Err(message) = out {
-            rec.bump(Counter::WorkerPanics);
-            return Err(SkyupError::WorkerPanicked {
-                worker: *w,
-                message: message.clone(),
-            });
-        }
-    }
-
-    let mut merged = TopK::new(k);
-    let mut completion = Completion::Exact;
-    let mut evaluated = 0usize;
-    let mut visits = 0u64;
-    for (_, out) in outcomes {
-        let o = out.expect("panics were handled above");
-        if let Some(m) = o.metrics {
-            rec.absorb(&m);
-        }
-        if completion.is_exact() {
-            completion = o.completion;
-        }
-        evaluated += o.evaluated;
-        visits += o.visits;
-        for r in o.part {
-            merged.offer(r);
-        }
-    }
-    let results = merged.into_sorted();
-    rec.incr(Counter::ResultsEmitted, results.len() as u64);
-    rec.incr(Counter::GuardedNodeVisits, visits);
-    if !completion.is_exact() {
-        rec.bump(Counter::LimitInterrupts);
-    }
-    Ok(AnytimeTopK {
-        results,
-        completion,
-        evaluated,
-    })
+    try_improved_probing_topk_scheduled(
+        p_store,
+        p_tree,
+        t_store,
+        k,
+        cost_fn,
+        cfg,
+        threads,
+        ProbeStrategy::WorkStealing,
+        limits,
+        rec,
+    )
+    .map(|(any, _)| any)
 }
 
 #[cfg(test)]

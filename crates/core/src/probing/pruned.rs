@@ -84,20 +84,20 @@ pub fn improved_probing_topk_pruned_rec<C: CostFunction + ?Sized, R: Recorder + 
     let screen_entries = screen_frontier(p_tree);
 
     let mut topk = TopK::new(k);
+    // One screened-entry buffer reused across all products (the hot
+    // loop must not allocate per product).
+    let mut screened: Vec<EntryRef> = Vec::with_capacity(screen_entries.len());
     timed(rec, Phase::ProbeLoop, |rec| {
         for (tid, t) in t_store.iter() {
             if topk.is_full() && !screen_entries.is_empty() {
-                let screened: Vec<EntryRef> = screen_entries
-                    .iter()
-                    .copied()
-                    .filter(|&e| {
-                        p_tree
-                            .entry_lo(p_store, e)
-                            .iter()
-                            .zip(t)
-                            .all(|(&l, &y)| l <= y)
-                    })
-                    .collect();
+                screened.clear();
+                screened.extend(screen_entries.iter().copied().filter(|&e| {
+                    p_tree
+                        .entry_lo(p_store, e)
+                        .iter()
+                        .zip(t)
+                        .all(|(&l, &y)| l <= y)
+                }));
                 let lb = list_bound(
                     t,
                     &screened,
@@ -138,8 +138,8 @@ pub fn improved_probing_topk_pruned_rec<C: CostFunction + ?Sized, R: Recorder + 
 /// Builds the shallow frontier of the competitor tree used by the
 /// lower-bound screen: top levels expanded breadth-first until a few
 /// dozen entries are available (capped so the per-product screen stays
-/// O(1) in |P|).
-fn screen_frontier(p_tree: &RTree) -> Vec<EntryRef> {
+/// O(1) in |P|). Shared with the bound-sorted probe scheduler.
+pub(crate) fn screen_frontier(p_tree: &RTree) -> Vec<EntryRef> {
     if p_tree.is_empty() {
         return Vec::new();
     }
@@ -195,6 +195,8 @@ pub fn try_improved_probing_topk_pruned<C: CostFunction + ?Sized, R: Recorder + 
     let mut topk = TopK::new(k);
     let mut completion = Completion::Exact;
     let mut evaluated = 0usize;
+    // One screened-entry buffer reused across all products.
+    let mut screened: Vec<EntryRef> = Vec::with_capacity(screen_entries.len());
 
     timed(rec, Phase::ProbeLoop, |rec| {
         for (tid, t) in t_store.iter() {
@@ -203,17 +205,14 @@ pub fn try_improved_probing_topk_pruned<C: CostFunction + ?Sized, R: Recorder + 
                 break;
             }
             if topk.is_full() && !screen_entries.is_empty() {
-                let screened: Vec<EntryRef> = screen_entries
-                    .iter()
-                    .copied()
-                    .filter(|&e| {
-                        p_tree
-                            .entry_lo(p_store, e)
-                            .iter()
-                            .zip(t)
-                            .all(|(&l, &y)| l <= y)
-                    })
-                    .collect();
+                screened.clear();
+                screened.extend(screen_entries.iter().copied().filter(|&e| {
+                    p_tree
+                        .entry_lo(p_store, e)
+                        .iter()
+                        .zip(t)
+                        .all(|(&l, &y)| l <= y)
+                }));
                 let lb = list_bound(
                     t,
                     &screened,

@@ -1,0 +1,876 @@
+//! Work-stealing probe scheduler with an optional bound-sorted probe
+//! order and a shared admission threshold.
+//!
+//! Static chunking (one contiguous slice of `T` per worker) balances
+//! poorly: dominator-skyline cost varies wildly across products, so one
+//! unlucky slice can hold the whole join back. The scheduler instead
+//! lets workers *claim* products one at a time from a shared atomic
+//! counter — idle workers steal whatever is left, so the makespan tracks
+//! the slowest single product rather than the slowest slice.
+//!
+//! Three strategies share one engine:
+//!
+//! * [`ProbeStrategy::StaticChunk`] — the legacy contiguous partition,
+//!   kept as the bench baseline.
+//! * [`ProbeStrategy::WorkStealing`] — atomic-counter claims in product
+//!   id order; per-worker top-k, no pruning. Merged counters are fully
+//!   deterministic (every product is evaluated exactly once).
+//! * [`ProbeStrategy::BoundSorted`] — claims walk a probe order
+//!   pre-sorted ascending by the cheap admissible NLB/ALB list bound
+//!   ([`crate::join::list_bound`]), and workers prune against a shared
+//!   [`SharedThreshold`] cell that caches the global top-k admission
+//!   threshold. Because the bound stream is sorted and admissible, the
+//!   first claim whose bound exceeds the threshold proves every
+//!   *remaining* claim is also prunable: the worker drains the counter
+//!   (`swap(n)`) and accounts the whole tail as `ThresholdPrunes` in one
+//!   step.
+//!
+//! # Why the pruned answer is still exact
+//!
+//! The shared cell is monotone (CAS-min) and always holds the k-th best
+//! cost over a *subset* of the offers, which is an upper bound on the
+//! final global threshold θ*. A product is pruned only when its
+//! admissible lower bound — and hence its true cost — is *strictly*
+//! greater than the cell, so strictly greater than θ*: it could never
+//! displace a top-k member. Pruning fires only once k results have been
+//! offered (the cell is +∞ before that), so the top-k over the evaluated
+//! products equals the top-k over all of `T`, and product ids are
+//! distinct, so the `(cost, id)` order — and therefore the returned
+//! vector — is bit-identical to sequential
+//! [`crate::improved_probing_topk`] at any thread count.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical for every strategy and thread count. Merged
+//! counters are deterministic for `StaticChunk` and `WorkStealing`
+//! (`StealEvents == |T|`); under `BoundSorted` only the invariant
+//! `ProductsEvaluated + ThresholdPrunes == |T|` is guaranteed for
+//! unlimited runs — *which* products get pruned depends on timing (more
+//! threads publish the threshold sooner), and `SharedThresholdUpdates`
+//! varies with the interleaving. With one thread the entire run is
+//! deterministic.
+//!
+//! Each worker owns a [`SkylineScratch`] and an [`UpgradeScratch`], so
+//! after warmup the probe loop performs no per-product heap allocation
+//! (results are only materialized for products that pass the
+//! [`TopK::admits`] gate).
+
+use crate::config::UpgradeConfig;
+use crate::cost::CostFunction;
+use crate::error::{panic_message, validate_query, SkyupError};
+use crate::join::{list_bound, BoundMode, LowerBound};
+use crate::probing::pruned::{screen_frontier, PruningStats};
+use crate::result::{AnytimeTopK, UpgradeResult};
+use crate::topk::{SharedThreshold, TopK};
+use crate::upgrade::{upgrade_single_into, UpgradeScratch};
+use skyup_geom::{PointId, PointStore};
+use skyup_obs::{
+    timed, Completion, Counter, ExecutionLimits, NullRecorder, Phase, QueryMetrics, Recorder,
+};
+use skyup_rtree::{EntryRef, RTree};
+use skyup_skyline::{dominating_skyline_into, SkylineScratch};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the probe loop distributes the products of `T` across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeStrategy {
+    /// Contiguous `⌈n/threads⌉`-sized slices, one per worker (the legacy
+    /// partition). No stealing, no pruning.
+    StaticChunk,
+    /// Workers claim products in id order from a shared atomic counter.
+    /// No pruning; merged counters are fully deterministic.
+    WorkStealing,
+    /// Work stealing over a probe order sorted ascending by the
+    /// admissible list bound, pruning against a [`SharedThreshold`].
+    BoundSorted,
+}
+
+impl ProbeStrategy {
+    /// Stable snake_case name (bench/CLI vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeStrategy::StaticChunk => "static_chunk",
+            ProbeStrategy::WorkStealing => "work_stealing",
+            ProbeStrategy::BoundSorted => "bound_sorted",
+        }
+    }
+}
+
+/// What one worker hands back on clean (non-panicking) exit.
+struct WorkerOut {
+    part: Vec<UpgradeResult>,
+    metrics: Option<QueryMetrics>,
+    evaluated: usize,
+    pruned: u64,
+    completion: Completion,
+    visits: u64,
+}
+
+/// Everything the engine produced; wrappers decide which parts to
+/// surface and which summary counters to bump.
+struct EngineOut {
+    results: Vec<UpgradeResult>,
+    stats: PruningStats,
+    completion: Completion,
+    evaluated: usize,
+    visits: u64,
+}
+
+/// The shared engine. Callers guarantee `threads >= 1`, matching
+/// dimensionalities, and a non-empty `T`.
+#[allow(clippy::too_many_arguments)]
+fn run_scheduled<C, R>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    strategy: ProbeStrategy,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<EngineOut, SkyupError>
+where
+    C: CostFunction + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
+    let n = t_store.len();
+    debug_assert!(threads >= 1 && n > 0);
+    let collect = rec.is_enabled();
+    let dims = p_store.dims();
+
+    // Probe order. BoundSorted pays one admissible list bound per
+    // product up front (`LowerBoundEvals` += |T|, under `BoundSort`)
+    // and sorts ascending by `(bound, id)`; the other strategies walk
+    // id order.
+    let (order, bounds): (Vec<u32>, Vec<f64>) = if strategy == ProbeStrategy::BoundSorted {
+        timed(rec, Phase::BoundSort, |rec| {
+            let frontier = screen_frontier(p_tree);
+            let mut bounds = vec![0.0f64; n];
+            if !frontier.is_empty() {
+                let mut screened: Vec<EntryRef> = Vec::with_capacity(frontier.len());
+                for (i, (_tid, t)) in t_store.iter().enumerate() {
+                    screened.clear();
+                    screened.extend(frontier.iter().copied().filter(|&e| {
+                        p_tree
+                            .entry_lo(p_store, e)
+                            .iter()
+                            .zip(t)
+                            .all(|(&l, &y)| l <= y)
+                    }));
+                    bounds[i] = list_bound(
+                        t,
+                        &screened,
+                        p_store,
+                        p_tree,
+                        cost_fn,
+                        LowerBound::Aggressive,
+                        BoundMode::Admissible,
+                    );
+                    rec.bump(Counter::LowerBoundEvals);
+                }
+            }
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_by(|&a, &b| {
+                bounds[a as usize]
+                    .total_cmp(&bounds[b as usize])
+                    .then(a.cmp(&b))
+            });
+            (order, bounds)
+        })
+    } else {
+        ((0..n as u32).collect(), Vec::new())
+    };
+
+    let guard = limits.start();
+    let chunk = n.div_ceil(threads);
+    let workers = match strategy {
+        ProbeStrategy::StaticChunk => n.div_ceil(chunk),
+        _ => threads.min(n),
+    };
+    let per_worker_topk = strategy != ProbeStrategy::BoundSorted;
+
+    // Shared scheduler state: the claim counter, the threshold cache,
+    // and (BoundSorted only) the single global top-k.
+    let next = AtomicUsize::new(0);
+    let threshold = SharedThreshold::new();
+    let shared = Mutex::new(TopK::new(k));
+
+    let outcomes: Vec<(usize, Result<WorkerOut, String>)> = timed(rec, Phase::ProbeLoop, |_| {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let mut wguard = guard.clone();
+                let (next, threshold, shared) = (&next, &threshold, &shared);
+                let (order, bounds) = (order.as_slice(), bounds.as_slice());
+                handles.push(scope.spawn(move || {
+                    let canceller = wguard.clone();
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut local = collect.then(QueryMetrics::new);
+                        let mut topk = per_worker_topk.then(|| TopK::new(k));
+                        let mut sky = SkylineScratch::new(dims);
+                        let mut upg = UpgradeScratch::new();
+                        let mut completion = Completion::Exact;
+                        let mut evaluated = 0usize;
+                        let mut pruned = 0u64;
+                        let mut range = if strategy == ProbeStrategy::StaticChunk {
+                            w * chunk..((w + 1) * chunk).min(n)
+                        } else {
+                            0..0
+                        };
+                        loop {
+                            if let Err(i) = wguard.checkpoint() {
+                                completion = Completion::Partial(i);
+                                break;
+                            }
+                            let pos = if strategy == ProbeStrategy::StaticChunk {
+                                match range.next() {
+                                    Some(p) => p,
+                                    None => break,
+                                }
+                            } else {
+                                let p = next.fetch_add(1, Ordering::Relaxed);
+                                if p >= n {
+                                    break;
+                                }
+                                if let Some(m) = &mut local {
+                                    m.bump(Counter::StealEvents);
+                                }
+                                p
+                            };
+                            let idx = order[pos] as usize;
+                            if strategy == ProbeStrategy::BoundSorted
+                                && bounds[idx] > threshold.get()
+                            {
+                                // The stream is sorted by an admissible
+                                // bound and the cell only tightens:
+                                // every unclaimed position is prunable
+                                // too. Drain the counter and account the
+                                // whole tail at once.
+                                let drained = next.swap(n, Ordering::Relaxed).min(n);
+                                let tail = (n - drained) as u64;
+                                pruned += 1 + tail;
+                                if let Some(m) = &mut local {
+                                    m.incr(Counter::ThresholdPrunes, 1 + tail);
+                                }
+                                break;
+                            }
+                            let tid = PointId(idx as u32);
+                            let t = t_store.point(tid);
+                            let sky_res = match &mut local {
+                                Some(m) => timed(m, Phase::DominatingSky, |m| {
+                                    dominating_skyline_into(
+                                        p_store,
+                                        p_tree,
+                                        t,
+                                        m,
+                                        &mut wguard,
+                                        &mut sky,
+                                    )
+                                }),
+                                None => dominating_skyline_into(
+                                    p_store,
+                                    p_tree,
+                                    t,
+                                    &mut NullRecorder,
+                                    &mut wguard,
+                                    &mut sky,
+                                ),
+                            };
+                            if let Err(i) = sky_res {
+                                completion = Completion::Partial(i);
+                                break;
+                            }
+                            let cost = match &mut local {
+                                Some(m) => timed(m, Phase::Upgrade, |_| {
+                                    upgrade_single_into(
+                                        p_store,
+                                        sky.skyline(),
+                                        t,
+                                        cost_fn,
+                                        cfg,
+                                        &mut upg,
+                                    )
+                                }),
+                                None => upgrade_single_into(
+                                    p_store,
+                                    sky.skyline(),
+                                    t,
+                                    cost_fn,
+                                    cfg,
+                                    &mut upg,
+                                ),
+                            };
+                            if let Some(m) = &mut local {
+                                m.bump(Counter::ProductsEvaluated);
+                            }
+                            evaluated += 1;
+                            match &mut topk {
+                                Some(tk) => {
+                                    // Build the (allocating) result only
+                                    // when it will actually be kept.
+                                    if tk.admits(cost, idx as u32) {
+                                        tk.offer(UpgradeResult {
+                                            product: tid,
+                                            original: t.to_vec(),
+                                            upgraded: upg.upgraded().to_vec(),
+                                            cost,
+                                        });
+                                    }
+                                }
+                                None => {
+                                    // Cheap pre-gate on the cached
+                                    // threshold (conservative: the cell
+                                    // never under-estimates), then take
+                                    // the lock only for plausible offers.
+                                    if cost <= threshold.get() {
+                                        let mut tk = shared.lock().expect("top-k mutex poisoned");
+                                        if tk.admits(cost, idx as u32) {
+                                            tk.offer(UpgradeResult {
+                                                product: tid,
+                                                original: t.to_vec(),
+                                                upgraded: upg.upgraded().to_vec(),
+                                                cost,
+                                            });
+                                        }
+                                        let th = tk.threshold();
+                                        drop(tk);
+                                        if threshold.tighten(th) {
+                                            if let Some(m) = &mut local {
+                                                m.bump(Counter::SharedThresholdUpdates);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        WorkerOut {
+                            part: topk.map(TopK::into_sorted).unwrap_or_default(),
+                            metrics: local,
+                            evaluated,
+                            pruned,
+                            completion,
+                            visits: wguard.node_visits(),
+                        }
+                    }));
+                    match out {
+                        Ok(o) => (w, Ok(o)),
+                        Err(payload) => {
+                            // Stop the sibling workers at their next
+                            // checkpoint; their output is dropped anyway.
+                            canceller.cancel();
+                            (w, Err(panic_message(payload)))
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("scheduled probing worker escaped its unwind barrier")
+                })
+                .collect()
+        })
+    });
+
+    // A panic anywhere poisons the whole answer: report it before
+    // absorbing any worker's output.
+    for (w, out) in &outcomes {
+        if let Err(message) = out {
+            rec.bump(Counter::WorkerPanics);
+            return Err(SkyupError::WorkerPanicked {
+                worker: *w,
+                message: message.clone(),
+            });
+        }
+    }
+
+    let mut merged = TopK::new(k);
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+    let mut pruned = 0u64;
+    let mut visits = 0u64;
+    for (_, out) in outcomes {
+        let o = out.expect("panics were handled above");
+        if let Some(m) = o.metrics {
+            rec.absorb(&m);
+        }
+        if completion.is_exact() {
+            completion = o.completion;
+        }
+        evaluated += o.evaluated;
+        pruned += o.pruned;
+        visits += o.visits;
+        for r in o.part {
+            merged.offer(r);
+        }
+    }
+    let results = if per_worker_topk {
+        merged.into_sorted()
+    } else {
+        shared
+            .into_inner()
+            .expect("top-k mutex poisoned")
+            .into_sorted()
+    };
+    Ok(EngineOut {
+        results,
+        stats: PruningStats {
+            evaluated: evaluated as u64,
+            pruned,
+        },
+        completion,
+        evaluated,
+        visits,
+    })
+}
+
+/// Runs improved probing under `strategy` across `threads` workers and
+/// returns the `k` cheapest upgrades (bit-identical to sequential
+/// [`crate::improved_probing_topk`]) plus the evaluated/pruned split.
+///
+/// `threads == 0` is clamped to one worker thread, matching
+/// [`crate::improved_probing_topk_parallel`].
+#[allow(clippy::too_many_arguments)]
+pub fn improved_probing_topk_scheduled<C>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    strategy: ProbeStrategy,
+) -> (Vec<UpgradeResult>, PruningStats)
+where
+    C: CostFunction + Sync + ?Sized,
+{
+    improved_probing_topk_scheduled_rec(
+        p_store,
+        p_tree,
+        t_store,
+        k,
+        cost_fn,
+        cfg,
+        threads,
+        strategy,
+        &mut NullRecorder,
+    )
+}
+
+/// [`improved_probing_topk_scheduled`] with instrumentation. Each worker
+/// collects into a private [`QueryMetrics`] (only when `rec` is enabled)
+/// which is folded into `rec` after the join.
+///
+/// # Panics
+/// Propagates a worker panic (after all workers have been joined), like
+/// the legacy parallel entry point. Use
+/// [`try_improved_probing_topk_scheduled`] for contained panics.
+#[allow(clippy::too_many_arguments)]
+pub fn improved_probing_topk_scheduled_rec<C, R>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    strategy: ProbeStrategy,
+    rec: &mut R,
+) -> (Vec<UpgradeResult>, PruningStats)
+where
+    C: CostFunction + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
+    let threads = threads.max(1);
+    assert_eq!(
+        p_store.dims(),
+        t_store.dims(),
+        "P and T dimensionality differ"
+    );
+    if t_store.is_empty() {
+        return (Vec::new(), PruningStats::default());
+    }
+    match run_scheduled(
+        p_store,
+        p_tree,
+        t_store,
+        k,
+        cost_fn,
+        cfg,
+        threads,
+        strategy,
+        &ExecutionLimits::none(),
+        rec,
+    ) {
+        Ok(out) => {
+            rec.incr(Counter::ResultsEmitted, out.results.len() as u64);
+            (out.results, out.stats)
+        }
+        Err(SkyupError::WorkerPanicked { worker, message }) => {
+            panic!("probing worker {worker} panicked: {message}")
+        }
+        Err(e) => unreachable!("unlimited scheduled probing failed: {e}"),
+    }
+}
+
+/// Fallible, guarded scheduled probing: input validation as in
+/// [`crate::probing::try_basic_probing_topk`] plus `threads >= 1`, then
+/// each worker claims products under a forked guard sharing the global
+/// budgets. A worker that panics is contained by an unwind barrier: it
+/// cancels the shared token (stopping its siblings at their next
+/// checkpoint), every worker's output is discarded, and the call returns
+/// [`SkyupError::WorkerPanicked`].
+///
+/// On a limit interruption each worker keeps the exact top-k over the
+/// products it fully evaluated, so the merged [`Completion::Partial`]
+/// answer is the exact top-k over the union of the evaluated products
+/// (under [`ProbeStrategy::BoundSorted`] the shared collector has the
+/// same property: the offer gate only skips products provably outside
+/// the top-k of the evaluated set). Unlimited runs are bit-identical to
+/// [`improved_probing_topk_scheduled_rec`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_improved_probing_topk_scheduled<C, R>(
+    p_store: &PointStore,
+    p_tree: &RTree,
+    t_store: &PointStore,
+    k: usize,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    threads: usize,
+    strategy: ProbeStrategy,
+    limits: &ExecutionLimits,
+    rec: &mut R,
+) -> Result<(AnytimeTopK, PruningStats), SkyupError>
+where
+    C: CostFunction + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
+    if threads == 0 {
+        return Err(SkyupError::InvalidConfig(
+            "need at least one worker thread".into(),
+        ));
+    }
+    validate_query(p_store, p_tree, t_store, k, cost_fn)?;
+    if t_store.is_empty() {
+        return Ok((
+            AnytimeTopK {
+                results: Vec::new(),
+                completion: Completion::Exact,
+                evaluated: 0,
+            },
+            PruningStats::default(),
+        ));
+    }
+    let out = run_scheduled(
+        p_store, p_tree, t_store, k, cost_fn, cfg, threads, strategy, limits, rec,
+    )?;
+    rec.incr(Counter::ResultsEmitted, out.results.len() as u64);
+    rec.incr(Counter::GuardedNodeVisits, out.visits);
+    if !out.completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    Ok((
+        AnytimeTopK {
+            results: out.results,
+            completion: out.completion,
+            evaluated: out.evaluated,
+        },
+        out.stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LinearCost, SumCost};
+
+    fn linear_cost(dims: usize) -> SumCost {
+        SumCost::new(
+            (0..dims)
+                .map(|_| Box::new(LinearCost::new(2.0, 1.0)) as Box<dyn crate::cost::AttributeCost>)
+                .collect(),
+        )
+    }
+    use crate::probing::improved_probing_topk;
+    use skyup_rtree::RTreeParams;
+
+    fn pseudo_random_store(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> PointStore {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = PointStore::new(dims);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..dims).map(|_| lo + (hi - lo) * next()).collect();
+            s.push(&row);
+        }
+        s
+    }
+
+    /// Interleaved domains + linear cost: the workload where the bound
+    /// screen actually fires (reciprocal costs keep every bound at ~0).
+    fn pruning_workload() -> (PointStore, PointStore, RTree, SumCost) {
+        let p = pseudo_random_store(500, 3, 0.0, 1.0, 0x51);
+        let t = pseudo_random_store(120, 3, 0.3, 1.3, 0x52);
+        let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(8));
+        (p, t, rp, linear_cost(3))
+    }
+
+    #[test]
+    fn every_strategy_matches_sequential_bit_for_bit() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        let seq = improved_probing_topk(&p, &rp, &t, 10, &cost, &cfg);
+        for strategy in [
+            ProbeStrategy::StaticChunk,
+            ProbeStrategy::WorkStealing,
+            ProbeStrategy::BoundSorted,
+        ] {
+            for threads in [1, 2, 7] {
+                let (out, stats) = improved_probing_topk_scheduled(
+                    &p, &rp, &t, 10, &cost, &cfg, threads, strategy,
+                );
+                assert_eq!(out.len(), seq.len(), "{strategy:?} threads={threads}");
+                for (a, b) in seq.iter().zip(&out) {
+                    assert_eq!(a.product, b.product, "{strategy:?} threads={threads}");
+                    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                    assert_eq!(a.upgraded, b.upgraded);
+                    assert_eq!(a.original, b.original);
+                }
+                assert_eq!(
+                    stats.evaluated + stats.pruned,
+                    t.len() as u64,
+                    "{strategy:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_sorted_actually_prunes_on_interleaved_workload() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        let (_, stats) = improved_probing_topk_scheduled(
+            &p,
+            &rp,
+            &t,
+            5,
+            &cost,
+            &cfg,
+            1,
+            ProbeStrategy::BoundSorted,
+        );
+        assert!(
+            stats.pruned > 0,
+            "the interleaved workload must exercise the screen: {stats:?}"
+        );
+        assert_eq!(stats.evaluated + stats.pruned, t.len() as u64);
+    }
+
+    #[test]
+    fn single_thread_bound_sorted_is_deterministic_including_metrics() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        let run = || {
+            let mut m = QueryMetrics::new();
+            let (out, stats) = improved_probing_topk_scheduled_rec(
+                &p,
+                &rp,
+                &t,
+                5,
+                &cost,
+                &cfg,
+                1,
+                ProbeStrategy::BoundSorted,
+                &mut m,
+            );
+            let snapshot: Vec<u64> = Counter::ALL.iter().map(|&c| m.get(c)).collect();
+            (out, stats, snapshot)
+        };
+        let (a_out, a_stats, a_counters) = run();
+        let (b_out, b_stats, b_counters) = run();
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_counters, b_counters);
+        assert_eq!(a_out.len(), b_out.len());
+        for (x, y) in a_out.iter().zip(&b_out) {
+            assert_eq!(x.product, y.product);
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn work_stealing_steal_events_equal_t_len() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        for threads in [1, 3, 8] {
+            let mut m = QueryMetrics::new();
+            let _ = improved_probing_topk_scheduled_rec(
+                &p,
+                &rp,
+                &t,
+                5,
+                &cost,
+                &cfg,
+                threads,
+                ProbeStrategy::WorkStealing,
+                &mut m,
+            );
+            assert_eq!(
+                m.get(Counter::StealEvents),
+                t.len() as u64,
+                "threads={threads}"
+            );
+            assert_eq!(m.get(Counter::ProductsEvaluated), t.len() as u64);
+            assert_eq!(m.get(Counter::ThresholdPrunes), 0);
+        }
+    }
+
+    #[test]
+    fn bound_sorted_counter_invariant_holds_at_any_thread_count() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        for threads in [1, 2, 4, 8] {
+            let mut m = QueryMetrics::new();
+            let (_, stats) = improved_probing_topk_scheduled_rec(
+                &p,
+                &rp,
+                &t,
+                5,
+                &cost,
+                &cfg,
+                threads,
+                ProbeStrategy::BoundSorted,
+                &mut m,
+            );
+            assert_eq!(
+                m.get(Counter::ProductsEvaluated) + m.get(Counter::ThresholdPrunes),
+                t.len() as u64,
+                "threads={threads}"
+            );
+            assert_eq!(m.get(Counter::ProductsEvaluated), stats.evaluated);
+            assert_eq!(m.get(Counter::ThresholdPrunes), stats.pruned);
+            assert_eq!(m.get(Counter::LowerBoundEvals), t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn try_scheduled_unlimited_matches_plain() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        for strategy in [ProbeStrategy::WorkStealing, ProbeStrategy::BoundSorted] {
+            let (plain, _) =
+                improved_probing_topk_scheduled(&p, &rp, &t, 8, &cost, &cfg, 3, strategy);
+            let (any, _) = try_improved_probing_topk_scheduled(
+                &p,
+                &rp,
+                &t,
+                8,
+                &cost,
+                &cfg,
+                3,
+                strategy,
+                &ExecutionLimits::none(),
+                &mut NullRecorder,
+            )
+            .unwrap();
+            assert!(any.completion.is_exact());
+            assert_eq!(any.results.len(), plain.len());
+            for (a, b) in any.results.iter().zip(&plain) {
+                assert_eq!(a.product, b.product);
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn try_scheduled_partial_results_stay_exact_per_product() {
+        let (p, t, rp, cost) = pruning_workload();
+        let cfg = UpgradeConfig::default();
+        let seq = improved_probing_topk(&p, &rp, &t, t.len(), &cost, &cfg);
+        let by_product: std::collections::HashMap<u32, &UpgradeResult> =
+            seq.iter().map(|r| (r.product.0, r)).collect();
+        for budget in [50u64, 400, 2_000] {
+            for threads in [1, 3] {
+                let limits = ExecutionLimits::none().with_max_node_visits(budget);
+                let (any, stats) = try_improved_probing_topk_scheduled(
+                    &p,
+                    &rp,
+                    &t,
+                    5,
+                    &cost,
+                    &cfg,
+                    threads,
+                    ProbeStrategy::BoundSorted,
+                    &limits,
+                    &mut NullRecorder,
+                )
+                .unwrap();
+                assert!(any.results.len() <= 5.min(any.evaluated));
+                assert!(any
+                    .results
+                    .windows(2)
+                    .all(|w| (w[0].cost, w[0].product.0) <= (w[1].cost, w[1].product.0)));
+                for r in &any.results {
+                    let expect = by_product[&r.product.0];
+                    assert_eq!(r.cost.to_bits(), expect.cost.to_bits());
+                    assert_eq!(r.upgraded, expect.upgraded);
+                }
+                assert!(stats.evaluated as usize == any.evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn try_scheduled_rejects_zero_threads() {
+        let (p, t, rp, cost) = pruning_workload();
+        let err = try_improved_probing_topk_scheduled(
+            &p,
+            &rp,
+            &t,
+            5,
+            &cost,
+            &UpgradeConfig::default(),
+            0,
+            ProbeStrategy::BoundSorted,
+            &ExecutionLimits::none(),
+            &mut NullRecorder,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SkyupError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn reciprocal_cost_keeps_screen_idle_but_results_exact() {
+        // Bounds collapse to ~0 under reciprocal costs, so BoundSorted
+        // degenerates to plain stealing — results must still match.
+        let p = pseudo_random_store(400, 2, 0.0, 1.0, 0x61);
+        let t = pseudo_random_store(61, 2, 0.5, 1.5, 0x62);
+        let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(8));
+        let cost = SumCost::reciprocal(2, 1e-3);
+        let cfg = UpgradeConfig::default();
+        let seq = improved_probing_topk(&p, &rp, &t, 7, &cost, &cfg);
+        let (out, stats) = improved_probing_topk_scheduled(
+            &p,
+            &rp,
+            &t,
+            7,
+            &cost,
+            &cfg,
+            4,
+            ProbeStrategy::BoundSorted,
+        );
+        assert_eq!(out.len(), seq.len());
+        for (a, b) in seq.iter().zip(&out) {
+            assert_eq!(a.product, b.product);
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+        assert_eq!(stats.evaluated + stats.pruned, t.len() as u64);
+    }
+}

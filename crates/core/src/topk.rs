@@ -1,8 +1,11 @@
-//! A bounded top-k collector for upgrade results (smallest cost wins).
+//! A bounded top-k collector for upgrade results (smallest cost wins),
+//! plus the lock-free shared threshold cell parallel probing workers
+//! publish their k-th-best cost through.
 
 use crate::result::UpgradeResult;
 use skyup_geom::OrderedF64;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Heap entry ordered by `(cost, product id)` only; the payload does not
 /// participate in comparisons.
@@ -66,6 +69,21 @@ impl TopK {
         self.heap.len() >= self.k
     }
 
+    /// Whether an offer with this `(cost, product id)` key would be
+    /// kept. Probe loops use this gate to build the (allocating)
+    /// [`UpgradeResult`] only for admissible products; `offer` makes the
+    /// same decision, so `admits(c, id)` followed by `offer` never
+    /// changes the collected set versus offering unconditionally.
+    pub fn admits(&self, cost: f64, product: u32) -> bool {
+        if self.heap.len() < self.k {
+            return true;
+        }
+        match self.heap.peek() {
+            Some(worst) => (OrderedF64::new(cost), product) < worst.key,
+            None => true,
+        }
+    }
+
     /// Offers a result; it is kept iff it beats the current worst (ties
     /// favor the smaller product id, matching the deterministic ordering
     /// used across algorithms).
@@ -90,6 +108,71 @@ impl TopK {
         let mut items: Vec<Entry> = self.heap.into_vec();
         items.sort_by_key(|a| a.key);
         items.into_iter().map(|e| *e.result).collect()
+    }
+}
+
+/// A lock-free cell holding the best (smallest) top-k admission
+/// threshold published so far across parallel probing workers — the
+/// global k-th-best upgrade cost, stored as `f64` bits in an atomic.
+///
+/// The cell is monotonically non-increasing: [`SharedThreshold::tighten`]
+/// is a CAS-min, so a stale read only ever *over*-estimates the
+/// threshold. That makes the strict `lower_bound > get()` prune sound at
+/// any interleaving: the cell's value is always at least the final
+/// global k-th-best cost (a threshold over a subset of the offers only
+/// shrinks as more arrive), so a pruned product's cost strictly exceeds
+/// the final threshold and could never have entered the top-k.
+///
+/// `Relaxed` ordering suffices: the cell carries a single monotone
+/// value, correctness never depends on ordering against other memory,
+/// and per-location coherence gives every reader some published value.
+#[derive(Debug)]
+pub struct SharedThreshold {
+    bits: AtomicU64,
+}
+
+impl SharedThreshold {
+    /// A fresh cell at `+∞` (nothing published: no pruning possible).
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// The current published threshold.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Publishes `value` if it improves (lowers) the cell; returns
+    /// whether the cell changed. Non-finite or larger values are
+    /// ignored, so the cell never loosens.
+    pub fn tighten(&self, value: f64) -> bool {
+        if value.is_nan() {
+            return false;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if value >= f64::from_bits(cur) {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Default for SharedThreshold {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -179,5 +262,63 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn zero_k_panics() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn admits_agrees_with_offer() {
+        let mut tk = TopK::new(2);
+        let offers = [
+            (5u32, 3.0),
+            (1, 5.0),
+            (9, 4.0),
+            (2, 5.0),
+            (0, 3.0),
+            (7, 3.0),
+        ];
+        for (id, c) in offers {
+            let admitted = tk.admits(c, id);
+            let before: Vec<(f64, u32)> = {
+                let mut v: Vec<_> = tk.heap.iter().map(|e| (e.key.0.get(), e.key.1)).collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            };
+            tk.offer(result(id, c));
+            let after: Vec<(f64, u32)> = {
+                let mut v: Vec<_> = tk.heap.iter().map(|e| (e.key.0.get(), e.key.1)).collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            };
+            assert_eq!(admitted, before != after, "offer ({id}, {c})");
+        }
+    }
+
+    #[test]
+    fn shared_threshold_is_a_monotone_min_cell() {
+        let cell = SharedThreshold::new();
+        assert_eq!(cell.get(), f64::INFINITY);
+        assert!(cell.tighten(5.0));
+        assert_eq!(cell.get(), 5.0);
+        assert!(!cell.tighten(7.0), "loosening must be ignored");
+        assert!(!cell.tighten(5.0), "no-op publish reports no change");
+        assert!(!cell.tighten(f64::NAN));
+        assert_eq!(cell.get(), 5.0);
+        assert!(cell.tighten(2.5));
+        assert_eq!(cell.get(), 2.5);
+    }
+
+    #[test]
+    fn shared_threshold_concurrent_tighten_keeps_global_min() {
+        let cell = SharedThreshold::new();
+        std::thread::scope(|s| {
+            for w in 0..8u64 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        cell.tighten(((w * 1000 + i) % 997) as f64 + 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), 1.0);
     }
 }

@@ -19,7 +19,41 @@
 
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
-use skyup_geom::{PointId, PointStore};
+use skyup_geom::{ColumnarPoints, PointId, PointStore};
+
+/// Reusable buffers for repeated [`upgrade_single_into`] calls: the
+/// per-dimension sort order, the candidate being evaluated, and the best
+/// upgrade found. One scratch per probing worker makes Algorithm 1
+/// allocation-free after the buffers reach the workload's
+/// dimensionality / skyline high-water mark.
+pub struct UpgradeScratch {
+    order: Vec<PointId>,
+    candidate: Vec<f64>,
+    best: Vec<f64>,
+}
+
+impl UpgradeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            order: Vec::new(),
+            candidate: Vec::new(),
+            best: Vec::new(),
+        }
+    }
+
+    /// The upgraded coordinates left by the last
+    /// [`upgrade_single_into`] call.
+    pub fn upgraded(&self) -> &[f64] {
+        &self.best
+    }
+}
+
+impl Default for UpgradeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Computes the cheapest upgrade of product `t` (coordinates) against
 /// `skyline`, the skyline of `t`'s dominators in the competitor set.
@@ -58,6 +92,23 @@ pub fn upgrade_single<C: CostFunction + ?Sized>(
     cost_fn: &C,
     cfg: &UpgradeConfig,
 ) -> (f64, Vec<f64>) {
+    let mut scratch = UpgradeScratch::new();
+    let cost = upgrade_single_into(p_store, skyline, t, cost_fn, cfg, &mut scratch);
+    (cost, scratch.best)
+}
+
+/// [`upgrade_single`] writing into caller-provided buffers: the upgraded
+/// coordinates are left in the scratch ([`UpgradeScratch::upgraded`])
+/// and only the cost is returned. Bit-identical computation; a warm
+/// scratch makes the call allocation-free.
+pub fn upgrade_single_into<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    skyline: &[PointId],
+    t: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    scratch: &mut UpgradeScratch,
+) -> f64 {
     let dims = t.len();
     debug_assert_eq!(p_store.dims(), dims);
     debug_assert_eq!(cost_fn.dims(), dims);
@@ -68,18 +119,25 @@ pub fn upgrade_single<C: CostFunction + ?Sized>(
         "upgrade_single requires every skyline point to dominate t"
     );
 
+    let best = &mut scratch.best;
+    best.clear();
+    best.extend_from_slice(t);
+
     if skyline.is_empty() {
-        return (0.0, t.to_vec());
+        return 0.0;
     }
 
     let eps = cfg.epsilon;
     let base_cost = cost_fn.product_cost(t);
     let mut best_cost = f64::INFINITY;
-    let mut best: Vec<f64> = t.to_vec();
 
-    // Scratch buffers reused across dimensions.
-    let mut order: Vec<PointId> = skyline.to_vec();
-    let mut candidate: Vec<f64> = vec![0.0; dims];
+    // Scratch buffers reused across dimensions (and across calls).
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend_from_slice(skyline);
+    let candidate = &mut scratch.candidate;
+    candidate.clear();
+    candidate.resize(dims, 0.0);
 
     for k in 0..dims {
         // Line 3: sort skyline ascending by the current dimension.
@@ -103,10 +161,10 @@ pub fn upgrade_single<C: CostFunction + ?Sized>(
                 let bound = if x == k { s_j[x] } else { s_i[x] };
                 candidate[x] = (bound - eps).min(t[x]);
             }
-            let cost = cost_fn.product_cost(&candidate) - base_cost;
+            let cost = cost_fn.product_cost(candidate) - base_cost;
             if cost < best_cost {
                 best_cost = cost;
-                best.copy_from_slice(&candidate);
+                best.copy_from_slice(candidate);
             }
         }
 
@@ -123,15 +181,15 @@ pub fn upgrade_single<C: CostFunction + ?Sized>(
                     (s_last[x] - eps).min(t[x])
                 };
             }
-            let cost = cost_fn.product_cost(&candidate) - base_cost;
+            let cost = cost_fn.product_cost(candidate) - base_cost;
             if cost < best_cost {
                 best_cost = cost;
-                best.copy_from_slice(&candidate);
+                best.copy_from_slice(candidate);
             }
         }
     }
 
-    (best_cost, best)
+    best_cost
 }
 
 /// Fallible twin of [`upgrade_single`]: checks the contract that the
@@ -185,11 +243,13 @@ pub fn try_upgrade_single<C: CostFunction + ?Sized>(
 }
 
 /// Test/diagnostic helper: whether `candidate` is dominated by any point
-/// of `skyline`.
+/// of `skyline`. Runs through the blockwise columnar kernel (gathering
+/// the skyline once), whose verdict is bit-identical to the scalar
+/// `skyline.iter().any(dominates)` loop.
 pub fn dominated_by_any(p_store: &PointStore, skyline: &[PointId], candidate: &[f64]) -> bool {
-    skyline
-        .iter()
-        .any(|&s| skyup_geom::dominance::dominates(p_store.point(s), candidate))
+    let mut cols = ColumnarPoints::new(p_store.dims());
+    cols.gather(p_store, skyline);
+    cols.dominated_by_any(candidate).dominated
 }
 
 #[cfg(test)]

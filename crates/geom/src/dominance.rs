@@ -83,6 +83,79 @@ pub fn compare(a: &[f64], b: &[f64]) -> DomRelation {
     }
 }
 
+/// Number of points per block scanned by the columnar dominance kernel.
+/// One `u64` bitmask covers a block, so 64 is the natural width.
+pub const DOM_BLOCK: usize = 64;
+
+/// Outcome of a columnar dominance scan: the verdict plus how much work
+/// the kernel actually did, so callers can charge the same counters the
+/// scalar loop would (`points` → dominance tests, `blocks` → kernel
+/// block scans).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColScan {
+    /// Whether some scanned point dominates the target.
+    pub dominated: bool,
+    /// Points covered by the scanned blocks (block-granular: the kernel
+    /// early-exits between blocks, not within one).
+    pub points: u64,
+    /// Blocks scanned.
+    pub blocks: u64,
+}
+
+/// Columnar "is `target` dominated by any stored point" kernel.
+///
+/// `cols` holds `len` points in dims-major layout: dimension `d`'s
+/// coordinates occupy `cols[d * stride .. d * stride + len]` (so
+/// `stride >= len`). The scan proceeds in blocks of [`DOM_BLOCK`]
+/// points, maintaining two bitmasks per block — `le` (point is `<=` the
+/// target on every dimension seen so far) and `lt` (point is `<` on
+/// some dimension) — and abandons a block's remaining dimensions as
+/// soon as `le` empties. A block containing a dominator
+/// (`le & lt != 0`) ends the scan.
+///
+/// The verdict is bit-identical to the scalar
+/// `points.iter().any(|s| dominates(s, target))` loop: both reduce to
+/// the same exact `f64` comparisons.
+pub fn dominated_by_any_cols(cols: &[f64], stride: usize, len: usize, target: &[f64]) -> ColScan {
+    let dims = target.len();
+    debug_assert!(stride >= len);
+    debug_assert!(cols.len() >= dims * stride);
+    let mut scan = ColScan::default();
+    let mut base = 0;
+    while base < len {
+        let width = DOM_BLOCK.min(len - base);
+        scan.blocks += 1;
+        scan.points += width as u64;
+        // All points start "<= on every dimension seen so far".
+        let mut le: u64 = if width == DOM_BLOCK {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut lt: u64 = 0;
+        for (d, &y) in target.iter().enumerate() {
+            let col = &cols[d * stride + base..d * stride + base + width];
+            for (j, &x) in col.iter().enumerate() {
+                let bit = 1u64 << j;
+                if x > y {
+                    le &= !bit;
+                } else if x < y {
+                    lt |= bit;
+                }
+            }
+            if le == 0 {
+                break;
+            }
+        }
+        if le & lt != 0 {
+            scan.dominated = true;
+            return scan;
+        }
+        base += width;
+    }
+    scan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +209,67 @@ mod tests {
         assert!(dominates(&[0.0], &[1.0]));
         assert!(!dominates(&[1.0], &[0.0]));
         assert_eq!(compare(&[0.5], &[0.5]), DomRelation::Equal);
+    }
+
+    /// Lays out `points` dims-major with the given stride.
+    fn to_cols(points: &[Vec<f64>], dims: usize, stride: usize) -> Vec<f64> {
+        let mut cols = vec![0.0; dims * stride];
+        for (i, p) in points.iter().enumerate() {
+            for (d, &x) in p.iter().enumerate() {
+                cols[d * stride + i] = x;
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn columnar_kernel_matches_scalar_loop() {
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for dims in 1..=5usize {
+            for n in [0usize, 1, 7, 63, 64, 65, 130, 200] {
+                // Coarse grid so equal coordinates are common.
+                let points: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..dims).map(|_| (next() * 4.0).floor() / 4.0).collect())
+                    .collect();
+                let stride = n + 3;
+                let cols = to_cols(&points, dims, stride);
+                for _ in 0..20 {
+                    let target: Vec<f64> =
+                        (0..dims).map(|_| (next() * 4.0).floor() / 4.0).collect();
+                    let scalar = points.iter().any(|p| dominates(p, &target));
+                    let scan = dominated_by_any_cols(&cols, stride, n, &target);
+                    assert_eq!(scan.dominated, scalar, "dims={dims} n={n} t={target:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_kernel_counts_block_granular_work() {
+        // 70 points, none dominating: the full two blocks are scanned.
+        let points: Vec<Vec<f64>> = (0..70).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let cols = to_cols(&points, 2, 70);
+        let scan = dominated_by_any_cols(&cols, 70, 70, &[-1.0, -100.0]);
+        assert!(!scan.dominated);
+        assert_eq!((scan.points, scan.blocks), (70, 2));
+        // A dominator in the first block stops the scan there.
+        let scan = dominated_by_any_cols(&cols, 70, 70, &[100.0, 100.0]);
+        assert!(scan.dominated);
+        assert_eq!((scan.points, scan.blocks), (64, 1));
+    }
+
+    #[test]
+    fn columnar_kernel_equal_points_do_not_dominate() {
+        let points = vec![vec![0.5, 0.5]];
+        let cols = to_cols(&points, 2, 1);
+        assert!(!dominated_by_any_cols(&cols, 1, 1, &[0.5, 0.5]).dominated);
+        assert!(dominated_by_any_cols(&cols, 1, 1, &[0.5, 0.6]).dominated);
     }
 
     #[test]

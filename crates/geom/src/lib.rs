@@ -33,9 +33,11 @@ pub mod store;
 
 pub use adr::{point_in_adr, point_strictly_in_adr, rect_intersects_adr};
 pub use dims::{classify_dims, DimClassification, DimMask};
-pub use dominance::{compare, dominates, dominates_or_equal, DomRelation};
+pub use dominance::{
+    compare, dominated_by_any_cols, dominates, dominates_or_equal, ColScan, DomRelation, DOM_BLOCK,
+};
 pub use error::GeomError;
 pub use ordered::OrderedF64;
 pub use point::{coord_sum, lex_cmp, Point};
 pub use rect::Rect;
-pub use store::{PointId, PointStore};
+pub use store::{ColumnarPoints, PointId, PointStore};

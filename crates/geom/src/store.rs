@@ -182,6 +182,134 @@ impl PointStore {
     }
 }
 
+/// A dims-major (columnar) mirror of a small, mutable point set — the
+/// memory layout the blockwise dominance kernel
+/// ([`crate::dominance::dominated_by_any_cols`]) scans.
+///
+/// Dimension `d`'s coordinates live contiguously at
+/// `buf[d * cap .. d * cap + len]`; growing reallocates and re-lays-out
+/// the buffer (amortized, like `Vec`). Skyline windows use this as a
+/// reusable scratch: [`ColumnarPoints::clear`] keeps the allocation, so
+/// a warm buffer makes repeated window maintenance allocation-free.
+#[derive(Clone, Debug)]
+pub struct ColumnarPoints {
+    dims: usize,
+    len: usize,
+    cap: usize,
+    buf: Vec<f64>,
+}
+
+impl ColumnarPoints {
+    /// Creates an empty columnar buffer for `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a product space needs at least one dimension");
+        Self {
+            dims,
+            len: 0,
+            cap: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Number of points held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dimensionality of every point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Drops all points, keeping the allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `coords.len() != self.dims()`.
+    pub fn push(&mut self, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dims);
+        if self.len == self.cap {
+            self.grow();
+        }
+        for (d, &x) in coords.iter().enumerate() {
+            self.buf[d * self.cap + self.len] = x;
+        }
+        self.len += 1;
+    }
+
+    /// Removes the point at `i` by swapping the last point into its
+    /// slot — mirroring `Vec::swap_remove`, so an id vector maintained
+    /// alongside stays aligned when it applies the same operation.
+    pub fn swap_remove(&mut self, i: usize) {
+        assert!(i < self.len, "swap_remove index out of bounds");
+        let last = self.len - 1;
+        for d in 0..self.dims {
+            self.buf[d * self.cap + i] = self.buf[d * self.cap + last];
+        }
+        self.len = last;
+    }
+
+    /// Gathers the given points of `store` into this buffer, replacing
+    /// its contents (the allocation is reused when large enough).
+    pub fn gather(&mut self, store: &PointStore, ids: &[PointId]) {
+        debug_assert_eq!(store.dims(), self.dims);
+        self.clear();
+        if self.cap < ids.len() {
+            self.reserve_exact_cap(ids.len().next_power_of_two().max(64));
+        }
+        for &id in ids {
+            let p = store.point(id);
+            for (d, &x) in p.iter().enumerate() {
+                self.buf[d * self.cap + self.len] = x;
+            }
+            self.len += 1;
+        }
+    }
+
+    /// Whether any held point dominates `target`, via the blockwise
+    /// columnar kernel. Returns the verdict plus scan-work counts.
+    #[inline]
+    pub fn dominated_by_any(&self, target: &[f64]) -> crate::dominance::ColScan {
+        debug_assert_eq!(target.len(), self.dims);
+        if self.len == 0 {
+            return crate::dominance::ColScan::default();
+        }
+        crate::dominance::dominated_by_any_cols(&self.buf, self.cap, self.len, target)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.cap * 2).max(64);
+        self.reserve_exact_cap(new_cap);
+    }
+
+    fn reserve_exact_cap(&mut self, new_cap: usize) {
+        debug_assert!(new_cap >= self.len);
+        let mut new_buf = vec![0.0; self.dims * new_cap];
+        for d in 0..self.dims {
+            let src = &self.buf[d * self.cap..d * self.cap + self.len];
+            new_buf[d * new_cap..d * new_cap + self.len].copy_from_slice(src);
+        }
+        self.buf = new_buf;
+        self.cap = new_cap;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +395,61 @@ mod tests {
         let s = PointStore::from_rows(1, vec![[1.0], [2.0], [3.0]]);
         let ids: Vec<_> = s.ids().collect();
         assert_eq!(ids, vec![PointId(0), PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn columnar_push_and_swap_remove_mirror_a_vec() {
+        use crate::dominance::dominates;
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 7) as f64, (i % 11) as f64, (i % 5) as f64])
+            .collect();
+        let mut cols = ColumnarPoints::new(3);
+        let mut mirror: Vec<Vec<f64>> = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            cols.push(r);
+            mirror.push(r.clone());
+            if i % 3 == 2 {
+                let victim = i % mirror.len();
+                cols.swap_remove(victim);
+                mirror.swap_remove(victim);
+            }
+            assert_eq!(cols.len(), mirror.len());
+            let t = [3.0, 5.0, 2.0];
+            let scalar = mirror.iter().any(|p| dominates(p, &t));
+            assert_eq!(cols.dominated_by_any(&t).dominated, scalar, "step {i}");
+        }
+    }
+
+    #[test]
+    fn columnar_gather_matches_store_points() {
+        let s = PointStore::from_rows(2, vec![[0.1, 0.9], [0.3, 0.3], [0.9, 0.1]]);
+        let mut cols = ColumnarPoints::new(2);
+        cols.gather(&s, &[PointId(0), PointId(2)]);
+        assert_eq!(cols.len(), 2);
+        // (0.3, 0.3) is dominated by neither gathered point.
+        assert!(!cols.dominated_by_any(&[0.3, 0.3]).dominated);
+        assert!(cols.dominated_by_any(&[0.2, 0.95]).dominated);
+        // Re-gather reuses the buffer and replaces the contents.
+        cols.gather(&s, &[PointId(1)]);
+        assert_eq!(cols.len(), 1);
+        assert!(cols.dominated_by_any(&[0.4, 0.4]).dominated);
+        cols.clear();
+        assert!(cols.is_empty());
+        assert!(!cols.dominated_by_any(&[9.0, 9.0]).dominated);
+    }
+
+    #[test]
+    fn columnar_growth_preserves_points() {
+        // Cross the initial 64-capacity boundary and verify the
+        // re-layout kept every point intact.
+        let mut cols = ColumnarPoints::new(2);
+        for i in 0..200 {
+            cols.push(&[i as f64, (200 - i) as f64]);
+        }
+        assert_eq!(cols.len(), 200);
+        // Only (0, 200) fails to be dominated by (0,200)-dominators;
+        // probe a target each stored point relates to differently.
+        assert!(cols.dominated_by_any(&[5.5, 200.5]).dominated);
+        assert!(!cols.dominated_by_any(&[0.0, 0.0]).dominated);
     }
 }

@@ -55,11 +55,19 @@ pub enum Counter {
     LimitInterrupts,
     /// Worker panics contained by the parallel prober's unwind barrier.
     WorkerPanics,
+    /// Probe tasks claimed dynamically from the shared work-stealing
+    /// counter (zero under static chunking).
+    StealEvents,
+    /// Successful CAS improvements of the shared top-k threshold cell
+    /// published by parallel probing workers.
+    SharedThresholdUpdates,
+    /// 64-point blocks scanned by the columnar dominance kernel.
+    KernelBlockScans,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -78,6 +86,9 @@ impl Counter {
         Counter::GuardedNodeVisits,
         Counter::LimitInterrupts,
         Counter::WorkerPanics,
+        Counter::StealEvents,
+        Counter::SharedThresholdUpdates,
+        Counter::KernelBlockScans,
     ];
 
     /// Number of counters (the metrics array length).
@@ -104,6 +115,9 @@ impl Counter {
             Counter::GuardedNodeVisits => "guarded_node_visits",
             Counter::LimitInterrupts => "limit_interrupts",
             Counter::WorkerPanics => "worker_panics",
+            Counter::StealEvents => "steal_events",
+            Counter::SharedThresholdUpdates => "shared_threshold_updates",
+            Counter::KernelBlockScans => "kernel_block_scans",
         }
     }
 
@@ -131,16 +145,20 @@ pub enum Phase {
     JoinExpansion,
     /// Algorithm 1 exact upgrades (the per-product optimization step).
     Upgrade,
+    /// Probe-order preparation for the bound-sorted scheduler: screen
+    /// lower-bound evaluation over `T` plus the ascending sort.
+    BoundSort,
 }
 
 impl Phase {
     /// Every phase, in declaration (= array) order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::IndexBuild,
         Phase::ProbeLoop,
         Phase::DominatingSky,
         Phase::JoinExpansion,
         Phase::Upgrade,
+        Phase::BoundSort,
     ];
 
     /// Number of phases (the metrics array length).
@@ -154,6 +172,7 @@ impl Phase {
             Phase::DominatingSky => "dominating_sky",
             Phase::JoinExpansion => "join_expansion",
             Phase::Upgrade => "upgrade",
+            Phase::BoundSort => "bound_sort",
         }
     }
 

@@ -8,9 +8,8 @@
 //! progressive and I/O-optimal.
 
 use crate::{PointId, PointStore};
-use skyup_geom::dominance::dominates;
 use skyup_geom::point::coord_sum;
-use skyup_geom::OrderedF64;
+use skyup_geom::{ColumnarPoints, OrderedF64};
 use skyup_obs::{Counter, NullRecorder, Recorder};
 use skyup_rtree::{EntryRef, RTree};
 use std::cmp::Reverse;
@@ -52,20 +51,20 @@ impl Ord for HeapItem {
     }
 }
 
-/// `skyline.iter().any(dominates)` with every comparison counted.
+/// "Is `target` dominated by any mirrored skyline point", via the
+/// blockwise columnar kernel, with the scan work charged to the
+/// recorder: every covered point is a `DominanceTests` and every block a
+/// `KernelBlockScans`. The verdict is bit-identical to the scalar
+/// `skyline.iter().any(dominates)` loop.
 pub(crate) fn dominated_by_any<R: Recorder + ?Sized>(
-    store: &PointStore,
-    skyline: &[PointId],
+    cols: &ColumnarPoints,
     target: &[f64],
     rec: &mut R,
 ) -> bool {
-    for &s in skyline {
-        rec.bump(Counter::DominanceTests);
-        if dominates(store.point(s), target) {
-            return true;
-        }
-    }
-    false
+    let scan = cols.dominated_by_any(target);
+    rec.incr(Counter::DominanceTests, scan.points);
+    rec.incr(Counter::KernelBlockScans, scan.blocks);
+    scan.dominated
 }
 
 /// Computes the skyline of every point indexed by `tree` using BBS.
@@ -84,6 +83,9 @@ pub fn skyline_bbs_rec<R: Recorder + ?Sized>(
     if tree.is_empty() {
         return skyline;
     }
+    // Columnar mirror of `skyline`, kept in sync so every dominance
+    // re-check runs through the blockwise kernel.
+    let mut cols = ColumnarPoints::new(store.dims());
 
     let mut heap: BinaryHeap<Reverse<(HeapItem, EntryRef)>> = BinaryHeap::new();
     let root = EntryRef::Node(tree.root_id());
@@ -98,17 +100,20 @@ pub fn skyline_bbs_rec<R: Recorder + ?Sized>(
         // Lazy re-check: the skyline may have grown since this entry was
         // pushed (Algorithm 3 line 9 does the same re-check).
         let lo = tree.entry_lo(store, entry);
-        if dominated_by_any(store, &skyline, lo, rec) {
+        if dominated_by_any(&cols, lo, rec) {
             continue;
         }
         match entry {
-            EntryRef::Point(p) => skyline.push(p),
+            EntryRef::Point(p) => {
+                skyline.push(p);
+                cols.push(store.point(p));
+            }
             EntryRef::Node(n) => {
                 rec.bump(Counter::RtreeNodeAccesses);
                 for child in tree.node(n).entries() {
                     rec.bump(Counter::RtreeEntryAccesses);
                     let child_lo = tree.entry_lo(store, child);
-                    if !dominated_by_any(store, &skyline, child_lo, rec) {
+                    if !dominated_by_any(&cols, child_lo, rec) {
                         heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
                         rec.bump(Counter::HeapPushes);
                     }

@@ -4,9 +4,17 @@
 //! compared against the window, evicting window points it dominates and
 //! being discarded if dominated itself. In-memory data means one pass
 //! suffices (no temp-file overflow handling is needed).
+//!
+//! The window check is split into a columnar "dominated by any window
+//! point?" prepass (the blockwise kernel over a dims-major mirror of the
+//! window) followed by a scalar eviction pass. The split is exact: the
+//! window is mutually non-dominated, so a candidate dominated by some
+//! window point can dominate no window point — the original interleaved
+//! loop would have evicted nothing before discarding it.
 
 use crate::{PointId, PointStore};
-use skyup_geom::dominance::{compare, DomRelation};
+use skyup_geom::dominance::dominates;
+use skyup_geom::ColumnarPoints;
 use skyup_obs::{Counter, NullRecorder, Recorder};
 
 /// Computes the skyline of `ids` with the BNL window algorithm.
@@ -22,20 +30,32 @@ pub fn skyline_bnl_rec<R: Recorder + ?Sized>(
     rec: &mut R,
 ) -> Vec<PointId> {
     let mut window: Vec<PointId> = Vec::new();
-    'next_point: for &candidate in ids {
+    let mut cols = ColumnarPoints::new(store.dims());
+    for &candidate in ids {
         let c = store.point(candidate);
+        // Columnar prepass: discard the candidate if the window holds a
+        // dominator.
+        let scan = cols.dominated_by_any(c);
+        rec.incr(Counter::DominanceTests, scan.points);
+        rec.incr(Counter::KernelBlockScans, scan.blocks);
+        if scan.dominated {
+            continue;
+        }
+        // Eviction pass: remove window points the candidate dominates
+        // (same swap_remove order as the interleaved loop, applied to
+        // the id vector and its columnar mirror in lockstep).
         let mut i = 0;
         while i < window.len() {
             rec.bump(Counter::DominanceTests);
-            match compare(store.point(window[i]), c) {
-                DomRelation::Dominates => continue 'next_point,
-                DomRelation::DominatedBy => {
-                    window.swap_remove(i);
-                }
-                DomRelation::Equal | DomRelation::Incomparable => i += 1,
+            if dominates(c, store.point(window[i])) {
+                window.swap_remove(i);
+                cols.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
         window.push(candidate);
+        cols.push(c);
     }
     rec.incr(Counter::SkylinePointsRetained, window.len() as u64);
     window

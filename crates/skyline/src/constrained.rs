@@ -12,10 +12,44 @@ use crate::{PointId, PointStore};
 use skyup_geom::adr::rect_intersects_adr;
 use skyup_geom::dominance::dominates;
 use skyup_geom::point::coord_sum;
+use skyup_geom::ColumnarPoints;
 use skyup_obs::{Counter, ExecGuard, Interrupt, NullRecorder, Recorder};
 use skyup_rtree::{EntryRef, RTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Reusable state for repeated `getDominatingSky` traversals: the BBS
+/// priority queue, the skyline id list, and its columnar mirror (the
+/// layout the blockwise dominance kernel scans). A probe loop that keeps
+/// one scratch per worker performs no per-product heap allocations once
+/// the buffers have grown to the workload's high-water mark.
+pub struct SkylineScratch {
+    heap: BinaryHeap<Reverse<(HeapItem, EntryRef)>>,
+    cols: ColumnarPoints,
+    skyline: Vec<PointId>,
+}
+
+impl SkylineScratch {
+    /// Creates an empty scratch for `dims`-dimensional points.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cols: ColumnarPoints::new(dims),
+            skyline: Vec::new(),
+        }
+    }
+
+    /// The skyline left by the last `*_into` traversal.
+    pub fn skyline(&self) -> &[PointId] {
+        &self.skyline
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.cols.clear();
+        self.skyline.clear();
+    }
+}
 
 /// Computes the skyline of the points of `tree` that dominate `t`
 /// (Algorithm 3). The result is the minimal set an upgrade of `t` must
@@ -129,64 +163,126 @@ pub fn dominating_skyline_from_lim<R: Recorder + ?Sized>(
     rec: &mut R,
     guard: &mut ExecGuard,
 ) -> Result<Vec<PointId>, Interrupt> {
-    assert_eq!(store.dims(), t.len(), "product dimensionality mismatch");
-    let mut skyline: Vec<PointId> = Vec::new();
+    let mut scratch = SkylineScratch::new(t.len());
+    dominating_skyline_from_into(store, tree, seeds, t, rec, guard, &mut scratch)?;
+    Ok(std::mem::take(&mut scratch.skyline))
+}
 
-    let mut heap: BinaryHeap<Reverse<(HeapItem, EntryRef)>> = BinaryHeap::new();
-    for &seed in seeds {
-        // Lines 3-6: consider a seed only if it can contain dominators.
-        let admit = match seed {
-            EntryRef::Node(n) => rect_intersects_adr(tree.node(n).mbr(), t),
-            EntryRef::Point(p) => store.point(p).iter().zip(t).all(|(&x, &y)| x <= y),
-        };
-        if admit {
-            guard.heap_push()?;
-            let lo = tree.entry_lo(store, seed);
-            heap.push(Reverse(HeapItem::new(coord_sum(lo), seed)));
-            rec.bump(Counter::HeapPushes);
-        }
+/// Root-seeded [`dominating_skyline_from_into`]: the workhorse of the
+/// probe scheduler's per-worker loop. The dominator skyline is left in
+/// `scratch` ([`SkylineScratch::skyline`]); all traversal state reuses
+/// the scratch's buffers, so a warm scratch makes the call
+/// allocation-free.
+pub fn dominating_skyline_into<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    t: &[f64],
+    rec: &mut R,
+    guard: &mut ExecGuard,
+    scratch: &mut SkylineScratch,
+) -> Result<(), Interrupt> {
+    if tree.is_empty() {
+        scratch.reset();
+        return Ok(());
     }
+    dominating_skyline_from_into(
+        store,
+        tree,
+        &[EntryRef::Node(tree.root_id())],
+        t,
+        rec,
+        guard,
+        scratch,
+    )
+}
 
-    while let Some(Reverse((_, entry))) = heap.pop() {
-        rec.bump(Counter::HeapPops);
-        // Line 9: re-check dominance against the grown skyline.
-        let lo = tree.entry_lo(store, entry);
-        if dominated_by_any(store, &skyline, lo, rec) {
-            continue;
-        }
-        match entry {
-            EntryRef::Point(p) => {
-                // Only actual dominators of t enter S: a point inside
-                // ADR(t) with some coordinate equal to t's may fail to
-                // dominate t (e.g. t itself).
-                rec.bump(Counter::DominanceTests);
-                if dominates(store.point(p), t) {
-                    skyline.push(p);
-                }
+/// [`dominating_skyline_from_lim`] writing into a caller-provided
+/// [`SkylineScratch`] instead of freshly allocated buffers. Identical
+/// traversal, counters, and guard charging; on `Err` the scratch's
+/// skyline is left empty (a partial dominator skyline may be missing
+/// dominators and must not reach Algorithm 1).
+pub fn dominating_skyline_from_into<R: Recorder + ?Sized>(
+    store: &PointStore,
+    tree: &RTree,
+    seeds: &[EntryRef],
+    t: &[f64],
+    rec: &mut R,
+    guard: &mut ExecGuard,
+    scratch: &mut SkylineScratch,
+) -> Result<(), Interrupt> {
+    assert_eq!(store.dims(), t.len(), "product dimensionality mismatch");
+    scratch.reset();
+    let run = (|| {
+        let SkylineScratch {
+            heap,
+            cols,
+            skyline,
+        } = scratch;
+        for &seed in seeds {
+            // Lines 3-6: consider a seed only if it can contain dominators.
+            let admit = match seed {
+                EntryRef::Node(n) => rect_intersects_adr(tree.node(n).mbr(), t),
+                EntryRef::Point(p) => store.point(p).iter().zip(t).all(|(&x, &y)| x <= y),
+            };
+            if admit {
+                guard.heap_push()?;
+                let lo = tree.entry_lo(store, seed);
+                heap.push(Reverse(HeapItem::new(coord_sum(lo), seed)));
+                rec.bump(Counter::HeapPushes);
             }
-            EntryRef::Node(n) => {
-                // Lines 11-13: push children that overlap ADR(t) and are
-                // not dominated by the current skyline.
-                guard.visit_node()?;
-                rec.bump(Counter::RtreeNodeAccesses);
-                for child in tree.node(n).entries() {
-                    rec.bump(Counter::RtreeEntryAccesses);
-                    let child_lo = tree.entry_lo(store, child);
-                    let overlaps = match child {
-                        EntryRef::Node(c) => rect_intersects_adr(tree.node(c).mbr(), t),
-                        EntryRef::Point(_) => child_lo.iter().zip(t).all(|(&x, &y)| x <= y),
-                    };
-                    if overlaps && !dominated_by_any(store, &skyline, child_lo, rec) {
-                        guard.heap_push()?;
-                        heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
-                        rec.bump(Counter::HeapPushes);
+        }
+
+        while let Some(Reverse((_, entry))) = heap.pop() {
+            rec.bump(Counter::HeapPops);
+            // Line 9: re-check dominance against the grown skyline.
+            let lo = tree.entry_lo(store, entry);
+            if dominated_by_any(cols, lo, rec) {
+                continue;
+            }
+            match entry {
+                EntryRef::Point(p) => {
+                    // Only actual dominators of t enter S: a point inside
+                    // ADR(t) with some coordinate equal to t's may fail to
+                    // dominate t (e.g. t itself).
+                    rec.bump(Counter::DominanceTests);
+                    if dominates(store.point(p), t) {
+                        skyline.push(p);
+                        cols.push(store.point(p));
+                    }
+                }
+                EntryRef::Node(n) => {
+                    // Lines 11-13: push children that overlap ADR(t) and are
+                    // not dominated by the current skyline.
+                    guard.visit_node()?;
+                    rec.bump(Counter::RtreeNodeAccesses);
+                    for child in tree.node(n).entries() {
+                        rec.bump(Counter::RtreeEntryAccesses);
+                        let child_lo = tree.entry_lo(store, child);
+                        let overlaps = match child {
+                            EntryRef::Node(c) => rect_intersects_adr(tree.node(c).mbr(), t),
+                            EntryRef::Point(_) => child_lo.iter().zip(t).all(|(&x, &y)| x <= y),
+                        };
+                        if overlaps && !dominated_by_any(cols, child_lo, rec) {
+                            guard.heap_push()?;
+                            heap.push(Reverse(HeapItem::new(coord_sum(child_lo), child)));
+                            rec.bump(Counter::HeapPushes);
+                        }
                     }
                 }
             }
         }
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            rec.incr(Counter::SkylinePointsRetained, scratch.skyline.len() as u64);
+            Ok(())
+        }
+        Err(i) => {
+            scratch.reset();
+            Err(i)
+        }
     }
-    rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);
-    Ok(skyline)
 }
 
 #[cfg(test)]
@@ -319,6 +415,52 @@ mod tests {
         let mut g = ExecutionLimits::none().with_max_node_visits(1).start();
         let err = dominating_skyline_lim(&s, &tree, &t, &mut NullRecorder, &mut g);
         assert_eq!(err, Err(Interrupt::NodeVisitBudget));
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocations() {
+        use skyup_obs::ExecutionLimits;
+        let s = pseudo_random_store(500, 3, 0x5c7a);
+        let tree = RTree::bulk_load(&s, RTreeParams::with_max_entries(8));
+        let mut scratch = SkylineScratch::new(3);
+        for i in 0..20u32 {
+            let t = [
+                0.4 + 0.5 * (i % 5) as f64 / 5.0,
+                0.4 + 0.5 * ((i / 5) % 4) as f64 / 4.0,
+                0.9,
+            ];
+            dominating_skyline_into(
+                &s,
+                &tree,
+                &t,
+                &mut NullRecorder,
+                &mut ExecGuard::unlimited(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(
+                scratch.skyline(),
+                dominating_skyline(&s, &tree, &t),
+                "t={t:?}"
+            );
+        }
+        // An interrupted traversal leaves the scratch empty, then the
+        // scratch is reusable for the next product.
+        let mut g = ExecutionLimits::none().with_max_node_visits(1).start();
+        let t = [0.85, 0.85, 0.85];
+        let err = dominating_skyline_into(&s, &tree, &t, &mut NullRecorder, &mut g, &mut scratch);
+        assert_eq!(err, Err(Interrupt::NodeVisitBudget));
+        assert!(scratch.skyline().is_empty());
+        dominating_skyline_into(
+            &s,
+            &tree,
+            &t,
+            &mut NullRecorder,
+            &mut ExecGuard::unlimited(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(scratch.skyline(), dominating_skyline(&s, &tree, &t));
     }
 
     #[test]

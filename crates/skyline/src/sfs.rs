@@ -6,8 +6,8 @@
 //! immediately a confirmed skyline point and the window never shrinks.
 
 use crate::{PointId, PointStore};
-use skyup_geom::dominance::dominates;
 use skyup_geom::point::{coord_sum, lex_cmp};
+use skyup_geom::ColumnarPoints;
 use skyup_obs::{Counter, NullRecorder, Recorder};
 
 /// Computes the skyline of `ids` with the SFS algorithm. The input slice
@@ -32,20 +32,18 @@ pub fn skyline_sfs_rec<R: Recorder + ?Sized>(
     });
 
     let mut skyline: Vec<PointId> = Vec::new();
+    let mut cols = ColumnarPoints::new(store.dims());
     for candidate in sorted {
         let c = store.point(candidate);
         // A dominator has a strictly smaller coordinate sum, so it must
-        // already sit in the window; a pure membership test suffices.
-        let mut dominated = false;
-        for &s in &skyline {
-            rec.bump(Counter::DominanceTests);
-            if dominates(store.point(s), c) {
-                dominated = true;
-                break;
-            }
-        }
-        if !dominated {
+        // already sit in the window; a pure membership test (here the
+        // blockwise columnar kernel over the window mirror) suffices.
+        let scan = cols.dominated_by_any(c);
+        rec.incr(Counter::DominanceTests, scan.points);
+        rec.incr(Counter::KernelBlockScans, scan.blocks);
+        if !scan.dominated {
             skyline.push(candidate);
+            cols.push(c);
         }
     }
     rec.incr(Counter::SkylinePointsRetained, skyline.len() as u64);

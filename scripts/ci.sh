@@ -33,4 +33,11 @@ timeout "$TEST_TIMEOUT" cargo test --offline -q -p skyup-core --test chaos
 echo "== CLI exit-code contract =="
 timeout "$TEST_TIMEOUT" cargo test --offline -q --test cli_contract
 
+echo "== bench smoke: probe scheduler bit-identity =="
+# Tiny scale; the binary asserts every scheduled run matches the
+# sequential oracle bit-for-bit. Writes to a scratch path so the
+# committed full-scale BENCH_probing.json is left untouched.
+SKYUP_BENCH_OUT="$(mktemp)" timeout "$TEST_TIMEOUT" \
+    cargo run --offline --release -q -p skyup-bench --bin probe_sched -- --scale 0.005
+
 echo "CI OK"

@@ -8,9 +8,9 @@
 use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
 use skyup_core::join::{BoundMode, LowerBound};
 use skyup_core::{
-    basic_probing_topk_rec, improved_probing_topk_rec, try_basic_probing_topk,
-    try_improved_probing_topk, Completion, ExecutionLimits, JoinUpgrader, UpgradeConfig,
-    UpgradeResult,
+    basic_probing_topk_rec, improved_probing_topk_rec, improved_probing_topk_scheduled_rec,
+    try_basic_probing_topk, try_improved_probing_topk, try_improved_probing_topk_scheduled,
+    Completion, ExecutionLimits, JoinUpgrader, ProbeStrategy, UpgradeConfig, UpgradeResult,
 };
 use skyup_data::{negate_dimensions, normalize_unit, read_delimited};
 use skyup_geom::PointStore;
@@ -68,6 +68,11 @@ pub struct Config {
     pub timeout_ms: Option<u64>,
     /// R-tree node-visit budget for the query phase; same degradation.
     pub max_node_visits: Option<u64>,
+    /// Worker threads for `--algorithm probing`. With 1 (the default)
+    /// the historical sequential path runs, bit-for-bit; with more, the
+    /// bound-sorted work-stealing scheduler takes over (same results,
+    /// pruned and parallel).
+    pub threads: usize,
 }
 
 impl Config {
@@ -130,6 +135,10 @@ options:
                          best-so-far partial answer is printed and the
                          binary exits with code 2
   --max-node-visits <n>  R-tree node-visit budget; same degradation
+  --threads <n>          worker threads for --algorithm probing
+                         (default 1 = the sequential path; more runs the
+                         bound-sorted work-stealing scheduler, which
+                         returns identical results)
 
 exit codes: 0 = exact answer, 2 = partial answer (a limit fired),
 1 = error (bad arguments, unreadable input, invalid data)
@@ -154,6 +163,7 @@ impl Config {
         let mut stats = None;
         let mut timeout_ms = None;
         let mut max_node_visits = None;
+        let mut threads = 1usize;
 
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -260,6 +270,15 @@ impl Config {
                     max_node_visits = Some(n);
                     i += 2;
                 }
+                "--threads" => {
+                    threads = value(args, i, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    i += 2;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => {
                     if let Some(fmt) = other.strip_prefix("--stats=") {
@@ -274,6 +293,10 @@ impl Config {
                     return Err(format!("unknown argument {other}\n{USAGE}"));
                 }
             }
+        }
+
+        if threads > 1 && algorithm != Algorithm::Probing {
+            return Err("--threads applies to --algorithm probing only".into());
         }
 
         Ok(Config {
@@ -293,6 +316,7 @@ impl Config {
             stats,
             timeout_ms,
             max_node_visits,
+            threads,
         })
     }
 
@@ -449,11 +473,41 @@ pub fn run_with_metrics(
         }
         Algorithm::Basic => basic_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec),
         Algorithm::Probing if guarded => {
-            let out =
+            let out = if cfg.threads > 1 {
+                let (any, _stats) = try_improved_probing_topk_scheduled(
+                    &p,
+                    &rp,
+                    &t,
+                    cfg.k,
+                    &cost_fn,
+                    &upgrade_cfg,
+                    cfg.threads,
+                    ProbeStrategy::BoundSorted,
+                    &limits,
+                    rec,
+                )
+                .map_err(|e| e.to_string())?;
+                any
+            } else {
                 try_improved_probing_topk(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, &limits, rec)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| e.to_string())?
+            };
             completion = out.completion;
             out.results
+        }
+        Algorithm::Probing if cfg.threads > 1 => {
+            improved_probing_topk_scheduled_rec(
+                &p,
+                &rp,
+                &t,
+                cfg.k,
+                &cost_fn,
+                &upgrade_cfg,
+                cfg.threads,
+                ProbeStrategy::BoundSorted,
+                rec,
+            )
+            .0
         }
         Algorithm::Probing => {
             improved_probing_topk_rec(&p, &rp, &t, cfg.k, &cost_fn, &upgrade_cfg, rec)
@@ -595,6 +649,66 @@ mod tests {
             Some(StatsFormat::Json)
         );
         assert!(Config::parse(&args(&format!("{base} --stats=yaml"))).is_err());
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let base = "--competitors p.csv --products t.csv";
+        assert_eq!(Config::parse(&args(base)).unwrap().threads, 1);
+        let cfg = Config::parse(&args(&format!("{base} --algorithm probing --threads 4"))).unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert!(Config::parse(&args(&format!("{base} --threads 0"))).is_err());
+        // The scheduler is a probing extension; other algorithms are
+        // single-threaded.
+        assert!(Config::parse(&args(&format!("{base} --algorithm join --threads 4"))).is_err());
+        assert!(Config::parse(&args(&format!("{base} --threads 4"))).is_err());
+    }
+
+    #[test]
+    fn threaded_probing_matches_sequential_output() {
+        let dir = std::env::temp_dir().join("skyup-cli-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_path = dir.join("p.csv");
+        let t_path = dir.join("t.csv");
+        let mut state = 0x7177_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut p_text = String::new();
+        for _ in 0..300 {
+            p_text.push_str(&format!("{},{}\n", next(), next()));
+        }
+        let mut t_text = String::new();
+        for _ in 0..40 {
+            t_text.push_str(&format!("{},{}\n", 0.3 + next(), 0.3 + next()));
+        }
+        std::fs::write(&p_path, p_text).unwrap();
+        std::fs::write(&t_path, t_text).unwrap();
+        let base = format!(
+            "--competitors {} --products {} -k 5 --algorithm probing --cost linear:1.0",
+            p_path.display(),
+            t_path.display()
+        );
+        let seq = run(&Config::parse(&args(&base)).unwrap()).unwrap().0;
+        for threads in [2, 4] {
+            let par = run(&Config::parse(&args(&format!("{base} --threads {threads}"))).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        // Guarded + threaded: a generous budget completes exactly.
+        let (report, completion) = run(&Config::parse(&args(&format!(
+            "{base} --threads 4 --max-node-visits 1000000"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(completion.is_exact());
+        assert!(report.contains("completion: exact"));
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&t_path).ok();
     }
 
     #[test]

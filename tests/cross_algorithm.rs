@@ -3,12 +3,13 @@
 //! layouts (using the admissible bound mode where exact ordering is
 //! required; see DESIGN.md §3).
 
-use skyup::core::cost::SumCost;
+use skyup::core::cost::{AttributeCost, LinearCost, SumCost};
 use skyup::core::join::{BoundMode, JoinUpgrader, LowerBound};
 use skyup::core::probing::improved_probing_topk_pruned_rec;
 use skyup::core::{
     basic_probing_topk, basic_probing_topk_rec, improved_probing_topk,
-    improved_probing_topk_parallel_rec, improved_probing_topk_rec, single_set_topk, UpgradeConfig,
+    improved_probing_topk_parallel_rec, improved_probing_topk_rec,
+    improved_probing_topk_scheduled_rec, single_set_topk, ProbeStrategy, UpgradeConfig,
 };
 use skyup::data::synthetic::{generate, Distribution, SyntheticConfig};
 use skyup::geom::PointStore;
@@ -189,6 +190,108 @@ fn counter_consistency_across_algorithms() {
         mq.get(Counter::ProductsEvaluated) + mq.get(Counter::ThresholdPrunes),
         t.len() as u64
     );
+}
+
+/// The probe scheduler's counter contract: work stealing merges to
+/// fully deterministic metrics at every thread count (each product is
+/// claimed and evaluated exactly once), and the bound-sorted pruning
+/// path keeps the exact accounting `ProductsEvaluated + ThresholdPrunes
+/// == |T|` while returning the bit-identical sequential answer.
+#[test]
+fn scheduled_probing_counter_contract() {
+    let p = generate(
+        800,
+        &SyntheticConfig::unit(3, Distribution::Independent, 41),
+    );
+    let t = generate(
+        150,
+        &SyntheticConfig {
+            dims: 3,
+            distribution: Distribution::Independent,
+            lo: 0.3,
+            hi: 1.3,
+            seed: 42,
+        },
+    );
+    let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(16));
+    // Linear costs keep the admissible list bounds informative, so the
+    // shared-threshold screen actually fires on this interleaved layout.
+    let cost_fn = SumCost::new(
+        (0..3)
+            .map(|_| Box::new(LinearCost::new(2.0, 1.0)) as Box<dyn AttributeCost>)
+            .collect(),
+    );
+    let cfg = UpgradeConfig::default();
+    let k = 8;
+    let seq = improved_probing_topk(&p, &rp, &t, k, &cost_fn, &cfg);
+
+    let assert_bit_identical = |out: &[skyup::core::UpgradeResult], label: &str| {
+        assert_eq!(seq.len(), out.len(), "{label}");
+        for (a, b) in seq.iter().zip(out) {
+            assert_eq!(a.product, b.product, "{label}");
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{label}");
+            assert_eq!(a.upgraded, b.upgraded, "{label}");
+        }
+    };
+
+    // Work stealing: same counters no matter how the claims interleave.
+    let mut baseline: Option<Vec<u64>> = None;
+    for threads in [1, 2, 4, 8] {
+        let mut m = QueryMetrics::new();
+        let (out, stats) = improved_probing_topk_scheduled_rec(
+            &p,
+            &rp,
+            &t,
+            k,
+            &cost_fn,
+            &cfg,
+            threads,
+            ProbeStrategy::WorkStealing,
+            &mut m,
+        );
+        assert_bit_identical(&out, &format!("stealing threads={threads}"));
+        assert_eq!(m.get(Counter::StealEvents), t.len() as u64);
+        assert_eq!(m.get(Counter::ProductsEvaluated), t.len() as u64);
+        assert_eq!(stats.pruned, 0);
+        let snap: Vec<u64> = Counter::ALL.iter().map(|&c| m.get(c)).collect();
+        match &baseline {
+            None => baseline = Some(snap),
+            Some(b) => assert_eq!(b, &snap, "stealing counters differ at threads={threads}"),
+        }
+    }
+
+    // Bound-sorted pruning: exact results plus exact accounting. Which
+    // products get pruned is timing-dependent, but every product is
+    // either evaluated or pruned — never both, never neither.
+    for threads in [1, 2, 4, 8] {
+        let mut m = QueryMetrics::new();
+        let (out, stats) = improved_probing_topk_scheduled_rec(
+            &p,
+            &rp,
+            &t,
+            k,
+            &cost_fn,
+            &cfg,
+            threads,
+            ProbeStrategy::BoundSorted,
+            &mut m,
+        );
+        assert_bit_identical(&out, &format!("bound-sorted threads={threads}"));
+        assert_eq!(
+            m.get(Counter::ProductsEvaluated) + m.get(Counter::ThresholdPrunes),
+            t.len() as u64,
+            "threads={threads}"
+        );
+        assert_eq!(m.get(Counter::ProductsEvaluated), stats.evaluated);
+        assert_eq!(m.get(Counter::ThresholdPrunes), stats.pruned);
+        assert_eq!(m.get(Counter::LowerBoundEvals), t.len() as u64);
+        if threads == 1 {
+            assert!(
+                stats.pruned > 0,
+                "the screen must fire on the interleaved workload: {stats:?}"
+            );
+        }
+    }
 }
 
 #[test]
