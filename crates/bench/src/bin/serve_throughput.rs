@@ -1,0 +1,178 @@
+//! Serving throughput: queries per second through the `skyup-serve`
+//! worker pool at 1 and 4 client threads, cold cache vs warm, as JSON.
+//!
+//! The workload is a fig8-style synthetic: independent-uniform competitors on the
+//! unit cube and a fixed pool of uncompetitive products shifted to
+//! `[0.3, 1.3]`. The cold phase queries every pool product exactly once
+//! (all misses, each answer computed from the epoch snapshot); the warm
+//! phases re-query the same pool (all hits). Every warm answer is
+//! checked bit-for-bit against its cold counterpart before the timing
+//! is trusted — a cache that serves stale bits fails the bench, it does
+//! not get a throughput number.
+//!
+//! Wall-clock qps is the machine-dependent half of the output; the
+//! cache hit/miss counters are the machine-independent half. Set
+//! `SKYUP_BENCH_OUT` to redirect the report (CI smoke runs do).
+
+use skyup_bench::parse_args;
+use skyup_data::synthetic::{generate, Distribution, SyntheticConfig};
+use skyup_obs::json::Json;
+use skyup_obs::{Completion, Counter};
+use skyup_serve::{CostSpec, Engine, EngineConfig, QueryRequest, ServeConfig, ServeHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIMS: usize = 3;
+/// Warm passes over the product pool per configuration.
+const WARM_PASSES: usize = 4;
+
+fn product_pool(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut cfg = SyntheticConfig::unit(DIMS, Distribution::Independent, seed);
+    cfg.lo = 0.3;
+    cfg.hi = 1.3;
+    let store = generate(n, &cfg);
+    store.ids().map(|id| store.point(id).to_vec()).collect()
+}
+
+/// Runs one timed pass: `threads` clients split the pool's products
+/// (each product queried exactly once per pass) and push them through
+/// the worker pool. Returns (elapsed_seconds, per-product cost bits).
+fn timed_pass(handle: &ServeHandle, pool: &Arc<Vec<Vec<f64>>>, threads: usize) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..threads {
+        let handle = handle.clone();
+        let pool = Arc::clone(pool);
+        joins.push(std::thread::spawn(move || {
+            let mut costs = Vec::new();
+            let mut i = c;
+            while i < pool.len() {
+                let resp = handle
+                    .query(QueryRequest {
+                        products: vec![pool[i].clone()],
+                        k: 1,
+                        cost: CostSpec::Reciprocal(1e-3),
+                        max_products: None,
+                        deadline: None,
+                    })
+                    .expect("valid query");
+                assert!(
+                    matches!(resp.completion, Completion::Exact),
+                    "unlimited query came back partial"
+                );
+                costs.push((i, resp.results[0].cost.to_bits()));
+                i += threads;
+            }
+            costs
+        }));
+    }
+    let mut costs = vec![0u64; pool.len()];
+    for join in joins {
+        for (i, bits) in join.join().expect("client thread") {
+            costs[i] = bits;
+        }
+    }
+    (start.elapsed().as_secs_f64(), costs)
+}
+
+fn main() {
+    let args = parse_args(1.0);
+    let n_comp = ((4000.0 * args.scale) as usize).max(64);
+    let n_pool = ((256.0 * args.scale) as usize).max(16);
+    let competitors = generate(
+        n_comp,
+        &SyntheticConfig::unit(DIMS, Distribution::Independent, args.seed),
+    );
+    let pool = Arc::new(product_pool(n_pool, args.seed ^ 0x7007));
+
+    let mut runs = Vec::new();
+    let mut all_identical = true;
+    for threads in [1usize, 4] {
+        // Fresh engine per configuration so every cold phase is cold.
+        let engine = Arc::new(Engine::with_competitors(
+            competitors.clone(),
+            EngineConfig::default(),
+        ));
+        let handle = ServeHandle::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                threads,
+                queue_cap: 4 * threads.max(16),
+            },
+        );
+
+        let phase_row = |phase: &str, elapsed: f64, requests: usize, hit: u64, miss: u64| {
+            let total = (hit + miss).max(1);
+            Json::obj(vec![
+                ("threads", Json::Num(threads as f64)),
+                ("phase", Json::Str(phase.into())),
+                ("requests", Json::Num(requests as f64)),
+                ("elapsed_ms", Json::Num(elapsed * 1e3)),
+                ("qps", Json::Num(requests as f64 / elapsed.max(1e-9))),
+                ("cache_hit", Json::Num(hit as f64)),
+                ("cache_miss", Json::Num(miss as f64)),
+                ("hit_rate", Json::Num(hit as f64 / total as f64)),
+            ])
+        };
+
+        let before = engine.metrics();
+        let (cold_s, cold_costs) = timed_pass(&handle, &pool, threads);
+        let after = engine.metrics();
+        runs.push(phase_row(
+            "cold",
+            cold_s,
+            pool.len(),
+            after.get(Counter::CacheHit) - before.get(Counter::CacheHit),
+            after.get(Counter::CacheMiss) - before.get(Counter::CacheMiss),
+        ));
+
+        let before = engine.metrics();
+        let mut warm_s = 0.0;
+        for _ in 0..WARM_PASSES {
+            let (s, warm_costs) = timed_pass(&handle, &pool, threads);
+            warm_s += s;
+            all_identical &= warm_costs == cold_costs;
+        }
+        let after = engine.metrics();
+        runs.push(phase_row(
+            "warm",
+            warm_s,
+            WARM_PASSES * pool.len(),
+            after.get(Counter::CacheHit) - before.get(Counter::CacheHit),
+            after.get(Counter::CacheMiss) - before.get(Counter::CacheMiss),
+        ));
+        handle.shutdown();
+    }
+
+    let doc = Json::obj(vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("competitors", Json::Num(n_comp as f64)),
+                ("product_pool", Json::Num(n_pool as f64)),
+                ("dims", Json::Num(DIMS as f64)),
+                ("warm_passes", Json::Num(WARM_PASSES as f64)),
+                ("scale", Json::Num(args.scale)),
+                ("seed", Json::Num(args.seed as f64)),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+        ("warm_bit_identical_to_cold", Json::Bool(all_identical)),
+    ]);
+
+    let path = std::env::var("SKYUP_BENCH_OUT")
+        .unwrap_or_else(|_| "bench_results/BENCH_serve.json".into());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, format!("{}\n", doc.render_pretty()))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+
+    assert!(
+        all_identical,
+        "warm (cached) answers diverged from the cold computation"
+    );
+}

@@ -32,9 +32,9 @@ use crate::cost::diagnostics::verify_monotone_on;
 use crate::cost::CostFunction;
 use crate::error::{SkyupError, MONOTONE_SAMPLE_LIMIT};
 use crate::result::{AnytimeTopK, UpgradeResult};
-use crate::upgrade::upgrade_single;
+use crate::upgrade::{dominators_from_skyline, upgrade_single};
 use skyup_geom::dominance::dominates;
-use skyup_geom::{OrderedF64, PointStore};
+use skyup_geom::{OrderedF64, PointId, PointStore};
 use skyup_obs::{
     timed, Completion, Counter, ExecGuard, ExecutionLimits, Interrupt, Phase, QueryMetrics,
     Recorder,
@@ -94,6 +94,7 @@ pub struct JoinUpgrader<'a, C: CostFunction + ?Sized> {
     cfg: UpgradeConfig,
     bound: LowerBound,
     mode: BoundMode,
+    p_skyline: Option<&'a [PointId]>,
     heap: BinaryHeap<Reverse<JoinHeapEntry>>,
     seq: u64,
     metrics: QueryMetrics,
@@ -136,6 +137,7 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
             cfg,
             bound,
             mode: BoundMode::default(),
+            p_skyline: None,
             heap: BinaryHeap::new(),
             seq: 0,
             metrics: QueryMetrics::new(),
@@ -321,6 +323,28 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         self.mode
     }
 
+    /// Supplies a precomputed skyline of the full competitor set.
+    /// Product resolution then filters it down to each product's
+    /// dominators with a linear scan instead of running the constrained
+    /// BBS traversal over `R_P`; the filter is exact (see
+    /// [`dominators_from_skyline`]), so the emitted results are
+    /// unchanged. Must be called before consuming any results, and
+    /// `skyline` must be the skyline of `p_store` — a superset misses
+    /// nothing but wastes work, a subset silently under-upgrades.
+    pub fn with_skyline(mut self, skyline: &'a [PointId]) -> Self {
+        assert_eq!(
+            self.metrics.get(Counter::ResultsEmitted),
+            0,
+            "a precomputed skyline must be supplied before iteration starts"
+        );
+        debug_assert!(
+            skyline.iter().all(|s| s.index() < self.p_store.len()),
+            "skyline ids must index p_store"
+        );
+        self.p_skyline = Some(skyline);
+        self
+    }
+
     /// Instrumentation counters accumulated so far (legacy view over
     /// [`JoinUpgrader::metrics`]).
     pub fn stats(&self) -> JoinStats {
@@ -395,8 +419,13 @@ impl<'a, C: CostFunction + ?Sized> JoinUpgrader<'a, C> {
         let t = self.t_store.point(tid);
         let (p_store, p_tree) = (self.p_store, self.p_tree);
         let guard = &mut self.guard;
-        let skyline = timed(&mut self.metrics, Phase::DominatingSky, |m| {
-            dominating_skyline_from_lim(p_store, p_tree, &jl, t, m, guard)
+        let pre = self.p_skyline;
+        let skyline = timed(&mut self.metrics, Phase::DominatingSky, |m| match pre {
+            Some(sky) => {
+                guard.checkpoint()?;
+                Ok(dominators_from_skyline(p_store, sky, t, m))
+            }
+            None => dominating_skyline_from_lim(p_store, p_tree, &jl, t, m, guard),
         })?;
         debug_assert!(skyline.iter().all(|&s| dominates(self.p_store.point(s), t)));
         let (cost_fn, cfg) = (self.cost_fn, &self.cfg);

@@ -127,6 +127,35 @@ mod tests {
     }
 
     #[test]
+    fn join_with_skyline_matches_self_computed_path() {
+        for dims in [2, 3] {
+            let p = pseudo_random_store(300, dims, 0.0, 1.0, 0x91 + dims as u64);
+            let t = pseudo_random_store(40, dims, 0.5, 1.5, 0x92 + dims as u64);
+            let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(8));
+            let rt = RTree::bulk_load(&t, RTreeParams::with_max_entries(8));
+            let cost = SumCost::reciprocal(dims, 1e-3);
+            let cfg = UpgradeConfig::default();
+            let all: Vec<_> = p.iter().map(|(id, _)| id).collect();
+            let mut sky = skyup_skyline::skyline_sfs(&p, &all);
+            sky.sort();
+            let plain: Vec<_> =
+                JoinUpgrader::new(&p, &rp, &t, &rt, &cost, cfg, LowerBound::Conservative)
+                    .take(8)
+                    .collect();
+            let seeded: Vec<_> =
+                JoinUpgrader::new(&p, &rp, &t, &rt, &cost, cfg, LowerBound::Conservative)
+                    .with_skyline(&sky)
+                    .take(8)
+                    .collect();
+            assert_eq!(plain.len(), seeded.len());
+            for (a, b) in plain.iter().zip(&seeded) {
+                assert_eq!(a.product, b.product);
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn join_matches_probing_all_bounds_admissible_mode() {
         // With the admissible per-entry bound the join's emission order
         // is exactly ascending in true cost even on interleaved domains,

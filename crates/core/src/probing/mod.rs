@@ -31,7 +31,10 @@ mod pruned;
 mod scheduler;
 
 pub use basic::{basic_probing_topk, basic_probing_topk_rec, try_basic_probing_topk};
-pub use improved::{improved_probing_topk, improved_probing_topk_rec, try_improved_probing_topk};
+pub use improved::{
+    improved_probing_topk, improved_probing_topk_rec, improved_probing_topk_with_skyline,
+    improved_probing_topk_with_skyline_rec, try_improved_probing_topk,
+};
 pub use parallel::{
     improved_probing_topk_parallel, improved_probing_topk_parallel_rec,
     try_improved_probing_topk_parallel,
@@ -89,6 +92,30 @@ mod tests {
             let ia: Vec<u32> = a.iter().map(|r| r.product.0).collect();
             let ib: Vec<u32> = b.iter().map(|r| r.product.0).collect();
             assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn with_skyline_matches_self_computed_path() {
+        for dims in [2, 3] {
+            let p = pseudo_random_store(400, dims, 0.0, 1.0, 0xc1 + dims as u64);
+            let t = pseudo_random_store(60, dims, 0.5, 1.5, 0xd2 + dims as u64);
+            let rp = RTree::bulk_load(&p, RTreeParams::with_max_entries(8));
+            let cost = SumCost::reciprocal(dims, 1e-3);
+            let cfg = UpgradeConfig::default();
+            let all: Vec<_> = p.iter().map(|(id, _)| id).collect();
+            let mut sky = skyup_skyline::skyline_sfs(&p, &all);
+            sky.sort();
+            let a = improved_probing_topk(&p, &rp, &t, 10, &cost, &cfg);
+            let b = improved_probing_topk_with_skyline(&p, &sky, &t, 10, &cost, &cfg);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.product, y.product);
+                assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+                let xb: Vec<u64> = x.upgraded.iter().map(|v| v.to_bits()).collect();
+                let yb: Vec<u64> = y.upgraded.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(xb, yb);
+            }
         }
     }
 

@@ -20,6 +20,7 @@
 use crate::config::UpgradeConfig;
 use crate::cost::CostFunction;
 use skyup_geom::{ColumnarPoints, PointId, PointStore};
+use skyup_obs::{Counter, Recorder};
 
 /// Reusable buffers for repeated [`upgrade_single_into`] calls: the
 /// per-dimension sort order, the candidate being evaluated, and the best
@@ -240,6 +241,31 @@ pub fn try_upgrade_single<C: CostFunction + ?Sized>(
         }
     }
     Ok(upgrade_single(p_store, skyline, t, cost_fn, cfg))
+}
+
+/// Filters a precomputed skyline of the *full* competitor set down to
+/// the skyline of product `t`'s dominators, preserving input order.
+///
+/// Soundness is the identity `skyline(dominators(t)) = {s ∈ skyline(P) :
+/// s dominates t}`: any skyline point dominating `t` is trivially an
+/// undominated dominator, and conversely a skyline point of
+/// `dominators(t)` cannot be dominated by any `p ∈ P` (such a `p` would
+/// dominate `t` by transitivity and sit in `dominators(t)` itself), so
+/// it is on `skyline(P)`. This lets a caller that already holds
+/// `skyline(P)` — e.g. a serving snapshot — answer per-product queries
+/// with one linear scan instead of an R-tree traversal.
+pub fn dominators_from_skyline<R: Recorder + ?Sized>(
+    p_store: &PointStore,
+    p_skyline: &[PointId],
+    t: &[f64],
+    rec: &mut R,
+) -> Vec<PointId> {
+    rec.incr(Counter::DominanceTests, p_skyline.len() as u64);
+    p_skyline
+        .iter()
+        .copied()
+        .filter(|&s| skyup_geom::dominance::dominates(p_store.point(s), t))
+        .collect()
 }
 
 /// Test/diagnostic helper: whether `candidate` is dominated by any point

@@ -63,11 +63,26 @@ pub enum Counter {
     SharedThresholdUpdates,
     /// 64-point blocks scanned by the columnar dominance kernel.
     KernelBlockScans,
+    /// Per-product answers served from the dominance-aware result cache
+    /// without recomputation (`skyup-serve`).
+    CacheHit,
+    /// Per-product answers that missed the result cache and were
+    /// computed against the current snapshot (`skyup-serve`).
+    CacheMiss,
+    /// Cache entries evicted by selective invalidation after a
+    /// competitor mutation (`skyup-serve`).
+    CacheEvictions,
+    /// Epoch snapshots published by the serve writer (one per applied
+    /// mutation batch or index rebuild).
+    EpochSwaps,
+    /// Requests shed by the serve front-end instead of queued (bounded
+    /// queue full, or the request deadline had already passed).
+    RequestsShed,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 26] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -89,6 +104,11 @@ impl Counter {
         Counter::StealEvents,
         Counter::SharedThresholdUpdates,
         Counter::KernelBlockScans,
+        Counter::CacheHit,
+        Counter::CacheMiss,
+        Counter::CacheEvictions,
+        Counter::EpochSwaps,
+        Counter::RequestsShed,
     ];
 
     /// Number of counters (the metrics array length).
@@ -118,6 +138,11 @@ impl Counter {
             Counter::StealEvents => "steal_events",
             Counter::SharedThresholdUpdates => "shared_threshold_updates",
             Counter::KernelBlockScans => "kernel_block_scans",
+            Counter::CacheHit => "cache_hit",
+            Counter::CacheMiss => "cache_miss",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::EpochSwaps => "epoch_swaps",
+            Counter::RequestsShed => "requests_shed",
         }
     }
 

@@ -48,6 +48,10 @@ pub enum Interrupt {
     HeapBudget,
     /// The [`CancellationToken`] was cancelled.
     Cancelled,
+    /// The serving front-end shed the request before it ran (bounded
+    /// queue full, or its deadline had already passed on arrival). The
+    /// accompanying partial answer is empty by construction.
+    Overloaded,
 }
 
 impl Interrupt {
@@ -58,6 +62,7 @@ impl Interrupt {
             Interrupt::NodeVisitBudget => "node visit budget exhausted",
             Interrupt::HeapBudget => "heap entry budget exhausted",
             Interrupt::Cancelled => "cancelled",
+            Interrupt::Overloaded => "shed by overloaded server",
         }
     }
 
@@ -67,6 +72,7 @@ impl Interrupt {
             Interrupt::NodeVisitBudget => 2,
             Interrupt::HeapBudget => 3,
             Interrupt::Cancelled => 4,
+            Interrupt::Overloaded => 5,
         }
     }
 
@@ -76,6 +82,7 @@ impl Interrupt {
             2 => Some(Interrupt::NodeVisitBudget),
             3 => Some(Interrupt::HeapBudget),
             4 => Some(Interrupt::Cancelled),
+            5 => Some(Interrupt::Overloaded),
             _ => None,
         }
     }
@@ -521,6 +528,7 @@ mod tests {
             Interrupt::NodeVisitBudget,
             Interrupt::HeapBudget,
             Interrupt::Cancelled,
+            Interrupt::Overloaded,
         ] {
             assert_eq!(Interrupt::from_code(i.code()), Some(i));
             assert!(!i.reason().is_empty());

@@ -1,0 +1,211 @@
+//! The dominance-aware result cache.
+//!
+//! Completed per-product answers are memoized under `(t, cost-fn)` and
+//! survive competitor mutations *selectively* instead of being flushed
+//! wholesale on every epoch swap:
+//!
+//! * **Insert of competitor `p`** — a cached answer for product `t`
+//!   depends only on the skyline of `t`'s dominators, so it can change
+//!   only if `p` dominates `t`, i.e. `p ∈ ADR(t)`. The eviction test is
+//!   [`skyup_geom::point_in_adr`]`(p, t)`, which also covers the
+//!   boundary case `p == t` — conservative (may evict a still-valid
+//!   entry when `p` merely ties `t` on every dimension) but never keeps
+//!   a stale one.
+//! * **Delete of competitor `c`** — the answer changes only if `c` was
+//!   in the entry's dominator skyline, recorded verbatim in
+//!   [`Answer::used`]. This test is exact: removing a competitor the
+//!   answer never looked at leaves the dominator skyline untouched
+//!   (a point dominated by the removed one stays dominated by whichever
+//!   skyline member covered it).
+//!
+//! Keys hash the product's coordinate *bits*, so two requests must
+//! agree to the last ulp to share an entry — the right call for a
+//! bit-identity serving contract.
+//!
+//! Epoch discipline: the cache belongs to the engine's shared state and
+//! is mutated under the same lock that swaps the snapshot. A worker
+//! that computed an answer against epoch `E` may insert it only while
+//! the published epoch is still `E` ([`ResultCache::insert_if_current`]);
+//! anything later is dropped, because the worker cannot know whether
+//! the intervening mutations affected its product.
+
+use crate::snapshot::Answer;
+use crate::CompetitorId;
+use skyup_geom::point_in_adr;
+use std::collections::HashMap;
+
+/// Identifies the cost function a cached answer was computed under.
+/// Carries the parameter as raw bits so the key is `Eq + Hash`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostTag {
+    /// `SumCost::reciprocal(dims, eps)` with these `eps` bits.
+    Reciprocal(u64),
+    /// The CLI's linear cost with these slope bits.
+    Linear(u64),
+}
+
+/// Cache key: the product's exact coordinate bits plus the cost tag.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    t_bits: Vec<u64>,
+    cost: CostTag,
+}
+
+impl CacheKey {
+    /// Builds the key for product coordinates `t` under `cost`.
+    pub fn new(t: &[f64], cost: CostTag) -> Self {
+        CacheKey {
+            t_bits: t.iter().map(|v| v.to_bits()).collect(),
+            cost,
+        }
+    }
+}
+
+struct Entry {
+    /// The product's coordinates, kept plainly for the ADR test.
+    t: Vec<f64>,
+    answer: Answer,
+}
+
+/// The dominance-aware result cache. Not internally synchronized: the
+/// engine guards it with the shared-state lock.
+pub struct ResultCache {
+    entries: HashMap<CacheKey, Entry>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` answers; once full,
+    /// new answers are simply not admitted (mutation evictions free
+    /// space over time).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a completed answer.
+    pub fn get(&self, key: &CacheKey) -> Option<&Answer> {
+        self.entries.get(key).map(|e| &e.answer)
+    }
+
+    /// Admits an answer computed against epoch `computed_at`, provided
+    /// the published epoch is still `current`. Returns whether the
+    /// answer was admitted.
+    pub fn insert_if_current(
+        &mut self,
+        key: CacheKey,
+        t: &[f64],
+        answer: Answer,
+        computed_at: u64,
+        current: u64,
+    ) -> bool {
+        if computed_at != current || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                t: t.to_vec(),
+                answer,
+            },
+        );
+        true
+    }
+
+    /// Insert-invalidation: evicts every entry whose product the new
+    /// competitor `p` could dominate. Returns the eviction count.
+    pub fn evict_dominated_by(&mut self, p: &[f64]) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !point_in_adr(p, &e.t));
+        (before - self.entries.len()) as u64
+    }
+
+    /// Delete-invalidation: evicts every entry whose dominator skyline
+    /// used competitor `cid`. Returns the eviction count.
+    pub fn evict_using(&mut self, cid: CompetitorId) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !e.answer.used.contains(&cid));
+        (before - self.entries.len()) as u64
+    }
+
+    /// Drops everything (index rebuilds don't need this — compaction
+    /// renumbers points, not competitor ids — but warm-start replacement
+    /// does).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(used: &[CompetitorId]) -> Answer {
+        Answer {
+            cost: 1.0,
+            upgraded: vec![0.5, 0.5],
+            used: used.to_vec(),
+        }
+    }
+
+    fn put(cache: &mut ResultCache, t: &[f64], used: &[CompetitorId]) {
+        let key = CacheKey::new(t, CostTag::Reciprocal(0));
+        assert!(cache.insert_if_current(key, t, answer(used), 3, 3));
+    }
+
+    #[test]
+    fn stale_epoch_insert_dropped() {
+        let mut c = ResultCache::new(16);
+        let key = CacheKey::new(&[1.0, 1.0], CostTag::Reciprocal(0));
+        assert!(!c.insert_if_current(key, &[1.0, 1.0], answer(&[]), 2, 3));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_evicts_only_dominated_products() {
+        let mut c = ResultCache::new(16);
+        put(&mut c, &[0.9, 0.9], &[1]);
+        put(&mut c, &[0.2, 0.9], &[2]);
+        put(&mut c, &[0.9, 0.2], &[3]);
+        // New competitor dominates only the first product.
+        assert_eq!(c.evict_dominated_by(&[0.5, 0.5]), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c
+            .get(&CacheKey::new(&[0.9, 0.9], CostTag::Reciprocal(0)))
+            .is_none());
+    }
+
+    #[test]
+    fn delete_evicts_only_entries_using_the_cid() {
+        let mut c = ResultCache::new(16);
+        put(&mut c, &[0.9, 0.9], &[1, 2]);
+        put(&mut c, &[0.8, 0.8], &[2]);
+        put(&mut c, &[0.7, 0.7], &[3]);
+        assert_eq!(c.evict_using(2), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c
+            .get(&CacheKey::new(&[0.7, 0.7], CostTag::Reciprocal(0)))
+            .is_some());
+    }
+
+    #[test]
+    fn capacity_caps_admission() {
+        let mut c = ResultCache::new(1);
+        put(&mut c, &[0.9, 0.9], &[1]);
+        let key = CacheKey::new(&[0.8, 0.8], CostTag::Reciprocal(0));
+        assert!(!c.insert_if_current(key, &[0.8, 0.8], answer(&[]), 3, 3));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! The epoch-based engine: one writer, many readers, no torn state.
+//!
+//! All mutable state lives behind two locks with a strict order
+//! (`writer` before `shared`, never the reverse):
+//!
+//! * `writer` — the working copy of the competitor set: the append-only
+//!   point store (tombstoned rows included), the R-tree and id-sorted
+//!   skyline over the live rows, and the stable competitor-id maps.
+//!   Mutations are applied here one at a time.
+//! * `shared` — what queries see: the current [`Snapshot`] (an `Arc`
+//!   cloned per request) plus the [`ResultCache`]. The writer publishes
+//!   a new epoch by swapping the snapshot and running the selective
+//!   cache invalidation for the mutation *under the same lock*, so a
+//!   reader can never pair a new snapshot with not-yet-invalidated
+//!   cache entries or vice versa.
+//!
+//! Competitor ids are stable `u64`s decoupled from [`PointId`]s: an
+//! index rebuild compacts the store and renumbers points, but cached
+//! answers and client handles speak cids, so nothing they hold goes
+//! stale — which is why a rebuild publishes a new epoch without
+//! flushing the cache.
+
+use crate::cache::{CacheKey, CostTag, ResultCache};
+use crate::snapshot::{Answer, Snapshot};
+use crate::CompetitorId;
+use skyup_core::cost::CostFunction;
+use skyup_core::upgrade::dominated_by_any;
+use skyup_core::{SkyupError, UpgradeConfig};
+use skyup_geom::dominance::dominates;
+use skyup_geom::{PointId, PointStore, Rect};
+use skyup_obs::{Counter, QueryMetrics, Recorder};
+use skyup_rtree::persist::{snapshot_from_bytes, snapshot_to_bytes};
+use skyup_rtree::{RTree, RTreeParams};
+use skyup_skyline::skyline_sfs;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A competitor-set mutation, the unit of the writer's log.
+#[derive(Clone, Debug)]
+pub enum Mutation {
+    /// Add a competitor at these coordinates.
+    AddCompetitor(Vec<f64>),
+    /// Remove the competitor with this id.
+    RemoveCompetitor(CompetitorId),
+}
+
+/// What a mutation did, as observed at its publication epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The epoch the mutation was published at (unchanged when the
+    /// mutation was a no-op, e.g. removing an unknown cid).
+    pub epoch: u64,
+    /// The id assigned to an added competitor.
+    pub cid: Option<CompetitorId>,
+    /// Whether a removal actually removed a live competitor.
+    pub removed: bool,
+    /// Whether the degradation heuristic triggered an STR rebuild.
+    pub rebuilt: bool,
+    /// Cache entries evicted by selective invalidation.
+    pub evicted: u64,
+}
+
+/// Tuning knobs for the engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Rebuild when at least this many tombstones have accumulated and
+    /// they outnumber half the live set.
+    pub rebuild_min_dead: usize,
+    /// Rebuild when the tree's average leaf fill drops below this
+    /// fraction (insertion splits degrade the STR packing over time).
+    pub min_leaf_fill: f64,
+    /// Maximum cached answers.
+    pub cache_capacity: usize,
+    /// R-tree fanout used for builds and rebuilds.
+    pub tree_params: RTreeParams,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            rebuild_min_dead: 32,
+            min_leaf_fill: 0.35,
+            cache_capacity: 1 << 16,
+            tree_params: RTreeParams::default(),
+        }
+    }
+}
+
+struct Writer {
+    store: PointStore,
+    tree: RTree,
+    skyline: Vec<PointId>,
+    live: Vec<bool>,
+    cid_of: Vec<CompetitorId>,
+    pid_of: HashMap<CompetitorId, PointId>,
+    next_cid: CompetitorId,
+    epoch: u64,
+    live_count: usize,
+    dead: usize,
+    rebuilds: u64,
+}
+
+struct Shared {
+    snapshot: Arc<Snapshot>,
+    cache: ResultCache,
+}
+
+enum Evict {
+    Inserted(Vec<f64>),
+    Removed(CompetitorId),
+}
+
+/// A point-in-time view of the engine for `stats` requests.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Current published epoch.
+    pub epoch: u64,
+    /// Live competitors.
+    pub live: usize,
+    /// Size of the live-set skyline.
+    pub skyline_len: usize,
+    /// Tombstoned store rows awaiting compaction.
+    pub dead: usize,
+    /// STR rebuilds performed so far.
+    pub rebuilds: u64,
+    /// Answers currently cached.
+    pub cached: usize,
+}
+
+/// The epoch-based serving engine. Shared across worker threads via
+/// `Arc`; see the module docs for the locking protocol.
+pub struct Engine {
+    writer: Mutex<Writer>,
+    shared: Mutex<Shared>,
+    metrics: Mutex<QueryMetrics>,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// An engine over an empty `dims`-dimensional competitor set.
+    pub fn new(dims: usize, cfg: EngineConfig) -> Engine {
+        Self::from_parts(PointStore::new(dims), None, cfg)
+    }
+
+    /// An engine seeded with an initial competitor set. Competitor ids
+    /// `0..n` are assigned in store order.
+    pub fn with_competitors(store: PointStore, cfg: EngineConfig) -> Engine {
+        Self::from_parts(store, None, cfg)
+    }
+
+    /// Warm start: restores the competitor set from a combined snapshot
+    /// file written by [`Engine::save_snapshot_bytes`]. Corruption is
+    /// reported as [`SkyupError::InvalidInput`], never a panic.
+    pub fn from_snapshot_bytes(buf: &[u8], cfg: EngineConfig) -> Result<Engine, SkyupError> {
+        let (store, tree) = snapshot_from_bytes(buf)
+            .map_err(|e| SkyupError::InvalidInput(format!("snapshot file rejected: {e}")))?;
+        Ok(Self::from_parts(store, Some(tree), cfg))
+    }
+
+    fn from_parts(store: PointStore, tree: Option<RTree>, cfg: EngineConfig) -> Engine {
+        let n = store.len();
+        let tree = tree.unwrap_or_else(|| RTree::bulk_load(&store, cfg.tree_params));
+        let all: Vec<PointId> = store.ids().collect();
+        let mut skyline = skyline_sfs(&store, &all);
+        skyline.sort_unstable();
+        let writer = Writer {
+            tree,
+            skyline,
+            live: vec![true; n],
+            cid_of: (0..n as u64).collect(),
+            pid_of: store.ids().map(|pid| (pid.index() as u64, pid)).collect(),
+            next_cid: n as u64,
+            epoch: 0,
+            live_count: n,
+            dead: 0,
+            rebuilds: 0,
+            store,
+        };
+        let snapshot = Arc::new(Self::snapshot_of(&writer));
+        Engine {
+            writer: Mutex::new(writer),
+            shared: Mutex::new(Shared {
+                snapshot,
+                cache: ResultCache::new(cfg.cache_capacity),
+            }),
+            metrics: Mutex::new(QueryMetrics::new()),
+            cfg,
+        }
+    }
+
+    /// Serializes the *live* competitor set (compacted: tombstones
+    /// dropped, tree rebuilt) into the combined snapshot format.
+    pub fn save_snapshot_bytes(&self) -> Vec<u8> {
+        let w = self.writer.lock().unwrap();
+        let (store, _, _) = Self::compact(&w);
+        let tree = RTree::bulk_load(&store, self.cfg.tree_params);
+        snapshot_to_bytes(&store, &tree)
+    }
+
+    /// Dimensionality of the competitor space.
+    pub fn dims(&self) -> usize {
+        self.shared.lock().unwrap().snapshot.dims()
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.lock().unwrap().snapshot)
+    }
+
+    /// Engine-wide serving counters accumulated so far.
+    pub fn metrics(&self) -> QueryMetrics {
+        self.metrics.lock().unwrap().clone()
+    }
+
+    /// Folds a per-request metrics object into the engine-wide tally.
+    pub fn absorb_metrics(&self, m: &QueryMetrics) {
+        self.metrics.lock().unwrap().absorb(m);
+    }
+
+    /// Bumps one engine-wide counter (front-end shed accounting).
+    pub fn bump(&self, c: Counter) {
+        self.metrics.lock().unwrap().bump(c);
+    }
+
+    /// Current stats for the `stats` request.
+    pub fn stats(&self) -> EngineStats {
+        let w = self.writer.lock().unwrap();
+        let sh = self.shared.lock().unwrap();
+        EngineStats {
+            epoch: w.epoch,
+            live: w.live_count,
+            skyline_len: w.skyline.len(),
+            dead: w.dead,
+            rebuilds: w.rebuilds,
+            cached: sh.cache.len(),
+        }
+    }
+
+    /// Answers one product against the pinned snapshot `snap`, going
+    /// through the result cache when the published epoch still matches.
+    /// Cache hits and misses are recorded on `rec`.
+    pub fn answer_product<C: CostFunction + ?Sized>(
+        &self,
+        snap: &Snapshot,
+        t: &[f64],
+        cost_fn: &C,
+        tag: CostTag,
+        cfg: &UpgradeConfig,
+        rec: &mut QueryMetrics,
+    ) -> Answer {
+        let key = CacheKey::new(t, tag);
+        {
+            let sh = self.shared.lock().unwrap();
+            if sh.snapshot.epoch == snap.epoch {
+                if let Some(a) = sh.cache.get(&key) {
+                    rec.bump(Counter::CacheHit);
+                    return a.clone();
+                }
+            }
+        }
+        rec.bump(Counter::CacheMiss);
+        let answer = snap.answer(t, cost_fn, cfg, rec);
+        let mut sh = self.shared.lock().unwrap();
+        let current = sh.snapshot.epoch;
+        sh.cache
+            .insert_if_current(key, t, answer.clone(), snap.epoch, current);
+        answer
+    }
+
+    /// Applies one mutation and publishes the resulting epoch. Removing
+    /// an unknown or already-removed cid is a no-op: no epoch is
+    /// published and `removed` is `false`.
+    pub fn apply(&self, m: Mutation) -> Result<MutationOutcome, SkyupError> {
+        let mut guard = self.writer.lock().unwrap();
+        let w = &mut *guard;
+        let (evict, cid, removed) = match m {
+            Mutation::AddCompetitor(coords) => {
+                if coords.len() != w.store.dims() {
+                    return Err(SkyupError::InvalidInput(format!(
+                        "competitor has {} coordinates, expected {}",
+                        coords.len(),
+                        w.store.dims()
+                    )));
+                }
+                if coords.iter().any(|v| !v.is_finite()) {
+                    return Err(SkyupError::InvalidInput(
+                        "competitor coordinates must be finite".into(),
+                    ));
+                }
+                let cid = w.next_cid;
+                w.next_cid += 1;
+                let pid = w.store.push(&coords);
+                w.tree.insert(&w.store, pid);
+                w.live.push(true);
+                w.cid_of.push(cid);
+                w.pid_of.insert(cid, pid);
+                w.live_count += 1;
+                Self::skyline_insert(w, pid, &coords);
+                (Evict::Inserted(coords), Some(cid), false)
+            }
+            Mutation::RemoveCompetitor(cid) => {
+                let Some(pid) = w.pid_of.remove(&cid) else {
+                    return Ok(MutationOutcome {
+                        epoch: w.epoch,
+                        cid: None,
+                        removed: false,
+                        rebuilt: false,
+                        evicted: 0,
+                    });
+                };
+                w.tree.remove(&w.store, pid);
+                w.live[pid.index()] = false;
+                w.live_count -= 1;
+                w.dead += 1;
+                Self::skyline_remove(w, pid);
+                (Evict::Removed(cid), None, true)
+            }
+        };
+        let rebuilt = self.maybe_rebuild(w);
+        w.epoch += 1;
+        let evicted = self.publish(w, evict);
+        Ok(MutationOutcome {
+            epoch: w.epoch,
+            cid,
+            removed,
+            rebuilt,
+            evicted,
+        })
+    }
+
+    /// Incremental skyline maintenance for an insert. The new point
+    /// joins iff no skyline point dominates it (checking the skyline
+    /// suffices: any dominator of `coords` is itself on the skyline or
+    /// dominated by a skyline point, which then dominates `coords` by
+    /// transitivity); joining, it evicts the members it dominates.
+    fn skyline_insert(w: &mut Writer, pid: PointId, coords: &[f64]) {
+        if dominated_by_any(&w.store, &w.skyline, coords) {
+            return;
+        }
+        let store = &w.store;
+        w.skyline.retain(|&s| !dominates(coords, store.point(s)));
+        let pos = w.skyline.binary_search(&pid).unwrap_err();
+        w.skyline.insert(pos, pid);
+    }
+
+    /// Incremental skyline maintenance for a delete. Removing a
+    /// non-skyline point changes nothing (whatever dominated it still
+    /// does). Removing a skyline point exposes exactly the live points
+    /// inside its dominance region that no surviving skyline point
+    /// dominates; their own skyline is merged in.
+    fn skyline_remove(w: &mut Writer, pid: PointId) {
+        let Ok(pos) = w.skyline.binary_search(&pid) else {
+            return;
+        };
+        w.skyline.remove(pos);
+        let lo = w.store.point(pid).to_vec();
+        let hi = vec![f64::MAX; w.store.dims()];
+        let region = Rect::new(&lo, &hi);
+        // `pid` is already out of the tree, so the query returns only
+        // other live points.
+        let candidates = w.tree.range_query(&w.store, &region);
+        let store = &w.store;
+        let skyline = &w.skyline;
+        let exposed: Vec<PointId> = candidates
+            .into_iter()
+            .filter(|&q| !dominated_by_any(store, skyline, store.point(q)))
+            .collect();
+        let mut sub = skyline_sfs(store, &exposed);
+        w.skyline.append(&mut sub);
+        w.skyline.sort_unstable();
+    }
+
+    /// The degradation heuristic: compact when tombstones pile up or
+    /// the tree's leaf packing has decayed well below STR quality.
+    fn maybe_rebuild(&self, w: &mut Writer) -> bool {
+        let tombstones_heavy = w.dead >= self.cfg.rebuild_min_dead && w.dead * 2 > w.live_count;
+        let packing_decayed =
+            w.live_count > 256 && w.tree.stats().avg_leaf_fill < self.cfg.min_leaf_fill;
+        if !(tombstones_heavy || packing_decayed) {
+            return false;
+        }
+        let (store, cid_of, pid_of) = Self::compact(w);
+        let all: Vec<PointId> = store.ids().collect();
+        let mut skyline = skyline_sfs(&store, &all);
+        skyline.sort_unstable();
+        w.tree = RTree::bulk_load(&store, self.cfg.tree_params);
+        w.live = vec![true; store.len()];
+        w.live_count = store.len();
+        w.dead = 0;
+        w.rebuilds += 1;
+        w.skyline = skyline;
+        w.cid_of = cid_of;
+        w.pid_of = pid_of;
+        w.store = store;
+        true
+    }
+
+    /// Copies the live rows into a fresh store, preserving relative
+    /// order; competitor ids follow their rows, so nothing a client or
+    /// cache entry holds is invalidated.
+    fn compact(
+        w: &Writer,
+    ) -> (
+        PointStore,
+        Vec<CompetitorId>,
+        HashMap<CompetitorId, PointId>,
+    ) {
+        let mut store = PointStore::with_capacity(w.store.dims(), w.live_count);
+        let mut cid_of = Vec::with_capacity(w.live_count);
+        let mut pid_of = HashMap::with_capacity(w.live_count);
+        for (pid, coords) in w.store.iter() {
+            if w.live[pid.index()] {
+                let cid = w.cid_of[pid.index()];
+                let new_pid = store.push(coords);
+                cid_of.push(cid);
+                pid_of.insert(cid, new_pid);
+            }
+        }
+        (store, cid_of, pid_of)
+    }
+
+    fn snapshot_of(w: &Writer) -> Snapshot {
+        Snapshot {
+            epoch: w.epoch,
+            store: w.store.clone(),
+            tree: w.tree.clone(),
+            skyline: w.skyline.clone(),
+            cid_of: w.cid_of.clone(),
+            live_count: w.live_count,
+        }
+    }
+
+    /// Publishes the writer's state as a new epoch: build the snapshot,
+    /// then — under the shared lock — run the mutation's selective
+    /// invalidation and swap the snapshot in one indivisible step.
+    fn publish(&self, w: &Writer, evict: Evict) -> u64 {
+        let snapshot = Arc::new(Self::snapshot_of(w));
+        let evicted = {
+            let mut sh = self.shared.lock().unwrap();
+            let evicted = match evict {
+                Evict::Inserted(coords) => sh.cache.evict_dominated_by(&coords),
+                Evict::Removed(cid) => sh.cache.evict_using(cid),
+            };
+            sh.snapshot = snapshot;
+            evicted
+        };
+        let mut m = self.metrics.lock().unwrap();
+        m.bump(Counter::EpochSwaps);
+        m.incr(Counter::CacheEvictions, evicted);
+        evicted
+    }
+}

@@ -1,0 +1,46 @@
+//! `skyup-serve`: a long-lived query service over the upgrading
+//! algorithms.
+//!
+//! The paper evaluates one-shot top-k upgrade queries against a static
+//! competitor set; this crate is the online counterpart the ROADMAP's
+//! production north-star asks for. Three pieces, each its own module:
+//!
+//! * [`engine`] — the epoch-based engine: a single writer applies
+//!   competitor mutations ([`Mutation`]) to a working copy and
+//!   atomically publishes immutable [`Snapshot`]s (store + R-tree +
+//!   precomputed live-set skyline) that query workers read lock-free
+//!   after one `Arc` clone. A degradation heuristic triggers periodic
+//!   STR rebuilds with store compaction; stable competitor ids survive
+//!   the renumbering.
+//! * [`cache`] — the dominance-aware result cache: completed
+//!   per-product answers invalidated *selectively* on mutation (ADR
+//!   test for inserts, used-dominator test for deletes) instead of
+//!   flushed per epoch.
+//! * [`server`] / [`net`] / [`proto`] — the front-end: a fixed worker
+//!   pool draining a bounded queue, per-request deadlines and budgets
+//!   mapped onto [`skyup_obs::ExecutionLimits`], overload shed as
+//!   `Completion::Partial(Interrupt::Overloaded)`, exposed in-process
+//!   ([`ServeHandle`]) and as newline-delimited JSON over TCP.
+//!
+//! Everything is std-only, like the rest of the workspace.
+
+pub mod cache;
+pub mod engine;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod snapshot;
+
+/// Stable identity of a competitor across its lifetime: assigned at
+/// insertion, never reused, and unaffected by index rebuilds (unlike
+/// [`skyup_geom::PointId`], which is a store row index and shifts when
+/// compaction drops tombstones).
+pub type CompetitorId = u64;
+
+pub use cache::{CacheKey, CostTag, ResultCache};
+pub use engine::{Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
+pub use net::{bind_local, serve};
+pub use server::{
+    execute_query, CostSpec, ProductAnswer, QueryRequest, QueryResponse, ServeConfig, ServeHandle,
+};
+pub use snapshot::{Answer, Snapshot};

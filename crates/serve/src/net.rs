@@ -1,0 +1,98 @@
+//! The TCP front door: newline-delimited JSON over
+//! [`std::net::TcpListener`].
+//!
+//! The accept loop hands each connection to a short-lived reader thread
+//! that parses request lines and dispatches them through the
+//! [`ServeHandle`] — so the heavy lifting still funnels through the
+//! bounded queue and worker pool, and connection threads only do I/O.
+//! A `shutdown` request acknowledges, stops the accept loop (waking it
+//! with a loopback connection), and drains the worker pool before
+//! [`serve`] returns.
+
+use crate::proto::{
+    parse_request, render_error, render_mutation_outcome, render_query_response,
+    render_shutdown_ack, render_skyup_error, render_stats, Request,
+};
+use crate::server::ServeHandle;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn handle_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(msg) => render_error(&msg),
+            Ok(Request::Query(req)) => match handle.query(req) {
+                Ok(resp) => render_query_response(&resp),
+                Err(err) => render_skyup_error(&err),
+            },
+            Ok(Request::Add(point)) => match handle.add_competitor(point) {
+                Ok(out) => render_mutation_outcome(&out),
+                Err(err) => render_skyup_error(&err),
+            },
+            Ok(Request::Remove(cid)) => match handle.remove_competitor(cid) {
+                Ok(out) => render_mutation_outcome(&out),
+                Err(err) => render_skyup_error(&err),
+            },
+            Ok(Request::Stats) => {
+                let (stats, metrics) = handle.stats();
+                render_stats(&stats, &metrics)
+            }
+            Ok(Request::Shutdown) => {
+                writer.write_all(render_shutdown_ack().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Runs the accept loop until a client sends `{"op":"shutdown"}`, then
+/// drains the worker pool and returns. Blocks the calling thread.
+pub fn serve(handle: ServeHandle, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let handle = handle.clone();
+        let stop_flag = Arc::clone(&stop);
+        // Detached on purpose: a connection thread blocked reading from
+        // an idle client must not be able to wedge shutdown.
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &handle, &stop_flag);
+            if stop_flag.load(Ordering::SeqCst) {
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+    handle.shutdown();
+    Ok(())
+}
+
+/// Binds `127.0.0.1:<port>` (0 picks an ephemeral port) and returns the
+/// listener plus the resolved address.
+pub fn bind_local(port: u16) -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}

@@ -1,0 +1,237 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line back. Requests carry an
+//! `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"query","products":[[0.9,0.9]],"k":1,"cost":"reciprocal:0.001",
+//!  "max_products":100,"deadline_ms":50}
+//! {"op":"add","point":[0.4,0.5]}
+//! {"op":"remove","cid":7}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`. Successful queries report the epoch
+//! they are consistent with, a completion tag (`"exact"` or
+//! `"partial"` plus the interrupt reason), and the top-k results;
+//! errors come back as `{"ok":false,"error":"..."}` and never tear down
+//! the connection.
+
+use crate::engine::{EngineStats, MutationOutcome};
+use crate::server::{CostSpec, ProductAnswer, QueryRequest, QueryResponse};
+use skyup_core::SkyupError;
+use skyup_obs::json::{parse, Json};
+use skyup_obs::Counter;
+use skyup_obs::{Completion, QueryMetrics};
+use std::time::Duration;
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Top-k upgrade query.
+    Query(QueryRequest),
+    /// Add a competitor.
+    Add(Vec<f64>),
+    /// Remove a competitor by id.
+    Remove(u64),
+    /// Read engine stats and serving counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+fn f64_field(v: &Json) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| "expected a number".into())
+}
+
+fn point_field(v: &Json) -> Result<Vec<f64>, String> {
+    match v {
+        Json::Arr(items) => items.iter().map(f64_field).collect(),
+        _ => Err("expected an array of numbers".into()),
+    }
+}
+
+/// Parses `--cost`-style specs: `reciprocal:<eps>` or `linear:<slope>`.
+pub fn parse_cost(spec: &str) -> Result<CostSpec, String> {
+    let (kind, value) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("cost spec `{spec}` is not kind:value"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("cost parameter `{value}` is not a number"))?;
+    match kind {
+        "reciprocal" => Ok(CostSpec::Reciprocal(value)),
+        "linear" => Ok(CostSpec::Linear(value)),
+        other => Err(format!("unknown cost kind `{other}`")),
+    }
+}
+
+/// Parses one request line. Errors are messages for the client, not
+/// server faults.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = doc
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or("missing \"op\"")?;
+    match op {
+        "query" => {
+            let products = match doc.get("products") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(point_field)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("query needs \"products\": [[..],..]".into()),
+            };
+            let k = doc
+                .get("k")
+                .map(|v| v.as_u64().ok_or("\"k\" must be a positive integer"))
+                .transpose()?
+                .unwrap_or(1) as usize;
+            let cost = doc
+                .get("cost")
+                .map(|v| {
+                    v.as_str()
+                        .ok_or_else(|| "\"cost\" must be a string".to_string())
+                        .and_then(parse_cost)
+                })
+                .transpose()?
+                .unwrap_or_default();
+            let max_products = doc
+                .get("max_products")
+                .map(|v| v.as_u64().ok_or("\"max_products\" must be an integer"))
+                .transpose()?;
+            let deadline = doc
+                .get("deadline_ms")
+                .map(|v| v.as_u64().ok_or("\"deadline_ms\" must be an integer"))
+                .transpose()?
+                .map(Duration::from_millis);
+            Ok(Request::Query(QueryRequest {
+                products,
+                k,
+                cost,
+                max_products,
+                deadline,
+            }))
+        }
+        "add" => {
+            let point = doc.get("point").ok_or("add needs \"point\": [..]")?;
+            Ok(Request::Add(point_field(point)?))
+        }
+        "remove" => {
+            let cid = doc
+                .get("cid")
+                .and_then(|v| v.as_u64())
+                .ok_or("remove needs an integer \"cid\"")?;
+            Ok(Request::Remove(cid))
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn completion_fields(c: Completion, fields: &mut Vec<(&str, Json)>) {
+    match c {
+        Completion::Exact => fields.push(("completion", Json::Str("exact".into()))),
+        Completion::Partial(i) => {
+            fields.push(("completion", Json::Str("partial".into())));
+            fields.push(("interrupt", Json::Str(i.reason().into())));
+        }
+    }
+}
+
+/// Renders a successful query response.
+pub fn render_query_response(resp: &QueryResponse) -> String {
+    let results = resp
+        .results
+        .iter()
+        .map(
+            |ProductAnswer {
+                 index,
+                 cost,
+                 upgraded,
+             }| {
+                Json::obj(vec![
+                    ("index", Json::Num(*index as f64)),
+                    ("cost", Json::Num(*cost)),
+                    (
+                        "upgraded",
+                        Json::Arr(upgraded.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                ])
+            },
+        )
+        .collect();
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Num(resp.epoch as f64)),
+    ];
+    completion_fields(resp.completion, &mut fields);
+    fields.push(("evaluated", Json::Num(resp.evaluated as f64)));
+    fields.push(("results", Json::Arr(results)));
+    Json::obj(fields).render()
+}
+
+/// Renders a mutation acknowledgement.
+pub fn render_mutation_outcome(out: &MutationOutcome) -> String {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Num(out.epoch as f64)),
+    ];
+    if let Some(cid) = out.cid {
+        fields.push(("cid", Json::Num(cid as f64)));
+    } else {
+        fields.push(("removed", Json::Bool(out.removed)));
+    }
+    fields.push(("rebuilt", Json::Bool(out.rebuilt)));
+    fields.push(("evicted", Json::Num(out.evicted as f64)));
+    Json::obj(fields).render()
+}
+
+/// Renders the stats response: engine shape plus the serving counters.
+pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
+    let counters = Json::obj(
+        [
+            Counter::CacheHit,
+            Counter::CacheMiss,
+            Counter::CacheEvictions,
+            Counter::EpochSwaps,
+            Counter::RequestsShed,
+        ]
+        .iter()
+        .map(|&c| (c.name(), Json::Num(metrics.get(c) as f64)))
+        .collect(),
+    );
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Num(stats.epoch as f64)),
+        ("live", Json::Num(stats.live as f64)),
+        ("skyline", Json::Num(stats.skyline_len as f64)),
+        ("dead", Json::Num(stats.dead as f64)),
+        ("rebuilds", Json::Num(stats.rebuilds as f64)),
+        ("cached", Json::Num(stats.cached as f64)),
+        ("counters", counters),
+    ])
+    .render()
+}
+
+/// Renders a client-visible error.
+pub fn render_error(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+    .render()
+}
+
+/// Renders a [`SkyupError`] as a client-visible error.
+pub fn render_skyup_error(err: &SkyupError) -> String {
+    render_error(&err.to_string())
+}
+
+/// Renders the shutdown acknowledgement.
+pub fn render_shutdown_ack() -> String {
+    Json::obj(vec![("ok", Json::Bool(true))]).render()
+}

@@ -1,0 +1,340 @@
+//! The request front-end: a fixed worker pool draining a bounded queue,
+//! with per-request deadlines and budgets mapped onto
+//! [`ExecutionLimits`] and overload shed as a first-class answer.
+//!
+//! Shedding never blocks and never errors: a request that cannot be
+//! queued (queue full) or that arrived already dead (zero deadline)
+//! comes back immediately as an empty
+//! [`Completion::Partial`]([`Interrupt::Overloaded`]) response, so a
+//! client under overload degrades exactly like a client whose budget
+//! fired mid-query — one code path for both.
+//!
+//! Budget accounting is deliberately cache-independent: one node-visit
+//! unit is charged per product *processed*, hit or miss, so a budgeted
+//! query sheds at the same product index whether the cache is cold or
+//! warm. That determinism is what lets the property suite compare
+//! partial answers bit-for-bit against a cacheless oracle.
+
+use crate::cache::CostTag;
+use crate::engine::{Engine, EngineStats, Mutation, MutationOutcome};
+use crate::CompetitorId;
+use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
+use skyup_core::{SkyupError, UpgradeConfig};
+use skyup_obs::{Completion, Counter, ExecutionLimits, Interrupt, QueryMetrics, Recorder};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The cost function a request asks for, mirroring the CLI's
+/// `--cost reciprocal:<eps> | linear:<slope>` vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostSpec {
+    /// `SumCost::reciprocal(dims, eps)`.
+    Reciprocal(f64),
+    /// Linear per-attribute cost with this slope.
+    Linear(f64),
+}
+
+impl Default for CostSpec {
+    fn default() -> Self {
+        CostSpec::Reciprocal(1e-3)
+    }
+}
+
+impl CostSpec {
+    /// The cache tag identifying this cost function.
+    pub fn tag(self) -> CostTag {
+        match self {
+            CostSpec::Reciprocal(eps) => CostTag::Reciprocal(eps.to_bits()),
+            CostSpec::Linear(slope) => CostTag::Linear(slope.to_bits()),
+        }
+    }
+
+    /// Materializes the cost function for `dims` dimensions, matching
+    /// the CLI's construction so served answers and offline runs agree.
+    pub fn cost_fn(self, dims: usize) -> SumCost {
+        match self {
+            CostSpec::Reciprocal(eps) => SumCost::reciprocal(dims, eps),
+            CostSpec::Linear(slope) => SumCost::new(
+                (0..dims)
+                    .map(|_| {
+                        Box::new(LinearCost::new(1000.0 * slope, slope)) as Box<dyn AttributeCost>
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// A top-k upgrade query over a batch of products.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The products to evaluate, in request order.
+    pub products: Vec<Vec<f64>>,
+    /// How many cheapest upgrades to return.
+    pub k: usize,
+    /// Cost function.
+    pub cost: CostSpec,
+    /// Budget: at most this many products are processed.
+    pub max_products: Option<u64>,
+    /// Budget: wall-clock deadline for the evaluation loop.
+    pub deadline: Option<Duration>,
+}
+
+/// One returned upgrade.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProductAnswer {
+    /// Index of the product in [`QueryRequest::products`].
+    pub index: usize,
+    /// Minimal upgrade cost.
+    pub cost: f64,
+    /// The upgraded coordinates.
+    pub upgraded: Vec<f64>,
+}
+
+/// The answer to a [`QueryRequest`], consistent with one epoch.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The epoch every result in this response was computed against.
+    pub epoch: u64,
+    /// Exact, or partial with the interrupt that fired.
+    pub completion: Completion,
+    /// Products fully processed before any interrupt.
+    pub evaluated: usize,
+    /// The top-k upgrades over the processed prefix, sorted by
+    /// `(cost, index)`.
+    pub results: Vec<ProductAnswer>,
+}
+
+/// Front-end sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub threads: usize,
+    /// Bounded queue capacity; a full queue sheds.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 2,
+            queue_cap: 64,
+        }
+    }
+}
+
+struct Job {
+    req: QueryRequest,
+    reply: mpsc::Sender<Result<QueryResponse, SkyupError>>,
+}
+
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+/// Handle to a running server: submit queries, apply mutations, read
+/// stats, shut down. Cheap to clone; all clones share the engine and
+/// the worker pool.
+#[derive(Clone)]
+pub struct ServeHandle {
+    engine: Arc<Engine>,
+    queue: Arc<Queue>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServeHandle {
+    /// Starts the worker pool over `engine`.
+    pub fn start(engine: Arc<Engine>, cfg: ServeConfig) -> ServeHandle {
+        let threads = cfg.threads.max(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap: cfg.queue_cap.max(1),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            workers.push(std::thread::spawn(move || loop {
+                let job = {
+                    let mut guard = queue.jobs.lock().unwrap();
+                    loop {
+                        if let Some(job) = guard.0.pop_front() {
+                            break job;
+                        }
+                        if guard.1 {
+                            return;
+                        }
+                        guard = queue.ready.wait(guard).unwrap();
+                    }
+                };
+                // A dropped receiver (client gave up) is not an error.
+                let _ = job.reply.send(execute_query(&engine, &job.req));
+            }));
+        }
+        ServeHandle {
+            engine,
+            queue,
+            workers: Arc::new(Mutex::new(workers)),
+        }
+    }
+
+    /// The engine behind this handle.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Submits a query to the worker pool and waits for its answer.
+    /// Overload (full queue, zero deadline on arrival, or a shutdown in
+    /// progress) sheds: an empty `Partial(Overloaded)` response.
+    pub fn query(&self, req: QueryRequest) -> Result<QueryResponse, SkyupError> {
+        validate_request(&req, self.engine.dims())?;
+        if req.deadline == Some(Duration::ZERO) {
+            return Ok(self.shed(&req));
+        }
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut guard = self.queue.jobs.lock().unwrap();
+            if guard.1 || guard.0.len() >= self.queue.cap {
+                drop(guard);
+                return Ok(self.shed(&req));
+            }
+            guard.0.push_back(Job { req, reply });
+        }
+        self.queue.ready.notify_one();
+        rx.recv()
+            .map_err(|_| SkyupError::InvalidInput("worker pool dropped the request".into()))?
+    }
+
+    fn shed(&self, _req: &QueryRequest) -> QueryResponse {
+        self.engine.bump(Counter::RequestsShed);
+        QueryResponse {
+            epoch: self.engine.snapshot().epoch(),
+            completion: Completion::Partial(Interrupt::Overloaded),
+            evaluated: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// Adds a competitor; returns its stable id and the new epoch.
+    pub fn add_competitor(&self, coords: Vec<f64>) -> Result<MutationOutcome, SkyupError> {
+        self.engine.apply(Mutation::AddCompetitor(coords))
+    }
+
+    /// Removes a competitor by id.
+    pub fn remove_competitor(&self, cid: CompetitorId) -> Result<MutationOutcome, SkyupError> {
+        self.engine.apply(Mutation::RemoveCompetitor(cid))
+    }
+
+    /// Engine stats plus the serving counters.
+    pub fn stats(&self) -> (EngineStats, QueryMetrics) {
+        (self.engine.stats(), self.engine.metrics())
+    }
+
+    /// Stops the workers after the queue drains and joins them.
+    /// Idempotent; later queries shed.
+    pub fn shutdown(&self) {
+        {
+            let mut guard = self.queue.jobs.lock().unwrap();
+            guard.1 = true;
+        }
+        self.queue.ready.notify_all();
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn validate_request(req: &QueryRequest, dims: usize) -> Result<(), SkyupError> {
+    if req.k == 0 {
+        return Err(SkyupError::InvalidConfig("k must be at least 1".into()));
+    }
+    if req.products.is_empty() {
+        return Err(SkyupError::InvalidInput("no products to evaluate".into()));
+    }
+    for (i, t) in req.products.iter().enumerate() {
+        if t.len() != dims {
+            return Err(SkyupError::InvalidInput(format!(
+                "product {i} has {} coordinates, expected {dims}",
+                t.len()
+            )));
+        }
+        if t.iter().any(|v| !v.is_finite()) {
+            return Err(SkyupError::InvalidInput(format!(
+                "product {i} has a non-finite coordinate"
+            )));
+        }
+    }
+    match req.cost {
+        CostSpec::Reciprocal(eps) if !(eps.is_finite() && eps > 0.0) => Err(
+            SkyupError::InvalidConfig("reciprocal cost needs a positive epsilon".into()),
+        ),
+        CostSpec::Linear(slope) if !(slope.is_finite() && slope > 0.0) => Err(
+            SkyupError::InvalidConfig("linear cost needs a positive slope".into()),
+        ),
+        _ => Ok(()),
+    }
+}
+
+/// Evaluates a query against one pinned snapshot. Public so the bench
+/// harness and the property suite can bypass the pool and drive the
+/// exact code path the workers run.
+pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryResponse, SkyupError> {
+    validate_request(req, engine.dims())?;
+    let snap = engine.snapshot();
+    let cost_fn = req.cost.cost_fn(snap.dims());
+    let tag = req.cost.tag();
+    let cfg = UpgradeConfig::default();
+
+    let mut limits = ExecutionLimits::default();
+    if let Some(n) = req.max_products {
+        limits = limits.with_max_node_visits(n);
+    }
+    if let Some(d) = req.deadline {
+        limits = limits.with_deadline(d);
+    }
+    let mut guard = limits.start();
+
+    let mut rec = QueryMetrics::new();
+    let mut completion = Completion::Exact;
+    let mut evaluated = 0usize;
+    let mut answers: Vec<ProductAnswer> = Vec::new();
+    for (index, t) in req.products.iter().enumerate() {
+        // One unit per product, hit or miss — see the module docs.
+        if let Err(i) = guard.visit_node() {
+            completion = Completion::Partial(i);
+            break;
+        }
+        let answer = engine.answer_product(&snap, t, &cost_fn, tag, &cfg, &mut rec);
+        evaluated += 1;
+        answers.push(ProductAnswer {
+            index,
+            cost: answer.cost,
+            upgraded: answer.upgraded,
+        });
+    }
+    answers.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap()
+            .then(a.index.cmp(&b.index))
+    });
+    answers.truncate(req.k);
+    rec.incr(Counter::ResultsEmitted, answers.len() as u64);
+    if !completion.is_exact() {
+        rec.bump(Counter::LimitInterrupts);
+    }
+    engine.absorb_metrics(&rec);
+    Ok(QueryResponse {
+        epoch: snap.epoch(),
+        completion,
+        evaluated,
+        results: answers,
+    })
+}

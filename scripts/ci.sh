@@ -33,6 +33,21 @@ timeout "$TEST_TIMEOUT" cargo test --offline -q -p skyup-core --test chaos
 echo "== CLI exit-code contract =="
 timeout "$TEST_TIMEOUT" cargo test --offline -q --test cli_contract
 
+echo "== serve smoke: NDJSON server, exit codes, cache hits =="
+# Spawns the real binary on an ephemeral port, drives it with
+# concurrent clients and interleaved mutations, and checks the serving
+# counters report actual cache hits before a clean shutdown.
+timeout "$TEST_TIMEOUT" cargo test --offline -q --test serve_smoke
+
+echo "== serve property suite: interleavings vs cold oracle =="
+timeout "$TEST_TIMEOUT" cargo test --offline -q -p skyup-serve
+
+echo "== bench smoke: serve throughput, warm answers bit-identical =="
+# Tiny scale; the binary asserts every cached (warm) answer matches its
+# cold computation bit-for-bit before reporting qps.
+SKYUP_BENCH_OUT="$(mktemp)" timeout "$TEST_TIMEOUT" \
+    cargo run --offline --release -q -p skyup-bench --bin serve_throughput -- --scale 0.05
+
 echo "== bench smoke: probe scheduler bit-identity =="
 # Tiny scale; the binary asserts every scheduled run matches the
 # sequential oracle bit-for-bit. Writes to a scratch path so the

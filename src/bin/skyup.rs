@@ -8,8 +8,26 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            if let Err(msg) = skyup::serve_cli::run_serve(&args[1..]) {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("query") => match skyup::serve_cli::run_query(&args[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        },
+        _ => {}
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", skyup::cli::USAGE);
+        print!("{}", skyup::serve_cli::SERVE_USAGE);
         return;
     }
     let cfg = match skyup::cli::Config::parse(&args) {

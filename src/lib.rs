@@ -61,6 +61,7 @@
 //! ```
 
 pub mod cli;
+pub mod serve_cli;
 
 pub use skyup_core as core;
 pub use skyup_data as data;

@@ -1,0 +1,330 @@
+//! The `skyup serve` / `skyup query --connect` subcommands: the CLI
+//! face of the [`skyup_serve`] crate.
+//!
+//! `skyup serve` loads a competitor set (from a delimited file or a
+//! `--warm-start` snapshot written by `--save-snapshot`), starts the
+//! worker pool, prints `listening on HOST:PORT` on stdout, and runs the
+//! NDJSON accept loop until a client sends `{"op":"shutdown"}`.
+//!
+//! `skyup query --connect HOST:PORT` is a one-shot client: it sends a
+//! single request line (query, add, remove, stats, or shutdown), prints
+//! the response line, and exits with the same code contract as the
+//! offline CLI — `0` exact, `2` partial (a budget fired or the server
+//! shed the request), `1` error.
+
+use skyup_data::read_delimited;
+use skyup_obs::json::{parse, Json};
+use skyup_serve::proto::parse_cost;
+use skyup_serve::{bind_local, serve, Engine, EngineConfig, ServeConfig, ServeHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Usage text for the serving subcommands, appended to the main help.
+pub const SERVE_USAGE: &str = "\
+serve subcommands:
+  skyup serve (--competitors <file> | --warm-start <snap>) [options]
+    --port <n>             TCP port on 127.0.0.1 (default 0 = ephemeral)
+    --threads <n>          query worker threads (default 2)
+    --queue-cap <n>        bounded request queue capacity (default 64)
+    --delimiter <c>        cell delimiter for --competitors (default ',')
+    --header               skip the first line of --competitors
+    --save-snapshot <f>    write a versioned snapshot file, then serve
+    prints `listening on HOST:PORT`, serves NDJSON requests until a
+    client sends {\"op\":\"shutdown\"}
+
+  skyup query --connect HOST:PORT [op]
+    -t <x,y,...>           product to evaluate (repeatable; default op)
+    -k <n>                 top-k (default 1)
+    --cost reciprocal:<eps> | linear:<slope>
+    --max-products <n>     per-request product budget
+    --deadline-ms <n>      per-request wall-clock deadline
+    --add <x,y,...>        add a competitor instead of querying
+    --remove <cid>         remove a competitor by id
+    --stats                read engine stats and serving counters
+    --shutdown             stop the server
+    exit codes: 0 = exact, 2 = partial (budget fired or request shed),
+    1 = error
+";
+
+fn value(args: &[String], i: usize, flag: &str) -> Result<String, String> {
+    args.get(i + 1)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_point(spec: &str) -> Result<Vec<f64>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("`{s}` is not a number"))
+        })
+        .collect()
+}
+
+/// Loads every column of a delimited file (all columns of line 1).
+fn load_points(
+    path: &Path,
+    delimiter: char,
+    header: bool,
+) -> Result<skyup_geom::PointStore, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    if header {
+        lines.next();
+    }
+    let first = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty file", path.display()))?;
+    let columns: Vec<usize> = (0..first.split(delimiter).count()).collect();
+    read_delimited(path, delimiter, header, &columns)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs `skyup serve`. Blocks until a client requests shutdown.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut competitors: Option<PathBuf> = None;
+    let mut warm_start: Option<PathBuf> = None;
+    let mut save_snapshot: Option<PathBuf> = None;
+    let mut port = 0u16;
+    let mut delimiter = ',';
+    let mut header = false;
+    let mut cfg = ServeConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--competitors" => {
+                competitors = Some(PathBuf::from(value(args, i, "--competitors")?));
+                i += 2;
+            }
+            "--warm-start" => {
+                warm_start = Some(PathBuf::from(value(args, i, "--warm-start")?));
+                i += 2;
+            }
+            "--save-snapshot" => {
+                save_snapshot = Some(PathBuf::from(value(args, i, "--save-snapshot")?));
+                i += 2;
+            }
+            "--port" => {
+                port = value(args, i, "--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = value(args, i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                i += 2;
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value(args, i, "--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+                i += 2;
+            }
+            "--delimiter" => {
+                let v = value(args, i, "--delimiter")?;
+                let mut chars = v.chars();
+                delimiter = chars
+                    .next()
+                    .filter(|_| chars.next().is_none())
+                    .ok_or("--delimiter takes a single character")?;
+                i += 2;
+            }
+            "--header" => {
+                header = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}\n{SERVE_USAGE}")),
+        }
+    }
+
+    let engine = match (&competitors, &warm_start) {
+        (Some(_), Some(_)) => {
+            return Err("--competitors and --warm-start are mutually exclusive".into())
+        }
+        (None, None) => {
+            return Err(format!(
+                "serve needs --competitors <file> or --warm-start <snap>\n{SERVE_USAGE}"
+            ))
+        }
+        (Some(path), None) => {
+            let store = load_points(path, delimiter, header)?;
+            Engine::with_competitors(store, EngineConfig::default())
+        }
+        (None, Some(path)) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Engine::from_snapshot_bytes(&bytes, EngineConfig::default())
+                .map_err(|e| e.to_string())?
+        }
+    };
+    if let Some(path) = &save_snapshot {
+        std::fs::write(path, engine.save_snapshot_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    let (listener, addr) = bind_local(port).map_err(|e| format!("bind: {e}"))?;
+    let handle = ServeHandle::start(Arc::new(engine), cfg);
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    serve(handle, listener).map_err(|e| format!("serve: {e}"))
+}
+
+enum ClientOp {
+    Query,
+    Add(Vec<f64>),
+    Remove(u64),
+    Stats,
+    Shutdown,
+}
+
+/// Runs `skyup query --connect`: sends one request line, prints the
+/// response, and returns the process exit code.
+pub fn run_query(args: &[String]) -> Result<i32, String> {
+    let mut connect: Option<String> = None;
+    let mut products: Vec<Vec<f64>> = Vec::new();
+    let mut k = 1u64;
+    let mut cost: Option<String> = None;
+    let mut max_products: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut op = ClientOp::Query;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                connect = Some(value(args, i, "--connect")?);
+                i += 2;
+            }
+            "-t" => {
+                products.push(parse_point(&value(args, i, "-t")?)?);
+                i += 2;
+            }
+            "-k" => {
+                k = value(args, i, "-k")?
+                    .parse()
+                    .map_err(|e| format!("-k: {e}"))?;
+                i += 2;
+            }
+            "--cost" => {
+                let spec = value(args, i, "--cost")?;
+                parse_cost(&spec)?; // validate locally for a fast error
+                cost = Some(spec);
+                i += 2;
+            }
+            "--max-products" => {
+                max_products = Some(
+                    value(args, i, "--max-products")?
+                        .parse()
+                        .map_err(|e| format!("--max-products: {e}"))?,
+                );
+                i += 2;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value(args, i, "--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+                i += 2;
+            }
+            "--add" => {
+                op = ClientOp::Add(parse_point(&value(args, i, "--add")?)?);
+                i += 2;
+            }
+            "--remove" => {
+                op = ClientOp::Remove(
+                    value(args, i, "--remove")?
+                        .parse()
+                        .map_err(|e| format!("--remove: {e}"))?,
+                );
+                i += 2;
+            }
+            "--stats" => {
+                op = ClientOp::Stats;
+                i += 1;
+            }
+            "--shutdown" => {
+                op = ClientOp::Shutdown;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}\n{SERVE_USAGE}")),
+        }
+    }
+
+    let addr = connect.ok_or_else(|| format!("query needs --connect HOST:PORT\n{SERVE_USAGE}"))?;
+    let request = match op {
+        ClientOp::Query => {
+            if products.is_empty() {
+                return Err(format!(
+                    "query needs at least one -t <x,y,...>\n{SERVE_USAGE}"
+                ));
+            }
+            let mut fields = vec![
+                ("op", Json::Str("query".into())),
+                (
+                    "products",
+                    Json::Arr(
+                        products
+                            .iter()
+                            .map(|p| Json::Arr(p.iter().map(|&v| Json::Num(v)).collect()))
+                            .collect(),
+                    ),
+                ),
+                ("k", Json::Num(k as f64)),
+            ];
+            if let Some(spec) = &cost {
+                fields.push(("cost", Json::Str(spec.clone())));
+            }
+            if let Some(n) = max_products {
+                fields.push(("max_products", Json::Num(n as f64)));
+            }
+            if let Some(n) = deadline_ms {
+                fields.push(("deadline_ms", Json::Num(n as f64)));
+            }
+            Json::obj(fields)
+        }
+        ClientOp::Add(point) => Json::obj(vec![
+            ("op", Json::Str("add".into())),
+            (
+                "point",
+                Json::Arr(point.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+        ]),
+        ClientOp::Remove(cid) => Json::obj(vec![
+            ("op", Json::Str("remove".into())),
+            ("cid", Json::Num(cid as f64)),
+        ]),
+        ClientOp::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
+        ClientOp::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
+    };
+
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{}\n", request.render()).as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("recv: {e}"))?;
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err("server closed the connection without replying".into());
+    }
+    println!("{line}");
+
+    let doc = parse(line).map_err(|e| format!("bad response: {e}"))?;
+    if !matches!(doc.get("ok"), Some(Json::Bool(true))) {
+        return Ok(1);
+    }
+    match doc.get("completion").and_then(|v| v.as_str()) {
+        Some("partial") => Ok(2),
+        _ => Ok(0),
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end smoke test of `skyup serve` / `skyup query --connect`:
+//! spawns the real binary on an ephemeral port, drives it with
+//! concurrent NDJSON clients while interleaving mutations, checks the
+//! serving counters (the cache must actually hit), exercises the
+//! client exit-code contract (0 exact / 2 partial / 1 error), and shuts
+//! the server down cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skyup"))
+}
+
+fn fixture(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skyup-serve-smoke-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut competitors = String::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            competitors.push_str(&format!(
+                "{},{}\n",
+                0.15 * (i + 1) as f64,
+                0.15 * (j + 1) as f64
+            ));
+        }
+    }
+    let comp = dir.join("competitors.csv");
+    std::fs::write(&comp, competitors).unwrap();
+    comp
+}
+
+/// Starts a server child and returns it with the address it printed.
+fn spawn_server(comp: &PathBuf, extra: &[&str]) -> (Child, String) {
+    let mut child = bin()
+        .arg("serve")
+        .arg("--competitors")
+        .arg(comp)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn skyup serve");
+    let stdout = child.stdout.as_mut().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected listen line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// One NDJSON round trip over an existing connection.
+fn round_trip(stream: &mut TcpStream, request: &str) -> String {
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send request");
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    line.trim_end().to_string()
+}
+
+fn field_u64(response: &str, key: &str) -> Option<u64> {
+    let doc = skyup::obs::json::parse(response).ok()?;
+    doc.get(key).and_then(|v| v.as_u64())
+}
+
+#[test]
+fn serve_answers_concurrent_clients_with_cache_hits() {
+    let comp = fixture("concurrent");
+    let (mut child, addr) = spawn_server(&comp, &["--threads", "2", "--queue-cap", "32"]);
+
+    // Four clients hammer the same small product set (so answers
+    // repeat and the cache can hit) while the main thread mutates.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                for round in 0..25 {
+                    let t = 0.8 + 0.05 * ((c + round) % 4) as f64;
+                    let resp = round_trip(
+                        &mut stream,
+                        &format!("{{\"op\":\"query\",\"products\":[[{t},{t}]],\"k\":1}}"),
+                    );
+                    assert!(resp.contains("\"ok\":true"), "client {c}: {resp}");
+                    assert!(
+                        resp.contains("\"completion\":\"exact\""),
+                        "client {c}: {resp}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    let mut admin = TcpStream::connect(&addr).expect("connect admin");
+    let mut added: Vec<u64> = Vec::new();
+    for i in 0..10 {
+        let v = 0.4 + 0.02 * i as f64;
+        let resp = round_trip(
+            &mut admin,
+            &format!("{{\"op\":\"add\",\"point\":[{v},{v}]}}"),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        added.push(field_u64(&resp, "cid").expect("add returns a cid"));
+    }
+    for cid in added.iter().take(5) {
+        let resp = round_trip(&mut admin, &format!("{{\"op\":\"remove\",\"cid\":{cid}}}"));
+        assert!(resp.contains("\"removed\":true"), "{resp}");
+    }
+    // A malformed line errors without tearing down the connection.
+    let resp = round_trip(&mut admin, "{\"op\":\"nope\"}");
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let stats = round_trip(&mut admin, "{\"op\":\"stats\"}");
+    assert!(stats.contains("\"ok\":true"), "{stats}");
+    let doc = skyup::obs::json::parse(&stats).expect("stats is JSON");
+    let counters = doc.get("counters").expect("counters object");
+    let hit = counters.get("cache_hit").and_then(|v| v.as_u64()).unwrap();
+    let swaps = counters
+        .get("epoch_swaps")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(hit > 0, "no cache hits under repeated queries: {stats}");
+    assert_eq!(
+        swaps, 15,
+        "10 adds + 5 removes must swap 15 epochs: {stats}"
+    );
+
+    let ack = round_trip(&mut admin, "{\"op\":\"shutdown\"}");
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    let status = child.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0), "clean shutdown must exit 0");
+}
+
+#[test]
+fn query_client_exit_codes_and_warm_start() {
+    let comp = fixture("codes");
+    let dir = comp.parent().unwrap().to_path_buf();
+    let snap = dir.join("warm.snap");
+    let (mut child, addr) = spawn_server(&comp, &["--save-snapshot", snap.to_str().unwrap()]);
+
+    // Exact answer: exit 0, response on stdout.
+    let out = bin()
+        .args(["query", "--connect", &addr, "-t", "0.95,0.95", "-k", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let exact = String::from_utf8_lossy(&out.stdout).trim_end().to_string();
+    assert!(exact.contains("\"completion\":\"exact\""), "{exact}");
+
+    // Budget shed: exit 2.
+    let out = bin()
+        .args([
+            "query",
+            "--connect",
+            &addr,
+            "-t",
+            "0.95,0.95",
+            "--max-products",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "partial answers must exit 2");
+
+    // Server-side validation error: exit 1 (dims mismatch).
+    let out = bin()
+        .args(["query", "--connect", &addr, "-t", "0.9,0.9,0.9"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "server errors must exit 1");
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+
+    // A warm-started server answers the same query bit-identically.
+    let mut warm = bin()
+        .arg("serve")
+        .arg("--warm-start")
+        .arg(&snap)
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(warm.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let warm_addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap()
+        .to_string();
+    let out = bin()
+        .args([
+            "query",
+            "--connect",
+            &warm_addr,
+            "-t",
+            "0.95,0.95",
+            "-k",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim_end(),
+        exact,
+        "warm start must reproduce the cold answer byte for byte"
+    );
+    let out = bin()
+        .args(["query", "--connect", &warm_addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(warm.wait().unwrap().code(), Some(0));
+}
+
+#[test]
+fn bad_arguments_exit_one() {
+    // serve with no source of competitors.
+    let out = bin().arg("serve").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // query without --connect.
+    let out = bin().args(["query", "-t", "0.9,0.9"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // a corrupt warm-start snapshot is rejected, not a panic.
+    let dir = std::env::temp_dir().join("skyup-serve-smoke-corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.snap");
+    std::fs::write(&bad, b"not a snapshot at all").unwrap();
+    let out = bin()
+        .arg("serve")
+        .arg("--warm-start")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("snapshot"), "{stderr}");
+}
