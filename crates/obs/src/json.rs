@@ -20,6 +20,11 @@ pub enum Json {
     /// A finite number. Integers within `u64` render without a decimal
     /// point.
     Num(f64),
+    /// An exact unsigned integer. Unlike [`Json::Num`], values above
+    /// 2^53 render without precision loss; use this for ids, epochs,
+    /// and counters. (The parser only produces [`Json::Num`]; exact
+    /// round-tripping goes through [`Json::as_u64`].)
+    Uint(u64),
     /// A string (stored unescaped).
     Str(String),
     /// An array.
@@ -51,6 +56,7 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Uint(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -61,6 +67,7 @@ impl Json {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
+            Json::Uint(n) => Some(*n),
             _ => None,
         }
     }
@@ -102,6 +109,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => write_number(out, *n),
+            Json::Uint(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => {
                 if items.is_empty() {
@@ -466,6 +476,16 @@ mod tests {
         assert_eq!(v.get("neg").and_then(Json::as_u64), None);
         assert_eq!(v.get("missing"), None);
         assert_eq!(v.as_map().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn uint_renders_exactly_above_2_pow_53() {
+        // 2^53 + 1 is the first integer an f64 cannot represent.
+        let v = (1u64 << 53) + 1;
+        assert_eq!(Json::Uint(v).render(), "9007199254740993");
+        assert_eq!(Json::Uint(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Uint(0).render(), "0");
+        assert_eq!(Json::Uint(v).as_u64(), Some(v));
     }
 
     #[test]

@@ -111,7 +111,12 @@ impl ResultCache {
         computed_at: u64,
         current: u64,
     ) -> bool {
-        if computed_at != current || self.entries.len() >= self.capacity {
+        if computed_at != current {
+            return false;
+        }
+        // Overwriting an existing key does not grow the map, so the
+        // capacity gate only applies to new keys.
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             return false;
         }
         self.entries.insert(
@@ -207,5 +212,15 @@ mod tests {
         let key = CacheKey::new(&[0.8, 0.8], CostTag::Reciprocal(0));
         assert!(!c.insert_if_current(key, &[0.8, 0.8], answer(&[]), 3, 3));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_cache_still_overwrites_existing_key() {
+        let mut c = ResultCache::new(1);
+        put(&mut c, &[0.9, 0.9], &[1]);
+        let key = CacheKey::new(&[0.9, 0.9], CostTag::Reciprocal(0));
+        assert!(c.insert_if_current(key.clone(), &[0.9, 0.9], answer(&[2]), 3, 3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key).unwrap().used, vec![2]);
     }
 }

@@ -361,13 +361,22 @@ impl Engine {
         let candidates = w.tree.range_query(&w.store, &region);
         let store = &w.store;
         let skyline = &w.skyline;
+        // The boundary-inclusive range query can return surviving
+        // skyline members (e.g. a duplicate-coordinate twin of `pid`,
+        // which nothing strictly dominates); they are already present,
+        // so only points off the skyline are candidates for exposure.
         let exposed: Vec<PointId> = candidates
             .into_iter()
+            .filter(|&q| skyline.binary_search(&q).is_err())
             .filter(|&q| !dominated_by_any(store, skyline, store.point(q)))
             .collect();
         let mut sub = skyline_sfs(store, &exposed);
         w.skyline.append(&mut sub);
         w.skyline.sort_unstable();
+        debug_assert!(
+            w.skyline.windows(2).all(|p| p[0] != p[1]),
+            "skyline must stay duplicate-free"
+        );
     }
 
     /// The degradation heuristic: compact when tombstones pile up or

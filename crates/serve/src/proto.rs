@@ -154,7 +154,7 @@ pub fn render_query_response(resp: &QueryResponse) -> String {
                  upgraded,
              }| {
                 Json::obj(vec![
-                    ("index", Json::Num(*index as f64)),
+                    ("index", Json::Uint(*index as u64)),
                     ("cost", Json::Num(*cost)),
                     (
                         "upgraded",
@@ -164,29 +164,23 @@ pub fn render_query_response(resp: &QueryResponse) -> String {
             },
         )
         .collect();
-    let mut fields = vec![
-        ("ok", Json::Bool(true)),
-        ("epoch", Json::Num(resp.epoch as f64)),
-    ];
+    let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Uint(resp.epoch))];
     completion_fields(resp.completion, &mut fields);
-    fields.push(("evaluated", Json::Num(resp.evaluated as f64)));
+    fields.push(("evaluated", Json::Uint(resp.evaluated as u64)));
     fields.push(("results", Json::Arr(results)));
     Json::obj(fields).render()
 }
 
 /// Renders a mutation acknowledgement.
 pub fn render_mutation_outcome(out: &MutationOutcome) -> String {
-    let mut fields = vec![
-        ("ok", Json::Bool(true)),
-        ("epoch", Json::Num(out.epoch as f64)),
-    ];
+    let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Uint(out.epoch))];
     if let Some(cid) = out.cid {
-        fields.push(("cid", Json::Num(cid as f64)));
+        fields.push(("cid", Json::Uint(cid)));
     } else {
         fields.push(("removed", Json::Bool(out.removed)));
     }
     fields.push(("rebuilt", Json::Bool(out.rebuilt)));
-    fields.push(("evicted", Json::Num(out.evicted as f64)));
+    fields.push(("evicted", Json::Uint(out.evicted)));
     Json::obj(fields).render()
 }
 
@@ -201,17 +195,17 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
             Counter::RequestsShed,
         ]
         .iter()
-        .map(|&c| (c.name(), Json::Num(metrics.get(c) as f64)))
+        .map(|&c| (c.name(), Json::Uint(metrics.get(c))))
         .collect(),
     );
     Json::obj(vec![
         ("ok", Json::Bool(true)),
-        ("epoch", Json::Num(stats.epoch as f64)),
-        ("live", Json::Num(stats.live as f64)),
-        ("skyline", Json::Num(stats.skyline_len as f64)),
-        ("dead", Json::Num(stats.dead as f64)),
-        ("rebuilds", Json::Num(stats.rebuilds as f64)),
-        ("cached", Json::Num(stats.cached as f64)),
+        ("epoch", Json::Uint(stats.epoch)),
+        ("live", Json::Uint(stats.live as u64)),
+        ("skyline", Json::Uint(stats.skyline_len as u64)),
+        ("dead", Json::Uint(stats.dead as u64)),
+        ("rebuilds", Json::Uint(stats.rebuilds)),
+        ("cached", Json::Uint(stats.cached as u64)),
         ("counters", counters),
     ])
     .render()

@@ -319,12 +319,7 @@ pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryRespons
             upgraded: answer.upgraded,
         });
     }
-    answers.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .unwrap()
-            .then(a.index.cmp(&b.index))
-    });
+    answers.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.index.cmp(&b.index)));
     answers.truncate(req.k);
     rec.incr(Counter::ResultsEmitted, answers.len() as u64);
     if !completion.is_exact() {

@@ -362,3 +362,35 @@ fn rebuild_preserves_cache_and_cids() {
     }
     assert_ne!(first.epoch, resp.epoch, "mutations must bump the epoch");
 }
+
+/// Regression: with strict dominance, two competitors at identical
+/// coordinates both sit on the skyline. Removing one returns the twin
+/// from the boundary-inclusive exposure query; it must not be appended
+/// a second time, or its pid lingers in every later snapshot after the
+/// twin itself is removed.
+#[test]
+fn removing_a_duplicate_coordinate_twin_keeps_the_skyline_exact() {
+    let engine = Engine::new(2, EngineConfig::default());
+    let add = |coords: Vec<f64>| {
+        engine
+            .apply(Mutation::AddCompetitor(coords))
+            .unwrap()
+            .cid
+            .unwrap()
+    };
+    let a = add(vec![0.5, 0.5]);
+    let b = add(vec![0.5, 0.5]);
+    // Strictly dominated by the twins; exposed only once both are gone.
+    let c = add(vec![0.6, 0.6]);
+    assert_eq!(engine.snapshot().skyline().len(), 2);
+
+    engine.apply(Mutation::RemoveCompetitor(a)).unwrap();
+    let snap = engine.snapshot();
+    let sky: Vec<CompetitorId> = snap.skyline().iter().map(|&p| snap.cid(p)).collect();
+    assert_eq!(sky, vec![b], "surviving twin must appear exactly once");
+
+    engine.apply(Mutation::RemoveCompetitor(b)).unwrap();
+    let snap = engine.snapshot();
+    let sky: Vec<CompetitorId> = snap.skyline().iter().map(|&p| snap.cid(p)).collect();
+    assert_eq!(sky, vec![c], "no tombstoned pid may linger on the skyline");
+}

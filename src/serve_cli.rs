@@ -275,16 +275,16 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
                             .collect(),
                     ),
                 ),
-                ("k", Json::Num(k as f64)),
+                ("k", Json::Uint(k)),
             ];
             if let Some(spec) = &cost {
                 fields.push(("cost", Json::Str(spec.clone())));
             }
             if let Some(n) = max_products {
-                fields.push(("max_products", Json::Num(n as f64)));
+                fields.push(("max_products", Json::Uint(n)));
             }
             if let Some(n) = deadline_ms {
-                fields.push(("deadline_ms", Json::Num(n as f64)));
+                fields.push(("deadline_ms", Json::Uint(n)));
             }
             Json::obj(fields)
         }
@@ -297,7 +297,7 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
         ]),
         ClientOp::Remove(cid) => Json::obj(vec![
             ("op", Json::Str("remove".into())),
-            ("cid", Json::Num(cid as f64)),
+            ("cid", Json::Uint(cid)),
         ]),
         ClientOp::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
         ClientOp::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
