@@ -1,0 +1,359 @@
+//! CI perf-regression gate: compares a freshly generated bench report
+//! against the committed baseline and fails on regression.
+//!
+//! ```text
+//! bench_gate <serve|probing> <fresh.json> <baseline.json>
+//! ```
+//!
+//! Exit codes: `0` pass, `1` one or more checks failed (each reason on
+//! stderr), `2` usage / unreadable / unparsable input.
+//!
+//! Two kinds of check, deliberately separated:
+//!
+//! * **Machine-independent invariants** are exact. Bit-identity flags,
+//!   cache hit/miss counts, batch request counts, and evaluated-product
+//!   counts are pure functions of the committed workload — any drift is
+//!   a behavior change, not noise, so the tolerance is zero. Quantities
+//!   that are genuinely timing-dependent (how many batches a window
+//!   coalesced, what a racy shared threshold pruned at >1 threads) get
+//!   structural checks instead of exact ones.
+//! * **Wall-clock** is one-sided with a 25% tolerance: fresh may not be
+//!   more than 1.25x slower than baseline (per row). Faster never
+//!   fails; the driver script retries the whole run to ride out
+//!   scheduler noise on shared hardware.
+
+use skyup_obs::json::{parse, Json};
+use std::process::ExitCode;
+
+/// Fresh wall-clock may lag baseline by at most this factor.
+const WALL_TOLERANCE: f64 = 1.25;
+/// The acceptance floor for the batched serving path (cold, 4 client
+/// threads) — mirrors the committed claim, with the measured ~2x
+/// leaving real margin.
+const MIN_BATCHED_SPEEDUP_COLD: f64 = 1.5;
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            failures: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.failures.push(msg);
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        if !ok {
+            self.fail(msg());
+        }
+    }
+
+    /// Exact match of a numeric field between fresh and baseline.
+    fn exact(&mut self, what: &str, key: &str, fresh: &Json, baseline: &Json) {
+        let f = num(fresh, key);
+        let b = num(baseline, key);
+        match (f, b) {
+            (Some(f), Some(b)) => self.check(f == b, || {
+                format!("{what}: {key} changed: fresh {f} vs baseline {b}")
+            }),
+            _ => self.fail(format!(
+                "{what}: {key} missing (fresh {f:?}, baseline {b:?})"
+            )),
+        }
+    }
+
+    /// One-sided wall-clock check: fresh may not exceed baseline by
+    /// more than [`WALL_TOLERANCE`]. `key` holds a duration (smaller is
+    /// better).
+    fn wall(&mut self, what: &str, key: &str, fresh: &Json, baseline: &Json) {
+        match (num(fresh, key), num(baseline, key)) {
+            (Some(f), Some(b)) => self.check(f <= b * WALL_TOLERANCE, || {
+                format!(
+                    "{what}: {key} regressed: fresh {f:.1} vs baseline {b:.1} \
+                     (tolerance {WALL_TOLERANCE}x)"
+                )
+            }),
+            (f, b) => self.fail(format!(
+                "{what}: {key} missing (fresh {f:?}, baseline {b:?})"
+            )),
+        }
+    }
+
+    /// One-sided throughput check: fresh may not fall below baseline by
+    /// more than [`WALL_TOLERANCE`]. `key` holds a rate (bigger is
+    /// better).
+    fn rate(&mut self, what: &str, key: &str, fresh: &Json, baseline: &Json) {
+        match (num(fresh, key), num(baseline, key)) {
+            (Some(f), Some(b)) => self.check(f * WALL_TOLERANCE >= b, || {
+                format!(
+                    "{what}: {key} regressed: fresh {f:.0} vs baseline {b:.0} \
+                     (tolerance {WALL_TOLERANCE}x)"
+                )
+            }),
+            (f, b) => self.fail(format!(
+                "{what}: {key} missing (fresh {f:?}, baseline {b:?})"
+            )),
+        }
+    }
+
+    /// Every field of the baseline's `workload` object must match the
+    /// fresh one exactly: a gate run at a different scale or seed is
+    /// comparing apples to oranges and must say so rather than pass
+    /// vacuously.
+    fn workload(&mut self, fresh: &Json, baseline: &Json) {
+        let (Some(Json::Obj(bf)), Some(fw)) = (baseline.get("workload"), fresh.get("workload"))
+        else {
+            self.fail("workload object missing".into());
+            return;
+        };
+        for (key, want) in bf {
+            match fw.get(key) {
+                Some(have) if render(have) == render(want) => {}
+                Some(have) => self.fail(format!(
+                    "workload.{key} differs: fresh {} vs baseline {} \
+                     (rerun the gate at the committed scale/seed)",
+                    render(have),
+                    render(want)
+                )),
+                None => self.fail(format!("workload.{key} missing from fresh report")),
+            }
+        }
+    }
+}
+
+fn num(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(|v| v.as_f64())
+}
+
+fn is_true(doc: &Json, key: &str) -> bool {
+    matches!(doc.get(key), Some(Json::Bool(true)))
+}
+
+fn render(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(n) => format!("{n}"),
+        Json::Uint(n) => format!("{n}"),
+        Json::Bool(b) => format!("{b}"),
+        other => format!("{other:?}"),
+    }
+}
+
+fn rows<'a>(doc: &'a Json, key: &str) -> Option<&'a [Json]> {
+    match doc.get(key) {
+        Some(Json::Arr(items)) => Some(items),
+        _ => None,
+    }
+}
+
+/// Gate for `serve_throughput` reports (`BENCH_serve.json`). Rows are
+/// keyed by `(mode, threads, phase)`.
+fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    gate.workload(fresh, baseline);
+    gate.check(is_true(fresh, "all_modes_bit_identical"), || {
+        "all_modes_bit_identical is not true: batched or warm answers \
+         diverged from the per-request cold computation"
+            .into()
+    });
+    match num(fresh, "batched_speedup_cold_at_4") {
+        Some(s) => gate.check(s >= MIN_BATCHED_SPEEDUP_COLD, || {
+            format!(
+                "batched_speedup_cold_at_4 = {s:.2} below the \
+                 {MIN_BATCHED_SPEEDUP_COLD} acceptance floor"
+            )
+        }),
+        None => gate.fail("batched_speedup_cold_at_4 missing".into()),
+    }
+
+    let (Some(fresh_rows), Some(base_rows)) = (rows(fresh, "runs"), rows(baseline, "runs")) else {
+        gate.fail("runs array missing".into());
+        return;
+    };
+    let key = |row: &Json| {
+        (
+            row.get("mode")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            num(row, "threads").unwrap_or(-1.0) as i64,
+            row.get("phase")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string(),
+        )
+    };
+    for brow in base_rows {
+        let (mode, threads, phase) = key(brow);
+        let what = format!("serve row {mode}/{threads}t/{phase}");
+        let Some(frow) = fresh_rows.iter().find(|r| key(r) == key(brow)) else {
+            gate.fail(format!("{what}: missing from fresh report"));
+            continue;
+        };
+        // Machine-independent: the cache and batching behavior of the
+        // committed workload is deterministic per pass.
+        for field in ["requests", "cache_hit", "cache_miss", "batched_requests"] {
+            gate.exact(&what, field, frow, brow);
+        }
+        // Batch count is timing-dependent (how the admission window
+        // slices the stream), so only its structure is checked.
+        let batches = num(frow, "batches_executed").unwrap_or(-1.0);
+        if mode == "per_request" {
+            gate.check(batches == 0.0, || {
+                format!("{what}: per-request mode executed {batches} batches")
+            });
+        } else {
+            gate.check(batches >= 1.0, || {
+                format!("{what}: batched mode never formed a batch")
+            });
+            if phase == "cold" {
+                let memo = num(frow, "dominator_memo_hits").unwrap_or(0.0);
+                gate.check(memo >= 1.0, || {
+                    format!("{what}: the cross-request dominator memo never hit")
+                });
+            }
+        }
+        gate.rate(&what, "qps", frow, brow);
+    }
+    gate.check(fresh_rows.len() == base_rows.len(), || {
+        format!(
+            "serve run count changed: fresh {} vs baseline {}",
+            fresh_rows.len(),
+            base_rows.len()
+        )
+    });
+}
+
+/// Gate for `probe_sched` reports (`BENCH_probing.json`). Rows are
+/// keyed by `(strategy, threads)`.
+fn gate_probing(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    for (f, b) in [
+        (fresh.get("schema"), baseline.get("schema")),
+        (
+            fresh.get("samples_per_config"),
+            baseline.get("samples_per_config"),
+        ),
+    ] {
+        match (f, b) {
+            (Some(f), Some(b)) if render(f) == render(b) => {}
+            (f, b) => gate.fail(format!(
+                "probing header mismatch: fresh {f:?} vs baseline {b:?}"
+            )),
+        }
+    }
+    gate.workload(fresh, baseline);
+    gate.wall("probing", "sequential_wall_us", fresh, baseline);
+
+    let (Some(fresh_rows), Some(base_rows)) = (rows(fresh, "runs"), rows(baseline, "runs")) else {
+        gate.fail("runs array missing".into());
+        return;
+    };
+    let t_size = baseline
+        .get("workload")
+        .and_then(|w| num(w, "t_size"))
+        .unwrap_or(0.0);
+    let key = |row: &Json| {
+        (
+            row.get("strategy")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            num(row, "threads").unwrap_or(-1.0) as i64,
+        )
+    };
+    for brow in base_rows {
+        let (strategy, threads) = key(brow);
+        let what = format!("probing row {strategy}/{threads}t");
+        let Some(frow) = fresh_rows.iter().find(|r| key(r) == key(brow)) else {
+            gate.fail(format!("{what}: missing from fresh report"));
+            continue;
+        };
+        gate.check(is_true(frow, "bit_identical_to_sequential"), || {
+            format!("{what}: scheduled results diverged from the sequential oracle")
+        });
+        // Static-chunk and work-stealing evaluate every product; their
+        // counts are deterministic. Bound-sorted pruning races on the
+        // shared threshold above one thread, so there only the
+        // conservation law evaluated + pruned == t_size is exact.
+        if strategy != "bound_sorted" || threads == 1 {
+            gate.exact(&what, "evaluated", frow, brow);
+            gate.exact(&what, "pruned", frow, brow);
+        } else {
+            let e = num(frow, "evaluated").unwrap_or(-1.0);
+            let p = num(frow, "pruned").unwrap_or(-1.0);
+            gate.check(e + p == t_size, || {
+                format!(
+                    "{what}: evaluated {e} + pruned {p} != t_size {t_size} \
+                     (products lost or double-counted)"
+                )
+            });
+        }
+        if let (Some(fc), Some(bc)) = (frow.get("counters"), brow.get("counters")) {
+            gate.exact(&what, "results_emitted", fc, bc);
+            let panics = num(fc, "worker_panics").unwrap_or(-1.0);
+            gate.check(panics == 0.0, || format!("{what}: {panics} worker panics"));
+        } else {
+            gate.fail(format!("{what}: counters object missing"));
+        }
+        gate.wall(&what, "wall_us", frow, brow);
+    }
+    gate.check(fresh_rows.len() == base_rows.len(), || {
+        format!(
+            "probing run count changed: fresh {} vs baseline {}",
+            fresh_rows.len(),
+            base_rows.len()
+        )
+    });
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [kind, fresh_path, baseline_path] = &args[..] else {
+        eprintln!("usage: bench_gate <serve|probing> <fresh.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+    let (fresh, baseline) = match (load(fresh_path), load(baseline_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for r in [f, b] {
+                if let Err(e) = r {
+                    eprintln!("bench_gate: {e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut gate = Gate::new();
+    match kind.as_str() {
+        "serve" => gate_serve(&mut gate, &fresh, &baseline),
+        "probing" => gate_probing(&mut gate, &fresh, &baseline),
+        other => {
+            eprintln!("bench_gate: unknown kind {other:?} (want serve or probing)");
+            return ExitCode::from(2);
+        }
+    }
+
+    if gate.failures.is_empty() {
+        println!("bench_gate {kind}: OK ({fresh_path} vs {baseline_path})");
+        ExitCode::SUCCESS
+    } else {
+        for f in &gate.failures {
+            eprintln!("bench_gate {kind}: FAIL: {f}");
+        }
+        eprintln!(
+            "bench_gate {kind}: {} check(s) failed ({fresh_path} vs {baseline_path})",
+            gate.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,17 +1,28 @@
-//! Serving throughput: queries per second through the `skyup-serve`
-//! worker pool at 1 and 4 client threads, cold cache vs warm, as JSON.
+//! Serving throughput: queries per second through `skyup-serve` at 1
+//! and 4 client threads, cold cache vs warm, per-request execution vs
+//! the batch dispatcher, as JSON.
 //!
-//! The workload is a fig8-style synthetic: independent-uniform competitors on the
-//! unit cube and a fixed pool of uncompetitive products shifted to
-//! `[0.3, 1.3]`. The cold phase queries every pool product exactly once
-//! (all misses, each answer computed from the epoch snapshot); the warm
-//! phases re-query the same pool (all hits). Every warm answer is
-//! checked bit-for-bit against its cold counterpart before the timing
-//! is trusted — a cache that serves stale bits fails the bench, it does
-//! not get a throughput number.
+//! The workload is a fig8-style synthetic: anti-correlated competitors
+//! on the unit cube — the paper's hardest setting, with a large skyline
+//! that makes each answer genuinely expensive — and a fixed pool of
+//! uncompetitive products shifted to `[0.3, 1.3]`. A cold pass queries every pool product exactly
+//! once (all misses, each answer computed from the epoch snapshot); a
+//! warm pass re-queries the same pool (all hits). Both modes run the
+//! same pipelined client loop — each client keeps a window of requests
+//! in flight — so the only variable is how the server schedules them:
+//! `per_request` is the classic worker pool, `batched` is the admission
+//! window + shard-parallel batch executor. Each phase is measured
+//! min-of-N ([`COLD_REPS`] / [`WARM_PASSES`]) to reject scheduler noise
+//! on shared hardware.
+//!
+//! Correctness is part of the bench contract: every warm answer and
+//! every batched answer is checked bit-for-bit against the per-request
+//! cold computation before any timing is trusted — a scheduler that
+//! changes a single bit fails the bench, it does not get a throughput
+//! number.
 //!
 //! Wall-clock qps is the machine-dependent half of the output; the
-//! cache hit/miss counters are the machine-independent half. Set
+//! cache and batch counters are the machine-independent half. Set
 //! `SKYUP_BENCH_OUT` to redirect the report (CI smoke runs do).
 
 use skyup_bench::parse_args;
@@ -23,8 +34,21 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const DIMS: usize = 3;
-/// Warm passes over the product pool per configuration.
+/// Cold repetitions per configuration, each against a fresh engine; the
+/// reported cold figure is the fastest repetition. A single cold pass
+/// is a few milliseconds — too short to survive scheduler noise on a
+/// shared box — and min-of-N is the standard noise rejection: external
+/// interference only ever slows a run down.
+const COLD_REPS: usize = 3;
+/// Warm passes over the product pool per configuration; the reported
+/// warm figure is the fastest pass, for the same reason.
 const WARM_PASSES: usize = 4;
+/// Requests each client keeps in flight. This is what gives the batch
+/// dispatcher's admission window something to coalesce; the per-request
+/// pool sees the identical feed.
+const PIPELINE: usize = 64;
+/// Admission window for the batched mode, in microseconds.
+const BATCH_WINDOW_US: u64 = 100;
 
 fn product_pool(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut cfg = SyntheticConfig::unit(DIMS, Distribution::Independent, seed);
@@ -36,7 +60,8 @@ fn product_pool(n: usize, seed: u64) -> Vec<Vec<f64>> {
 
 /// Runs one timed pass: `threads` clients split the pool's products
 /// (each product queried exactly once per pass) and push them through
-/// the worker pool. Returns (elapsed_seconds, per-product cost bits).
+/// the server with up to [`PIPELINE`] requests in flight each. Returns
+/// (elapsed_seconds, per-product cost bits).
 fn timed_pass(handle: &ServeHandle, pool: &Arc<Vec<Vec<f64>>>, threads: usize) -> (f64, Vec<u64>) {
     let start = Instant::now();
     let mut joins = Vec::new();
@@ -45,10 +70,24 @@ fn timed_pass(handle: &ServeHandle, pool: &Arc<Vec<Vec<f64>>>, threads: usize) -
         let pool = Arc::clone(pool);
         joins.push(std::thread::spawn(move || {
             let mut costs = Vec::new();
+            let mut inflight = std::collections::VecDeque::new();
+            let drain = |q: &mut std::collections::VecDeque<(usize, _)>| {
+                let (i, ticket): (usize, skyup_serve::QueryTicket) =
+                    q.pop_front().expect("non-empty pipeline");
+                let resp = ticket.wait().expect("valid query");
+                assert!(
+                    matches!(resp.completion, Completion::Exact),
+                    "unlimited query came back partial"
+                );
+                (i, resp.results[0].cost.to_bits())
+            };
             let mut i = c;
             while i < pool.len() {
-                let resp = handle
-                    .query(QueryRequest {
+                if inflight.len() >= PIPELINE {
+                    costs.push(drain(&mut inflight));
+                }
+                let ticket = handle
+                    .query_async(QueryRequest {
                         products: vec![pool[i].clone()],
                         k: 1,
                         cost: CostSpec::Reciprocal(1e-3),
@@ -56,12 +95,11 @@ fn timed_pass(handle: &ServeHandle, pool: &Arc<Vec<Vec<f64>>>, threads: usize) -
                         deadline: None,
                     })
                     .expect("valid query");
-                assert!(
-                    matches!(resp.completion, Completion::Exact),
-                    "unlimited query came back partial"
-                );
-                costs.push((i, resp.results[0].cost.to_bits()));
+                inflight.push_back((i, ticket));
                 i += threads;
+            }
+            while !inflight.is_empty() {
+                costs.push(drain(&mut inflight));
             }
             costs
         }));
@@ -78,72 +116,139 @@ fn timed_pass(handle: &ServeHandle, pool: &Arc<Vec<Vec<f64>>>, threads: usize) -
 fn main() {
     let args = parse_args(1.0);
     let n_comp = ((4000.0 * args.scale) as usize).max(64);
-    let n_pool = ((256.0 * args.scale) as usize).max(16);
+    let n_pool = ((1024.0 * args.scale) as usize).max(16);
     let competitors = generate(
         n_comp,
-        &SyntheticConfig::unit(DIMS, Distribution::Independent, args.seed),
+        &SyntheticConfig::unit(DIMS, Distribution::AntiCorrelated, args.seed),
     );
     let pool = Arc::new(product_pool(n_pool, args.seed ^ 0x7007));
 
     let mut runs = Vec::new();
     let mut all_identical = true;
-    for threads in [1usize, 4] {
-        // Fresh engine per configuration so every cold phase is cold.
-        let engine = Arc::new(Engine::with_competitors(
-            competitors.clone(),
-            EngineConfig::default(),
-        ));
-        let handle = ServeHandle::start(
-            Arc::clone(&engine),
-            ServeConfig {
+    // Per-request cold bits at any thread count are the reference every
+    // other configuration must reproduce exactly.
+    let mut reference_bits: Option<Vec<u64>> = None;
+    // qps by (mode, threads, phase) for the speedup summary.
+    let mut qps = std::collections::HashMap::new();
+    for mode in ["per_request", "batched"] {
+        for threads in [1usize, 4] {
+            let serve_cfg = ServeConfig {
                 threads,
-                queue_cap: 4 * threads.max(16),
-            },
-        );
+                // Room for every client's full pipeline: shedding
+                // would fail the Exact assertion, not skew timing.
+                queue_cap: threads * PIPELINE + 8,
+                batch_window_us: if mode == "batched" {
+                    BATCH_WINDOW_US
+                } else {
+                    0
+                },
+                max_batch: 4 * PIPELINE,
+            };
 
-        let phase_row = |phase: &str, elapsed: f64, requests: usize, hit: u64, miss: u64| {
-            let total = (hit + miss).max(1);
-            Json::obj(vec![
-                ("threads", Json::Num(threads as f64)),
-                ("phase", Json::Str(phase.into())),
-                ("requests", Json::Num(requests as f64)),
-                ("elapsed_ms", Json::Num(elapsed * 1e3)),
-                ("qps", Json::Num(requests as f64 / elapsed.max(1e-9))),
-                ("cache_hit", Json::Num(hit as f64)),
-                ("cache_miss", Json::Num(miss as f64)),
-                ("hit_rate", Json::Num(hit as f64 / total as f64)),
-            ])
-        };
+            // `passes` divides the counter deltas when the window spans
+            // several identical passes, so every row's counters describe
+            // one pass over the pool.
+            let phase_row = |phase: &str,
+                             elapsed: f64,
+                             requests: usize,
+                             passes: u64,
+                             before: &skyup_obs::QueryMetrics,
+                             after: &skyup_obs::QueryMetrics| {
+                let delta = |c: Counter| (after.get(c) - before.get(c)) / passes;
+                let hit = delta(Counter::CacheHit);
+                let miss = delta(Counter::CacheMiss);
+                let total = (hit + miss).max(1);
+                Json::obj(vec![
+                    ("mode", Json::Str(mode.into())),
+                    ("threads", Json::Num(threads as f64)),
+                    ("phase", Json::Str(phase.into())),
+                    ("requests", Json::Num(requests as f64)),
+                    ("elapsed_ms", Json::Num(elapsed * 1e3)),
+                    ("qps", Json::Num(requests as f64 / elapsed.max(1e-9))),
+                    ("cache_hit", Json::Num(hit as f64)),
+                    ("cache_miss", Json::Num(miss as f64)),
+                    ("hit_rate", Json::Num(hit as f64 / total as f64)),
+                    (
+                        "batches_executed",
+                        Json::Num(delta(Counter::BatchesExecuted) as f64),
+                    ),
+                    (
+                        "batched_requests",
+                        Json::Num(delta(Counter::BatchedRequests) as f64),
+                    ),
+                    (
+                        "dominator_memo_hits",
+                        Json::Num(delta(Counter::DominatorMemoHits) as f64),
+                    ),
+                ])
+            };
 
-        let before = engine.metrics();
-        let (cold_s, cold_costs) = timed_pass(&handle, &pool, threads);
-        let after = engine.metrics();
-        runs.push(phase_row(
-            "cold",
-            cold_s,
-            pool.len(),
-            after.get(Counter::CacheHit) - before.get(Counter::CacheHit),
-            after.get(Counter::CacheMiss) - before.get(Counter::CacheMiss),
-        ));
+            // Cold: [`COLD_REPS`] repetitions, each against a fresh
+            // engine so every pass really is cold; keep the fastest.
+            // The last repetition's engine stays up for the warm phase.
+            let mut cold_best = f64::INFINITY;
+            let mut cold_costs: Vec<u64> = Vec::new();
+            let mut cold_metrics = None;
+            let mut warm_setup = None;
+            for rep in 0..COLD_REPS {
+                let engine = Arc::new(Engine::with_competitors(
+                    competitors.clone(),
+                    EngineConfig::default(),
+                ));
+                let handle = ServeHandle::start(Arc::clone(&engine), serve_cfg);
+                let before = engine.metrics();
+                let (s, costs) = timed_pass(&handle, &pool, threads);
+                let after = engine.metrics();
+                cold_best = cold_best.min(s);
+                match &reference_bits {
+                    None => reference_bits = Some(costs.clone()),
+                    Some(reference) => all_identical &= &costs == reference,
+                }
+                if rep + 1 == COLD_REPS {
+                    cold_costs = costs;
+                    cold_metrics = Some((before, after));
+                    warm_setup = Some((engine, handle));
+                } else {
+                    handle.shutdown();
+                }
+            }
+            let (before, after) = cold_metrics.expect("at least one cold repetition");
+            runs.push(phase_row("cold", cold_best, pool.len(), 1, &before, &after));
+            qps.insert(
+                (mode, threads, "cold"),
+                pool.len() as f64 / cold_best.max(1e-9),
+            );
 
-        let before = engine.metrics();
-        let mut warm_s = 0.0;
-        for _ in 0..WARM_PASSES {
-            let (s, warm_costs) = timed_pass(&handle, &pool, threads);
-            warm_s += s;
-            all_identical &= warm_costs == cold_costs;
+            // Warm: every pass re-queries the now-cached pool; keep the
+            // fastest pass.
+            let (engine, handle) = warm_setup.expect("warm engine");
+            let before = engine.metrics();
+            let mut warm_best = f64::INFINITY;
+            for _ in 0..WARM_PASSES {
+                let (s, warm_costs) = timed_pass(&handle, &pool, threads);
+                warm_best = warm_best.min(s);
+                all_identical &= warm_costs == cold_costs;
+            }
+            let after = engine.metrics();
+            runs.push(phase_row(
+                "warm",
+                warm_best,
+                pool.len(),
+                WARM_PASSES as u64,
+                &before,
+                &after,
+            ));
+            qps.insert(
+                (mode, threads, "warm"),
+                pool.len() as f64 / warm_best.max(1e-9),
+            );
+            handle.shutdown();
         }
-        let after = engine.metrics();
-        runs.push(phase_row(
-            "warm",
-            warm_s,
-            WARM_PASSES * pool.len(),
-            after.get(Counter::CacheHit) - before.get(Counter::CacheHit),
-            after.get(Counter::CacheMiss) - before.get(Counter::CacheMiss),
-        ));
-        handle.shutdown();
     }
 
+    let speedup = |phase: &str| {
+        qps[&("batched", 4usize, phase)] / qps[&("per_request", 4usize, phase)].max(1e-9)
+    };
     let doc = Json::obj(vec![
         (
             "workload",
@@ -151,13 +256,18 @@ fn main() {
                 ("competitors", Json::Num(n_comp as f64)),
                 ("product_pool", Json::Num(n_pool as f64)),
                 ("dims", Json::Num(DIMS as f64)),
+                ("cold_reps", Json::Num(COLD_REPS as f64)),
                 ("warm_passes", Json::Num(WARM_PASSES as f64)),
+                ("pipeline", Json::Num(PIPELINE as f64)),
+                ("batch_window_us", Json::Num(BATCH_WINDOW_US as f64)),
                 ("scale", Json::Num(args.scale)),
                 ("seed", Json::Num(args.seed as f64)),
             ]),
         ),
         ("runs", Json::Arr(runs)),
-        ("warm_bit_identical_to_cold", Json::Bool(all_identical)),
+        ("batched_speedup_cold_at_4", Json::Num(speedup("cold"))),
+        ("batched_speedup_warm_at_4", Json::Num(speedup("warm"))),
+        ("all_modes_bit_identical", Json::Bool(all_identical)),
     ]);
 
     let path = std::env::var("SKYUP_BENCH_OUT")
@@ -173,6 +283,6 @@ fn main() {
 
     assert!(
         all_identical,
-        "warm (cached) answers diverged from the cold computation"
+        "batched or warm answers diverged from the per-request cold computation"
     );
 }

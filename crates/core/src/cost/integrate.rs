@@ -28,6 +28,24 @@ pub trait CostFunction: Send + Sync {
     }
 }
 
+/// Borrows delegate, so `&C` (and `&dyn CostFunction`) can be stored in
+/// homogeneous slices — batch entry points take `&[C]` with one cost
+/// function per request.
+impl<C: CostFunction + ?Sized> CostFunction for &C {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+
+    #[inline]
+    fn attr_cost(&self, dim: usize, v: f64) -> f64 {
+        (**self).attr_cost(dim, v)
+    }
+
+    fn product_cost(&self, p: &[f64]) -> f64 {
+        (**self).product_cost(p)
+    }
+}
+
 /// The summation integration `F^sum` (Equation 1): the product cost is
 /// the plain sum of the attribute costs.
 pub struct SumCost {

@@ -15,9 +15,13 @@
 //! of `T` has been processed (Section IV-B notes this).
 //!
 //! Library extensions: [`improved_probing_topk_parallel`] partitions
-//! `T` across threads (bit-identical results), and
+//! `T` across threads (bit-identical results),
 //! [`improved_probing_topk_pruned`] screens products with a cheap
-//! admissible lower bound before paying for the full evaluation.
+//! admissible lower bound before paying for the full evaluation, and
+//! [`run_probe_batch`] evaluates the flattened product union of many
+//! *requests* against one shared skyline with work stealing, a
+//! cross-request dominator memo, and per-request execution limits
+//! (the `skyup-serve` batch pipeline's engine).
 //!
 //! Every variant also has a fallible `try_*` twin that validates its
 //! inputs (returning [`crate::SkyupError`] instead of panicking) and
@@ -25,12 +29,14 @@
 //! best-so-far answer ([`crate::AnytimeTopK`]) when a budget fires.
 
 mod basic;
+mod batch;
 mod improved;
 mod parallel;
 mod pruned;
 mod scheduler;
 
 pub use basic::{basic_probing_topk, basic_probing_topk_rec, try_basic_probing_topk};
+pub use batch::{run_probe_batch, BatchItem, BatchOutput, ItemAnswer};
 pub use improved::{
     improved_probing_topk, improved_probing_topk_rec, improved_probing_topk_with_skyline,
     improved_probing_topk_with_skyline_rec, try_improved_probing_topk,

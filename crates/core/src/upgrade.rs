@@ -31,6 +31,10 @@ pub struct UpgradeScratch {
     order: Vec<PointId>,
     candidate: Vec<f64>,
     best: Vec<f64>,
+    /// Store-row membership bits for [`upgrade_single_presorted_into`]'s
+    /// subsequence filter; bits are set and cleared per call, never
+    /// zeroed wholesale.
+    mask: Vec<u8>,
 }
 
 impl UpgradeScratch {
@@ -40,6 +44,7 @@ impl UpgradeScratch {
             order: Vec::new(),
             candidate: Vec::new(),
             best: Vec::new(),
+            mask: Vec::new(),
         }
     }
 
@@ -128,7 +133,6 @@ pub fn upgrade_single_into<C: CostFunction + ?Sized>(
         return 0.0;
     }
 
-    let eps = cfg.epsilon;
     let base_cost = cost_fn.product_cost(t);
     let mut best_cost = f64::INFINITY;
 
@@ -141,55 +145,228 @@ pub fn upgrade_single_into<C: CostFunction + ?Sized>(
     candidate.resize(dims, 0.0);
 
     for k in 0..dims {
-        // Line 3: sort skyline ascending by the current dimension.
+        // Line 3: sort skyline ascending by the current dimension. The
+        // sort is stable and `order` carries over between dimensions,
+        // so points tied on D_k keep the *previous* dimension's order —
+        // [`DimOrders`] replicates exactly this chaining.
         order.sort_by(|&a, &b| p_store.point(a)[k].total_cmp(&p_store.point(b)[k]));
+        sweep_dimension(
+            p_store,
+            order,
+            k,
+            t,
+            base_cost,
+            cost_fn,
+            cfg,
+            candidate,
+            best,
+            &mut best_cost,
+        );
+    }
 
-        // Lines 4-7: the single-dimension upgrade beating everyone on D_k.
-        let s_min = p_store.point(order[0]);
-        let new_v = (s_min[k] - eps).min(t[k]);
-        let single_cost = cost_fn.attr_cost(k, new_v) - cost_fn.attr_cost(k, t[k]);
-        if single_cost < best_cost {
-            best_cost = single_cost;
-            best.copy_from_slice(t);
-            best[k] = new_v;
+    best_cost
+}
+
+/// One dimension's candidate sweep (Algorithm 1 lines 4-16 plus the
+/// extended-candidate family) over `order`, the dominators sorted
+/// ascending by dimension `k`. Factored out so the per-product path
+/// ([`upgrade_single_into`]) and the batch path
+/// ([`upgrade_single_presorted_into`]) run the exact same float
+/// operations in the exact same sequence — this shared body is what
+/// makes the two entry points bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sweep_dimension<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    order: &[PointId],
+    k: usize,
+    t: &[f64],
+    base_cost: f64,
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    candidate: &mut [f64],
+    best: &mut [f64],
+    best_cost: &mut f64,
+) {
+    let eps = cfg.epsilon;
+    let dims = t.len();
+
+    // Lines 4-7: the single-dimension upgrade beating everyone on D_k.
+    let s_min = p_store.point(order[0]);
+    let new_v = (s_min[k] - eps).min(t[k]);
+    let single_cost = cost_fn.attr_cost(k, new_v) - cost_fn.attr_cost(k, t[k]);
+    if single_cost < *best_cost {
+        *best_cost = single_cost;
+        best.copy_from_slice(t);
+        best[k] = new_v;
+    }
+
+    // Lines 8-16: slide between consecutive skyline points.
+    for w in order.windows(2) {
+        let s_i = p_store.point(w[0]);
+        let s_j = p_store.point(w[1]);
+        for x in 0..dims {
+            let bound = if x == k { s_j[x] } else { s_i[x] };
+            candidate[x] = (bound - eps).min(t[x]);
         }
-
-        // Lines 8-16: slide between consecutive skyline points.
-        for w in order.windows(2) {
-            let s_i = p_store.point(w[0]);
-            let s_j = p_store.point(w[1]);
-            for x in 0..dims {
-                let bound = if x == k { s_j[x] } else { s_i[x] };
-                candidate[x] = (bound - eps).min(t[x]);
-            }
-            let cost = cost_fn.product_cost(candidate) - base_cost;
-            if cost < best_cost {
-                best_cost = cost;
-                best.copy_from_slice(candidate);
-            }
-        }
-
-        // Extension (off by default): beat the *last* skyline point on
-        // all dimensions except D_k, keeping t's own D_k value. Points
-        // earlier in the D_k order cannot dominate the candidate for the
-        // same reason as in Lemma 1's third case.
-        if cfg.extended_candidates {
-            let s_last = p_store.point(order[order.len() - 1]);
-            for x in 0..dims {
-                candidate[x] = if x == k {
-                    t[x]
-                } else {
-                    (s_last[x] - eps).min(t[x])
-                };
-            }
-            let cost = cost_fn.product_cost(candidate) - base_cost;
-            if cost < best_cost {
-                best_cost = cost;
-                best.copy_from_slice(candidate);
-            }
+        let cost = cost_fn.product_cost(candidate) - base_cost;
+        if cost < *best_cost {
+            *best_cost = cost;
+            best.copy_from_slice(candidate);
         }
     }
 
+    // Extension (off by default): beat the *last* skyline point on
+    // all dimensions except D_k, keeping t's own D_k value. Points
+    // earlier in the D_k order cannot dominate the candidate for the
+    // same reason as in Lemma 1's third case.
+    if cfg.extended_candidates {
+        let s_last = p_store.point(order[order.len() - 1]);
+        for x in 0..dims {
+            candidate[x] = if x == k {
+                t[x]
+            } else {
+                (s_last[x] - eps).min(t[x])
+            };
+        }
+        let cost = cost_fn.product_cost(candidate) - base_cost;
+        if cost < *best_cost {
+            *best_cost = cost;
+            best.copy_from_slice(candidate);
+        }
+    }
+}
+
+/// A skyline pre-sorted by every dimension, shared across a batch of
+/// [`upgrade_single_presorted_into`] calls.
+///
+/// Algorithm 1 spends a large share of its time re-sorting each
+/// product's dominator list once per dimension. Within a batch every
+/// dominator list is a subset of one shared skyline, so the sorts can
+/// be hoisted: sort the skyline by each dimension once, then recover
+/// any subset's per-dimension order as a subsequence filter.
+pub struct DimOrders {
+    per_dim: Vec<Vec<PointId>>,
+}
+
+impl DimOrders {
+    /// Stably sorts `skyline` ascending by each dimension, *chained*:
+    /// dimension `k`'s sort starts from dimension `k−1`'s output, just
+    /// as [`upgrade_single_into`]'s reused `order` buffer does. The
+    /// chaining is load-bearing for bit-identity — points tied on `D_k`
+    /// keep a history-dependent relative order, and the per-product
+    /// path and this hoisted path must agree on it.
+    ///
+    /// `skyline` must be in the same relative order as the dominator
+    /// lists later passed to [`upgrade_single_presorted_into`] — in
+    /// practice both are id-sorted.
+    pub fn new(p_store: &PointStore, skyline: &[PointId]) -> Self {
+        let mut order = skyline.to_vec();
+        let per_dim = (0..p_store.dims())
+            .map(|k| {
+                order.sort_by(|&a, &b| p_store.point(a)[k].total_cmp(&p_store.point(b)[k]));
+                order.clone()
+            })
+            .collect();
+        Self { per_dim }
+    }
+}
+
+/// [`upgrade_single_into`] with the per-dimension sorts hoisted into a
+/// shared [`DimOrders`]: each dimension's dominator order is recovered
+/// by filtering the pre-sorted skyline down to `dominators` instead of
+/// sorting per product.
+///
+/// # Bit-identity
+///
+/// Returns exactly the bits [`upgrade_single_into`] returns for the
+/// same `(dominators, t, cost_fn, cfg)`. Both paths feed
+/// [`sweep_dimension`] the same sequence, by induction over
+/// dimensions: filtering commutes with a stable sort whenever the two
+/// sort inputs agree on the subset's relative order. They agree at
+/// `k = 0` (both start id-ordered), and each dimension's stable sort
+/// preserves the agreement — [`DimOrders`] chains its sorts exactly
+/// like the per-product path's reused `order` buffer, so even the
+/// history-dependent order of points tied on `D_k` matches.
+///
+/// # Contract
+///
+/// `dominators` must be a subset of the skyline `orders` was built
+/// from, in the same relative order, and every dominator must dominate
+/// `t` (`debug_assert`ed).
+pub fn upgrade_single_presorted_into<C: CostFunction + ?Sized>(
+    p_store: &PointStore,
+    orders: &DimOrders,
+    dominators: &[PointId],
+    t: &[f64],
+    cost_fn: &C,
+    cfg: &UpgradeConfig,
+    scratch: &mut UpgradeScratch,
+) -> f64 {
+    let dims = t.len();
+    debug_assert_eq!(p_store.dims(), dims);
+    debug_assert_eq!(cost_fn.dims(), dims);
+    debug_assert_eq!(orders.per_dim.len(), dims);
+    debug_assert!(
+        dominators
+            .iter()
+            .all(|&s| skyup_geom::dominance::dominates(p_store.point(s), t)),
+        "upgrade_single_presorted_into requires every dominator to dominate t"
+    );
+
+    let UpgradeScratch {
+        order,
+        candidate,
+        best,
+        mask,
+    } = scratch;
+    best.clear();
+    best.extend_from_slice(t);
+
+    if dominators.is_empty() {
+        return 0.0;
+    }
+
+    let base_cost = cost_fn.product_cost(t);
+    let mut best_cost = f64::INFINITY;
+    candidate.clear();
+    candidate.resize(dims, 0.0);
+
+    // Membership bits for the subsequence filter. Only the dominator
+    // rows are touched, so the buffer stays clean across calls without
+    // wholesale zeroing.
+    if mask.len() < p_store.len() {
+        mask.resize(p_store.len(), 0);
+    }
+    for &d in dominators {
+        mask[d.index()] = 1;
+    }
+
+    for (k, presorted) in orders.per_dim.iter().enumerate() {
+        order.clear();
+        order.extend(presorted.iter().copied().filter(|s| mask[s.index()] != 0));
+        debug_assert_eq!(
+            order.len(),
+            dominators.len(),
+            "dominators must be a subset of the skyline DimOrders was built from"
+        );
+        sweep_dimension(
+            p_store,
+            order,
+            k,
+            t,
+            base_cost,
+            cost_fn,
+            cfg,
+            candidate,
+            best,
+            &mut best_cost,
+        );
+    }
+
+    for &d in dominators {
+        mask[d.index()] = 0;
+    }
     best_cost
 }
 
@@ -399,5 +576,64 @@ mod tests {
         let (cost, up) = upgrade_single(&p, &sky, &t, &cost_fn, &cfg());
         assert!(cost > 0.0);
         assert!(!dominated_by_any(&p, &sky, &up));
+    }
+
+    /// The hoisted-sort path must return the exact bits of the
+    /// per-product path — including when coordinates tie, which is
+    /// where an unstable or differently-seeded sort would diverge.
+    #[test]
+    fn presorted_path_is_bit_identical_even_with_ties() {
+        let mut rng = 0x5eed_cafe_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for dims in [2usize, 3, 4] {
+            // Coordinates drawn from a tiny discrete grid so ties on
+            // every dimension are common.
+            let mut p = PointStore::new(dims);
+            let all: Vec<PointId> = (0..60)
+                .map(|_| {
+                    let coords: Vec<f64> =
+                        (0..dims).map(|_| 0.1 + 0.1 * (next() % 4) as f64).collect();
+                    p.push(&coords)
+                })
+                .collect();
+            let orders = DimOrders::new(&p, &all);
+            let cost_fn = SumCost::reciprocal(dims, 1e-3);
+            for extended in [false, true] {
+                let mut c = cfg();
+                c.extended_candidates = extended;
+                let mut scratch = UpgradeScratch::new();
+                for _ in 0..40 {
+                    let t: Vec<f64> = (0..dims)
+                        .map(|_| 0.5 + 0.001 * (next() % 500) as f64)
+                        .collect();
+                    // Id-sorted dominator subset, as the batch path sees it.
+                    let dominators: Vec<PointId> = all
+                        .iter()
+                        .copied()
+                        .filter(|&s| skyup_geom::dominance::dominates(p.point(s), &t))
+                        .collect();
+                    let (seq_cost, seq_up) = upgrade_single(&p, &dominators, &t, &cost_fn, &c);
+                    let pre_cost = upgrade_single_presorted_into(
+                        &p,
+                        &orders,
+                        &dominators,
+                        &t,
+                        &cost_fn,
+                        &c,
+                        &mut scratch,
+                    );
+                    assert_eq!(seq_cost.to_bits(), pre_cost.to_bits());
+                    assert_eq!(seq_up.len(), scratch.upgraded().len());
+                    for (a, b) in seq_up.iter().zip(scratch.upgraded()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

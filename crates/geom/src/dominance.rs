@@ -156,6 +156,71 @@ pub fn dominated_by_any_cols(cols: &[f64], stride: usize, len: usize, target: &[
     scan
 }
 
+/// Columnar "collect every stored point that dominates `target`"
+/// kernel: the enumerating sibling of [`dominated_by_any_cols`].
+///
+/// Same layout contract (`cols` dims-major with `stride >= len`), same
+/// blockwise `le`/`lt` bitmask evaluation — but instead of stopping at
+/// the first dominator it appends the *position* (0-based index into
+/// the stored order) of every dominator to `out`, in ascending order.
+/// Callers that keep an id vector aligned with the columnar buffer can
+/// therefore map positions back to ids while preserving the stored
+/// order, which is what makes filtered dominator lists order-identical
+/// to a scalar `filter(|s| dominates(s, target))` pass.
+///
+/// Every block is scanned in full (`points == len` on return), because
+/// the caller wants the complete set; the per-block early-out when `le`
+/// empties still applies.
+pub fn collect_dominators_cols(
+    cols: &[f64],
+    stride: usize,
+    len: usize,
+    target: &[f64],
+    out: &mut Vec<u32>,
+) -> ColScan {
+    let dims = target.len();
+    debug_assert!(stride >= len);
+    debug_assert!(cols.len() >= dims * stride);
+    let mut scan = ColScan::default();
+    let mut base = 0;
+    while base < len {
+        let width = DOM_BLOCK.min(len - base);
+        scan.blocks += 1;
+        scan.points += width as u64;
+        let mut le: u64 = if width == DOM_BLOCK {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut lt: u64 = 0;
+        for (d, &y) in target.iter().enumerate() {
+            let col = &cols[d * stride + base..d * stride + base + width];
+            for (j, &x) in col.iter().enumerate() {
+                let bit = 1u64 << j;
+                if x > y {
+                    le &= !bit;
+                } else if x < y {
+                    lt |= bit;
+                }
+            }
+            if le == 0 {
+                break;
+            }
+        }
+        let mut dom = le & lt;
+        if dom != 0 {
+            scan.dominated = true;
+            while dom != 0 {
+                let j = dom.trailing_zeros();
+                out.push((base + j as usize) as u32);
+                dom &= dom - 1;
+            }
+        }
+        base += width;
+    }
+    scan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +310,42 @@ mod tests {
                     let scalar = points.iter().any(|p| dominates(p, &target));
                     let scan = dominated_by_any_cols(&cols, stride, n, &target);
                     assert_eq!(scan.dominated, scalar, "dims={dims} n={n} t={target:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_kernel_matches_scalar_filter_in_order() {
+        let mut state = 0xfeed_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for dims in 1..=4usize {
+            for n in [0usize, 1, 63, 64, 65, 130] {
+                let points: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..dims).map(|_| (next() * 4.0).floor() / 4.0).collect())
+                    .collect();
+                let stride = n + 2;
+                let cols = to_cols(&points, dims, stride);
+                for _ in 0..20 {
+                    let target: Vec<f64> =
+                        (0..dims).map(|_| (next() * 4.0).floor() / 4.0).collect();
+                    let scalar: Vec<u32> = points
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| dominates(p, &target))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    let mut got = Vec::new();
+                    let scan = collect_dominators_cols(&cols, stride, n, &target, &mut got);
+                    assert_eq!(got, scalar, "dims={dims} n={n} t={target:?}");
+                    assert_eq!(scan.dominated, !scalar.is_empty());
+                    // The collect kernel never early-exits across blocks.
+                    assert_eq!(scan.points, n as u64);
                 }
             }
         }

@@ -293,6 +293,22 @@ impl ColumnarPoints {
         crate::dominance::dominated_by_any_cols(&self.buf, self.cap, self.len, target)
     }
 
+    /// Appends the position (0-based stored index) of every held point
+    /// that dominates `target` to `out`, in stored order, via the
+    /// blockwise columnar kernel. Returns the scan-work counts.
+    #[inline]
+    pub fn collect_dominators(
+        &self,
+        target: &[f64],
+        out: &mut Vec<u32>,
+    ) -> crate::dominance::ColScan {
+        debug_assert_eq!(target.len(), self.dims);
+        if self.len == 0 {
+            return crate::dominance::ColScan::default();
+        }
+        crate::dominance::collect_dominators_cols(&self.buf, self.cap, self.len, target, out)
+    }
+
     fn grow(&mut self) {
         let new_cap = (self.cap * 2).max(64);
         self.reserve_exact_cap(new_cap);

@@ -1,0 +1,253 @@
+//! The batch execution path: one admission window's requests answered
+//! together against one pinned snapshot.
+//!
+//! [`execute_batch`] is the batched counterpart of
+//! [`crate::execute_query`] — same validation, same budget accounting,
+//! same response shape, bit-identical answers — but the product union of
+//! the whole batch is evaluated through
+//! [`skyup_core::run_probe_batch`]: one shared skyline view, columnar
+//! dominance kernels, work stealing across `threads` workers, and a
+//! cross-request dominator memo.
+//!
+//! # How per-request semantics survive batching
+//!
+//! * **Assembly** (timed as [`Phase::BatchAssemble`]) walks each
+//!   request's products in index order and charges
+//!   [`ExecGuard::visit_node`] per product — exactly the sequential
+//!   path's cache-independent accounting, so a `max_products` budget
+//!   sheds at the same index batched or not. Cache lookups for the whole
+//!   window happen under one shared-lock acquisition, so every request
+//!   in the batch sees the same published epoch.
+//! * **Execution** honors each request's remaining limits through
+//!   per-worker guard forks; a deadline or cancellation cuts only the
+//!   owning request's items.
+//! * **Merge** truncates each request at its first cut index (see
+//!   [`BatchOutput::first_cut`]): the reported `evaluated` prefix is
+//!   fully computed and each retained answer is bit-identical to what
+//!   [`crate::execute_query`] produces for the same `(product, epoch,
+//!   cost)` — both paths filter the same id-sorted skyline and run the
+//!   same Algorithm 1 — so clients cannot tell *how* their answer was
+//!   scheduled, only that it arrived sooner.
+//!
+//! Every computed answer (even one past a cut, already paid for) is
+//! offered to the result cache under the same epoch gate as the
+//! sequential path, so a batch warms the cache for its successors.
+
+use crate::cache::CacheKey;
+use crate::engine::Engine;
+use crate::server::{validate_request, ProductAnswer, QueryRequest, QueryResponse};
+use crate::snapshot::Answer;
+use skyup_core::{run_probe_batch, BatchItem, SkyupError, UpgradeConfig};
+use skyup_obs::{
+    timed, Completion, Counter, ExecutionLimits, Interrupt, Phase, QueryMetrics, Recorder,
+};
+
+/// Executes a window of queries as one batch against one pinned
+/// snapshot, returning one result per request in input order. Public so
+/// the bench harness and the property suite can drive the exact code
+/// path the dispatcher runs.
+///
+/// Requests are validated individually: an invalid request gets its own
+/// `Err` slot and the rest of the batch still executes.
+pub fn execute_batch(
+    engine: &Engine,
+    reqs: &[QueryRequest],
+    threads: usize,
+) -> Vec<Result<QueryResponse, SkyupError>> {
+    let dims = engine.dims();
+    let mut results: Vec<Option<Result<QueryResponse, SkyupError>>> =
+        reqs.iter().map(|_| None).collect();
+    // Dense index of the requests that passed validation.
+    let mut valid: Vec<usize> = Vec::with_capacity(reqs.len());
+    for (slot, req) in reqs.iter().enumerate() {
+        match validate_request(req, dims) {
+            Ok(()) => valid.push(slot),
+            Err(e) => results[slot] = Some(Err(e)),
+        }
+    }
+    if valid.is_empty() {
+        return results.into_iter().map(|r| r.unwrap()).collect();
+    }
+
+    let snap = engine.snapshot();
+    let cfg = UpgradeConfig::default();
+    let mut rec = QueryMetrics::new();
+    rec.bump(Counter::BatchesExecuted);
+    rec.incr(Counter::BatchedRequests, valid.len() as u64);
+
+    // Per valid request: its materialized cost function, started guard,
+    // assembly outcome, and cache hits.
+    let mut cost_fns = Vec::with_capacity(valid.len());
+    let mut guards = Vec::with_capacity(valid.len());
+    // Products charged (and therefore assembled) before the request's
+    // budget fired during assembly, per valid request.
+    let mut assembled: Vec<usize> = Vec::with_capacity(valid.len());
+    // `(product index, answer)` pairs served from the cache.
+    let mut hits: Vec<Vec<(usize, Answer)>> = Vec::with_capacity(valid.len());
+    // The flattened misses, request-major and index-ascending — the
+    // claim order `run_probe_batch` relies on for prefix-exact cuts.
+    let mut items: Vec<BatchItem<'_>> = Vec::new();
+
+    timed(&mut rec, Phase::BatchAssemble, |rec| {
+        for &slot in &valid {
+            let req = &reqs[slot];
+            cost_fns.push(req.cost.cost_fn(dims));
+            let mut limits = ExecutionLimits::default();
+            if let Some(n) = req.max_products {
+                limits = limits.with_max_node_visits(n);
+            }
+            if let Some(d) = req.deadline {
+                limits = limits.with_deadline(d);
+            }
+            guards.push(limits.start());
+        }
+        engine.with_cache(|cache, current_epoch| {
+            let cache_live = current_epoch == snap.epoch();
+            for (dense, &slot) in valid.iter().enumerate() {
+                let req = &reqs[slot];
+                let tag = req.cost.tag();
+                let mut my_hits: Vec<(usize, Answer)> = Vec::new();
+                let mut charged = 0usize;
+                for (index, t) in req.products.iter().enumerate() {
+                    // One unit per product, hit or miss — identical to
+                    // the sequential path's accounting.
+                    if guards[dense].visit_node().is_err() {
+                        break;
+                    }
+                    charged = index + 1;
+                    let cached = cache_live
+                        .then(|| cache.get(&CacheKey::new(t, tag)).cloned())
+                        .flatten();
+                    match cached {
+                        Some(a) => {
+                            rec.bump(Counter::CacheHit);
+                            my_hits.push((index, a));
+                        }
+                        None => {
+                            rec.bump(Counter::CacheMiss);
+                            items.push(BatchItem {
+                                request: dense as u32,
+                                index: index as u32,
+                                coords: t,
+                            });
+                        }
+                    }
+                }
+                assembled.push(charged);
+                hits.push(my_hits);
+            }
+        });
+    });
+
+    let out = match run_probe_batch(
+        snap.store(),
+        snap.skyline(),
+        &items,
+        &cost_fns,
+        &guards,
+        &cfg,
+        threads,
+        &mut rec,
+    ) {
+        Ok(out) => out,
+        Err(SkyupError::WorkerPanicked { worker, message }) => {
+            engine.absorb_metrics(&rec);
+            for &slot in &valid {
+                results[slot] = Some(Err(SkyupError::WorkerPanicked {
+                    worker,
+                    message: message.clone(),
+                }));
+            }
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+        Err(e) => {
+            engine.absorb_metrics(&rec);
+            for &slot in &valid {
+                results[slot] = Some(Err(match &e {
+                    SkyupError::InvalidInput(m) => SkyupError::InvalidInput(m.clone()),
+                    other => SkyupError::InvalidInput(format!("batch execution failed: {other}")),
+                }));
+            }
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+    };
+
+    // Merge: per request, truncate at the first execution-time cut so
+    // the reported prefix is complete, then apply the sequential path's
+    // (cost, index) sort and top-k truncation.
+    for (dense, &slot) in valid.iter().enumerate() {
+        let req = &reqs[slot];
+        let first_cut = out.first_cut(&items, dense as u32);
+        let evaluated = match first_cut {
+            Some(i) => (i as usize).min(assembled[dense]),
+            None => assembled[dense],
+        };
+        let mut answers: Vec<ProductAnswer> = Vec::new();
+        for (index, a) in &hits[dense] {
+            if *index < evaluated {
+                answers.push(ProductAnswer {
+                    index: *index,
+                    cost: a.cost,
+                    upgraded: a.upgraded.clone(),
+                });
+            }
+        }
+        for (item, outcome) in items.iter().zip(&out.outcomes) {
+            if item.request as usize != dense {
+                continue;
+            }
+            if let Some(a) = outcome {
+                if (item.index as usize) < evaluated {
+                    answers.push(ProductAnswer {
+                        index: item.index as usize,
+                        cost: a.cost,
+                        upgraded: a.upgraded.clone(),
+                    });
+                }
+            }
+        }
+        answers.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.index.cmp(&b.index)));
+        answers.truncate(req.k);
+        rec.incr(Counter::ResultsEmitted, answers.len() as u64);
+        let completion = if evaluated == req.products.len() {
+            Completion::Exact
+        } else {
+            rec.bump(Counter::LimitInterrupts);
+            // A short prefix implies the guard tripped (assembly charge
+            // or execution checkpoint); the sticky reason is the first
+            // one that fired.
+            Completion::Partial(guards[dense].interrupted().unwrap_or(Interrupt::Overloaded))
+        };
+        results[slot] = Some(Ok(QueryResponse {
+            epoch: snap.epoch(),
+            completion,
+            evaluated,
+            results: answers,
+        }));
+    }
+
+    // The cache learns every computed answer — including ones past a
+    // cut (already paid for, and pure functions of the epoch).
+    let fills = items
+        .iter()
+        .zip(&out.outcomes)
+        .filter_map(|(item, outcome)| {
+            outcome.as_ref().map(|a| {
+                let req = &reqs[valid[item.request as usize]];
+                let key = CacheKey::new(item.coords, req.cost.tag());
+                let used = a.dominators.iter().map(|&pid| snap.cid(pid)).collect();
+                (
+                    key,
+                    item.coords,
+                    Answer {
+                        cost: a.cost,
+                        upgraded: a.upgraded.clone(),
+                        used,
+                    },
+                )
+            })
+        });
+    engine.fill_cache(fills, snap.epoch());
+    engine.absorb_metrics(&rec);
+    results.into_iter().map(|r| r.unwrap()).collect()
+}

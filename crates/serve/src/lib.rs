@@ -24,6 +24,7 @@
 //!
 //! Everything is std-only, like the rest of the workspace.
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod net;
@@ -37,10 +38,12 @@ pub mod snapshot;
 /// compaction drops tombstones).
 pub type CompetitorId = u64;
 
+pub use batch::execute_batch;
 pub use cache::{CacheKey, CostTag, ResultCache};
 pub use engine::{Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
-pub use net::{bind_local, serve};
+pub use net::{bind_local, handle_lines, serve, MAX_LINE_BYTES};
 pub use server::{
-    execute_query, CostSpec, ProductAnswer, QueryRequest, QueryResponse, ServeConfig, ServeHandle,
+    execute_query, CostSpec, ProductAnswer, QueryRequest, QueryResponse, QueryTicket, ServeConfig,
+    ServeHandle,
 };
 pub use snapshot::{Answer, Snapshot};

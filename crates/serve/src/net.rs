@@ -8,6 +8,22 @@
 //! A `shutdown` request acknowledges, stops the accept loop (waking it
 //! with a loopback connection), and drains the worker pool before
 //! [`serve`] returns.
+//!
+//! # Robustness contract
+//!
+//! The line loop ([`handle_lines`]) is generic over any
+//! `BufRead`/`Write` pair so the protocol edge cases are unit-testable
+//! without sockets. Its guarantees:
+//!
+//! * A malformed or non-UTF-8 line gets a per-line `ok:false` error
+//!   response; the connection stays up and later lines are served.
+//! * A line longer than [`MAX_LINE_BYTES`] is rejected with an error
+//!   response and skipped to its terminating newline — the buffer never
+//!   grows past the cap, so a hostile client cannot balloon memory.
+//! * A disconnect mid-stream (EOF without a newline, or between
+//!   requests of a batch) ends the loop cleanly; whatever full lines
+//!   arrived were answered.
+//! * No input byte sequence panics the connection thread.
 
 use crate::proto::{
     parse_request, render_error, render_mutation_outcome, render_query_response,
@@ -19,15 +35,73 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-fn handle_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+/// Hard cap on one NDJSON request line. A legitimate query of a few
+/// thousand products fits comfortably; anything bigger is rejected
+/// without buffering it.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+fn write_line<W: Write>(writer: &mut W, response: &str) -> io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one line of at most [`MAX_LINE_BYTES`] bytes (newline
+/// included). Returns `Ok(None)` on clean EOF; `buf` holds the line
+/// otherwise, and `Ok(Some(true))` flags a line that hit the cap
+/// without reaching its newline.
+fn read_capped_line<R: BufRead>(reader: R, buf: &mut Vec<u8>) -> io::Result<Option<bool>> {
+    buf.clear();
+    let n = reader.take(MAX_LINE_BYTES as u64).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Ok(Some(!buf.ends_with(b"\n") && n == MAX_LINE_BYTES))
+}
+
+/// The NDJSON request loop over any reader/writer pair: one request per
+/// line, one response line per request. See the module docs for the
+/// robustness contract. Returns when the reader reaches EOF or after a
+/// `shutdown` request (which also sets `stop`).
+pub fn handle_lines<R: BufRead, W: Write>(
+    mut reader: R,
+    writer: &mut W,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let truncated = match read_capped_line(&mut reader, &mut buf)? {
+            None => return Ok(()),
+            Some(t) => t,
+        };
+        if truncated {
+            write_line(
+                writer,
+                &render_error(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+            )?;
+            // Drop the rest of the oversized line, cap-sized chunk at a
+            // time, then resume at the next line.
+            loop {
+                match read_capped_line(&mut reader, &mut buf)? {
+                    None => return Ok(()),
+                    Some(true) => continue,
+                    Some(false) => break,
+                }
+            }
+            continue;
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s,
+            Err(_) => {
+                write_line(writer, &render_error("request line is not valid UTF-8"))?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match parse_request(&line) {
+        let response = match parse_request(line) {
             Err(msg) => render_error(&msg),
             Ok(Request::Query(req)) => match handle.query(req) {
                 Ok(resp) => render_query_response(&resp),
@@ -46,18 +120,18 @@ fn handle_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool)
                 render_stats(&stats, &metrics)
             }
             Ok(Request::Shutdown) => {
-                writer.write_all(render_shutdown_ack().as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
+                write_line(writer, &render_shutdown_ack())?;
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
         };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        write_line(writer, &response)?;
     }
-    Ok(())
+}
+
+fn handle_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    handle_lines(BufReader::new(stream), &mut writer, handle, stop)
 }
 
 /// Runs the accept loop until a client sends `{"op":"shutdown"}`, then
@@ -95,4 +169,134 @@ pub fn bind_local(port: u16) -> io::Result<(TcpListener, SocketAddr)> {
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     Ok((listener, addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::server::{ServeConfig, ServeHandle};
+    use skyup_geom::PointStore;
+    use std::io::Cursor;
+
+    fn test_handle() -> ServeHandle {
+        let mut store = PointStore::new(2);
+        store.push(&[0.2, 0.4]);
+        store.push(&[0.5, 0.1]);
+        let engine = Arc::new(Engine::with_competitors(store, EngineConfig::default()));
+        ServeHandle::start(engine, ServeConfig::default())
+    }
+
+    /// Runs `input` through the line loop; returns the response lines
+    /// and whether the stop flag ended up set.
+    fn drive(handle: &ServeHandle, input: &[u8]) -> (Vec<String>, bool) {
+        let stop = AtomicBool::new(false);
+        let mut out: Vec<u8> = Vec::new();
+        handle_lines(Cursor::new(input.to_vec()), &mut out, handle, &stop)
+            .expect("in-memory I/O cannot fail");
+        let lines = String::from_utf8(out)
+            .expect("responses are UTF-8")
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        (lines, stop.load(Ordering::SeqCst))
+    }
+
+    fn is_error(line: &str) -> bool {
+        line.contains("\"ok\": false") || line.contains("\"ok\":false")
+    }
+
+    #[test]
+    fn malformed_lines_get_per_line_errors_and_the_connection_survives() {
+        let handle = test_handle();
+        let input = b"{not json\n\
+            {\"op\":\"nope\"}\n\
+            {\"op\":\"query\",\"products\":[[0.9,0.9]],\"k\":1}\n";
+        let (lines, stopped) = drive(&handle, input);
+        assert_eq!(lines.len(), 3, "one response per line: {lines:?}");
+        assert!(is_error(&lines[0]), "bad JSON rejected: {}", lines[0]);
+        assert!(is_error(&lines[1]), "unknown op rejected: {}", lines[1]);
+        assert!(
+            !is_error(&lines[2]),
+            "valid query after garbage still served: {}",
+            lines[2]
+        );
+        assert!(!stopped);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn non_utf8_line_is_rejected_not_fatal() {
+        let handle = test_handle();
+        let mut input = vec![0xff, 0xfe, 0x80];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let (lines, _) = drive(&handle, &input);
+        assert_eq!(lines.len(), 2);
+        assert!(is_error(&lines[0]) && lines[0].contains("UTF-8"));
+        assert!(!is_error(&lines[1]));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_without_buffering_it() {
+        let handle = test_handle();
+        // 2.5 caps worth of garbage on one line, then a valid request.
+        let mut input = vec![b'a'; MAX_LINE_BYTES * 5 / 2];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        let (lines, _) = drive(&handle, &input);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            is_error(&lines[0]) && lines[0].contains("exceeds"),
+            "{}",
+            lines[0]
+        );
+        assert!(!is_error(&lines[1]), "next line served: {}", lines[1]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn truncated_final_line_errors_and_ends_cleanly() {
+        let handle = test_handle();
+        // A disconnect mid-request: valid prefix, no newline, EOF.
+        let (lines, stopped) = drive(&handle, b"{\"op\":\"query\",\"products\":[[0.9,");
+        assert_eq!(lines.len(), 1);
+        assert!(is_error(&lines[0]));
+        assert!(!stopped);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn mid_batch_disconnect_answers_what_arrived() {
+        let handle = test_handle();
+        // Three requests of a five-request batch arrive before the
+        // client vanishes (EOF right after the third newline).
+        let input = b"{\"op\":\"query\",\"products\":[[0.9,0.9]],\"k\":1}\n\
+            {\"op\":\"stats\"}\n\
+            {\"op\":\"query\",\"products\":[[0.8,0.8]],\"k\":1}\n";
+        let (lines, stopped) = drive(&handle, input);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| !is_error(l)), "{lines:?}");
+        assert!(!stopped);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_skipped() {
+        let handle = test_handle();
+        let (lines, _) = drive(&handle, b"\n   \n\t\n{\"op\":\"stats\"}\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!is_error(&lines[0]));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_acks_sets_stop_and_ignores_later_lines() {
+        let handle = test_handle();
+        let (lines, stopped) = drive(&handle, b"{\"op\":\"shutdown\"}\n{\"op\":\"stats\"}\n");
+        assert_eq!(lines.len(), 1, "nothing after the ack: {lines:?}");
+        assert!(stopped);
+        handle.shutdown();
+    }
 }

@@ -193,6 +193,9 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
             Counter::CacheEvictions,
             Counter::EpochSwaps,
             Counter::RequestsShed,
+            Counter::BatchesExecuted,
+            Counter::BatchedRequests,
+            Counter::DominatorMemoHits,
         ]
         .iter()
         .map(|&c| (c.name(), Json::Uint(metrics.get(c))))

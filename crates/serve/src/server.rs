@@ -111,10 +111,21 @@ pub struct QueryResponse {
 /// Front-end sizing.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Worker threads executing queries.
+    /// Worker threads executing queries. With batching on, this is the
+    /// shard-execution width inside each batch instead of the number of
+    /// independent pool workers.
     pub threads: usize,
     /// Bounded queue capacity; a full queue sheds.
     pub queue_cap: usize,
+    /// Admission window for the batch dispatcher, in microseconds.
+    /// `0` (the default) disables batching entirely: requests run on
+    /// the classic per-request worker pool. Non-zero, a single
+    /// dispatcher thread waits up to this long after the first queued
+    /// request for companions, then executes the window as one batch
+    /// ([`crate::execute_batch`]).
+    pub batch_window_us: u64,
+    /// Most requests admitted into one batch (batching mode only).
+    pub max_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +133,8 @@ impl Default for ServeConfig {
         ServeConfig {
             threads: 2,
             queue_cap: 64,
+            batch_window_us: 0,
+            max_batch: 32,
         }
     }
 }
@@ -129,6 +142,37 @@ impl Default for ServeConfig {
 struct Job {
     req: QueryRequest,
     reply: mpsc::Sender<Result<QueryResponse, SkyupError>>,
+}
+
+enum TicketState {
+    /// Queued; the answer arrives on this channel.
+    Pending(mpsc::Receiver<Result<QueryResponse, SkyupError>>),
+    /// Shed at submission; the (empty, `Partial(Overloaded)`) response
+    /// is already known.
+    Resolved(QueryResponse),
+}
+
+/// A pending answer from [`ServeHandle::query_async`].
+pub struct QueryTicket {
+    state: TicketState,
+}
+
+impl QueryTicket {
+    fn resolved(resp: QueryResponse) -> QueryTicket {
+        QueryTicket {
+            state: TicketState::Resolved(resp),
+        }
+    }
+
+    /// Blocks until the answer is available.
+    pub fn wait(self) -> Result<QueryResponse, SkyupError> {
+        match self.state {
+            TicketState::Resolved(resp) => Ok(resp),
+            TicketState::Pending(rx) => rx
+                .recv()
+                .map_err(|_| SkyupError::InvalidInput("worker pool dropped the request".into()))?,
+        }
+    }
 }
 
 struct Queue {
@@ -148,7 +192,8 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
-    /// Starts the worker pool over `engine`.
+    /// Starts the worker pool (or, with `batch_window_us > 0`, the
+    /// batch dispatcher) over `engine`.
     pub fn start(engine: Arc<Engine>, cfg: ServeConfig) -> ServeHandle {
         let threads = cfg.threads.max(1);
         let queue = Arc::new(Queue {
@@ -156,26 +201,88 @@ impl ServeHandle {
             ready: Condvar::new(),
             cap: cfg.queue_cap.max(1),
         });
-        let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        let mut workers = Vec::new();
+        if cfg.batch_window_us > 0 {
+            // One dispatcher drains admission windows and executes each
+            // as a batch with `threads` shard workers.
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
+            let window = Duration::from_micros(cfg.batch_window_us);
+            let max_batch = cfg.max_batch.max(1);
             workers.push(std::thread::spawn(move || loop {
-                let job = {
+                let mut batch: Vec<Job> = Vec::new();
+                {
                     let mut guard = queue.jobs.lock().unwrap();
+                    // Wait for the window's first request (drain-then-exit
+                    // on shutdown, like the classic pool).
                     loop {
                         if let Some(job) = guard.0.pop_front() {
-                            break job;
+                            batch.push(job);
+                            break;
                         }
                         if guard.1 {
                             return;
                         }
                         guard = queue.ready.wait(guard).unwrap();
                     }
-                };
-                // A dropped receiver (client gave up) is not an error.
-                let _ = job.reply.send(execute_query(&engine, &job.req));
+                    // Greedily drain whatever queued while the previous
+                    // batch executed — under load, that backlog IS the
+                    // batch, with no added latency. The admission window
+                    // only delays a *lone* request, giving companions
+                    // one chance to arrive before it executes solo.
+                    let deadline = std::time::Instant::now() + window;
+                    while batch.len() < max_batch {
+                        if let Some(job) = guard.0.pop_front() {
+                            batch.push(job);
+                            continue;
+                        }
+                        if batch.len() > 1 || guard.1 {
+                            break;
+                        }
+                        let now = std::time::Instant::now();
+                        let Some(left) = deadline.checked_duration_since(now) else {
+                            break;
+                        };
+                        if left.is_zero() {
+                            break;
+                        }
+                        let (g, timeout) = queue.ready.wait_timeout(guard, left).unwrap();
+                        guard = g;
+                        if timeout.timed_out() && guard.0.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                let (reqs, replies): (Vec<QueryRequest>, Vec<_>) =
+                    batch.into_iter().map(|j| (j.req, j.reply)).unzip();
+                let results = crate::batch::execute_batch(&engine, &reqs, threads);
+                for (reply, res) in replies.into_iter().zip(results) {
+                    // A dropped receiver (client gave up) is not an error.
+                    let _ = reply.send(res);
+                }
             }));
+        } else {
+            workers.reserve(threads);
+            for _ in 0..threads {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&engine);
+                workers.push(std::thread::spawn(move || loop {
+                    let job = {
+                        let mut guard = queue.jobs.lock().unwrap();
+                        loop {
+                            if let Some(job) = guard.0.pop_front() {
+                                break job;
+                            }
+                            if guard.1 {
+                                return;
+                            }
+                            guard = queue.ready.wait(guard).unwrap();
+                        }
+                    };
+                    // A dropped receiver (client gave up) is not an error.
+                    let _ = job.reply.send(execute_query(&engine, &job.req));
+                }));
+            }
         }
         ServeHandle {
             engine,
@@ -193,22 +300,33 @@ impl ServeHandle {
     /// Overload (full queue, zero deadline on arrival, or a shutdown in
     /// progress) sheds: an empty `Partial(Overloaded)` response.
     pub fn query(&self, req: QueryRequest) -> Result<QueryResponse, SkyupError> {
+        self.query_async(req)?.wait()
+    }
+
+    /// Submits a query without waiting: the returned [`QueryTicket`]
+    /// resolves to the answer later. This is what lets a client keep
+    /// many requests in flight — the feed pattern the batch dispatcher's
+    /// admission window exists to coalesce. Shed decisions (zero
+    /// deadline, full queue, shutdown) are still taken synchronously at
+    /// submission.
+    pub fn query_async(&self, req: QueryRequest) -> Result<QueryTicket, SkyupError> {
         validate_request(&req, self.engine.dims())?;
         if req.deadline == Some(Duration::ZERO) {
-            return Ok(self.shed(&req));
+            return Ok(QueryTicket::resolved(self.shed(&req)));
         }
         let (reply, rx) = mpsc::channel();
         {
             let mut guard = self.queue.jobs.lock().unwrap();
             if guard.1 || guard.0.len() >= self.queue.cap {
                 drop(guard);
-                return Ok(self.shed(&req));
+                return Ok(QueryTicket::resolved(self.shed(&req)));
             }
             guard.0.push_back(Job { req, reply });
         }
         self.queue.ready.notify_one();
-        rx.recv()
-            .map_err(|_| SkyupError::InvalidInput("worker pool dropped the request".into()))?
+        Ok(QueryTicket {
+            state: TicketState::Pending(rx),
+        })
     }
 
     fn shed(&self, _req: &QueryRequest) -> QueryResponse {
@@ -251,7 +369,7 @@ impl ServeHandle {
     }
 }
 
-fn validate_request(req: &QueryRequest, dims: usize) -> Result<(), SkyupError> {
+pub(crate) fn validate_request(req: &QueryRequest, dims: usize) -> Result<(), SkyupError> {
     if req.k == 0 {
         return Err(SkyupError::InvalidConfig("k must be at least 1".into()));
     }

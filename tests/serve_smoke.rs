@@ -145,6 +145,123 @@ fn serve_answers_concurrent_clients_with_cache_hits() {
     assert_eq!(status.code(), Some(0), "clean shutdown must exit 0");
 }
 
+/// Batching is a scheduler choice, not a protocol change: the same
+/// client workload against a per-request server and a batched server
+/// must produce byte-identical response lines — while the batched
+/// server also survives hostile input (an oversized line, a client that
+/// vanishes mid-request) and reports batch counters in its stats.
+#[test]
+fn batched_server_matches_per_request_and_survives_hostile_lines() {
+    let comp = fixture("batched");
+    let (mut plain, plain_addr) = spawn_server(&comp, &["--threads", "2", "--queue-cap", "32"]);
+    let (mut batched, batched_addr) = spawn_server(
+        &comp,
+        &[
+            "--threads",
+            "2",
+            "--queue-cap",
+            "32",
+            "--batch-window-us",
+            "200",
+            "--max-batch",
+            "16",
+        ],
+    );
+
+    // The same deterministic workload against both servers: four
+    // concurrent connections (the batched dispatcher needs concurrent
+    // arrivals to coalesce), each a fixed per-client query sequence.
+    // Every response is a pure function of the static snapshot, so the
+    // per-client response streams must match byte for byte.
+    let run_clients = |addr: &str| -> Vec<Vec<String>> {
+        let joins: Vec<_> = (0..4)
+            .map(|c: usize| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(&addr).expect("connect");
+                    (0..30)
+                        .map(|round| {
+                            let t = 0.7 + 0.01 * ((c * 31 + round) % 40) as f64;
+                            let k = 1 + (c + round) % 3;
+                            round_trip(
+                                &mut stream,
+                                &format!(
+                                    "{{\"op\":\"query\",\"products\":[[{t},{t}],[{t},0.95]],\"k\":{k}}}"
+                                ),
+                            )
+                        })
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    };
+    let plain_lines = run_clients(&plain_addr);
+    let batched_lines = run_clients(&batched_addr);
+    assert_eq!(
+        plain_lines, batched_lines,
+        "batched responses must be byte-identical to per-request responses"
+    );
+
+    // Hostile input against the live batched server. An oversized line
+    // (past the 1 MiB cap) is rejected without killing the connection.
+    let mut hostile = TcpStream::connect(&batched_addr).expect("connect hostile");
+    let mut big = vec![b'x'; 3 << 19]; // 1.5x the cap
+    big.push(b'\n');
+    hostile.write_all(&big).expect("send oversized line");
+    hostile.flush().unwrap();
+    let mut reader = BufReader::new(hostile.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read rejection");
+    assert!(
+        line.contains("\"ok\":false") && line.contains("exceeds"),
+        "{line}"
+    );
+    let resp = round_trip(
+        &mut hostile,
+        "{\"op\":\"query\",\"products\":[[0.9,0.9]],\"k\":1}",
+    );
+    assert!(
+        resp.contains("\"ok\":true"),
+        "connection must survive the oversized line: {resp}"
+    );
+
+    // A ghost client: one full request, then half a request and a
+    // vanishing act. The full request is answered; the server stays up.
+    {
+        let mut ghost = TcpStream::connect(&batched_addr).expect("connect ghost");
+        let resp = round_trip(
+            &mut ghost,
+            "{\"op\":\"query\",\"products\":[[0.8,0.8]],\"k\":1}",
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        ghost
+            .write_all(b"{\"op\":\"query\",\"products\":[[0.8,")
+            .expect("send partial line");
+        // Dropped here: EOF mid-request on the server side.
+    }
+
+    let stats = round_trip(&mut hostile, "{\"op\":\"stats\"}");
+    let doc = skyup::obs::json::parse(&stats).expect("stats is JSON");
+    let counters = doc.get("counters").expect("counters object");
+    let counter = |key: &str| counters.get(key).and_then(|v| v.as_u64()).unwrap();
+    assert!(
+        counter("batched_requests") > 0,
+        "concurrent clients never rode a batch: {stats}"
+    );
+    assert!(counter("batches_executed") > 0, "{stats}");
+
+    for (child, addr) in [(&mut plain, &plain_addr), (&mut batched, &batched_addr)] {
+        let mut admin = TcpStream::connect(addr).expect("connect admin");
+        let ack = round_trip(&mut admin, "{\"op\":\"shutdown\"}");
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+        assert_eq!(child.wait().expect("server exit").code(), Some(0));
+    }
+}
+
 #[test]
 fn query_client_exit_codes_and_warm_start() {
     let comp = fixture("codes");
