@@ -21,6 +21,13 @@
 //!   more than 1.25x slower than baseline (per row). Faster never
 //!   fails; the driver script retries the whole run to ride out
 //!   scheduler noise on shared hardware.
+//!
+//! The serve gate additionally audits the telemetry snapshots the bench
+//! emits ([`gate_serve_latency`]): trace count == requests served,
+//! per-class histogram bucket counts conserve, per-class trace counts
+//! match the baseline exactly, and the slow log stays empty on the
+//! all-exact workload. Bucket *placement* — the latencies themselves —
+//! is never compared.
 
 use skyup_obs::json::{parse, Json};
 use std::process::ExitCode;
@@ -151,6 +158,113 @@ fn rows<'a>(doc: &'a Json, key: &str) -> Option<&'a [Json]> {
     }
 }
 
+/// Class keys the serve telemetry snapshot must carry, mirroring
+/// `skyup_obs::TraceClass::ALL`.
+const TRACE_CLASSES: [&str; 6] = [
+    "query_cached",
+    "query_cold",
+    "query_batched",
+    "query_shed",
+    "mutation",
+    "stats",
+];
+
+/// Structural checks on the telemetry snapshots (`latency` rows) the
+/// serve bench emits: trace accounting must balance exactly.
+///
+/// Bucket *placement* is machine-dependent (it is the latency), so the
+/// gate never compares bucket bounds — only the conservation laws and
+/// the per-class trace counts, which are pure functions of the
+/// committed workload (one cold pass + the warm passes on the surviving
+/// engine, nothing shed, no mutations, slow threshold 0). Only the
+/// cumulative histograms are checked; the rolling view depends on how
+/// wall-clock windows sliced the run.
+fn gate_serve_latency(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    let (Some(fresh_rows), Some(base_rows)) = (rows(fresh, "latency"), rows(baseline, "latency"))
+    else {
+        gate.fail("latency array missing (telemetry snapshots not emitted)".into());
+        return;
+    };
+    let key = |row: &Json| {
+        (
+            row.get("mode")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            num(row, "threads").unwrap_or(-1.0) as i64,
+        )
+    };
+    for brow in base_rows {
+        let (mode, threads) = key(brow);
+        let what = format!("serve latency {mode}/{threads}t");
+        let Some(frow) = fresh_rows.iter().find(|r| key(r) == key(brow)) else {
+            gate.fail(format!("{what}: missing from fresh report"));
+            continue;
+        };
+        gate.exact(&what, "requests_served", frow, brow);
+        let (Some(fm), Some(bm)) = (frow.get("metrics"), brow.get("metrics")) else {
+            gate.fail(format!("{what}: metrics object missing"));
+            continue;
+        };
+        // Every request the surviving handle served must have produced
+        // exactly one trace — the tentpole's accounting invariant.
+        let served = num(frow, "requests_served").unwrap_or(-1.0);
+        let recorded = num(fm, "traces_recorded").unwrap_or(-2.0);
+        gate.check(served == recorded, || {
+            format!("{what}: traces_recorded {recorded} != requests_served {served}")
+        });
+        // slow_ms is 0 and the workload never sheds or runs partial, so
+        // the slow log is deterministically empty.
+        let slow = num(fm, "slow_recorded").unwrap_or(-1.0);
+        gate.check(slow == 0.0, || {
+            format!("{what}: slow log not empty ({slow} entries) on an all-exact workload")
+        });
+        let (Some(fc), Some(bc)) = (fm.get("classes"), bm.get("classes")) else {
+            gate.fail(format!("{what}: classes object missing"));
+            continue;
+        };
+        let mut class_total = 0.0;
+        for class in TRACE_CLASSES {
+            let cwhat = format!("{what} class {class}");
+            let (Some(fcum), Some(bcum)) = (
+                fc.get(class).and_then(|c| c.get("cumulative")),
+                bc.get(class).and_then(|c| c.get("cumulative")),
+            ) else {
+                gate.fail(format!("{cwhat}: cumulative histogram missing"));
+                continue;
+            };
+            // Per-class counts are machine-independent; check exactly.
+            gate.exact(&cwhat, "count", fcum, bcum);
+            let count = num(fcum, "count").unwrap_or(0.0);
+            class_total += count;
+            // Conservation: the bucket array accounts for every trace.
+            let bucket_sum: f64 = match fcum.get("buckets") {
+                Some(Json::Arr(bs)) => bs.iter().filter_map(|b| num(b, "count")).sum(),
+                _ => {
+                    gate.fail(format!("{cwhat}: buckets array missing"));
+                    continue;
+                }
+            };
+            gate.check(bucket_sum == count, || {
+                format!("{cwhat}: bucket counts sum to {bucket_sum}, histogram count {count}")
+            });
+        }
+        gate.check(class_total == recorded, || {
+            format!(
+                "{what}: per-class counts sum to {class_total}, \
+                 traces_recorded {recorded} (traces lost or double-counted)"
+            )
+        });
+    }
+    gate.check(fresh_rows.len() == base_rows.len(), || {
+        format!(
+            "serve latency row count changed: fresh {} vs baseline {}",
+            fresh_rows.len(),
+            base_rows.len()
+        )
+    });
+}
+
 /// Gate for `serve_throughput` reports (`BENCH_serve.json`). Rows are
 /// keyed by `(mode, threads, phase)`.
 fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
@@ -226,6 +340,7 @@ fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
             base_rows.len()
         )
     });
+    gate_serve_latency(gate, fresh, baseline);
 }
 
 /// Gate for `probe_sched` reports (`BENCH_probing.json`). Rows are

@@ -24,6 +24,18 @@
 //! Wall-clock qps is the machine-dependent half of the output; the
 //! cache and batch counters are the machine-independent half. Set
 //! `SKYUP_BENCH_OUT` to redirect the report (CI smoke runs do).
+//!
+//! Request tracing is **enabled** throughout: every qps figure already
+//! includes the telemetry layer's per-request overhead (one histogram
+//! lock, one flight-recorder slot, two counter bumps), so the gate's
+//! qps floor holds with observability on, not in a stripped build. The
+//! report's `latency` rows snapshot each configuration's per-class
+//! histograms; their class counts are exact functions of the workload
+//! (`1` cold pass + [`WARM_PASSES`] warm passes over the pool on the
+//! surviving engine) and the gate checks them exactly, alongside the
+//! structural invariants (bucket-count conservation, trace count ==
+//! requests served). The slow-query threshold is 0 here so slow-log
+//! contents stay machine-independent (empty: nothing sheds or cuts).
 
 use skyup_bench::parse_args;
 use skyup_data::synthetic::{generate, Distribution, SyntheticConfig};
@@ -124,6 +136,7 @@ fn main() {
     let pool = Arc::new(product_pool(n_pool, args.seed ^ 0x7007));
 
     let mut runs = Vec::new();
+    let mut latency = Vec::new();
     let mut all_identical = true;
     // Per-request cold bits at any thread count are the reference every
     // other configuration must reproduce exactly.
@@ -143,6 +156,11 @@ fn main() {
                     0
                 },
                 max_batch: 4 * PIPELINE,
+                // No latency threshold: the slow log would otherwise
+                // depend on machine speed, and nothing here sheds or
+                // runs partial, so it stays deterministically empty.
+                slow_ms: 0,
+                trace_buffer: 256,
             };
 
             // `passes` divides the counter deltas when the window spans
@@ -243,6 +261,23 @@ fn main() {
                 pool.len() as f64 / warm_best.max(1e-9),
             );
             handle.shutdown();
+
+            // Telemetry snapshot of the surviving engine's handle: it
+            // served exactly one cold pass plus the warm passes, so the
+            // per-class trace counts are pure functions of the workload
+            // and the gate can check them exactly.
+            latency.push(Json::obj(vec![
+                ("mode", Json::Str(mode.into())),
+                ("threads", Json::Num(threads as f64)),
+                (
+                    "requests_served",
+                    Json::Uint(((1 + WARM_PASSES) * pool.len()) as u64),
+                ),
+                (
+                    "metrics",
+                    handle.telemetry().metrics_json(handle.queue_depth()),
+                ),
+            ]));
         }
     }
 
@@ -265,6 +300,7 @@ fn main() {
             ]),
         ),
         ("runs", Json::Arr(runs)),
+        ("latency", Json::Arr(latency)),
         ("batched_speedup_cold_at_4", Json::Num(speedup("cold"))),
         ("batched_speedup_warm_at_4", Json::Num(speedup("warm"))),
         ("all_modes_bit_identical", Json::Bool(all_identical)),

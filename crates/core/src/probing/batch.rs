@@ -102,6 +102,11 @@ pub struct ItemAnswer {
     /// exactly what the answer depends on. Shared: a memo hit hands out
     /// the same allocation it matched.
     pub dominators: Arc<Vec<PointId>>,
+    /// Whether the dominator set came from the cross-request memo
+    /// (exact or containment hit) rather than a full skyline scan —
+    /// per-item attribution behind the aggregate
+    /// [`BatchOutput::memo_hits`].
+    pub memo_hit: bool,
 }
 
 /// Everything a batch run produced.
@@ -360,6 +365,7 @@ where
                         .collect::<Vec<PointId>>(),
                 )
             };
+            let memo_hits_before = memo_hits;
             let dominators: Arc<Vec<PointId>> = match memo.map(|m| m.lookup(t)) {
                 Some(MemoLookup::Exact(list)) => {
                     memo_hits += 1;
@@ -409,6 +415,7 @@ where
                     cost,
                     upgraded: upg.upgraded().to_vec(),
                     dominators,
+                    memo_hit: memo_hits > memo_hits_before,
                 },
             ));
         }

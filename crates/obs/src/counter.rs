@@ -88,11 +88,17 @@ pub enum Counter {
     /// Batch items whose dominator set was derived from a memoized
     /// ADR-containing superset instead of a full skyline scan.
     DominatorMemoHits,
+    /// Completed request traces recorded into the serve flight recorder
+    /// (one per request that reached the telemetry layer, shed or not).
+    TracesRecorded,
+    /// Traces that also entered the slow-query log: latency over the
+    /// `--slow-ms` threshold, shed, or partial completion.
+    SlowQueries,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -122,6 +128,8 @@ impl Counter {
         Counter::BatchesExecuted,
         Counter::BatchedRequests,
         Counter::DominatorMemoHits,
+        Counter::TracesRecorded,
+        Counter::SlowQueries,
     ];
 
     /// Number of counters (the metrics array length).
@@ -159,6 +167,8 @@ impl Counter {
             Counter::BatchesExecuted => "batches_executed",
             Counter::BatchedRequests => "batched_requests",
             Counter::DominatorMemoHits => "dominator_memo_hits",
+            Counter::TracesRecorded => "traces_recorded",
+            Counter::SlowQueries => "slow_queries",
         }
     }
 

@@ -1,0 +1,440 @@
+//! Log-scale latency histograms with exact counts and deterministic
+//! merge.
+//!
+//! The serve telemetry layer needs percentile latencies per request
+//! class without an external metrics dependency, so this is the
+//! smallest histogram that is still *exact about what it knows*:
+//!
+//! * **Power-of-2 buckets.** Observation `v` (nanoseconds) lands in
+//!   bucket `⌊log2 v⌋ + 1` (bucket 0 holds `v == 0`), giving 65 fixed
+//!   buckets covering all of `u64` with ≤ 2× relative error on any
+//!   reported quantile bound — plenty for latency triage, and the
+//!   bucket index is a single `leading_zeros` instruction.
+//! * **Exact counts.** Bucket counts, total count, sum, min, and max
+//!   are exact `u64`s; nothing is sampled or decayed. The structural
+//!   invariant `Σ buckets == count` is what the bench gate asserts.
+//! * **Deterministic merge.** [`LatencyHistogram::merge`] is bucket-wise
+//!   addition plus min/max/count/sum folding. Because a percentile is a
+//!   pure function of the bucket array (and `max`), merging two
+//!   histograms yields *identical* percentiles to one histogram fed
+//!   both streams, in any order — the property test in this module
+//!   pins that down.
+//!
+//! [`WindowedHistogram`] layers a rolling view on top: a cumulative
+//! histogram plus a current/previous window pair rolled explicitly by
+//! the owner (the serve layer rolls on a wall-clock cadence under its
+//! own lock). The rolling snapshot is `merge(previous, current)`, so a
+//! freshly rolled window never reports an empty view mid-interval.
+
+use crate::json::Json;
+
+/// Number of buckets: bucket 0 for zero, buckets 1..=64 for the 64
+/// possible positions of the highest set bit of a nonzero `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of observation `v`: 0 for 0, else `⌊log2 v⌋ + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value that maps to
+/// it): 0 for bucket 0, `2^i - 1` for buckets 1..=64.
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A fixed-size log-scale histogram of `u64` observations
+/// (nanoseconds, by convention) with exact counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`: bucket-wise addition. Deterministic
+    /// and order-independent, so merged percentiles equal those of a
+    /// single histogram fed both streams.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (index = `bucket_of(v)`).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound on the
+    /// observation at rank `⌈q·count⌉`, reported as the containing
+    /// bucket's inclusive upper bound — except when the rank falls in
+    /// the highest nonempty bucket, where the exact tracked `max` is
+    /// returned (so `percentile(1.0) == max`, exactly).
+    ///
+    /// A pure function of the bucket array and `max`, which is what
+    /// makes the merge-percentile property exact rather than
+    /// approximate. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let highest = (0..BUCKETS).rev().find(|&i| self.buckets[i] > 0).unwrap();
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i];
+            if seen >= rank {
+                return if i == highest { self.max } else { bucket_hi(i) };
+            }
+        }
+        self.max
+    }
+
+    /// JSON snapshot: exact `Json::Uint` fields throughout, nonempty
+    /// buckets only (as `{lo, hi, count}` ranges).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = (0..BUCKETS)
+            .filter(|&i| self.buckets[i] > 0)
+            .map(|i| {
+                Json::obj(vec![
+                    ("lo", Json::Uint(bucket_lo(i))),
+                    ("hi", Json::Uint(bucket_hi(i))),
+                    ("count", Json::Uint(self.buckets[i])),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Uint(self.count)),
+            ("sum", Json::Uint(self.sum)),
+            ("min", Json::Uint(self.min())),
+            ("max", Json::Uint(self.max)),
+            ("p50", Json::Uint(self.percentile(0.50))),
+            ("p95", Json::Uint(self.percentile(0.95))),
+            ("p99", Json::Uint(self.percentile(0.99))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// A cumulative histogram plus a two-slot rolling window.
+///
+/// The owner calls [`WindowedHistogram::roll`] on its own cadence
+/// (the serve layer: once per window interval, checked under the lock
+/// it already holds to record). The rolling snapshot merges the
+/// previous and current slots, so it always covers between one and two
+/// window intervals of observations — never an empty just-rolled slot.
+#[derive(Clone, Debug, Default)]
+pub struct WindowedHistogram {
+    cumulative: LatencyHistogram,
+    current: LatencyHistogram,
+    previous: LatencyHistogram,
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram.
+    pub const fn new() -> Self {
+        WindowedHistogram {
+            cumulative: LatencyHistogram::new(),
+            current: LatencyHistogram::new(),
+            previous: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records into both the cumulative histogram and the current
+    /// window slot.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.cumulative.record(v);
+        self.current.record(v);
+    }
+
+    /// Rotates the window: current becomes previous, current clears.
+    pub fn roll(&mut self) {
+        self.previous = std::mem::take(&mut self.current);
+    }
+
+    /// All observations since construction.
+    pub fn cumulative(&self) -> &LatencyHistogram {
+        &self.cumulative
+    }
+
+    /// The rolling view: previous window merged with the in-progress
+    /// one (1–2 window intervals of data).
+    pub fn rolling(&self) -> LatencyHistogram {
+        let mut h = self.previous.clone();
+        h.merge(&self.current);
+        h
+    }
+
+    /// JSON snapshot with `cumulative` and `rolling` sub-objects.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cumulative", self.cumulative.to_json()),
+            ("rolling", self.rolling().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64*: deterministic stream generator for the property
+    /// tests, independent of any workspace RNG.
+    struct Prng(u64);
+    impl Prng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        /// Latency-shaped value: log-uniform over ~9 orders of
+        /// magnitude, with occasional zeros.
+        fn latency(&mut self) -> u64 {
+            let r = self.next();
+            if r % 64 == 0 {
+                return 0;
+            }
+            let shift = (r >> 8) % 30;
+            (r >> 34) >> shift
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        // Every value maps into exactly the bucket whose [lo, hi]
+        // range contains it.
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            7,
+            8,
+            1023,
+            1024,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_of(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} bucket={i}");
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn merge_percentiles_equal_single_stream() {
+        // Property: for random streams A and B, percentiles of
+        // merge(hist(A), hist(B)) equal percentiles of hist(A ++ B),
+        // at every probed quantile. Exact, not approximate.
+        let mut rng = Prng(0x5eed_cafe);
+        for trial in 0..50 {
+            let la = (rng.next() % 200) as usize;
+            let lb = (rng.next() % 200) as usize;
+            let a: Vec<u64> = (0..la).map(|_| rng.latency()).collect();
+            let b: Vec<u64> = (0..lb).map(|_| rng.latency()).collect();
+
+            let mut ha = LatencyHistogram::new();
+            let mut hb = LatencyHistogram::new();
+            let mut hall = LatencyHistogram::new();
+            for &v in &a {
+                ha.record(v);
+                hall.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                hall.record(v);
+            }
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+
+            assert_eq!(merged, hall, "trial {trial}: merged state diverged");
+            for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    merged.percentile(q),
+                    hall.percentile(q),
+                    "trial {trial}: q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_counts_conserved() {
+        // Σ buckets == count, always — the invariant the bench gate
+        // checks on emitted snapshots.
+        let mut rng = Prng(0xfeed);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10_000 {
+            h.record(rng.latency());
+        }
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 10_000);
+
+        let mut other = LatencyHistogram::new();
+        for _ in 0..777 {
+            other.record(rng.latency());
+        }
+        h.merge(&other);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 10_777);
+    }
+
+    #[test]
+    fn percentile_bounds_are_honest() {
+        // The reported quantile is an upper bound within 2x of the true
+        // order statistic, p100 is the exact max, and p50 of a
+        // single-value histogram is that value's bucket bound.
+        let mut h = LatencyHistogram::new();
+        let values = [3u64, 9, 1000, 1_000_000, 12];
+        for v in values {
+            h.record(v);
+        }
+        let mut sorted = values;
+        sorted.sort();
+        for (q, want_rank) in [(0.2, 0), (0.4, 1), (0.6, 2), (0.8, 3), (1.0, 4)] {
+            let truth = sorted[want_rank];
+            let got = h.percentile(q);
+            assert!(got >= truth, "q={q}: {got} < true {truth}");
+            assert!(got < truth.max(1) * 2, "q={q}: {got} >= 2x true {truth}");
+        }
+        assert_eq!(h.percentile(1.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.min(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn json_uint_rendering_is_exact_above_2_pow_53() {
+        // Counters and sums go through Json::Uint, so values above the
+        // f64-exact range must survive render -> text unchanged.
+        let mut h = LatencyHistogram::new();
+        let big = (1u64 << 53) + 1; // not representable as f64
+        h.record(big);
+        h.record(big + 2);
+        let j = h.to_json();
+        let text = j.render();
+        assert!(
+            text.contains(&format!("\"sum\":{}", big + big + 2)),
+            "sum not exact in {text}"
+        );
+        assert!(
+            text.contains(&format!("\"max\":{}", big + 2)),
+            "max not exact in {text}"
+        );
+        // And the per-bucket counts + bounds parse back as numbers.
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn windowed_roll_keeps_previous_window_visible() {
+        let mut w = WindowedHistogram::new();
+        w.record(10);
+        w.record(20);
+        assert_eq!(w.rolling().count(), 2);
+        w.roll();
+        // Just rolled: rolling view still shows the previous interval.
+        assert_eq!(w.rolling().count(), 2);
+        w.record(30);
+        assert_eq!(w.rolling().count(), 3);
+        w.roll();
+        // Now the first interval has aged out.
+        assert_eq!(w.rolling().count(), 1);
+        w.roll();
+        assert_eq!(w.rolling().count(), 0);
+        // Cumulative never forgets.
+        assert_eq!(w.cumulative().count(), 3);
+    }
+}

@@ -25,6 +25,11 @@
 //!   and parser, used both to emit reports and to round-trip them in
 //!   tests (the environment has no network access to crates.io, so no
 //!   `serde`).
+//! * [`hist`] — log-scale latency histograms: power-of-2 buckets,
+//!   exact counts, deterministic merge, cumulative + rolling windows
+//!   (the serve layer's per-class latency store).
+//! * [`trace`] — per-request [`Trace`] records and the fixed-size
+//!   [`FlightRecorder`] ring of the last N completed traces.
 //! * [`exec`] — execution guardrails: [`ExecutionLimits`] (deadline,
 //!   node-visit and heap budgets, [`CancellationToken`]) armed into an
 //!   [`ExecGuard`] that traversals check, and the
@@ -51,8 +56,10 @@
 
 pub mod exec;
 pub mod faults;
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod trace;
 
 mod counter;
 mod metrics;
@@ -60,7 +67,9 @@ mod metrics;
 pub use counter::{Counter, Phase};
 pub use exec::{CancellationToken, Completion, ExecGuard, ExecutionLimits, Interrupt};
 pub use faults::FaultPlan;
+pub use hist::{LatencyHistogram, WindowedHistogram};
 pub use metrics::QueryMetrics;
+pub use trace::{FlightRecorder, Trace, TraceClass, TraceId};
 
 use std::time::Instant;
 

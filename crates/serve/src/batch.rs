@@ -39,8 +39,35 @@ use crate::server::{validate_request, ProductAnswer, QueryRequest, QueryResponse
 use crate::snapshot::Answer;
 use skyup_core::{run_probe_batch, BatchItem, SkyupError, UpgradeConfig};
 use skyup_obs::{
-    timed, Completion, Counter, ExecutionLimits, Interrupt, Phase, QueryMetrics, Recorder,
+    clocked, timed, Completion, Counter, ExecutionLimits, Interrupt, Phase, QueryMetrics, Recorder,
 };
+
+/// Per-request telemetry attribution from one batch execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchRequestStats {
+    /// Products of this request answered from the result cache.
+    pub cache_hits: u64,
+    /// Products of this request that missed the cache and entered the
+    /// shared work list.
+    pub cache_misses: u64,
+    /// This request's items answered via the cross-request dominator
+    /// memo instead of a full skyline scan.
+    pub memo_hits: u64,
+}
+
+/// Batch-level telemetry from one [`execute_batch_stats`] run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Attribution per input request, parallel to the request slice
+    /// (invalid requests keep zeroed stats).
+    pub per_request: Vec<BatchRequestStats>,
+    /// Wall-clock spent assembling the batch (budget charges + cache
+    /// lookups), shared by every request in the window.
+    pub assemble_nanos: u64,
+    /// Wall-clock spent in [`run_probe_batch`], shared by every request
+    /// in the window.
+    pub exec_nanos: u64,
+}
 
 /// Executes a window of queries as one batch against one pinned
 /// snapshot, returning one result per request in input order. Public so
@@ -54,7 +81,23 @@ pub fn execute_batch(
     reqs: &[QueryRequest],
     threads: usize,
 ) -> Vec<Result<QueryResponse, SkyupError>> {
+    execute_batch_stats(engine, reqs, threads).0
+}
+
+/// [`execute_batch`] plus the per-request telemetry attribution the
+/// dispatcher turns into traces. The answers are byte-for-byte the
+/// same; the stats are derived from accounting the batch already does.
+pub fn execute_batch_stats(
+    engine: &Engine,
+    reqs: &[QueryRequest],
+    threads: usize,
+) -> (Vec<Result<QueryResponse, SkyupError>>, BatchStats) {
     let dims = engine.dims();
+    let mut stats = BatchStats {
+        per_request: vec![BatchRequestStats::default(); reqs.len()],
+        assemble_nanos: 0,
+        exec_nanos: 0,
+    };
     let mut results: Vec<Option<Result<QueryResponse, SkyupError>>> =
         reqs.iter().map(|_| None).collect();
     // Dense index of the requests that passed validation.
@@ -66,7 +109,7 @@ pub fn execute_batch(
         }
     }
     if valid.is_empty() {
-        return results.into_iter().map(|r| r.unwrap()).collect();
+        return (results.into_iter().map(|r| r.unwrap()).collect(), stats);
     }
 
     let snap = engine.snapshot();
@@ -121,10 +164,12 @@ pub fn execute_batch(
                     match cached {
                         Some(a) => {
                             rec.bump(Counter::CacheHit);
+                            stats.per_request[slot].cache_hits += 1;
                             my_hits.push((index, a));
                         }
                         None => {
                             rec.bump(Counter::CacheMiss);
+                            stats.per_request[slot].cache_misses += 1;
                             items.push(BatchItem {
                                 request: dense as u32,
                                 index: index as u32,
@@ -139,16 +184,22 @@ pub fn execute_batch(
         });
     });
 
-    let out = match run_probe_batch(
-        snap.store(),
-        snap.skyline(),
-        &items,
-        &cost_fns,
-        &guards,
-        &cfg,
-        threads,
-        &mut rec,
-    ) {
+    stats.assemble_nanos = rec.phase_nanos(Phase::BatchAssemble);
+
+    let (exec_nanos, ran) = clocked(|| {
+        run_probe_batch(
+            snap.store(),
+            snap.skyline(),
+            &items,
+            &cost_fns,
+            &guards,
+            &cfg,
+            threads,
+            &mut rec,
+        )
+    });
+    stats.exec_nanos = exec_nanos;
+    let out = match ran {
         Ok(out) => out,
         Err(SkyupError::WorkerPanicked { worker, message }) => {
             engine.absorb_metrics(&rec);
@@ -158,7 +209,7 @@ pub fn execute_batch(
                     message: message.clone(),
                 }));
             }
-            return results.into_iter().map(|r| r.unwrap()).collect();
+            return (results.into_iter().map(|r| r.unwrap()).collect(), stats);
         }
         Err(e) => {
             engine.absorb_metrics(&rec);
@@ -168,9 +219,19 @@ pub fn execute_batch(
                     other => SkyupError::InvalidInput(format!("batch execution failed: {other}")),
                 }));
             }
-            return results.into_iter().map(|r| r.unwrap()).collect();
+            return (results.into_iter().map(|r| r.unwrap()).collect(), stats);
         }
     };
+
+    // Per-request memo attribution, straight off the items each worker
+    // answered.
+    for (item, outcome) in items.iter().zip(&out.outcomes) {
+        if let Some(a) = outcome {
+            if a.memo_hit {
+                stats.per_request[valid[item.request as usize]].memo_hits += 1;
+            }
+        }
+    }
 
     // Merge: per request, truncate at the first execution-time cut so
     // the reported prefix is complete, then apply the sequential path's
@@ -249,5 +310,5 @@ pub fn execute_batch(
         });
     engine.fill_cache(fills, snap.epoch());
     engine.absorb_metrics(&rec);
-    results.into_iter().map(|r| r.unwrap()).collect()
+    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
 }

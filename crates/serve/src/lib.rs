@@ -21,6 +21,12 @@
 //!   mapped onto [`skyup_obs::ExecutionLimits`], overload shed as
 //!   `Completion::Partial(Interrupt::Overloaded)`, exposed in-process
 //!   ([`ServeHandle`]) and as newline-delimited JSON over TCP.
+//! * [`telemetry`] — request observability, off the result path:
+//!   per-request traces ([`skyup_obs::Trace`]) with queue/assembly/
+//!   execution phase breakdowns, per-class log-scale latency
+//!   histograms, a fixed-size flight recorder of the last N traces,
+//!   and an always-kept slow-query log — served by the `metrics` and
+//!   `trace` protocol verbs.
 //!
 //! Everything is std-only, like the rest of the workspace.
 
@@ -31,6 +37,7 @@ pub mod net;
 pub mod proto;
 pub mod server;
 pub mod snapshot;
+pub mod telemetry;
 
 /// Stable identity of a competitor across its lifetime: assigned at
 /// insertion, never reused, and unaffected by index rebuilds (unlike
@@ -38,7 +45,7 @@ pub mod snapshot;
 /// compaction drops tombstones).
 pub type CompetitorId = u64;
 
-pub use batch::execute_batch;
+pub use batch::{execute_batch, execute_batch_stats, BatchRequestStats, BatchStats};
 pub use cache::{CacheKey, CostTag, ResultCache};
 pub use engine::{Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
 pub use net::{bind_local, handle_lines, serve, MAX_LINE_BYTES};
@@ -47,3 +54,4 @@ pub use server::{
     ServeHandle,
 };
 pub use snapshot::{Answer, Snapshot};
+pub use telemetry::Telemetry;

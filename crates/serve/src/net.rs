@@ -117,8 +117,17 @@ pub fn handle_lines<R: BufRead, W: Write>(
             },
             Ok(Request::Stats) => {
                 let (stats, metrics) = handle.stats();
-                render_stats(&stats, &metrics)
+                render_stats(&stats, &metrics, handle.queue_depth())
             }
+            // The observability verbs are reads of the telemetry store,
+            // not requests: they bypass the queue and are not traced
+            // themselves, so polling metrics never perturbs the
+            // latencies it reports.
+            Ok(Request::Metrics) => handle
+                .telemetry()
+                .metrics_json(handle.queue_depth())
+                .render(),
+            Ok(Request::Trace(n)) => handle.telemetry().traces_json(n).render(),
             Ok(Request::Shutdown) => {
                 write_line(writer, &render_shutdown_ack())?;
                 stop.store(true, Ordering::SeqCst);

@@ -9,6 +9,8 @@
 //! {"op":"add","point":[0.4,0.5]}
 //! {"op":"remove","cid":7}
 //! {"op":"stats"}
+//! {"op":"metrics"}
+//! {"op":"trace","n":16}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -37,6 +39,10 @@ pub enum Request {
     Remove(u64),
     /// Read engine stats and serving counters.
     Stats,
+    /// Read the per-class latency histograms and recorder totals.
+    Metrics,
+    /// Dump the last `n` traces from the flight recorder and slow log.
+    Trace(usize),
     /// Stop the server.
     Shutdown,
 }
@@ -51,6 +57,9 @@ fn point_field(v: &Json) -> Result<Vec<f64>, String> {
         _ => Err("expected an array of numbers".into()),
     }
 }
+
+/// Traces returned by `{"op":"trace"}` when no `"n"` is given.
+pub const DEFAULT_TRACE_DUMP: u64 = 16;
 
 /// Parses `--cost`-style specs: `reciprocal:<eps>` or `linear:<slope>`.
 pub fn parse_cost(spec: &str) -> Result<CostSpec, String> {
@@ -127,6 +136,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Remove(cid))
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => {
+            let n = doc
+                .get("n")
+                .map(|v| v.as_u64().ok_or("\"n\" must be a positive integer"))
+                .transpose()?
+                .unwrap_or(DEFAULT_TRACE_DUMP);
+            if n == 0 {
+                return Err("\"n\" must be a positive integer".into());
+            }
+            Ok(Request::Trace(n as usize))
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -184,8 +205,9 @@ pub fn render_mutation_outcome(out: &MutationOutcome) -> String {
     Json::obj(fields).render()
 }
 
-/// Renders the stats response: engine shape plus the serving counters.
-pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
+/// Renders the stats response: engine shape, current queue depth, and
+/// the serving counters.
+pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics, queue_depth: usize) -> String {
     let counters = Json::obj(
         [
             Counter::CacheHit,
@@ -196,6 +218,8 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
             Counter::BatchesExecuted,
             Counter::BatchedRequests,
             Counter::DominatorMemoHits,
+            Counter::TracesRecorded,
+            Counter::SlowQueries,
         ]
         .iter()
         .map(|&c| (c.name(), Json::Uint(metrics.get(c))))
@@ -209,6 +233,7 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics) -> String {
         ("dead", Json::Uint(stats.dead as u64)),
         ("rebuilds", Json::Uint(stats.rebuilds)),
         ("cached", Json::Uint(stats.cached as u64)),
+        ("queue_depth", Json::Uint(queue_depth as u64)),
         ("counters", counters),
     ])
     .render()

@@ -17,15 +17,19 @@
 
 use crate::cache::CostTag;
 use crate::engine::{Engine, EngineStats, Mutation, MutationOutcome};
+use crate::telemetry::Telemetry;
 use crate::CompetitorId;
 use skyup_core::cost::{AttributeCost, LinearCost, SumCost};
 use skyup_core::{SkyupError, UpgradeConfig};
-use skyup_obs::{Completion, Counter, ExecutionLimits, Interrupt, QueryMetrics, Recorder};
+use skyup_obs::{
+    clocked, Completion, Counter, ExecutionLimits, Interrupt, QueryMetrics, Recorder, Trace,
+    TraceClass, TraceId,
+};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The cost function a request asks for, mirroring the CLI's
 /// `--cost reciprocal:<eps> | linear:<slope>` vocabulary.
@@ -126,6 +130,13 @@ pub struct ServeConfig {
     pub batch_window_us: u64,
     /// Most requests admitted into one batch (batching mode only).
     pub max_batch: usize,
+    /// Slow-query threshold in milliseconds: completed traces at or
+    /// over it enter the slow-query log. `0` disables the latency
+    /// threshold (shed and partial traces are always kept).
+    pub slow_ms: u64,
+    /// Flight-recorder depth: how many completed traces the
+    /// `{"op":"trace"}` ring (and the slow log) keeps.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +146,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             batch_window_us: 0,
             max_batch: 32,
+            slow_ms: 100,
+            trace_buffer: 256,
         }
     }
 }
@@ -142,6 +155,56 @@ impl Default for ServeConfig {
 struct Job {
     req: QueryRequest,
     reply: mpsc::Sender<Result<QueryResponse, SkyupError>>,
+    /// Trace id minted at ingress.
+    id: TraceId,
+    /// Ingress instant: queue wait and total latency are measured from
+    /// here.
+    ingress: Instant,
+}
+
+/// Records a completed trace and bumps the engine-wide trace counters.
+/// Telemetry is strictly off the result path: callers invoke this after
+/// the reply content is determined (and before sending it, so a client
+/// that observes its own response also observes its trace).
+fn finish_trace(tel: &Telemetry, engine: &Engine, trace: Trace) {
+    let slow = tel.record(trace);
+    engine.bump(Counter::TracesRecorded);
+    if slow {
+        engine.bump(Counter::SlowQueries);
+    }
+}
+
+/// A trace for an unqueued admin operation (mutation or stats read):
+/// no queue wait, the whole latency is execution.
+fn admin_trace(id: TraceId, class: TraceClass, epoch: u64, nanos: u64) -> Trace {
+    Trace {
+        id,
+        class,
+        epoch,
+        completion: Completion::Exact,
+        shed: false,
+        products: 0,
+        evaluated: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        memo_hits: 0,
+        dominance_tests: 0,
+        queue_nanos: 0,
+        assemble_nanos: 0,
+        exec_nanos: nanos,
+        total_nanos: nanos,
+    }
+}
+
+/// Request class of an executed (non-shed) query: everything answered
+/// from the cache is `QueryCached`; anything that computed at least one
+/// product is `QueryCold` or `QueryBatched` by scheduling path.
+fn classify(cache_misses: u64, batched: bool) -> TraceClass {
+    match (cache_misses, batched) {
+        (0, _) => TraceClass::QueryCached,
+        (_, true) => TraceClass::QueryBatched,
+        (_, false) => TraceClass::QueryCold,
+    }
 }
 
 enum TicketState {
@@ -189,6 +252,7 @@ pub struct ServeHandle {
     engine: Arc<Engine>,
     queue: Arc<Queue>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ServeHandle {
@@ -201,12 +265,14 @@ impl ServeHandle {
             ready: Condvar::new(),
             cap: cfg.queue_cap.max(1),
         });
+        let telemetry = Arc::new(Telemetry::new(cfg.slow_ms, cfg.trace_buffer));
         let mut workers = Vec::new();
         if cfg.batch_window_us > 0 {
             // One dispatcher drains admission windows and executes each
             // as a batch with `threads` shard workers.
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
+            let tel = Arc::clone(&telemetry);
             let window = Duration::from_micros(cfg.batch_window_us);
             let max_batch = cfg.max_batch.max(1);
             workers.push(std::thread::spawn(move || loop {
@@ -253,10 +319,48 @@ impl ServeHandle {
                         }
                     }
                 }
-                let (reqs, replies): (Vec<QueryRequest>, Vec<_>) =
-                    batch.into_iter().map(|j| (j.req, j.reply)).unzip();
-                let results = crate::batch::execute_batch(&engine, &reqs, threads);
-                for (reply, res) in replies.into_iter().zip(results) {
+                // Queue wait ends for every member when the dispatcher
+                // picks the window up.
+                let queue_nanos: Vec<u64> = batch
+                    .iter()
+                    .map(|j| j.ingress.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                    .collect();
+                let (reqs, rest): (Vec<QueryRequest>, Vec<_>) = batch
+                    .into_iter()
+                    .map(|j| (j.req, (j.reply, j.id, j.ingress)))
+                    .unzip();
+                let (results, stats) = crate::batch::execute_batch_stats(&engine, &reqs, threads);
+                for (i, ((reply, id, ingress), res)) in rest.into_iter().zip(results).enumerate() {
+                    if let Ok(resp) = &res {
+                        let per = &stats.per_request[i];
+                        // Assembly and kernel time are batch-level and
+                        // therefore shared across the window's traces;
+                        // queue wait and total latency are per-request.
+                        finish_trace(
+                            &tel,
+                            &engine,
+                            Trace {
+                                id,
+                                class: classify(per.cache_misses, true),
+                                epoch: resp.epoch,
+                                completion: resp.completion,
+                                shed: false,
+                                products: reqs[i].products.len() as u64,
+                                evaluated: resp.evaluated as u64,
+                                cache_hits: per.cache_hits,
+                                cache_misses: per.cache_misses,
+                                memo_hits: per.memo_hits,
+                                // The shared columnar kernel does not
+                                // attribute dominance tests per request.
+                                dominance_tests: 0,
+                                queue_nanos: queue_nanos[i],
+                                assemble_nanos: stats.assemble_nanos,
+                                exec_nanos: stats.exec_nanos,
+                                total_nanos: ingress.elapsed().as_nanos().min(u64::MAX as u128)
+                                    as u64,
+                            },
+                        );
+                    }
                     // A dropped receiver (client gave up) is not an error.
                     let _ = reply.send(res);
                 }
@@ -266,6 +370,7 @@ impl ServeHandle {
             for _ in 0..threads {
                 let queue = Arc::clone(&queue);
                 let engine = Arc::clone(&engine);
+                let tel = Arc::clone(&telemetry);
                 workers.push(std::thread::spawn(move || loop {
                     let job = {
                         let mut guard = queue.jobs.lock().unwrap();
@@ -279,8 +384,36 @@ impl ServeHandle {
                             guard = queue.ready.wait(guard).unwrap();
                         }
                     };
+                    let queue_nanos = job.ingress.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    let mut rec = QueryMetrics::new();
+                    let (exec_nanos, res) =
+                        clocked(|| execute_query_with(&engine, &job.req, &mut rec));
+                    if let Ok(resp) = &res {
+                        finish_trace(
+                            &tel,
+                            &engine,
+                            Trace {
+                                id: job.id,
+                                class: classify(rec.get(Counter::CacheMiss), false),
+                                epoch: resp.epoch,
+                                completion: resp.completion,
+                                shed: false,
+                                products: job.req.products.len() as u64,
+                                evaluated: resp.evaluated as u64,
+                                cache_hits: rec.get(Counter::CacheHit),
+                                cache_misses: rec.get(Counter::CacheMiss),
+                                memo_hits: rec.get(Counter::DominatorMemoHits),
+                                dominance_tests: rec.get(Counter::DominanceTests),
+                                queue_nanos,
+                                assemble_nanos: 0,
+                                exec_nanos,
+                                total_nanos: job.ingress.elapsed().as_nanos().min(u64::MAX as u128)
+                                    as u64,
+                            },
+                        );
+                    }
                     // A dropped receiver (client gave up) is not an error.
-                    let _ = job.reply.send(execute_query(&engine, &job.req));
+                    let _ = job.reply.send(res);
                 }));
             }
         }
@@ -288,6 +421,7 @@ impl ServeHandle {
             engine,
             queue,
             workers: Arc::new(Mutex::new(workers)),
+            telemetry,
         }
     }
 
@@ -311,17 +445,24 @@ impl ServeHandle {
     /// submission.
     pub fn query_async(&self, req: QueryRequest) -> Result<QueryTicket, SkyupError> {
         validate_request(&req, self.engine.dims())?;
+        let id = self.telemetry.mint();
+        let ingress = Instant::now();
         if req.deadline == Some(Duration::ZERO) {
-            return Ok(QueryTicket::resolved(self.shed(&req)));
+            return Ok(QueryTicket::resolved(self.shed(&req, id, ingress)));
         }
         let (reply, rx) = mpsc::channel();
         {
             let mut guard = self.queue.jobs.lock().unwrap();
             if guard.1 || guard.0.len() >= self.queue.cap {
                 drop(guard);
-                return Ok(QueryTicket::resolved(self.shed(&req)));
+                return Ok(QueryTicket::resolved(self.shed(&req, id, ingress)));
             }
-            guard.0.push_back(Job { req, reply });
+            guard.0.push_back(Job {
+                req,
+                reply,
+                id,
+                ingress,
+            });
         }
         self.queue.ready.notify_one();
         Ok(QueryTicket {
@@ -329,10 +470,36 @@ impl ServeHandle {
         })
     }
 
-    fn shed(&self, _req: &QueryRequest) -> QueryResponse {
+    fn shed(&self, req: &QueryRequest, id: TraceId, ingress: Instant) -> QueryResponse {
         self.engine.bump(Counter::RequestsShed);
+        let epoch = self.engine.snapshot().epoch();
+        // Shed requests leave timing evidence too: the ingress-to-shed
+        // interval is their queue wait (and total latency), so the
+        // `requests_shed` counter is attributable trace by trace.
+        let waited = ingress.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        finish_trace(
+            &self.telemetry,
+            &self.engine,
+            Trace {
+                id,
+                class: TraceClass::QueryShed,
+                epoch,
+                completion: Completion::Partial(Interrupt::Overloaded),
+                shed: true,
+                products: req.products.len() as u64,
+                evaluated: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                memo_hits: 0,
+                dominance_tests: 0,
+                queue_nanos: waited,
+                assemble_nanos: 0,
+                exec_nanos: 0,
+                total_nanos: waited,
+            },
+        );
         QueryResponse {
-            epoch: self.engine.snapshot().epoch(),
+            epoch,
             completion: Completion::Partial(Interrupt::Overloaded),
             evaluated: 0,
             results: Vec::new(),
@@ -341,17 +508,50 @@ impl ServeHandle {
 
     /// Adds a competitor; returns its stable id and the new epoch.
     pub fn add_competitor(&self, coords: Vec<f64>) -> Result<MutationOutcome, SkyupError> {
-        self.engine.apply(Mutation::AddCompetitor(coords))
+        self.traced_mutation(Mutation::AddCompetitor(coords))
     }
 
     /// Removes a competitor by id.
     pub fn remove_competitor(&self, cid: CompetitorId) -> Result<MutationOutcome, SkyupError> {
-        self.engine.apply(Mutation::RemoveCompetitor(cid))
+        self.traced_mutation(Mutation::RemoveCompetitor(cid))
+    }
+
+    fn traced_mutation(&self, m: Mutation) -> Result<MutationOutcome, SkyupError> {
+        let id = self.telemetry.mint();
+        let (nanos, out) = clocked(|| self.engine.apply(m));
+        if let Ok(o) = &out {
+            finish_trace(
+                &self.telemetry,
+                &self.engine,
+                admin_trace(id, TraceClass::Mutation, o.epoch, nanos),
+            );
+        }
+        out
     }
 
     /// Engine stats plus the serving counters.
     pub fn stats(&self) -> (EngineStats, QueryMetrics) {
-        (self.engine.stats(), self.engine.metrics())
+        let id = self.telemetry.mint();
+        let (nanos, out) = clocked(|| (self.engine.stats(), self.engine.metrics()));
+        // Recorded after the metrics snapshot: a stats reply's counters
+        // never include the trace of the read that produced them.
+        finish_trace(
+            &self.telemetry,
+            &self.engine,
+            admin_trace(id, TraceClass::Stats, out.0.epoch, nanos),
+        );
+        out
+    }
+
+    /// The telemetry store behind this handle (histograms, flight
+    /// recorder, slow log).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Requests currently waiting in the bounded queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.jobs.lock().unwrap().0.len()
     }
 
     /// Stops the workers after the queue drains and joins them.
@@ -404,6 +604,20 @@ pub(crate) fn validate_request(req: &QueryRequest, dims: usize) -> Result<(), Sk
 /// harness and the property suite can bypass the pool and drive the
 /// exact code path the workers run.
 pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryResponse, SkyupError> {
+    let mut rec = QueryMetrics::new();
+    execute_query_with(engine, req, &mut rec)
+}
+
+/// [`execute_query`] recording into a caller-owned [`QueryMetrics`], so
+/// the worker can read this request's counters (cache hits/misses,
+/// dominance tests) for its trace after the answer is determined. The
+/// metrics are still absorbed into the engine-wide tally here, exactly
+/// as before.
+pub(crate) fn execute_query_with(
+    engine: &Engine,
+    req: &QueryRequest,
+    rec: &mut QueryMetrics,
+) -> Result<QueryResponse, SkyupError> {
     validate_request(req, engine.dims())?;
     let snap = engine.snapshot();
     let cost_fn = req.cost.cost_fn(snap.dims());
@@ -419,7 +633,6 @@ pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryRespons
     }
     let mut guard = limits.start();
 
-    let mut rec = QueryMetrics::new();
     let mut completion = Completion::Exact;
     let mut evaluated = 0usize;
     let mut answers: Vec<ProductAnswer> = Vec::new();
@@ -429,7 +642,7 @@ pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryRespons
             completion = Completion::Partial(i);
             break;
         }
-        let answer = engine.answer_product(&snap, t, &cost_fn, tag, &cfg, &mut rec);
+        let answer = engine.answer_product(&snap, t, &cost_fn, tag, &cfg, rec);
         evaluated += 1;
         answers.push(ProductAnswer {
             index,
@@ -443,7 +656,7 @@ pub fn execute_query(engine: &Engine, req: &QueryRequest) -> Result<QueryRespons
     if !completion.is_exact() {
         rec.bump(Counter::LimitInterrupts);
     }
-    engine.absorb_metrics(&rec);
+    engine.absorb_metrics(rec);
     Ok(QueryResponse {
         epoch: snap.epoch(),
         completion,

@@ -197,6 +197,7 @@ fn interleaved_batched_serving_matches_cold_oracle() {
             queue_cap: 64,
             batch_window_us: 50,
             max_batch: 16,
+            ..ServeConfig::default()
         },
     );
 

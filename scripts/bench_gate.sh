@@ -8,10 +8,12 @@
 #   1  a check still failed after $SKYUP_GATE_ATTEMPTS attempts
 #   other  build failure or unexpected error (set -e)
 #
-# Invariant failures (bit-identity, cache counts, speedup floor) are
-# deterministic and will fail every attempt; only wall-clock noise on
-# shared hardware benefits from the retries, which re-run the benches
-# from scratch each time.
+# Invariant failures (bit-identity, cache counts, speedup floor, the
+# telemetry accounting on the serve report's latency rows: trace count
+# == requests served, per-class histogram bucket conservation, exact
+# per-class trace counts) are deterministic and will fail every
+# attempt; only wall-clock noise on shared hardware benefits from the
+# retries, which re-run the benches from scratch each time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -51,8 +51,11 @@ echo "== bench gate: perf regression vs committed baselines =="
 # Regenerates the serving and probe-scheduler reports at the committed
 # scale and gates wall-clock (one-sided, 25% tolerance) plus the exact
 # machine-independent invariants: bit-identity, cache/batch counters,
-# and the 1.5x batched-speedup floor. Set SKYUP_CI_SKIP_BENCH_GATE=1
-# to skip on hardware too noisy for timing checks.
+# the 1.5x batched-speedup floor, and the telemetry accounting on the
+# serve report (trace count == requests served, histogram bucket
+# conservation, exact per-class trace counts). Set
+# SKYUP_CI_SKIP_BENCH_GATE=1 to skip on hardware too noisy for timing
+# checks.
 if [ "${SKYUP_CI_SKIP_BENCH_GATE:-0}" = 1 ]; then
     echo "skipped (SKYUP_CI_SKIP_BENCH_GATE=1)"
 else

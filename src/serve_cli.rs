@@ -7,7 +7,8 @@
 //! NDJSON accept loop until a client sends `{"op":"shutdown"}`.
 //!
 //! `skyup query --connect HOST:PORT` is a one-shot client: it sends a
-//! single request line (query, add, remove, stats, or shutdown), prints
+//! single request line (query, add, remove, stats, metrics, trace, or
+//! shutdown), prints
 //! the response line, and exits with the same code contract as the
 //! offline CLI — `0` exact, `2` partial (a budget fired or the server
 //! shed the request), `1` error.
@@ -32,6 +33,9 @@ serve subcommands:
     --batch-window-us <n>  batch admission window in microseconds
                            (default 0 = per-request execution)
     --max-batch <n>        most requests coalesced per batch (default 32)
+    --slow-ms <n>          slow-query log threshold in milliseconds
+                           (default 100; 0 keeps only shed/partial)
+    --trace-buffer <n>     flight-recorder depth in traces (default 256)
     --delimiter <c>        cell delimiter for --competitors (default ',')
     --header               skip the first line of --competitors
     --save-snapshot <f>    write a versioned snapshot file, then serve
@@ -47,6 +51,8 @@ serve subcommands:
     --add <x,y,...>        add a competitor instead of querying
     --remove <cid>         remove a competitor by id
     --stats                read engine stats and serving counters
+    --metrics              read per-class latency histograms
+    --trace <n>            dump the last n traces and the slow-query log
     --shutdown             stop the server
     exit codes: 0 = exact, 2 = partial (budget fired or request shed),
     1 = error
@@ -142,6 +148,18 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--max-batch: {e}"))?;
                 i += 2;
             }
+            "--slow-ms" => {
+                cfg.slow_ms = value(args, i, "--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                i += 2;
+            }
+            "--trace-buffer" => {
+                cfg.trace_buffer = value(args, i, "--trace-buffer")?
+                    .parse()
+                    .map_err(|e| format!("--trace-buffer: {e}"))?;
+                i += 2;
+            }
             "--delimiter" => {
                 let v = value(args, i, "--delimiter")?;
                 let mut chars = v.chars();
@@ -195,6 +213,8 @@ enum ClientOp {
     Add(Vec<f64>),
     Remove(u64),
     Stats,
+    Metrics,
+    Trace(u64),
     Shutdown,
 }
 
@@ -264,6 +284,18 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
                 op = ClientOp::Stats;
                 i += 1;
             }
+            "--metrics" => {
+                op = ClientOp::Metrics;
+                i += 1;
+            }
+            "--trace" => {
+                op = ClientOp::Trace(
+                    value(args, i, "--trace")?
+                        .parse()
+                        .map_err(|e| format!("--trace: {e}"))?,
+                );
+                i += 2;
+            }
             "--shutdown" => {
                 op = ClientOp::Shutdown;
                 i += 1;
@@ -316,6 +348,11 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
             ("cid", Json::Uint(cid)),
         ]),
         ClientOp::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
+        ClientOp::Metrics => Json::obj(vec![("op", Json::Str("metrics".into()))]),
+        ClientOp::Trace(n) => Json::obj(vec![
+            ("op", Json::Str("trace".into())),
+            ("n", Json::Uint(n)),
+        ]),
         ClientOp::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
     };
 

@@ -262,6 +262,211 @@ fn batched_server_matches_per_request_and_survives_hostile_lines() {
     }
 }
 
+/// The observability verbs: every queued request produces exactly one
+/// trace, metrics polling is itself untraced (so it never perturbs the
+/// accounting it reports), the histogram bucket counts conserve, and
+/// the slow log catches partial completions even at `--slow-ms 0`.
+#[test]
+fn metrics_and_trace_verbs_account_for_every_request() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let comp = fixture("telemetry");
+    let (mut child, addr) = spawn_server(
+        &comp,
+        &[
+            "--threads",
+            "2",
+            "--queue-cap",
+            "32",
+            "--slow-ms",
+            "0",
+            "--trace-buffer",
+            "64",
+        ],
+    );
+
+    // A poller hammers `metrics` for the whole run: reads must never
+    // error and never show up in the trace accounting.
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(&addr).expect("connect poller");
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let resp = round_trip(&mut stream, "{\"op\":\"metrics\"}");
+                assert!(resp.contains("\"ok\":true"), "poll failed: {resp}");
+                polls += 1;
+            }
+            polls
+        })
+    };
+
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                for round in 0..20 {
+                    let t = 0.8 + 0.05 * ((c + round) % 4) as f64;
+                    let resp = round_trip(
+                        &mut stream,
+                        &format!("{{\"op\":\"query\",\"products\":[[{t},{t}]],\"k\":1}}"),
+                    );
+                    assert!(resp.contains("\"completion\":\"exact\""), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    assert!(poller.join().expect("poller thread") > 0);
+
+    let mut admin = TcpStream::connect(&addr).expect("connect admin");
+    // One budget-shed query: partial completion, so it must enter the
+    // slow log even though the latency threshold is disabled.
+    let resp = round_trip(
+        &mut admin,
+        "{\"op\":\"query\",\"products\":[[0.95,0.95]],\"k\":1,\"max_products\":0}",
+    );
+    assert!(resp.contains("\"completion\":\"partial\""), "{resp}");
+
+    // Traces are recorded before the reply is sent, so having seen all
+    // 61 query responses we must see exactly 61 traces — the metrics
+    // polls don't count.
+    let metrics = round_trip(&mut admin, "{\"op\":\"metrics\"}");
+    let doc = skyup::obs::json::parse(&metrics).expect("metrics is JSON");
+    assert_eq!(
+        field_u64(&metrics, "traces_recorded"),
+        Some(61),
+        "{metrics}"
+    );
+    assert_eq!(field_u64(&metrics, "slow_recorded"), Some(1), "{metrics}");
+    let classes = doc.get("classes").expect("classes object");
+    let mut total = 0u64;
+    for class in [
+        "query_cached",
+        "query_cold",
+        "query_batched",
+        "query_shed",
+        "mutation",
+        "stats",
+    ] {
+        let cum = classes
+            .get(class)
+            .and_then(|c| c.get("cumulative"))
+            .unwrap_or_else(|| panic!("class {class} missing: {metrics}"));
+        let count = cum.get("count").and_then(|v| v.as_u64()).unwrap();
+        let bucket_sum: u64 = match cum.get("buckets").expect("buckets array") {
+            skyup::obs::json::Json::Arr(bs) => bs
+                .iter()
+                .map(|b| b.get("count").and_then(|v| v.as_u64()).unwrap())
+                .sum(),
+            _ => panic!("buckets must be an array"),
+        };
+        assert_eq!(bucket_sum, count, "{class}: bucket conservation");
+        total += count;
+    }
+    assert_eq!(total, 61, "class counts must sum to traces_recorded");
+
+    // Trace dump: newest-first ids, bounded by n, slow log holds the
+    // one partial trace.
+    let dump = round_trip(&mut admin, "{\"op\":\"trace\",\"n\":8}");
+    let doc = skyup::obs::json::parse(&dump).expect("trace dump is JSON");
+    assert_eq!(field_u64(&dump, "count"), Some(8), "{dump}");
+    let skyup::obs::json::Json::Arr(traces) = doc.get("traces").expect("traces array") else {
+        panic!("traces must be an array: {dump}");
+    };
+    let ids: Vec<u64> = traces
+        .iter()
+        .map(|t| t.get("id").and_then(|v| v.as_u64()).unwrap())
+        .collect();
+    assert!(ids.windows(2).all(|w| w[0] > w[1]), "newest first: {ids:?}");
+    for t in traces {
+        let total_ns = t.get("total_ns").and_then(|v| v.as_u64()).unwrap();
+        let exec_ns = t.get("exec_ns").and_then(|v| v.as_u64()).unwrap();
+        assert!(total_ns >= exec_ns, "total covers execution: {dump}");
+    }
+    let skyup::obs::json::Json::Arr(slow) = doc.get("slow").expect("slow array") else {
+        panic!("slow must be an array: {dump}");
+    };
+    assert_eq!(slow.len(), 1, "{dump}");
+    assert_eq!(
+        slow[0].get("completion").and_then(|v| v.as_str()),
+        Some("partial"),
+        "{dump}"
+    );
+
+    // n = 0 is a client error, not a server fault.
+    let resp = round_trip(&mut admin, "{\"op\":\"trace\",\"n\":0}");
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+
+    // A stats read is itself traced (recorded after its own snapshot),
+    // so the next metrics read shows exactly one more trace.
+    let stats = round_trip(&mut admin, "{\"op\":\"stats\"}");
+    assert!(stats.contains("\"queue_depth\""), "{stats}");
+    assert_eq!(
+        field_u64(&stats, "traces_recorded"),
+        None,
+        "counters are nested"
+    );
+    let metrics = round_trip(&mut admin, "{\"op\":\"metrics\"}");
+    assert_eq!(
+        field_u64(&metrics, "traces_recorded"),
+        Some(62),
+        "{metrics}"
+    );
+
+    let ack = round_trip(&mut admin, "{\"op\":\"shutdown\"}");
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    assert_eq!(child.wait().expect("server exit").code(), Some(0));
+}
+
+/// The client-side flags for the observability verbs: `--metrics` and
+/// `--trace` print the JSON bodies and exit 0.
+#[test]
+fn query_client_metrics_and_trace_flags() {
+    let comp = fixture("client-obs");
+    let (mut child, addr) = spawn_server(&comp, &[]);
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "-t", "0.9,0.9"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--metrics"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"traces_recorded\":1"), "{body}");
+    assert!(body.contains("\"query_cold\""), "{body}");
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--trace", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        body.contains("\"traces\"") && body.contains("\"slow\""),
+        "{body}"
+    );
+    assert!(body.contains("\"count\":1"), "one trace so far: {body}");
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
 #[test]
 fn query_client_exit_codes_and_warm_start() {
     let comp = fixture("codes");
