@@ -265,6 +265,78 @@ fn gate_serve_latency(gate: &mut Gate, fresh: &Json, baseline: &Json) {
     });
 }
 
+/// Checks on the durability section of the serve report.
+///
+/// The counters are pure functions of the committed workload (every
+/// mutation appends exactly one record; the fsync count follows from
+/// the policy), so they are exact. The recovered-state checksum and the
+/// clean-shutdown torn-tail count are self-invariants of the fresh run.
+/// Mutation throughput and replay rate are wall-clock: one-sided with
+/// the usual tolerance — except under `always`, where the time is
+/// dominated by the device's fsync latency and a rate check would gate
+/// the disk, not the code; there the structure is checked instead.
+fn gate_serve_durability(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    let (Some(fresh_rows), Some(base_rows)) =
+        (rows(fresh, "durability"), rows(baseline, "durability"))
+    else {
+        gate.fail("durability array missing".into());
+        return;
+    };
+    let policy = |row: &Json| {
+        row.get("policy")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    for brow in base_rows {
+        let name = policy(brow);
+        let what = format!("serve durability {name}");
+        let Some(frow) = fresh_rows.iter().find(|r| policy(r) == name) else {
+            gate.fail(format!("{what}: missing from fresh report"));
+            continue;
+        };
+        for field in ["mutations", "wal_appends", "wal_bytes", "wal_fsyncs"] {
+            gate.exact(&what, field, frow, brow);
+        }
+        // The tentpole's accounting law: one durable record per acked
+        // mutation, no more, no fewer.
+        let muts = num(frow, "mutations").unwrap_or(-1.0);
+        let appends = num(frow, "wal_appends").unwrap_or(-2.0);
+        gate.check(muts == appends, || {
+            format!("{what}: wal_appends {appends} != acked mutations {muts}")
+        });
+        if name != "always" {
+            gate.rate(&what, "mps", frow, brow);
+        }
+    }
+    gate.check(fresh_rows.len() == base_rows.len(), || {
+        format!(
+            "serve durability row count changed: fresh {} vs baseline {}",
+            fresh_rows.len(),
+            base_rows.len()
+        )
+    });
+
+    let (Some(fr), Some(br)) = (
+        fresh.get("recovery_replay"),
+        baseline.get("recovery_replay"),
+    ) else {
+        gate.fail("recovery_replay object missing".into());
+        return;
+    };
+    gate.exact("serve recovery", "replayed", fr, br);
+    gate.rate("serve recovery", "replay_rps", fr, br);
+    gate.check(is_true(fr, "checksum_equal"), || {
+        "serve recovery: recovered state does not hash identically to the \
+         pre-recovery engine"
+            .into()
+    });
+    let torn = num(fr, "torn_truncated").unwrap_or(-1.0);
+    gate.check(torn == 0.0, || {
+        format!("serve recovery: {torn} torn tails after a clean shutdown")
+    });
+}
+
 /// Gate for `serve_throughput` reports (`BENCH_serve.json`). Rows are
 /// keyed by `(mode, threads, phase)`.
 fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
@@ -341,6 +413,7 @@ fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
         )
     });
     gate_serve_latency(gate, fresh, baseline);
+    gate_serve_durability(gate, fresh, baseline);
 }
 
 /// Gate for `probe_sched` reports (`BENCH_probing.json`). Rows are

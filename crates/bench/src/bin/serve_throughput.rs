@@ -36,12 +36,27 @@
 //! structural invariants (bucket-count conservation, trace count ==
 //! requests served). The slow-query threshold is 0 here so slow-log
 //! contents stay machine-independent (empty: nothing sheds or cuts).
+//!
+//! Durability is **on** for every query engine (`--fsync interval:64`
+//! against a throwaway directory), so the qps floors hold with the WAL
+//! attached. A separate `durability` section measures acked-mutation
+//! throughput under each fsync policy and the recovery replay rate,
+//! with the machine-independent invariants (appends == acked
+//! mutations, recovered-state checksum equality, zero torn tail after
+//! a clean shutdown) emitted for the gate to pin.
 
 use skyup_bench::parse_args;
 use skyup_data::synthetic::{generate, Distribution, SyntheticConfig};
+use skyup_data::Rng;
+use skyup_geom::PointStore;
 use skyup_obs::json::Json;
 use skyup_obs::{Completion, Counter};
-use skyup_serve::{CostSpec, Engine, EngineConfig, QueryRequest, ServeConfig, ServeHandle};
+use skyup_rtree::persist::fnv1a;
+use skyup_serve::{
+    CostSpec, Engine, EngineConfig, FsyncPolicy, Mutation, QueryRequest, ServeConfig, ServeHandle,
+    WalConfig,
+};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,6 +76,28 @@ const WARM_PASSES: usize = 4;
 const PIPELINE: usize = 64;
 /// Admission window for the batched mode, in microseconds.
 const BATCH_WINDOW_US: u64 = 100;
+
+/// Root for the run's throwaway WAL directories (one per engine).
+fn wal_root() -> PathBuf {
+    std::env::temp_dir().join(format!("skyup-bench-wal-{}", std::process::id()))
+}
+
+/// A query-workload engine with the WAL attached at `--fsync
+/// interval:64` — the recommended serving configuration — so every qps
+/// figure (and the gate's 1.5x batched/cold floor) is measured with
+/// durability on, not in a stripped build. Each engine gets a fresh
+/// subdirectory; the workload is query-only, so the log stays empty,
+/// but the durable checkpoint write and the WAL lock are in place.
+fn durable_engine(competitors: &PointStore, tag: String) -> Engine {
+    let dir = wal_root().join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_cfg = WalConfig {
+        fsync: FsyncPolicy::Interval(64),
+        ..WalConfig::new(dir)
+    };
+    Engine::with_durability(competitors.clone(), EngineConfig::default(), wal_cfg)
+        .expect("fresh bench wal directory")
+}
 
 fn product_pool(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut cfg = SyntheticConfig::unit(DIMS, Distribution::Independent, seed);
@@ -209,9 +246,9 @@ fn main() {
             let mut cold_metrics = None;
             let mut warm_setup = None;
             for rep in 0..COLD_REPS {
-                let engine = Arc::new(Engine::with_competitors(
-                    competitors.clone(),
-                    EngineConfig::default(),
+                let engine = Arc::new(durable_engine(
+                    &competitors,
+                    format!("{mode}-{threads}t-rep{rep}"),
                 ));
                 let handle = ServeHandle::start(Arc::clone(&engine), serve_cfg);
                 let before = engine.metrics();
@@ -281,6 +318,88 @@ fn main() {
         }
     }
 
+    // Durability: acked-mutation throughput under each fsync policy,
+    // then the recovery replay rate over the interval policy's log.
+    // The timing is the machine-dependent half; the counters and the
+    // recovered-state checksum are machine-independent and the gate
+    // pins them exactly: WalAppends == acked mutations, fsync counts
+    // are pure functions of the policy, the recovered snapshot hashes
+    // identically to the pre-crash engine, and a clean shutdown leaves
+    // no torn tail.
+    let n_base = ((512.0 * args.scale) as usize).max(32);
+    let durable_base = generate(
+        n_base,
+        &SyntheticConfig::unit(DIMS, Distribution::AntiCorrelated, args.seed ^ 0xBA5E),
+    );
+    let mut durability = Vec::new();
+    let mut recovery_replay = None;
+    let policies: [(&str, FsyncPolicy, usize); 3] = [
+        ("always", FsyncPolicy::Always, 512),
+        ("interval:64", FsyncPolicy::Interval(64), 2048),
+        ("never", FsyncPolicy::Never, 2048),
+    ];
+    for (name, policy, muts) in policies {
+        let muts = ((muts as f64 * args.scale) as usize).max(64);
+        let dir = wal_root().join(format!("policy-{}", name.replace(':', "-")));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal_cfg = WalConfig {
+            fsync: policy,
+            // Keep the whole history in the log: the recovery benchmark
+            // below replays every record instead of a checkpoint tail.
+            checkpoint_every: 0,
+            ..WalConfig::new(dir)
+        };
+        let engine = Engine::with_durability(
+            durable_base.clone(),
+            EngineConfig::default(),
+            wal_cfg.clone(),
+        )
+        .expect("fresh bench wal directory");
+        let mut rng = Rng::seed_from_u64(args.seed ^ 0xF00D);
+        let adds: Vec<Mutation> = (0..muts)
+            .map(|_| Mutation::AddCompetitor((0..DIMS).map(|_| rng.next_f64()).collect()))
+            .collect();
+        let start = Instant::now();
+        for m in adds {
+            engine.apply(m).expect("acked mutation");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        engine.flush_wal().expect("clean shutdown flush");
+        let m = engine.metrics();
+        durability.push(Json::obj(vec![
+            ("policy", Json::Str(name.into())),
+            ("mutations", Json::Uint(muts as u64)),
+            ("elapsed_ms", Json::Num(elapsed * 1e3)),
+            ("mps", Json::Num(muts as f64 / elapsed.max(1e-9))),
+            ("wal_appends", Json::Uint(m.get(Counter::WalAppends))),
+            ("wal_bytes", Json::Uint(m.get(Counter::WalBytes))),
+            ("wal_fsyncs", Json::Uint(m.get(Counter::WalFsyncs))),
+        ]));
+
+        if name == "interval:64" {
+            let checksum = fnv1a(&engine.save_snapshot_bytes());
+            drop(engine);
+            let start = Instant::now();
+            let recovered = Engine::recover(EngineConfig::default(), wal_cfg)
+                .expect("recover the interval log");
+            let elapsed = start.elapsed().as_secs_f64();
+            let status = recovered.durability().expect("recovered engine has a wal");
+            recovery_replay = Some(Json::obj(vec![
+                ("replayed", Json::Uint(status.recovery.replayed)),
+                ("elapsed_ms", Json::Num(elapsed * 1e3)),
+                (
+                    "replay_rps",
+                    Json::Num(status.recovery.replayed as f64 / elapsed.max(1e-9)),
+                ),
+                ("torn_truncated", Json::Uint(status.recovery.torn_truncated)),
+                (
+                    "checksum_equal",
+                    Json::Bool(fnv1a(&recovered.save_snapshot_bytes()) == checksum),
+                ),
+            ]));
+        }
+    }
+
     let speedup = |phase: &str| {
         qps[&("batched", 4usize, phase)] / qps[&("per_request", 4usize, phase)].max(1e-9)
     };
@@ -301,6 +420,11 @@ fn main() {
         ),
         ("runs", Json::Arr(runs)),
         ("latency", Json::Arr(latency)),
+        ("durability", Json::Arr(durability)),
+        (
+            "recovery_replay",
+            recovery_replay.expect("the interval policy ran"),
+        ),
         ("batched_speedup_cold_at_4", Json::Num(speedup("cold"))),
         ("batched_speedup_warm_at_4", Json::Num(speedup("warm"))),
         ("all_modes_bit_identical", Json::Bool(all_identical)),

@@ -58,6 +58,14 @@ pub enum SkyupError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The serving engine degraded to read-only after a durability I/O
+    /// failure (WAL append/fsync or checkpoint write). Queries keep
+    /// being served from the last published snapshot; mutations are
+    /// rejected with this error until the process is restarted.
+    ReadOnly {
+        /// The I/O failure that triggered the degradation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SkyupError {
@@ -82,6 +90,12 @@ impl fmt::Display for SkyupError {
             SkyupError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SkyupError::WorkerPanicked { worker, message } => {
                 write!(f, "probing worker {worker} panicked: {message}")
+            }
+            SkyupError::ReadOnly { reason } => {
+                write!(
+                    f,
+                    "engine is read-only after a durability failure: {reason}"
+                )
             }
         }
     }
@@ -233,6 +247,10 @@ mod tests {
             SkyupError::WorkerPanicked {
                 worker: 3,
                 message: "boom".into(),
+            }
+            .to_string(),
+            SkyupError::ReadOnly {
+                reason: "wal fsync failed: No space left on device".into(),
             }
             .to_string(),
         ];

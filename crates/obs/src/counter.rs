@@ -94,11 +94,29 @@ pub enum Counter {
     /// Traces that also entered the slow-query log: latency over the
     /// `--slow-ms` threshold, shed, or partial completion.
     SlowQueries,
+    /// Mutation records appended to the write-ahead log, before the
+    /// epoch was published or the ack sent (`skyup-serve --wal`).
+    WalAppends,
+    /// Bytes written to the write-ahead log (record headers included).
+    WalBytes,
+    /// `fsync`/`fdatasync` calls issued on the write-ahead log file
+    /// (one per append under `--fsync always`; every Nth append under
+    /// `--fsync interval:N`; zero under `--fsync never`).
+    WalFsyncs,
+    /// Durable checkpoints written (atomic temp + rename + dir-fsync
+    /// snapshot of the live competitor set, then WAL truncation).
+    CheckpointsWritten,
+    /// WAL records replayed into the engine during crash recovery.
+    RecoveryReplayedRecords,
+    /// Torn WAL tails discarded during recovery: an incomplete or
+    /// checksum-failed final record left by a crash mid-append (never
+    /// an abort — recovery keeps the longest valid prefix).
+    TornTailTruncated,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 37] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -130,6 +148,12 @@ impl Counter {
         Counter::DominatorMemoHits,
         Counter::TracesRecorded,
         Counter::SlowQueries,
+        Counter::WalAppends,
+        Counter::WalBytes,
+        Counter::WalFsyncs,
+        Counter::CheckpointsWritten,
+        Counter::RecoveryReplayedRecords,
+        Counter::TornTailTruncated,
     ];
 
     /// Number of counters (the metrics array length).
@@ -169,6 +193,12 @@ impl Counter {
             Counter::DominatorMemoHits => "dominator_memo_hits",
             Counter::TracesRecorded => "traces_recorded",
             Counter::SlowQueries => "slow_queries",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalBytes => "wal_bytes",
+            Counter::WalFsyncs => "wal_fsyncs",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::RecoveryReplayedRecords => "recovery_replayed_records",
+            Counter::TornTailTruncated => "torn_tail_truncated",
         }
     }
 

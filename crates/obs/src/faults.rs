@@ -79,6 +79,67 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic schedule of injected durability I/O failures, keyed
+/// by 1-based operation counts maintained by the consumer (the serve
+/// WAL counts its own writes and syncs and consults the plan before
+/// touching the file).
+///
+/// Unlike [`FaultPlan`], which fires inside query traversals, an
+/// `IoFaultPlan` simulates the disk failing underneath the write path —
+/// `ENOSPC` on the Nth write, or an fsync error on the Nth sync. The
+/// engine must respond by degrading to read-only with a structured
+/// error, never by panicking a worker or corrupting published state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    fail_write_at: Option<u64>,
+    fail_sync_at: Option<u64>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan: injects nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails the `n`-th write (1-based) with a simulated disk-full
+    /// error.
+    pub fn fail_write_at(mut self, n: u64) -> Self {
+        self.fail_write_at = Some(n);
+        self
+    }
+
+    /// Fails the `n`-th sync (1-based) with a simulated fsync error.
+    pub fn fail_sync_at(mut self, n: u64) -> Self {
+        self.fail_sync_at = Some(n);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Consults the plan before the `n`-th write (1-based count kept by
+    /// the caller). `Err` simulates the write failing with disk-full.
+    pub fn check_write(&self, n: u64) -> Result<(), &'static str> {
+        if self.fail_write_at == Some(n) {
+            Err("injected fault: simulated disk full on write")
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consults the plan before the `n`-th sync (1-based count kept by
+    /// the caller). `Err` simulates `fsync` reporting an I/O error.
+    pub fn check_sync(&self, n: u64) -> Result<(), &'static str> {
+        if self.fail_sync_at == Some(n) {
+            Err("injected fault: simulated fsync failure")
+        } else {
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +175,26 @@ mod tests {
         assert!(g.visit_node().is_ok());
         assert_eq!(g.visit_node(), Err(Interrupt::Cancelled));
         assert_eq!(g.interrupted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn io_fault_plan_fires_at_exact_counts() {
+        let plan = IoFaultPlan::new().fail_write_at(3).fail_sync_at(2);
+        assert!(!plan.is_empty());
+        assert!(plan.check_write(1).is_ok());
+        assert!(plan.check_write(2).is_ok());
+        assert!(plan.check_write(3).is_err());
+        assert!(plan.check_write(4).is_ok());
+        assert!(plan.check_sync(1).is_ok());
+        assert!(plan.check_sync(2).is_err());
+        assert!(plan.check_sync(3).is_ok());
+
+        let inert = IoFaultPlan::new();
+        assert!(inert.is_empty());
+        for n in 1..50 {
+            assert!(inert.check_write(n).is_ok());
+            assert!(inert.check_sync(n).is_ok());
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod metrics;
 
 pub use counter::{Counter, Phase};
 pub use exec::{CancellationToken, Completion, ExecGuard, ExecutionLimits, Interrupt};
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, IoFaultPlan};
 pub use hist::{LatencyHistogram, WindowedHistogram};
 pub use metrics::QueryMetrics;
 pub use trace::{FlightRecorder, Trace, TraceClass, TraceId};

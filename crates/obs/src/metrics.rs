@@ -10,12 +10,25 @@ use crate::{Counter, Phase, Recorder};
 /// Recording a counter is a single array add; opening/closing a span is
 /// one `Instant::now()` each. The struct is cheap to create per query
 /// and to merge across threads (see [`Recorder::absorb`]).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct QueryMetrics {
     counters: [u64; Counter::COUNT],
     phase_nanos: [u64; Phase::COUNT],
     phase_calls: [u64; Phase::COUNT],
     stack: Vec<(Phase, Instant)>,
+}
+
+// Derived `Default` requires `[u64; N]: Default`, which std only
+// provides up to N = 32 — and the counter set has outgrown that.
+impl Default for QueryMetrics {
+    fn default() -> Self {
+        QueryMetrics {
+            counters: [0; Counter::COUNT],
+            phase_nanos: [0; Phase::COUNT],
+            phase_calls: [0; Phase::COUNT],
+            stack: Vec::new(),
+        }
+    }
 }
 
 impl QueryMetrics {

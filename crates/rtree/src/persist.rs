@@ -33,8 +33,10 @@ const SNAP_MAGIC: &[u8; 8] = b"SKUPSNAP";
 const SNAP_VERSION: u32 = 1;
 
 /// FNV-1a over `buf`: tiny, dependency-free, and plenty to catch the
-/// torn writes and bit rot a warm-start file is exposed to.
-fn fnv1a(buf: &[u8]) -> u64 {
+/// torn writes and bit rot a warm-start file is exposed to. Public so
+/// callers can fingerprint serialized snapshots (bench gate, WAL
+/// checkpoint container).
+pub fn fnv1a(buf: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in buf {
         h ^= b as u64;
@@ -89,6 +91,42 @@ pub fn snapshot_from_bytes(buf: &[u8]) -> Result<(PointStore, RTree), DecodeErro
     let tree = RTree::from_bytes(r.bytes(tree_len)?, &store)?;
     r.finish()?;
     Ok((store, tree))
+}
+
+/// The deterministic sibling path a [`write_atomic`] call stages its
+/// bytes under before the rename. Exposed so crash-simulation tests
+/// can plant the debris a killed writer would leave behind.
+pub fn atomic_tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`: write to a sibling temp
+/// file, fsync it, rename over the target, then fsync the parent
+/// directory so the rename itself is durable. A crash at any point
+/// leaves either the old file intact or the new file complete — never
+/// a truncated or interleaved target.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let tmp = atomic_tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // An empty parent means a bare relative filename: the cwd.
+        let dir = if parent.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            parent
+        };
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 impl RTree {
@@ -384,5 +422,40 @@ mod tests {
         let back = RTree::from_bytes(&t.to_bytes(), &s).unwrap();
         back.validate(&s).unwrap();
         assert_eq!(back.len(), 100);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_survives_torn_staging() {
+        let dir = std::env::temp_dir().join(format!("skyup-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("snapshot.bin");
+
+        let (s, t) = sample();
+        let old = snapshot_to_bytes(&s, &t);
+        write_atomic(&target, &old).unwrap();
+        assert!(snapshot_from_bytes(&std::fs::read(&target).unwrap()).is_ok());
+
+        // Simulate a writer killed mid-write: a later save got as far as
+        // staging a partial temp file but never reached the rename. The
+        // old snapshot must still load, because write_atomic never
+        // touches the target until the staged copy is complete + synced.
+        let tmp = atomic_tmp_path(&target);
+        std::fs::write(&tmp, &old[..old.len() / 2]).unwrap();
+        let on_disk = std::fs::read(&target).unwrap();
+        assert_eq!(on_disk, old, "torn staging file must not affect the target");
+        assert!(snapshot_from_bytes(&on_disk).is_ok());
+
+        // A subsequent save succeeds despite the leftover debris and
+        // fully replaces the target.
+        let mut s2 = PointStore::new(2);
+        s2.push(&[1.0, 2.0]);
+        let t2 = RTree::bulk_load(&s2, RTreeParams::default());
+        let new = snapshot_to_bytes(&s2, &t2);
+        write_atomic(&target, &new).unwrap();
+        let (back_s, _) = snapshot_from_bytes(&std::fs::read(&target).unwrap()).unwrap();
+        assert_eq!(back_s.len(), 1);
+        assert!(!tmp.exists(), "staging file is consumed by the rename");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

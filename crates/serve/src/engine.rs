@@ -22,6 +22,7 @@
 
 use crate::cache::{CacheKey, CostTag, ResultCache};
 use crate::snapshot::{Answer, Snapshot};
+use crate::wal::{self, RecoveryReport, Wal, WalConfig};
 use crate::CompetitorId;
 use skyup_core::cost::CostFunction;
 use skyup_core::upgrade::dominated_by_any;
@@ -36,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// A competitor-set mutation, the unit of the writer's log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Mutation {
     /// Add a competitor at these coordinates.
     AddCompetitor(Vec<f64>),
@@ -127,6 +128,17 @@ pub struct EngineStats {
     pub cached: usize,
 }
 
+/// Durability state as seen by the `health` verb and the chaos tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Sequence number of the last record appended (or replayed).
+    pub last_seq: u64,
+    /// The failure that degraded the engine to read-only, if any.
+    pub read_only: Option<String>,
+    /// What recovery did when this engine started.
+    pub recovery: RecoveryReport,
+}
+
 /// The epoch-based serving engine. Shared across worker threads via
 /// `Arc`; see the module docs for the locking protocol.
 pub struct Engine {
@@ -134,6 +146,12 @@ pub struct Engine {
     shared: Mutex<Shared>,
     metrics: Mutex<QueryMetrics>,
     cfg: EngineConfig,
+    /// The write-ahead log, when durability is on. Locked strictly
+    /// after `writer` (appends happen inside `apply`'s critical
+    /// section) and never together with `shared`.
+    wal: Option<Mutex<Wal>>,
+    /// What recovery did when this engine was constructed.
+    recovery: RecoveryReport,
 }
 
 impl Engine {
@@ -159,18 +177,39 @@ impl Engine {
 
     fn from_parts(store: PointStore, tree: Option<RTree>, cfg: EngineConfig) -> Engine {
         let n = store.len();
+        let cid_of: Vec<CompetitorId> = (0..n as u64).collect();
+        Self::from_id_parts(store, tree, cid_of, n as u64, 0, cfg)
+    }
+
+    /// The general constructor: explicit competitor-id state and epoch,
+    /// as needed when rebuilding a writer from a durable checkpoint.
+    /// `cid_of[i]` is the id of store row `i`; all rows are live.
+    fn from_id_parts(
+        store: PointStore,
+        tree: Option<RTree>,
+        cid_of: Vec<CompetitorId>,
+        next_cid: CompetitorId,
+        epoch: u64,
+        cfg: EngineConfig,
+    ) -> Engine {
+        let n = store.len();
+        debug_assert_eq!(cid_of.len(), n);
         let tree = tree.unwrap_or_else(|| RTree::bulk_load(&store, cfg.tree_params));
         let all: Vec<PointId> = store.ids().collect();
         let mut skyline = skyline_sfs(&store, &all);
         skyline.sort_unstable();
+        let pid_of = store
+            .ids()
+            .map(|pid| (cid_of[pid.index()], pid))
+            .collect::<HashMap<_, _>>();
         let writer = Writer {
             tree,
             skyline,
             live: vec![true; n],
-            cid_of: (0..n as u64).collect(),
-            pid_of: store.ids().map(|pid| (pid.index() as u64, pid)).collect(),
-            next_cid: n as u64,
-            epoch: 0,
+            cid_of,
+            pid_of,
+            next_cid,
+            epoch,
             live_count: n,
             dead: 0,
             rebuilds: 0,
@@ -185,7 +224,166 @@ impl Engine {
             }),
             metrics: Mutex::new(QueryMetrics::new()),
             cfg,
+            wal: None,
+            recovery: RecoveryReport::default(),
         }
+    }
+
+    /// An engine seeded with `store` whose mutations are made durable
+    /// under `wal.dir` before they are acknowledged. Writes the initial
+    /// checkpoint so the directory is recoverable from the first
+    /// moment. Fails if the directory already holds durable state —
+    /// use [`Engine::recover`] for that.
+    pub fn with_durability(
+        store: PointStore,
+        cfg: EngineConfig,
+        wal_cfg: WalConfig,
+    ) -> Result<Engine, SkyupError> {
+        if wal::has_state(&wal_cfg.dir) {
+            return Err(SkyupError::InvalidConfig(format!(
+                "wal directory {} already holds durable state; recover from it \
+                 or point --wal at an empty directory",
+                wal_cfg.dir.display()
+            )));
+        }
+        let mut engine = Self::with_competitors(store, cfg);
+        let mut w = Wal::open(wal_cfg, 1, 0, 0).map_err(|e| e.into_skyup("wal open failed"))?;
+        let bytes = {
+            let writer = engine.writer.lock().unwrap();
+            Self::checkpoint_bytes(&writer, 0, engine.cfg.tree_params)
+        };
+        w.write_checkpoint(&bytes)
+            .map_err(|reason| SkyupError::ReadOnly { reason })?;
+        engine.bump(Counter::CheckpointsWritten);
+        engine.wal = Some(Mutex::new(w));
+        Ok(engine)
+    }
+
+    /// Rebuilds an engine from the durable state under `wal.dir`:
+    /// checkpoint first, then every log record with a newer sequence
+    /// number, truncating a torn tail left by a crash mid-append.
+    /// Corruption anywhere *before* the tail aborts with an error —
+    /// silently dropping acknowledged history would be worse.
+    pub fn recover(cfg: EngineConfig, wal_cfg: WalConfig) -> Result<Engine, SkyupError> {
+        let ckpt_bytes = std::fs::read(wal::checkpoint_path(&wal_cfg.dir)).map_err(|e| {
+            SkyupError::InvalidInput(format!(
+                "cannot read checkpoint in {}: {e}",
+                wal_cfg.dir.display()
+            ))
+        })?;
+        let ckpt =
+            wal::decode_checkpoint(&ckpt_bytes).map_err(|e| e.into_skyup("checkpoint rejected"))?;
+
+        let log_bytes = match std::fs::read(wal::wal_path(&wal_cfg.dir)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                return Err(SkyupError::InvalidInput(format!(
+                    "cannot read wal in {}: {e}",
+                    wal_cfg.dir.display()
+                )))
+            }
+        };
+        let (records, valid_len) =
+            wal::decode_log(&log_bytes).map_err(|e| e.into_skyup("wal rejected"))?;
+        let torn = u64::from(valid_len < log_bytes.len());
+
+        let mut engine = Self::from_id_parts(
+            ckpt.store,
+            Some(ckpt.tree),
+            ckpt.cid_of,
+            ckpt.next_cid,
+            ckpt.epoch,
+            cfg,
+        );
+        let mut last_seq = ckpt.seq;
+        let mut replayed = 0u64;
+        let mut all_covered = true;
+        for rec in records {
+            if rec.seq <= ckpt.seq {
+                // The checkpoint already covers this record: a crash
+                // landed between the checkpoint rename and the log
+                // truncation.
+                continue;
+            }
+            all_covered = false;
+            if rec.seq != last_seq + 1 {
+                return Err(SkyupError::InvalidInput(format!(
+                    "wal rejected: record seq {} does not continue checkpoint seq {}",
+                    rec.seq, last_seq
+                )));
+            }
+            let outcome = engine.apply(rec.mutation)?;
+            if outcome.epoch != rec.epoch || (outcome.cid.is_none() && !outcome.removed) {
+                return Err(SkyupError::InvalidInput(format!(
+                    "wal rejected: record seq {} diverges from engine state \
+                     (logged epoch {}, replayed epoch {})",
+                    rec.seq, rec.epoch, outcome.epoch
+                )));
+            }
+            last_seq = rec.seq;
+            replayed += 1;
+        }
+        // Finish an interrupted post-checkpoint truncation: when every
+        // surviving record is covered by the checkpoint, the log can
+        // restart empty.
+        let keep_len = if all_covered { 0 } else { valid_len as u64 };
+        let since_checkpoint = replayed;
+        let w = Wal::open(wal_cfg, last_seq + 1, since_checkpoint, keep_len)
+            .map_err(|e| e.into_skyup("wal open failed"))?;
+        engine.recovery = RecoveryReport {
+            checkpoint_seq: ckpt.seq,
+            replayed,
+            torn_truncated: torn,
+        };
+        {
+            let mut m = engine.metrics.lock().unwrap();
+            m.incr(Counter::RecoveryReplayedRecords, replayed);
+            m.incr(Counter::TornTailTruncated, torn);
+        }
+        engine.wal = Some(Mutex::new(w));
+        Ok(engine)
+    }
+
+    /// Builds the checkpoint image for the writer's current state: the
+    /// compacted live set plus the id state a plain snapshot cannot
+    /// carry, stamped with the WAL sequence number it covers.
+    fn checkpoint_bytes(w: &Writer, seq: u64, params: RTreeParams) -> Vec<u8> {
+        let (store, cid_of, _) = Self::compact(w);
+        let tree = RTree::bulk_load(&store, params);
+        wal::encode_checkpoint(seq, w.epoch, w.next_cid, &cid_of, &store, &tree)
+    }
+
+    /// Durability state for the `health` verb; `None` without `--wal`.
+    pub fn durability(&self) -> Option<DurabilityStatus> {
+        let wal = self.wal.as_ref()?;
+        let w = wal.lock().unwrap();
+        Some(DurabilityStatus {
+            last_seq: w.last_seq(),
+            read_only: w.read_only.clone(),
+            recovery: self.recovery,
+        })
+    }
+
+    /// Forces buffered WAL records to stable storage (clean-shutdown
+    /// path, so `--fsync interval`/`never` lose nothing when the
+    /// process exits on purpose). A failure degrades to read-only like
+    /// any other durability failure.
+    pub fn flush_wal(&self) -> Result<(), SkyupError> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let mut w = wal.lock().unwrap();
+        if let Some(reason) = &w.read_only {
+            return Err(SkyupError::ReadOnly {
+                reason: reason.clone(),
+            });
+        }
+        if let Err(reason) = w.sync() {
+            let reason = format!("wal fsync failed: {reason}");
+            w.read_only = Some(reason.clone());
+            return Err(SkyupError::ReadOnly { reason });
+        }
+        self.bump(Counter::WalFsyncs);
+        Ok(())
     }
 
     /// Serializes the *live* competitor set (compacted: tombstones
@@ -295,11 +493,20 @@ impl Engine {
 
     /// Applies one mutation and publishes the resulting epoch. Removing
     /// an unknown or already-removed cid is a no-op: no epoch is
-    /// published and `removed` is `false`.
+    /// published, `removed` is `false`, and nothing reaches the WAL.
+    ///
+    /// With durability on, the record is appended (and synced, per
+    /// policy) *before* any in-memory state changes — a crash after the
+    /// ack can always be replayed, and a crash before the append never
+    /// shows the mutation. A WAL failure flips the engine read-only and
+    /// surfaces [`SkyupError::ReadOnly`]; the in-memory state is
+    /// untouched, so queries keep serving the published snapshot.
     pub fn apply(&self, m: Mutation) -> Result<MutationOutcome, SkyupError> {
         let mut guard = self.writer.lock().unwrap();
         let w = &mut *guard;
-        let (evict, cid, removed) = match m {
+        // Validate (and detect no-ops) before the mutation is logged or
+        // applied anywhere.
+        match &m {
             Mutation::AddCompetitor(coords) => {
                 if coords.len() != w.store.dims() {
                     return Err(SkyupError::InvalidInput(format!(
@@ -313,6 +520,22 @@ impl Engine {
                         "competitor coordinates must be finite".into(),
                     ));
                 }
+            }
+            Mutation::RemoveCompetitor(cid) => {
+                if !w.pid_of.contains_key(cid) {
+                    return Ok(MutationOutcome {
+                        epoch: w.epoch,
+                        cid: None,
+                        removed: false,
+                        rebuilt: false,
+                        evicted: 0,
+                    });
+                }
+            }
+        }
+        self.log_mutation(w.epoch + 1, &m)?;
+        let (evict, cid, removed) = match m {
+            Mutation::AddCompetitor(coords) => {
                 let cid = w.next_cid;
                 w.next_cid += 1;
                 let pid = w.store.push(&coords);
@@ -325,15 +548,7 @@ impl Engine {
                 (Evict::Inserted(coords), Some(cid), false)
             }
             Mutation::RemoveCompetitor(cid) => {
-                let Some(pid) = w.pid_of.remove(&cid) else {
-                    return Ok(MutationOutcome {
-                        epoch: w.epoch,
-                        cid: None,
-                        removed: false,
-                        rebuilt: false,
-                        evicted: 0,
-                    });
-                };
+                let pid = w.pid_of.remove(&cid).expect("validated live cid");
                 w.tree.remove(&w.store, pid);
                 w.live[pid.index()] = false;
                 w.live_count -= 1;
@@ -345,6 +560,7 @@ impl Engine {
         let rebuilt = self.maybe_rebuild(w);
         w.epoch += 1;
         let evicted = self.publish(w, evict);
+        self.maybe_checkpoint(w);
         Ok(MutationOutcome {
             epoch: w.epoch,
             cid,
@@ -352,6 +568,51 @@ impl Engine {
             rebuilt,
             evicted,
         })
+    }
+
+    /// Appends the record for a validated, non-no-op mutation; a no-op
+    /// without durability configured. Any I/O failure (including an
+    /// injected one) degrades the engine to read-only.
+    fn log_mutation(&self, epoch: u64, m: &Mutation) -> Result<(), SkyupError> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let mut wal = wal.lock().unwrap();
+        if let Some(reason) = &wal.read_only {
+            return Err(SkyupError::ReadOnly {
+                reason: reason.clone(),
+            });
+        }
+        match wal.append(epoch, m) {
+            Ok((bytes, synced)) => {
+                let mut metrics = self.metrics.lock().unwrap();
+                metrics.bump(Counter::WalAppends);
+                metrics.incr(Counter::WalBytes, bytes);
+                if synced {
+                    metrics.bump(Counter::WalFsyncs);
+                }
+                Ok(())
+            }
+            Err(reason) => {
+                wal.read_only = Some(reason.clone());
+                Err(SkyupError::ReadOnly { reason })
+            }
+        }
+    }
+
+    /// Writes a periodic checkpoint when one is due. Runs after the
+    /// epoch is published: the triggering mutation is already durable
+    /// in the log, so a checkpoint failure costs no acknowledged data —
+    /// it only degrades the engine to read-only for *future* mutations.
+    fn maybe_checkpoint(&self, w: &Writer) {
+        let Some(wal) = &self.wal else { return };
+        let mut wal = wal.lock().unwrap();
+        if wal.read_only.is_some() || !wal.checkpoint_due() {
+            return;
+        }
+        let bytes = Self::checkpoint_bytes(w, wal.last_seq(), self.cfg.tree_params);
+        match wal.write_checkpoint(&bytes) {
+            Ok(()) => self.bump(Counter::CheckpointsWritten),
+            Err(reason) => wal.read_only = Some(reason),
+        }
     }
 
     /// Incremental skyline maintenance for an insert. The new point

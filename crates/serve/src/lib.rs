@@ -27,6 +27,10 @@
 //!   histograms, a fixed-size flight recorder of the last N traces,
 //!   and an always-kept slow-query log — served by the `metrics` and
 //!   `trace` protocol verbs.
+//! * [`wal`] — crash-safe durability: an append-only, checksummed
+//!   write-ahead log of mutations appended *before* each epoch is
+//!   published, periodic atomic checkpoints bounding replay, and
+//!   torn-tail-tolerant recovery ([`Engine::recover`]).
 //!
 //! Everything is std-only, like the rest of the workspace.
 
@@ -38,6 +42,7 @@ pub mod proto;
 pub mod server;
 pub mod snapshot;
 pub mod telemetry;
+pub mod wal;
 
 /// Stable identity of a competitor across its lifetime: assigned at
 /// insertion, never reused, and unaffected by index rebuilds (unlike
@@ -47,7 +52,7 @@ pub type CompetitorId = u64;
 
 pub use batch::{execute_batch, execute_batch_stats, BatchRequestStats, BatchStats};
 pub use cache::{CacheKey, CostTag, ResultCache};
-pub use engine::{Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
+pub use engine::{DurabilityStatus, Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
 pub use net::{bind_local, handle_lines, serve, MAX_LINE_BYTES};
 pub use server::{
     execute_query, CostSpec, ProductAnswer, QueryRequest, QueryResponse, QueryTicket, ServeConfig,
@@ -55,3 +60,4 @@ pub use server::{
 };
 pub use snapshot::{Answer, Snapshot};
 pub use telemetry::Telemetry;
+pub use wal::{FsyncPolicy, RecoveryReport, WalConfig};

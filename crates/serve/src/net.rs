@@ -26,7 +26,7 @@
 //! * No input byte sequence panics the connection thread.
 
 use crate::proto::{
-    parse_request, render_error, render_mutation_outcome, render_query_response,
+    parse_request, render_error, render_health, render_mutation_outcome, render_query_response,
     render_shutdown_ack, render_skyup_error, render_stats, Request,
 };
 use crate::server::ServeHandle;
@@ -122,7 +122,13 @@ pub fn handle_lines<R: BufRead, W: Write>(
             // The observability verbs are reads of the telemetry store,
             // not requests: they bypass the queue and are not traced
             // themselves, so polling metrics never perturbs the
-            // latencies it reports.
+            // latencies it reports. Health rides the same untraced
+            // path — a liveness probe must answer even when the queue
+            // is saturated or the engine has gone read-only.
+            Ok(Request::Health) => {
+                let durability = handle.durability();
+                render_health(handle.epoch(), handle.queue_depth(), durability.as_ref())
+            }
             Ok(Request::Metrics) => handle
                 .telemetry()
                 .metrics_json(handle.queue_depth())

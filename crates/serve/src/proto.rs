@@ -20,7 +20,7 @@
 //! errors come back as `{"ok":false,"error":"..."}` and never tear down
 //! the connection.
 
-use crate::engine::{EngineStats, MutationOutcome};
+use crate::engine::{DurabilityStatus, EngineStats, MutationOutcome};
 use crate::server::{CostSpec, ProductAnswer, QueryRequest, QueryResponse};
 use skyup_core::SkyupError;
 use skyup_obs::json::{parse, Json};
@@ -39,6 +39,9 @@ pub enum Request {
     Remove(u64),
     /// Read engine stats and serving counters.
     Stats,
+    /// Liveness/durability probe: epoch, WAL sequence number, queue
+    /// depth, and recovery/read-only state.
+    Health,
     /// Read the per-class latency histograms and recorder totals.
     Metrics,
     /// Dump the last `n` traces from the flight recorder and slow log.
@@ -136,6 +139,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Remove(cid))
         }
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
         "metrics" => Ok(Request::Metrics),
         "trace" => {
             let n = doc
@@ -220,6 +224,12 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics, queue_depth: us
             Counter::DominatorMemoHits,
             Counter::TracesRecorded,
             Counter::SlowQueries,
+            Counter::WalAppends,
+            Counter::WalBytes,
+            Counter::WalFsyncs,
+            Counter::CheckpointsWritten,
+            Counter::RecoveryReplayedRecords,
+            Counter::TornTailTruncated,
         ]
         .iter()
         .map(|&c| (c.name(), Json::Uint(metrics.get(c))))
@@ -237,6 +247,41 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics, queue_depth: us
         ("counters", counters),
     ])
     .render()
+}
+
+/// Renders the health response. `durability` is `None` when the server
+/// runs without `--wal`; with it, the WAL sequence number, recovery
+/// report, and read-only state are included so operators (and the
+/// crash harness) can see exactly where the durable log stands.
+pub fn render_health(
+    epoch: u64,
+    queue_depth: usize,
+    durability: Option<&DurabilityStatus>,
+) -> String {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Uint(epoch)),
+        ("queue_depth", Json::Uint(queue_depth as u64)),
+        ("wal", Json::Bool(durability.is_some())),
+    ];
+    if let Some(d) = durability {
+        fields.push(("wal_seq", Json::Uint(d.last_seq)));
+        fields.push(("read_only", Json::Bool(d.read_only.is_some())));
+        if let Some(reason) = &d.read_only {
+            fields.push(("read_only_reason", Json::Str(reason.clone())));
+        }
+        fields.push((
+            "recovery",
+            Json::obj(vec![
+                ("checkpoint_seq", Json::Uint(d.recovery.checkpoint_seq)),
+                ("replayed", Json::Uint(d.recovery.replayed)),
+                ("torn_truncated", Json::Uint(d.recovery.torn_truncated)),
+            ]),
+        ));
+    } else {
+        fields.push(("read_only", Json::Bool(false)));
+    }
+    Json::obj(fields).render()
 }
 
 /// Renders a client-visible error.

@@ -554,7 +554,19 @@ impl ServeHandle {
         self.queue.jobs.lock().unwrap().0.len()
     }
 
-    /// Stops the workers after the queue drains and joins them.
+    /// The currently published epoch (untraced; health verb).
+    pub fn epoch(&self) -> u64 {
+        self.engine.snapshot().epoch
+    }
+
+    /// Durability state for the health verb; `None` without `--wal`.
+    pub fn durability(&self) -> Option<crate::engine::DurabilityStatus> {
+        self.engine.durability()
+    }
+
+    /// Stops the workers after the queue drains and joins them, then
+    /// forces buffered WAL records durable so a *clean* shutdown loses
+    /// nothing even under `--fsync interval`/`never`.
     /// Idempotent; later queries shed.
     pub fn shutdown(&self) {
         {
@@ -566,6 +578,7 @@ impl ServeHandle {
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
+        let _ = self.engine.flush_wal();
     }
 }
 

@@ -1,0 +1,140 @@
+//! Injected durability faults: a disk-full write or a failed fsync must
+//! degrade the engine to read-only — the failing mutation and every
+//! later one rejected with [`SkyupError::ReadOnly`], the in-memory
+//! state untouched, queries still served from the published snapshot —
+//! and must never panic.
+
+use skyup_core::SkyupError;
+use skyup_geom::PointStore;
+use skyup_obs::{Counter, IoFaultPlan};
+use skyup_serve::{
+    CostSpec, Engine, EngineConfig, FsyncPolicy, Mutation, QueryRequest, ServeConfig, ServeHandle,
+    WalConfig,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skyup-wal-chaos-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_store() -> PointStore {
+    PointStore::from_rows(2, vec![[0.2, 0.8], [0.5, 0.5], [0.8, 0.2]])
+}
+
+fn wal_cfg(dir: &Path, faults: IoFaultPlan) -> WalConfig {
+    WalConfig {
+        fsync: FsyncPolicy::Always,
+        faults,
+        ..WalConfig::new(dir)
+    }
+}
+
+fn assert_read_only(err: &SkyupError, expect: &str) {
+    match err {
+        SkyupError::ReadOnly { reason } => {
+            assert!(
+                reason.contains(expect),
+                "reason {reason:?} lacks {expect:?}"
+            )
+        }
+        other => panic!("expected ReadOnly, got {other:?}"),
+    }
+}
+
+#[test]
+fn disk_full_write_degrades_to_read_only_and_queries_survive() {
+    let dir = temp_dir("disk-full");
+    let engine = Engine::with_durability(
+        base_store(),
+        EngineConfig::default(),
+        wal_cfg(&dir, IoFaultPlan::new().fail_write_at(3)),
+    )
+    .expect("fresh durable engine");
+
+    let a = engine
+        .apply(Mutation::AddCompetitor(vec![0.3, 0.3]))
+        .unwrap();
+    let b = engine
+        .apply(Mutation::AddCompetitor(vec![0.6, 0.1]))
+        .unwrap();
+    assert_eq!((a.epoch, b.epoch), (1, 2));
+
+    // The third append hits the injected disk-full failure: the
+    // mutation is rejected, the epoch does not move.
+    let err = engine
+        .apply(Mutation::AddCompetitor(vec![0.4, 0.4]))
+        .expect_err("third append must fail");
+    assert_read_only(&err, "disk full");
+    assert_eq!(engine.stats().epoch, 2, "failed mutation must not publish");
+    assert_eq!(engine.snapshot().live_count(), 5);
+
+    // Every later mutation is rejected the same way — including a
+    // removal of a live competitor, which would otherwise be valid.
+    let err = engine
+        .apply(Mutation::RemoveCompetitor(0))
+        .expect_err("read-only engine must reject removals");
+    assert_read_only(&err, "disk full");
+    assert_eq!(engine.stats().epoch, 2);
+
+    // The durable prefix is exactly the acked mutations.
+    let status = engine.durability().unwrap();
+    assert_eq!(status.last_seq, 2);
+    assert!(status.read_only.is_some());
+    let m = engine.metrics();
+    assert_eq!(m.get(Counter::WalAppends), 2);
+
+    // Queries keep serving the published snapshot through the full
+    // front-end path.
+    let handle = ServeHandle::start(Arc::new(engine), ServeConfig::default());
+    let resp = handle
+        .query(QueryRequest {
+            products: vec![vec![0.9, 0.9]],
+            k: 1,
+            cost: CostSpec::default(),
+            max_products: None,
+            deadline: None,
+        })
+        .expect("reads must survive read-only degradation");
+    assert_eq!(resp.epoch, 2);
+    assert_eq!(resp.results.len(), 1);
+    let err = handle
+        .add_competitor(vec![0.1, 0.1])
+        .expect_err("front-end mutations rejected too");
+    assert_read_only(&err, "disk full");
+    handle.shutdown();
+}
+
+#[test]
+fn fsync_failure_degrades_to_read_only_without_losing_acked_state() {
+    let dir = temp_dir("fsync-fail");
+    let engine = Engine::with_durability(
+        base_store(),
+        EngineConfig::default(),
+        wal_cfg(&dir, IoFaultPlan::new().fail_sync_at(2)),
+    )
+    .expect("fresh durable engine");
+
+    engine
+        .apply(Mutation::AddCompetitor(vec![0.3, 0.3]))
+        .unwrap();
+    let err = engine
+        .apply(Mutation::AddCompetitor(vec![0.6, 0.1]))
+        .expect_err("second fsync must fail");
+    assert_read_only(&err, "fsync failure");
+    assert_eq!(engine.stats().epoch, 1);
+
+    // flush_wal reports the standing degradation instead of resetting it.
+    let err = engine.flush_wal().expect_err("flush on a read-only engine");
+    assert_read_only(&err, "fsync failure");
+
+    // The acked prefix is intact on disk: a fresh engine recovers it.
+    drop(engine);
+    let recovered = Engine::recover(EngineConfig::default(), wal_cfg(&dir, IoFaultPlan::new()))
+        .expect("recovery after a sync failure");
+    assert!(recovered.stats().epoch >= 1, "acked mutation must survive");
+    assert!(recovered.durability().unwrap().read_only.is_none());
+}

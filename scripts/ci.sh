@@ -47,6 +47,15 @@ cargo build --offline --release
 echo "== tier-1 + workspace tests (unit, chaos, CLI contract, serve smoke, property suites) =="
 timeout "$TEST_TIMEOUT" cargo test --offline -q --workspace
 
+echo "== kill-crash durability harness (dedicated hard cap) =="
+# Runs again outside the workspace sweep, under its own much tighter
+# wall-clock cap: the harness SIGKILLs real server processes and
+# restarts them against the surviving WAL, and a recovery bug whose
+# failure mode is a hang (replay loop, torn-tail misparse, a child
+# that never prints its listen line) must turn CI red in seconds, not
+# eat the whole suite budget.
+timeout "${SKYUP_CI_CRASH_TIMEOUT:-120}" cargo test --offline -q --test crash_recovery
+
 echo "== bench gate: perf regression vs committed baselines =="
 # Regenerates the serving and probe-scheduler reports at the committed
 # scale and gates wall-clock (one-sided, 25% tolerance) plus the exact

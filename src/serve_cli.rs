@@ -13,14 +13,18 @@
 //! offline CLI — `0` exact, `2` partial (a budget fired or the server
 //! shed the request), `1` error.
 
-use skyup_data::read_delimited;
+use skyup_data::{read_delimited, Rng};
 use skyup_obs::json::{parse, Json};
+use skyup_rtree::persist::write_atomic;
 use skyup_serve::proto::parse_cost;
-use skyup_serve::{bind_local, serve, Engine, EngineConfig, ServeConfig, ServeHandle};
+use skyup_serve::{
+    bind_local, serve, wal, Engine, EngineConfig, FsyncPolicy, ServeConfig, ServeHandle, WalConfig,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Usage text for the serving subcommands, appended to the main help.
 pub const SERVE_USAGE: &str = "\
@@ -39,6 +43,14 @@ serve subcommands:
     --delimiter <c>        cell delimiter for --competitors (default ',')
     --header               skip the first line of --competitors
     --save-snapshot <f>    write a versioned snapshot file, then serve
+    --wal <dir>            make mutations durable: append to a
+                           write-ahead log before acking; on restart,
+                           recover checkpoint + log (tolerating a torn
+                           tail) and ignore --competitors/--warm-start
+    --fsync <policy>       when WAL appends reach disk: always (default),
+                           interval:<n>, or never
+    --checkpoint-every <n> snapshot + truncate the log every n appends
+                           (default 1024; 0 = only the initial one)
     prints `listening on HOST:PORT`, serves NDJSON requests until a
     client sends {\"op\":\"shutdown\"}
 
@@ -51,9 +63,13 @@ serve subcommands:
     --add <x,y,...>        add a competitor instead of querying
     --remove <cid>         remove a competitor by id
     --stats                read engine stats and serving counters
+    --health               liveness probe: epoch, WAL seq, queue depth,
+                           recovery/read-only state
     --metrics              read per-class latency histograms
     --trace <n>            dump the last n traces and the slow-query log
     --shutdown             stop the server
+    connection-refused is retried 3 times with jittered backoff (a
+    restarting server's listen window); other errors fail fast
     exit codes: 0 = exact, 2 = partial (budget fired or request shed),
     1 = error
 ";
@@ -98,6 +114,9 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut competitors: Option<PathBuf> = None;
     let mut warm_start: Option<PathBuf> = None;
     let mut save_snapshot: Option<PathBuf> = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut checkpoint_every = 1024u64;
     let mut port = 0u16;
     let mut delimiter = ',';
     let mut header = false;
@@ -116,6 +135,20 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             }
             "--save-snapshot" => {
                 save_snapshot = Some(PathBuf::from(value(args, i, "--save-snapshot")?));
+                i += 2;
+            }
+            "--wal" => {
+                wal_dir = Some(PathBuf::from(value(args, i, "--wal")?));
+                i += 2;
+            }
+            "--fsync" => {
+                fsync = FsyncPolicy::parse(&value(args, i, "--fsync")?)?;
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = value(args, i, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
                 i += 2;
             }
             "--port" => {
@@ -177,30 +210,78 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let engine = match (&competitors, &warm_start) {
-        (Some(_), Some(_)) => {
-            return Err("--competitors and --warm-start are mutually exclusive".into())
+    if competitors.is_some() && warm_start.is_some() {
+        return Err("--competitors and --warm-start are mutually exclusive".into());
+    }
+    let wal_cfg = wal_dir.map(|dir| WalConfig {
+        dir,
+        fsync,
+        checkpoint_every,
+        ..WalConfig::new("")
+    });
+
+    // With durable state on disk, the WAL directory is the source of
+    // truth: recovery wins over any seed flags, so a restart script can
+    // keep passing the same arguments it booted with.
+    let engine = match &wal_cfg {
+        Some(wc) if wal::has_state(&wc.dir) => {
+            if competitors.is_some() || warm_start.is_some() {
+                eprintln!(
+                    "note: {} holds durable state; recovering from it and \
+                     ignoring --competitors/--warm-start",
+                    wc.dir.display()
+                );
+            }
+            let engine =
+                Engine::recover(EngineConfig::default(), wc.clone()).map_err(|e| e.to_string())?;
+            let d = engine.durability().expect("recovered engine has a wal");
+            eprintln!(
+                "recovered: checkpoint seq {}, {} records replayed, {} torn tail truncated",
+                d.recovery.checkpoint_seq, d.recovery.replayed, d.recovery.torn_truncated
+            );
+            engine
         }
-        (None, None) => {
-            return Err(format!(
-                "serve needs --competitors <file> or --warm-start <snap>\n{SERVE_USAGE}"
-            ))
-        }
-        (Some(path), None) => {
-            let store = load_points(path, delimiter, header)?;
-            Engine::with_competitors(store, EngineConfig::default())
-        }
-        (None, Some(path)) => {
-            let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-            Engine::from_snapshot_bytes(&bytes, EngineConfig::default())
-                .map_err(|e| e.to_string())?
-        }
+        _ => match (&competitors, &warm_start, &wal_cfg) {
+            (None, None, _) => {
+                return Err(format!(
+                    "serve needs --competitors <file> or --warm-start <snap>\n{SERVE_USAGE}"
+                ))
+            }
+            (Some(path), None, None) => {
+                let store = load_points(path, delimiter, header)?;
+                Engine::with_competitors(store, EngineConfig::default())
+            }
+            (Some(path), None, Some(wc)) => {
+                let store = load_points(path, delimiter, header)?;
+                Engine::with_durability(store, EngineConfig::default(), wc.clone())
+                    .map_err(|e| e.to_string())?
+            }
+            (None, Some(path), None) => {
+                let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                Engine::from_snapshot_bytes(&bytes, EngineConfig::default())
+                    .map_err(|e| e.to_string())?
+            }
+            (None, Some(path), Some(wc)) => {
+                // Durability over a warm start: seed from the snapshot's
+                // store; the initial checkpoint then owns id assignment.
+                let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                let (store, _) = skyup_rtree::persist::snapshot_from_bytes(&bytes)
+                    .map_err(|e| format!("{}: snapshot file rejected: {e}", path.display()))?;
+                Engine::with_durability(store, EngineConfig::default(), wc.clone())
+                    .map_err(|e| e.to_string())?
+            }
+            (Some(_), Some(_), _) => unreachable!("checked above"),
+        },
     };
     if let Some(path) = &save_snapshot {
-        std::fs::write(path, engine.save_snapshot_bytes())
+        write_atomic(path, &engine.save_snapshot_bytes())
             .map_err(|e| format!("{}: {e}", path.display()))?;
     }
+    serve_on(engine, port, cfg)
+}
 
+/// Binds, prints the `listening on` line, and runs the accept loop.
+fn serve_on(engine: Engine, port: u16, cfg: ServeConfig) -> Result<(), String> {
     let (listener, addr) = bind_local(port).map_err(|e| format!("bind: {e}"))?;
     let handle = ServeHandle::start(Arc::new(engine), cfg);
     println!("listening on {addr}");
@@ -213,9 +294,45 @@ enum ClientOp {
     Add(Vec<f64>),
     Remove(u64),
     Stats,
+    Health,
     Metrics,
     Trace(u64),
     Shutdown,
+}
+
+/// Connects with bounded retry: connection-refused — the window while a
+/// crashed or restarting server is not yet listening — is retried up to
+/// 3 attempts with jittered exponential backoff; anything else (bad
+/// address, unreachable host) fails fast.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    const ATTEMPTS: u32 = 3;
+    let seed = std::time::UNIX_EPOCH
+        .elapsed()
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0)
+        ^ (std::process::id() as u64) << 32;
+    let mut rng = Rng::seed_from_u64(seed);
+    for attempt in 1..=ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                if attempt == ATTEMPTS {
+                    break;
+                }
+                let base = 50u64 << (attempt - 1);
+                let backoff = base + (rng.next_u64() % (base / 2 + 1));
+                eprintln!(
+                    "{addr}: connection refused (attempt {attempt}/{ATTEMPTS}); \
+                     retrying in {backoff}ms"
+                );
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            Err(e) => return Err(format!("{addr}: {e}")),
+        }
+    }
+    Err(format!(
+        "{addr}: connection refused after {ATTEMPTS} attempts"
+    ))
 }
 
 /// Runs `skyup query --connect`: sends one request line, prints the
@@ -284,6 +401,10 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
                 op = ClientOp::Stats;
                 i += 1;
             }
+            "--health" => {
+                op = ClientOp::Health;
+                i += 1;
+            }
             "--metrics" => {
                 op = ClientOp::Metrics;
                 i += 1;
@@ -348,6 +469,7 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
             ("cid", Json::Uint(cid)),
         ]),
         ClientOp::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
+        ClientOp::Health => Json::obj(vec![("op", Json::Str("health".into()))]),
         ClientOp::Metrics => Json::obj(vec![("op", Json::Str("metrics".into()))]),
         ClientOp::Trace(n) => Json::obj(vec![
             ("op", Json::Str("trace".into())),
@@ -356,7 +478,7 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
         ClientOp::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
     };
 
-    let stream = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    let stream = connect_with_retry(&addr)?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     writer
         .write_all(format!("{}\n", request.render()).as_bytes())

@@ -144,3 +144,39 @@ fn malformed_data_exits_one_with_line_context() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 2"), "{stderr}");
 }
+
+/// `query --connect` against a dead port retries connection-refused
+/// with backoff — exactly 3 attempts, a stderr line per retry — and
+/// exits 1 when the server never appears. (A live-server recovery of
+/// the same path is exercised by the crash harness.)
+#[test]
+fn query_connect_refused_retries_then_exits_one() {
+    // Bind-then-drop reserves a port that nothing is listening on.
+    let port = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let start = std::time::Instant::now();
+    let out = bin()
+        .args(["query", "--connect", &addr, "--health"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.matches("retrying in").count(),
+        2,
+        "3 attempts means 2 retry notices: {stderr}"
+    );
+    assert!(
+        stderr.contains("connection refused after 3 attempts"),
+        "{stderr}"
+    );
+    // Two backoff sleeps (base 50ms then 100ms) must actually happen.
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(150),
+        "backoff was skipped: {:?}",
+        start.elapsed()
+    );
+}

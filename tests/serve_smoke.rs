@@ -555,6 +555,84 @@ fn query_client_exit_codes_and_warm_start() {
     assert_eq!(warm.wait().unwrap().code(), Some(0));
 }
 
+/// `{"op":"health"}` answers on every server and reflects durability
+/// state: a plain server reports `wal:false`, a `--wal` server reports
+/// its WAL sequence number advancing with each acked mutation plus a
+/// zeroed recovery report on a fresh log. The `--health` client flag
+/// prints the body and exits 0.
+#[test]
+fn health_verb_reports_epoch_and_durability() {
+    let comp = fixture("health");
+    let (mut child, addr) = spawn_server(&comp, &[]);
+    let mut admin = TcpStream::connect(&addr).expect("connect");
+
+    let resp = round_trip(&mut admin, "{\"op\":\"health\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert_eq!(field_u64(&resp, "epoch"), Some(0), "{resp}");
+    assert!(field_u64(&resp, "queue_depth").is_some(), "{resp}");
+    assert!(resp.contains("\"wal\":false"), "{resp}");
+    assert!(resp.contains("\"read_only\":false"), "{resp}");
+    assert!(
+        !resp.contains("wal_seq"),
+        "no durability block without --wal: {resp}"
+    );
+
+    let resp = round_trip(&mut admin, "{\"op\":\"add\",\"point\":[0.5,0.5]}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resp = round_trip(&mut admin, "{\"op\":\"health\"}");
+    assert_eq!(field_u64(&resp, "epoch"), Some(1), "{resp}");
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--health"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"epoch\":1"), "{body}");
+
+    let out = bin()
+        .args(["query", "--connect", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+
+    // A durable server: wal_seq tracks acked mutations, recovery report
+    // is all zeros on a freshly initialised log.
+    let wal_dir = std::env::temp_dir().join("skyup-serve-smoke-health-wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let (mut child, addr) = spawn_server(&comp, &["--wal", wal_dir.to_str().unwrap()]);
+    let mut admin = TcpStream::connect(&addr).expect("connect");
+    let resp = round_trip(&mut admin, "{\"op\":\"health\"}");
+    assert!(resp.contains("\"wal\":true"), "{resp}");
+    assert_eq!(field_u64(&resp, "wal_seq"), Some(0), "{resp}");
+    for i in 0..3 {
+        let v = 0.3 + 0.01 * i as f64;
+        let resp = round_trip(
+            &mut admin,
+            &format!("{{\"op\":\"add\",\"point\":[{v},{v}]}}"),
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    let resp = round_trip(&mut admin, "{\"op\":\"health\"}");
+    assert_eq!(field_u64(&resp, "wal_seq"), Some(3), "{resp}");
+    assert_eq!(field_u64(&resp, "epoch"), Some(3), "{resp}");
+    assert!(resp.contains("\"read_only\":false"), "{resp}");
+    let doc = skyup::obs::json::parse(&resp).expect("health is JSON");
+    let recovery = doc.get("recovery").expect("recovery object");
+    for key in ["checkpoint_seq", "replayed", "torn_truncated"] {
+        assert_eq!(
+            recovery.get(key).and_then(|v| v.as_u64()),
+            Some(0),
+            "fresh log must report a zeroed recovery: {resp}"
+        );
+    }
+
+    let ack = round_trip(&mut admin, "{\"op\":\"shutdown\"}");
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
 #[test]
 fn bad_arguments_exit_one() {
     // serve with no source of competitors.
