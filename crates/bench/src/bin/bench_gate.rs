@@ -498,6 +498,126 @@ fn gate_probing(gate: &mut Gate, fresh: &Json, baseline: &Json) {
     });
 }
 
+/// Gate for `kernel_bench` reports (`BENCH_kernel.json`). Rows are
+/// keyed by `(dataset, variant)`.
+///
+/// Everything but the wall-clock is machine-independent here: the bench
+/// is single-threaded and the datasets are seeded, so dominated-target
+/// counts, dominator totals, and the blocks scanned/skipped by the
+/// zone maps are pure functions of the committed workload and are
+/// checked exactly. The conservation law `blocks_scanned +
+/// blocks_skipped == total_blocks` and the bit-identity of every
+/// variant against the scalar oracle are self-invariants of the fresh
+/// run; `skewed_blocks_skipped > 0` pins the pruning path alive.
+fn gate_kernel(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    for (f, b) in [
+        (fresh.get("schema"), baseline.get("schema")),
+        (
+            fresh.get("samples_per_config"),
+            baseline.get("samples_per_config"),
+        ),
+    ] {
+        match (f, b) {
+            (Some(f), Some(b)) if render(f) == render(b) => {}
+            (f, b) => gate.fail(format!(
+                "kernel header mismatch: fresh {f:?} vs baseline {b:?}"
+            )),
+        }
+    }
+    gate.workload(fresh, baseline);
+
+    let Some(acc) = fresh.get("acceptance") else {
+        gate.fail("kernel acceptance section missing from fresh report".into());
+        return;
+    };
+    gate.check(is_true(acc, "all_identical_to_scalar"), || {
+        "all_identical_to_scalar is not true: a kernel variant diverged \
+         from the scalar dominance oracle"
+            .into()
+    });
+    gate.check(is_true(acc, "conservation_ok"), || {
+        "conservation_ok is not true: blocks_scanned + blocks_skipped \
+         stopped equaling the total block count"
+            .into()
+    });
+    let skipped = num(acc, "skewed_blocks_skipped").unwrap_or(-1.0);
+    gate.check(skipped > 0.0, || {
+        format!("skewed_blocks_skipped = {skipped}: the zone-map pruning path is dead")
+    });
+    gate.check(is_true(acc, "zoned_collect_beats_scalar_skewed"), || {
+        "zoned collect scan no longer beats the scalar loop on the \
+         skewed dataset"
+            .into()
+    });
+
+    let (Some(fresh_ds), Some(base_ds)) = (rows(fresh, "datasets"), rows(baseline, "datasets"))
+    else {
+        gate.fail("kernel datasets section missing (report not from kernel_bench?)".into());
+        return;
+    };
+    let ds_name = |row: &Json| {
+        row.get("dataset")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    for bds in base_ds {
+        let name = ds_name(bds);
+        let Some(fds) = fresh_ds.iter().find(|d| ds_name(d) == name) else {
+            gate.fail(format!("kernel dataset {name}: missing from fresh report"));
+            continue;
+        };
+        gate.exact(&format!("kernel dataset {name}"), "total_blocks", fds, bds);
+        let (Some(frows), Some(brows)) = (rows(fds, "runs"), rows(bds, "runs")) else {
+            gate.fail(format!("kernel dataset {name}: runs array missing"));
+            continue;
+        };
+        let variant = |row: &Json| {
+            row.get("variant")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        for brow in brows {
+            let what = format!("kernel {name}/{}", variant(brow));
+            let Some(frow) = frows.iter().find(|r| variant(r) == variant(brow)) else {
+                gate.fail(format!("{what}: missing from fresh report"));
+                continue;
+            };
+            for field in [
+                "dominated_targets",
+                "dominators_total",
+                "blocks_scanned",
+                "blocks_skipped",
+            ] {
+                gate.exact(&what, field, frow, brow);
+            }
+            gate.check(is_true(frow, "identical_to_scalar"), || {
+                format!("{what}: dominator lists diverged from the scalar oracle")
+            });
+            gate.check(is_true(frow, "conservation_ok"), || {
+                format!("{what}: block accounting lost or double-counted blocks")
+            });
+            gate.wall(&what, "membership_wall_us", frow, brow);
+            gate.wall(&what, "collect_wall_us", frow, brow);
+        }
+        gate.check(frows.len() == brows.len(), || {
+            format!(
+                "kernel dataset {name} run count changed: fresh {} vs baseline {}",
+                frows.len(),
+                brows.len()
+            )
+        });
+    }
+    gate.check(fresh_ds.len() == base_ds.len(), || {
+        format!(
+            "kernel dataset count changed: fresh {} vs baseline {}",
+            fresh_ds.len(),
+            base_ds.len()
+        )
+    });
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     parse(&text).map_err(|e| format!("parse {path}: {e:?}"))
@@ -506,7 +626,7 @@ fn load(path: &str) -> Result<Json, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, fresh_path, baseline_path] = &args[..] else {
-        eprintln!("usage: bench_gate <serve|probing> <fresh.json> <baseline.json>");
+        eprintln!("usage: bench_gate <serve|probing|kernel> <fresh.json> <baseline.json>");
         return ExitCode::from(2);
     };
     let (fresh, baseline) = match (load(fresh_path), load(baseline_path)) {
@@ -525,8 +645,9 @@ fn main() -> ExitCode {
     match kind.as_str() {
         "serve" => gate_serve(&mut gate, &fresh, &baseline),
         "probing" => gate_probing(&mut gate, &fresh, &baseline),
+        "kernel" => gate_kernel(&mut gate, &fresh, &baseline),
         other => {
-            eprintln!("bench_gate: unknown kind {other:?} (want serve or probing)");
+            eprintln!("bench_gate: unknown kind {other:?} (want serve, probing, or kernel)");
             return ExitCode::from(2);
         }
     }

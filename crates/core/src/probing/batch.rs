@@ -355,8 +355,11 @@ where
                 positions.clear();
                 let scan = cols.collect_dominators(t, &mut positions);
                 if let Some(m) = local {
-                    m.incr(Counter::DominanceTests, skyline.len() as u64);
+                    // Charge the points the kernel actually compared:
+                    // zone-map-skipped blocks ran no dominance tests.
+                    m.incr(Counter::DominanceTests, scan.points);
                     m.incr(Counter::KernelBlockScans, scan.blocks);
+                    m.incr(Counter::KernelBlocksSkipped, scan.skipped);
                 }
                 Arc::new(
                     positions

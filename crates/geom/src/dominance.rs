@@ -90,16 +90,86 @@ pub const DOM_BLOCK: usize = 64;
 /// Outcome of a columnar dominance scan: the verdict plus how much work
 /// the kernel actually did, so callers can charge the same counters the
 /// scalar loop would (`points` → dominance tests, `blocks` → kernel
-/// block scans).
+/// block scans, `skipped` → zone-map block skips).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ColScan {
     /// Whether some scanned point dominates the target.
     pub dominated: bool,
     /// Points covered by the scanned blocks (block-granular: the kernel
-    /// early-exits between blocks, not within one).
+    /// early-exits between blocks, not within one). Points in skipped
+    /// blocks are not covered — no comparison ever touched them.
     pub points: u64,
-    /// Blocks scanned.
+    /// Blocks scanned (their lanes actually compared).
     pub blocks: u64,
+    /// Blocks skipped wholesale because the block's zone map proved it
+    /// cannot contain a dominator (always 0 on the raw column kernels,
+    /// which carry no zone maps). On a scan that runs to completion —
+    /// any [`collect_dominators_cols`]-style enumeration, or a
+    /// membership scan that found no dominator — the conservation law
+    /// `blocks + skipped == total blocks` holds exactly; a membership
+    /// scan that stops at a dominating block accounts only for the
+    /// blocks considered up to and including that block.
+    pub skipped: u64,
+}
+
+/// Evaluates the `le`/`lt` masks of one block in dims-major, branch-free
+/// form: for each dimension the whole lane column is compared against
+/// the target's coordinate with no branch inside the lane loop (the
+/// shape the compiler autovectorizes into packed compares + movemask),
+/// and the per-dimension masks are combined afterwards.
+///
+/// `lanes` is the valid-lane mask (`u64::MAX` for a full block, the
+/// precomputed tail mask for the last partial block). Bit `j` of the
+/// returned `le` is set when point `base + j` is `<=` the target on
+/// every dimension evaluated; bit `j` of `lt` when it is `<` on some
+/// evaluated dimension. A block's remaining dimensions are abandoned as
+/// soon as `le` empties — an exit at dimension granularity, outside the
+/// lane loop, so it costs the vectorizer nothing. `le & lt` is the
+/// dominator mask; the comparisons are the exact `f64` comparisons of
+/// the scalar [`dominates`] loop, so the verdict is bit-identical
+/// (coordinates are finite by the store contract, hence `x <= y` and
+/// `!(x > y)` agree).
+#[inline]
+pub(crate) fn block_masks(
+    cols: &[f64],
+    stride: usize,
+    base: usize,
+    width: usize,
+    lanes: u64,
+    target: &[f64],
+) -> (u64, u64) {
+    let mut le = lanes;
+    let mut lt = 0u64;
+    for (d, &y) in target.iter().enumerate() {
+        let col = &cols[d * stride + base..d * stride + base + width];
+        let mut le_d = 0u64;
+        let mut lt_d = 0u64;
+        for (j, &x) in col.iter().enumerate() {
+            le_d |= u64::from(x <= y) << j;
+            lt_d |= u64::from(x < y) << j;
+        }
+        le &= le_d;
+        lt |= lt_d;
+        if le == 0 {
+            break;
+        }
+    }
+    (le, lt)
+}
+
+/// The per-scan block geometry: total block count and the valid-lane
+/// mask of the last block, hoisted out of the block loop so the hot
+/// path never recomputes the partial-block width test per iteration.
+#[inline]
+pub(crate) fn scan_geometry(len: usize) -> (usize, u64) {
+    let blocks = len.div_ceil(DOM_BLOCK);
+    let tail = len % DOM_BLOCK;
+    let tail_mask = if tail == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail) - 1
+    };
+    (blocks, tail_mask)
 }
 
 /// Columnar "is `target` dominated by any stored point" kernel.
@@ -107,11 +177,10 @@ pub struct ColScan {
 /// `cols` holds `len` points in dims-major layout: dimension `d`'s
 /// coordinates occupy `cols[d * stride .. d * stride + len]` (so
 /// `stride >= len`). The scan proceeds in blocks of [`DOM_BLOCK`]
-/// points, maintaining two bitmasks per block — `le` (point is `<=` the
-/// target on every dimension seen so far) and `lt` (point is `<` on
-/// some dimension) — and abandons a block's remaining dimensions as
-/// soon as `le` empties. A block containing a dominator
-/// (`le & lt != 0`) ends the scan.
+/// points, evaluating each block's `le`/`lt` masks dims-major and
+/// branch-free ([`block_masks`]); early exit happens only at block
+/// granularity, after the masks are combined — a block containing a
+/// dominator (`le & lt != 0`) ends the scan.
 ///
 /// The verdict is bit-identical to the scalar
 /// `points.iter().any(|s| dominates(s, target))` loop: both reduce to
@@ -120,38 +189,22 @@ pub fn dominated_by_any_cols(cols: &[f64], stride: usize, len: usize, target: &[
     let dims = target.len();
     debug_assert!(stride >= len);
     debug_assert!(cols.len() >= dims * stride);
+    let (blocks, tail_mask) = scan_geometry(len);
     let mut scan = ColScan::default();
-    let mut base = 0;
-    while base < len {
-        let width = DOM_BLOCK.min(len - base);
+    for b in 0..blocks {
+        let base = b * DOM_BLOCK;
+        let (width, lanes) = if b + 1 == blocks {
+            (len - base, tail_mask)
+        } else {
+            (DOM_BLOCK, u64::MAX)
+        };
         scan.blocks += 1;
         scan.points += width as u64;
-        // All points start "<= on every dimension seen so far".
-        let mut le: u64 = if width == DOM_BLOCK {
-            u64::MAX
-        } else {
-            (1u64 << width) - 1
-        };
-        let mut lt: u64 = 0;
-        for (d, &y) in target.iter().enumerate() {
-            let col = &cols[d * stride + base..d * stride + base + width];
-            for (j, &x) in col.iter().enumerate() {
-                let bit = 1u64 << j;
-                if x > y {
-                    le &= !bit;
-                } else if x < y {
-                    lt |= bit;
-                }
-            }
-            if le == 0 {
-                break;
-            }
-        }
+        let (le, lt) = block_masks(cols, stride, base, width, lanes, target);
         if le & lt != 0 {
             scan.dominated = true;
             return scan;
         }
-        base += width;
     }
     scan
 }
@@ -181,32 +234,18 @@ pub fn collect_dominators_cols(
     let dims = target.len();
     debug_assert!(stride >= len);
     debug_assert!(cols.len() >= dims * stride);
+    let (blocks, tail_mask) = scan_geometry(len);
     let mut scan = ColScan::default();
-    let mut base = 0;
-    while base < len {
-        let width = DOM_BLOCK.min(len - base);
+    for b in 0..blocks {
+        let base = b * DOM_BLOCK;
+        let (width, lanes) = if b + 1 == blocks {
+            (len - base, tail_mask)
+        } else {
+            (DOM_BLOCK, u64::MAX)
+        };
         scan.blocks += 1;
         scan.points += width as u64;
-        let mut le: u64 = if width == DOM_BLOCK {
-            u64::MAX
-        } else {
-            (1u64 << width) - 1
-        };
-        let mut lt: u64 = 0;
-        for (d, &y) in target.iter().enumerate() {
-            let col = &cols[d * stride + base..d * stride + base + width];
-            for (j, &x) in col.iter().enumerate() {
-                let bit = 1u64 << j;
-                if x > y {
-                    le &= !bit;
-                } else if x < y {
-                    lt |= bit;
-                }
-            }
-            if le == 0 {
-                break;
-            }
-        }
+        let (le, lt) = block_masks(cols, stride, base, width, lanes, target);
         let mut dom = le & lt;
         if dom != 0 {
             scan.dominated = true;
@@ -216,7 +255,6 @@ pub fn collect_dominators_cols(
                 dom &= dom - 1;
             }
         }
-        base += width;
     }
     scan
 }

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::dominance::{block_masks, scan_geometry, ColScan, DOM_BLOCK};
 use crate::error::GeomError;
 
 /// Identifier of a point within one [`PointStore`].
@@ -191,12 +192,38 @@ impl PointStore {
 /// the buffer (amortized, like `Vec`). Skyline windows use this as a
 /// reusable scratch: [`ColumnarPoints::clear`] keeps the allocation, so
 /// a warm buffer makes repeated window maintenance allocation-free.
+///
+/// # Zone maps
+///
+/// Alongside the coordinates, the buffer maintains a *zone map* per
+/// [`DOM_BLOCK`]-point block: the componentwise min/max corners of the
+/// block's points (its minimum bounding rectangle), updated
+/// incrementally on [`push`](Self::push) and
+/// [`gather`](Self::gather), widened conservatively on
+/// [`swap_remove`](Self::swap_remove), and reset on
+/// [`clear`](Self::clear). The dominance scans use the min corner for
+/// BBS-style block skipping: a point `s` can dominate `t` only if
+/// `s[d] <= t[d]` on every dimension, so a block whose min corner
+/// exceeds `t` somewhere — equivalently, whose MBR misses `ADR(t)` —
+/// provably holds no dominator and is skipped without touching a
+/// single lane ([`ColScan::skipped`](crate::dominance::ColScan) counts
+/// these). Skipping never changes a verdict or a dominator list, only
+/// how many blocks are scanned to produce them.
 #[derive(Clone, Debug)]
 pub struct ColumnarPoints {
     dims: usize,
     len: usize,
     cap: usize,
     buf: Vec<f64>,
+    /// Per-block componentwise minimum corner, block-major:
+    /// `zone_lo[b * dims .. (b + 1) * dims]` bounds block `b` from
+    /// below. Conservative after `swap_remove` (never above the true
+    /// minimum), exact after pure `push`/`gather` fills.
+    zone_lo: Vec<f64>,
+    /// Per-block componentwise maximum corner, same layout; kept
+    /// symmetric with `zone_lo` so the summaries describe the full MBR
+    /// (introspection, tests, future upper-bound pruning).
+    zone_hi: Vec<f64>,
 }
 
 impl ColumnarPoints {
@@ -211,6 +238,8 @@ impl ColumnarPoints {
             len: 0,
             cap: 0,
             buf: Vec::new(),
+            zone_lo: Vec::new(),
+            zone_hi: Vec::new(),
         }
     }
 
@@ -232,10 +261,14 @@ impl ColumnarPoints {
         self.dims
     }
 
-    /// Drops all points, keeping the allocation for reuse.
+    /// Drops all points, keeping the allocation for reuse. The zone
+    /// maps are fully reset too: a recycled scratch buffer must never
+    /// serve block summaries derived from evicted contents.
     #[inline]
     pub fn clear(&mut self) {
         self.len = 0;
+        self.zone_lo.clear();
+        self.zone_hi.clear();
     }
 
     /// Appends one point.
@@ -250,23 +283,58 @@ impl ColumnarPoints {
         for (d, &x) in coords.iter().enumerate() {
             self.buf[d * self.cap + self.len] = x;
         }
+        self.zone_note(coords);
         self.len += 1;
+    }
+
+    /// Folds `coords` into the zone map of the block that will hold the
+    /// point at position `self.len` (call before incrementing `len`).
+    #[inline]
+    fn zone_note(&mut self, coords: &[f64]) {
+        if self.len % DOM_BLOCK == 0 {
+            // First point of a fresh block: its coordinates are the MBR.
+            self.zone_lo.extend_from_slice(coords);
+            self.zone_hi.extend_from_slice(coords);
+        } else {
+            let at = (self.len / DOM_BLOCK) * self.dims;
+            for (d, &x) in coords.iter().enumerate() {
+                let lo = &mut self.zone_lo[at + d];
+                *lo = lo.min(x);
+                let hi = &mut self.zone_hi[at + d];
+                *hi = hi.max(x);
+            }
+        }
     }
 
     /// Removes the point at `i` by swapping the last point into its
     /// slot — mirroring `Vec::swap_remove`, so an id vector maintained
     /// alongside stays aligned when it applies the same operation.
+    ///
+    /// The destination block's zone map is *widened* with the moved
+    /// point (bounds stay conservative, they just stop being tight);
+    /// a block emptied by the removal drops its summary entirely.
     pub fn swap_remove(&mut self, i: usize) {
         assert!(i < self.len, "swap_remove index out of bounds");
         let last = self.len - 1;
+        let at = (i / DOM_BLOCK) * self.dims;
         for d in 0..self.dims {
-            self.buf[d * self.cap + i] = self.buf[d * self.cap + last];
+            let x = self.buf[d * self.cap + last];
+            self.buf[d * self.cap + i] = x;
+            let lo = &mut self.zone_lo[at + d];
+            *lo = lo.min(x);
+            let hi = &mut self.zone_hi[at + d];
+            *hi = hi.max(x);
         }
         self.len = last;
+        self.zone_lo
+            .truncate(self.len.div_ceil(DOM_BLOCK) * self.dims);
+        self.zone_hi
+            .truncate(self.len.div_ceil(DOM_BLOCK) * self.dims);
     }
 
     /// Gathers the given points of `store` into this buffer, replacing
-    /// its contents (the allocation is reused when large enough).
+    /// its contents (the allocation is reused when large enough). Zone
+    /// maps are rebuilt exactly for the gathered set.
     pub fn gather(&mut self, store: &PointStore, ids: &[PointId]) {
         debug_assert_eq!(store.dims(), self.dims);
         self.clear();
@@ -278,35 +346,113 @@ impl ColumnarPoints {
             for (d, &x) in p.iter().enumerate() {
                 self.buf[d * self.cap + self.len] = x;
             }
+            self.zone_note(p);
             self.len += 1;
         }
     }
 
-    /// Whether any held point dominates `target`, via the blockwise
-    /// columnar kernel. Returns the verdict plus scan-work counts.
+    /// Number of [`DOM_BLOCK`]-point blocks currently summarized.
     #[inline]
-    pub fn dominated_by_any(&self, target: &[f64]) -> crate::dominance::ColScan {
-        debug_assert_eq!(target.len(), self.dims);
-        if self.len == 0 {
-            return crate::dominance::ColScan::default();
+    pub fn blocks(&self) -> usize {
+        self.len.div_ceil(DOM_BLOCK)
+    }
+
+    /// The zone map of block `block`: its conservative `(min, max)`
+    /// corners, each a `dims`-length slice, or `None` past the last
+    /// block. After pure `push`/`gather` fills the bounds are exact;
+    /// `swap_remove` may leave them wider than the surviving points.
+    pub fn block_bounds(&self, block: usize) -> Option<(&[f64], &[f64])> {
+        if block >= self.blocks() {
+            return None;
         }
-        crate::dominance::dominated_by_any_cols(&self.buf, self.cap, self.len, target)
+        let at = block * self.dims;
+        Some((
+            &self.zone_lo[at..at + self.dims],
+            &self.zone_hi[at..at + self.dims],
+        ))
+    }
+
+    /// Whether block `block`'s MBR intersects `ADR(target)` — i.e. its
+    /// min corner is `<=` the target on every dimension. Only such a
+    /// block can contain a dominator of `target`; the scans skip every
+    /// block where this is false.
+    #[inline]
+    fn zone_admits(&self, block: usize, target: &[f64]) -> bool {
+        let at = block * self.dims;
+        self.zone_lo[at..at + self.dims]
+            .iter()
+            .zip(target)
+            .all(|(&l, &y)| l <= y)
+    }
+
+    /// Whether any held point dominates `target`, via the blockwise
+    /// columnar kernel with zone-map block skipping. Returns the
+    /// verdict plus scan-work counts. The verdict is bit-identical to
+    /// the raw kernel ([`crate::dominance::dominated_by_any_cols`]) and
+    /// to the scalar `any(dominates)` loop: a skipped block provably
+    /// contains no dominator.
+    pub fn dominated_by_any(&self, target: &[f64]) -> ColScan {
+        debug_assert_eq!(target.len(), self.dims);
+        let (blocks, tail_mask) = scan_geometry(self.len);
+        let mut scan = ColScan::default();
+        for b in 0..blocks {
+            if !self.zone_admits(b, target) {
+                scan.skipped += 1;
+                continue;
+            }
+            let base = b * DOM_BLOCK;
+            let (width, lanes) = if b + 1 == blocks {
+                (self.len - base, tail_mask)
+            } else {
+                (DOM_BLOCK, u64::MAX)
+            };
+            scan.blocks += 1;
+            scan.points += width as u64;
+            let (le, lt) = block_masks(&self.buf, self.cap, base, width, lanes, target);
+            if le & lt != 0 {
+                scan.dominated = true;
+                return scan;
+            }
+        }
+        scan
     }
 
     /// Appends the position (0-based stored index) of every held point
     /// that dominates `target` to `out`, in stored order, via the
-    /// blockwise columnar kernel. Returns the scan-work counts.
-    #[inline]
-    pub fn collect_dominators(
-        &self,
-        target: &[f64],
-        out: &mut Vec<u32>,
-    ) -> crate::dominance::ColScan {
+    /// blockwise columnar kernel with zone-map block skipping. Returns
+    /// the scan-work counts. Every block is either scanned or skipped
+    /// (`scan.blocks + scan.skipped == self.blocks()`), and the
+    /// collected list is identical to the raw kernel's: a skipped block
+    /// contributes no positions because it can contain none.
+    pub fn collect_dominators(&self, target: &[f64], out: &mut Vec<u32>) -> ColScan {
         debug_assert_eq!(target.len(), self.dims);
-        if self.len == 0 {
-            return crate::dominance::ColScan::default();
+        let (blocks, tail_mask) = scan_geometry(self.len);
+        let mut scan = ColScan::default();
+        for b in 0..blocks {
+            if !self.zone_admits(b, target) {
+                scan.skipped += 1;
+                continue;
+            }
+            let base = b * DOM_BLOCK;
+            let (width, lanes) = if b + 1 == blocks {
+                (self.len - base, tail_mask)
+            } else {
+                (DOM_BLOCK, u64::MAX)
+            };
+            scan.blocks += 1;
+            scan.points += width as u64;
+            let (le, lt) = block_masks(&self.buf, self.cap, base, width, lanes, target);
+            let mut dom = le & lt;
+            if dom != 0 {
+                scan.dominated = true;
+                while dom != 0 {
+                    let j = dom.trailing_zeros();
+                    out.push((base + j as usize) as u32);
+                    dom &= dom - 1;
+                }
+            }
         }
-        crate::dominance::collect_dominators_cols(&self.buf, self.cap, self.len, target, out)
+        scan
     }
 
     fn grow(&mut self) {
@@ -452,6 +598,46 @@ mod tests {
         cols.clear();
         assert!(cols.is_empty());
         assert!(!cols.dominated_by_any(&[9.0, 9.0]).dominated);
+    }
+
+    #[test]
+    fn columnar_clear_resets_zone_maps() {
+        use crate::dominance::dominates;
+        // Fill with points clustered high (zone mins ~9), spanning two
+        // blocks, then clear and refill with low points. Stale zone
+        // maps from the first generation would either misalign the
+        // per-block summaries (extend-after-clear) or skip blocks that
+        // now hold dominators.
+        let mut cols = ColumnarPoints::new(2);
+        for i in 0..100 {
+            cols.push(&[9.0 + (i % 7) as f64 * 0.1, 9.5 - (i % 5) as f64 * 0.1]);
+        }
+        assert_eq!(cols.blocks(), 2);
+        cols.clear();
+        assert_eq!(cols.blocks(), 0);
+        assert!(cols.block_bounds(0).is_none());
+
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 * 0.1, (i % 4) as f64 * 0.25])
+            .collect();
+        for r in &rows {
+            cols.push(r);
+        }
+        // Fresh bounds must describe the new generation exactly.
+        let (lo, hi) = cols.block_bounds(0).unwrap();
+        assert!(lo.iter().all(|&l| l <= 0.9) && hi.iter().all(|&h| h <= 1.0));
+        for t in [[0.05, 0.05], [0.5, 0.5], [2.0, 2.0], [9.2, 9.2]] {
+            let scalar = rows.iter().any(|p| dominates(p, &t));
+            let scan = cols.dominated_by_any(&t);
+            assert_eq!(scan.dominated, scalar, "target {t:?} after clear+refill");
+            let mut out = Vec::new();
+            let collect = cols.collect_dominators(&t, &mut out);
+            assert_eq!(
+                collect.blocks + collect.skipped,
+                cols.blocks() as u64,
+                "conservation after reuse"
+            );
+        }
     }
 
     #[test]

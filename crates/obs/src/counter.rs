@@ -63,6 +63,13 @@ pub enum Counter {
     SharedThresholdUpdates,
     /// 64-point blocks scanned by the columnar dominance kernel.
     KernelBlockScans,
+    /// 64-point blocks skipped wholesale by the kernel's per-block zone
+    /// maps: the block's min corner proved it could hold no dominator
+    /// (equivalently, its MBR misses the target's ADR), so not one of
+    /// its lanes was compared. On full enumerating scans the exact
+    /// conservation law `KernelBlockScans + KernelBlocksSkipped ==
+    /// scans × total blocks` holds.
+    KernelBlocksSkipped,
     /// Per-product answers served from the dominance-aware result cache
     /// without recomputation (`skyup-serve`).
     CacheHit,
@@ -116,7 +123,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 38] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -138,6 +145,7 @@ impl Counter {
         Counter::StealEvents,
         Counter::SharedThresholdUpdates,
         Counter::KernelBlockScans,
+        Counter::KernelBlocksSkipped,
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEvictions,
@@ -183,6 +191,7 @@ impl Counter {
             Counter::StealEvents => "steal_events",
             Counter::SharedThresholdUpdates => "shared_threshold_updates",
             Counter::KernelBlockScans => "kernel_block_scans",
+            Counter::KernelBlocksSkipped => "kernel_blocks_skipped",
             Counter::CacheHit => "cache_hit",
             Counter::CacheMiss => "cache_miss",
             Counter::CacheEvictions => "cache_evictions",

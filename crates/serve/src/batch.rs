@@ -67,6 +67,14 @@ pub struct BatchStats {
     /// Wall-clock spent in [`run_probe_batch`], shared by every request
     /// in the window.
     pub exec_nanos: u64,
+    /// Dominance-kernel blocks actually scanned while executing the
+    /// batch (the whole window shares one kernel, so this is batch-wide,
+    /// not per request).
+    pub kernel_blocks_scanned: u64,
+    /// Dominance-kernel blocks the per-block zone maps skipped without
+    /// scanning. `kernel_blocks_scanned + kernel_blocks_skipped` equals
+    /// the total blocks every full scan covered.
+    pub kernel_blocks_skipped: u64,
 }
 
 /// Executes a window of queries as one batch against one pinned
@@ -95,8 +103,7 @@ pub fn execute_batch_stats(
     let dims = engine.dims();
     let mut stats = BatchStats {
         per_request: vec![BatchRequestStats::default(); reqs.len()],
-        assemble_nanos: 0,
-        exec_nanos: 0,
+        ..BatchStats::default()
     };
     let mut results: Vec<Option<Result<QueryResponse, SkyupError>>> =
         reqs.iter().map(|_| None).collect();
@@ -199,6 +206,8 @@ pub fn execute_batch_stats(
         )
     });
     stats.exec_nanos = exec_nanos;
+    stats.kernel_blocks_scanned = rec.get(Counter::KernelBlockScans);
+    stats.kernel_blocks_skipped = rec.get(Counter::KernelBlocksSkipped);
     let out = match ran {
         Ok(out) => out,
         Err(SkyupError::WorkerPanicked { worker, message }) => {

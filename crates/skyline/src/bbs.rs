@@ -53,8 +53,9 @@ impl Ord for HeapItem {
 
 /// "Is `target` dominated by any mirrored skyline point", via the
 /// blockwise columnar kernel, with the scan work charged to the
-/// recorder: every covered point is a `DominanceTests` and every block a
-/// `KernelBlockScans`. The verdict is bit-identical to the scalar
+/// recorder: every covered point is a `DominanceTests`, every scanned
+/// block a `KernelBlockScans`, and every block the zone maps skipped a
+/// `KernelBlocksSkipped`. The verdict is bit-identical to the scalar
 /// `skyline.iter().any(dominates)` loop.
 pub(crate) fn dominated_by_any<R: Recorder + ?Sized>(
     cols: &ColumnarPoints,
@@ -64,6 +65,7 @@ pub(crate) fn dominated_by_any<R: Recorder + ?Sized>(
     let scan = cols.dominated_by_any(target);
     rec.incr(Counter::DominanceTests, scan.points);
     rec.incr(Counter::KernelBlockScans, scan.blocks);
+    rec.incr(Counter::KernelBlocksSkipped, scan.skipped);
     scan.dominated
 }
 

@@ -38,6 +38,7 @@ pub fn skyline_bnl_rec<R: Recorder + ?Sized>(
         let scan = cols.dominated_by_any(c);
         rec.incr(Counter::DominanceTests, scan.points);
         rec.incr(Counter::KernelBlockScans, scan.blocks);
+        rec.incr(Counter::KernelBlocksSkipped, scan.skipped);
         if scan.dominated {
             continue;
         }

@@ -41,6 +41,7 @@ pub fn skyline_sfs_rec<R: Recorder + ?Sized>(
         let scan = cols.dominated_by_any(c);
         rec.incr(Counter::DominanceTests, scan.points);
         rec.incr(Counter::KernelBlockScans, scan.blocks);
+        rec.incr(Counter::KernelBlocksSkipped, scan.skipped);
         if !scan.dominated {
             skyline.push(candidate);
             cols.push(c);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Perf-regression gate: regenerates the serving and probe-scheduler
-# bench reports at the committed scale and compares them against the
-# checked-in baselines with `bench_gate`.
+# Perf-regression gate: regenerates the serving, probe-scheduler, and
+# dominance-kernel bench reports at the committed scale and compares
+# them against the checked-in baselines with `bench_gate`.
 #
 # Exit codes:
 #   0  every invariant and wall-clock check passed (possibly on a retry)
@@ -37,9 +37,14 @@ for attempt in $(seq 1 "$ATTEMPTS"); do
     SKYUP_BENCH_OUT="$OUT_DIR/probing.json" \
         cargo run --offline --release -q -p skyup-bench --bin probe_sched
 
+    echo "-- kernel_bench (committed scale) --"
+    SKYUP_BENCH_OUT="$OUT_DIR/kernel.json" \
+        cargo run --offline --release -q -p skyup-bench --bin kernel_bench
+
     ok=1
     "${GATE[@]}" serve "$OUT_DIR/serve.json" bench_results/BENCH_serve.json || ok=0
     "${GATE[@]}" probing "$OUT_DIR/probing.json" bench_results/BENCH_probing.json || ok=0
+    "${GATE[@]}" kernel "$OUT_DIR/kernel.json" bench_results/BENCH_kernel.json || ok=0
     if [ "$ok" = 1 ]; then
         echo "bench gate: OK (attempt $attempt)"
         exit 0

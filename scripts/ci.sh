@@ -56,9 +56,22 @@ echo "== kill-crash durability harness (dedicated hard cap) =="
 # eat the whole suite budget.
 timeout "${SKYUP_CI_CRASH_TIMEOUT:-120}" cargo test --offline -q --test crash_recovery
 
+echo "== kernel bench smoke (tiny scale, self-asserting) =="
+# The dominance-kernel bench at a tiny scale, under its own hard cap.
+# No baseline comparison here (wall-clock at smoke scale is noise) —
+# the value is the binary's self-asserts: every variant's dominator
+# lists bit-identical to the scalar oracle, the zone-map conservation
+# law blocks + skipped == total, and a live pruning path on the skewed
+# dataset. These are machine-independent, so this step runs even when
+# the timing gate below is skipped.
+SKYUP_BENCH_OUT="$(mktemp)" SKYUP_SCALE=0.002 \
+    timeout "${SKYUP_CI_KERNEL_TIMEOUT:-120}" \
+    cargo run --offline --release -q -p skyup-bench --bin kernel_bench
+
 echo "== bench gate: perf regression vs committed baselines =="
-# Regenerates the serving and probe-scheduler reports at the committed
-# scale and gates wall-clock (one-sided, 25% tolerance) plus the exact
+# Regenerates the serving, probe-scheduler, and dominance-kernel
+# reports at the committed scale and gates wall-clock (one-sided, 25%
+# tolerance) plus the exact
 # machine-independent invariants: bit-identity, cache/batch counters,
 # the 1.5x batched-speedup floor, and the telemetry accounting on the
 # serve report (trace count == requests served, histogram bucket

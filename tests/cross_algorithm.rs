@@ -294,6 +294,77 @@ fn scheduled_probing_counter_contract() {
     }
 }
 
+/// Zone-map accounting composes with batching and work stealing: every
+/// item answered by a full skyline scan covers the shared skyline's
+/// block count exactly once — as scanned plus skipped, never lost or
+/// double-counted — at every thread count. Memo-hit items run no kernel
+/// scan, so `KernelBlockScans + KernelBlocksSkipped` is an exact
+/// function of the full-scan count even though *which* items the memo
+/// answers is timing-dependent above one thread.
+#[test]
+fn batch_kernel_block_conservation() {
+    use skyup::core::{run_probe_batch, BatchItem};
+    use skyup::geom::DOM_BLOCK;
+    use skyup::obs::ExecutionLimits;
+    use skyup::skyline::skyline_bnl;
+
+    let p = generate(
+        900,
+        &SyntheticConfig::unit(3, Distribution::AntiCorrelated, 51),
+    );
+    let t = generate(
+        120,
+        &SyntheticConfig {
+            dims: 3,
+            distribution: Distribution::Independent,
+            lo: 0.4,
+            hi: 1.4,
+            seed: 52,
+        },
+    );
+    let ids: Vec<_> = p.ids().collect();
+    let mut sky = skyline_bnl(&p, &ids);
+    sky.sort(); // run_probe_batch requires an id-sorted skyline
+    let sky_blocks = sky.len().div_ceil(DOM_BLOCK) as u64;
+    let cost_fn = SumCost::reciprocal(3, 1e-2);
+    let cfg = UpgradeConfig::default();
+    let items: Vec<BatchItem> = t
+        .iter()
+        .map(|(id, c)| BatchItem {
+            request: 0,
+            index: id.0,
+            coords: c,
+        })
+        .collect();
+
+    for threads in [1, 2, 4] {
+        let guards = vec![ExecutionLimits::default().start()];
+        let mut m = QueryMetrics::new();
+        let out = run_probe_batch(
+            &p,
+            &sky,
+            &items,
+            std::slice::from_ref(&cost_fn),
+            &guards,
+            &cfg,
+            threads,
+            &mut m,
+        )
+        .expect("batch executes");
+        assert!(out.outcomes.iter().all(|o| o.is_some()), "no cuts expected");
+        let full_scans = items.len() as u64 - out.memo_hits;
+        assert_eq!(
+            m.get(Counter::KernelBlockScans) + m.get(Counter::KernelBlocksSkipped),
+            full_scans * sky_blocks,
+            "threads={threads}: kernel blocks lost or double-counted"
+        );
+        // Every full scan is a collect pass over the gathered skyline,
+        // so the points the kernel compared can never exceed one
+        // skyline sweep per scan.
+        assert!(m.get(Counter::DominanceTests) <= items.len() as u64 * sky.len() as u64);
+    }
+}
+
 #[test]
 fn single_set_agrees_with_probing_against_self() {
     // Splitting a catalog into {t} vs rest, probing each singleton,

@@ -318,3 +318,161 @@ fn cost_function_monotone() {
         }
     });
 }
+
+/// Lays out `rows` dims-major with `stride == rows.len()` for the free
+/// columnar kernels.
+fn to_cols(rows: &[Vec<f64>]) -> Vec<f64> {
+    let n = rows.len();
+    let mut cols = vec![0.0; DIMS * n];
+    for (i, p) in rows.iter().enumerate() {
+        for (d, &x) in p.iter().enumerate() {
+            cols[d * n + i] = x;
+        }
+    }
+    cols
+}
+
+/// A quantized coordinate that is sometimes `-0.0`: the kernels compare
+/// raw `f64`s, and IEEE `-0.0 == +0.0` must hold through the mask loop
+/// and the zone maps alike.
+fn coord_signed_zero(rng: &mut Rng) -> f64 {
+    let c = rng.range_usize(4) as f64 / 4.0;
+    if c == 0.0 && rng.range_usize(2) == 0 {
+        -0.0
+    } else {
+        c
+    }
+}
+
+/// The three dominance scans — scalar loop, branch-free columnar
+/// kernel, zone-mapped [`ColumnarPoints`] — agree bit-for-bit on
+/// verdicts and dominator position lists, with exact work accounting,
+/// at every block-boundary size and with duplicate and `±0.0`
+/// coordinates.
+#[test]
+fn kernel_scalar_equivalence_across_paths() {
+    use skyup::geom::{collect_dominators_cols, dominated_by_any_cols, ColumnarPoints, DOM_BLOCK};
+    for_each_case(12, |rng| {
+        // Sizes straddling the 64-lane block boundary, plus a random
+        // small size for the degenerate shapes.
+        let sizes = [63, 64, 65, 128, 129, 1 + rng.range_usize(62)];
+        let n = sizes[rng.range_usize(sizes.len())];
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..DIMS).map(|_| coord_signed_zero(rng)).collect())
+            .collect();
+        let cols_raw = to_cols(&rows);
+        let mut cols = ColumnarPoints::new(DIMS);
+        for r in &rows {
+            cols.push(r);
+        }
+        let total_blocks = n.div_ceil(DOM_BLOCK) as u64;
+        for _ in 0..8 {
+            let t: Vec<f64> = (0..DIMS).map(|_| coord_signed_zero(rng)).collect();
+            let scalar_positions: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| dominates(p, &t))
+                .map(|(i, _)| i as u32)
+                .collect();
+            let scalar_dominated = !scalar_positions.is_empty();
+
+            // Membership: identical verdicts on both columnar paths.
+            let raw = dominated_by_any_cols(&cols_raw, n, n, &t);
+            let zoned = cols.dominated_by_any(&t);
+            assert_eq!(raw.dominated, scalar_dominated, "raw kernel verdict");
+            assert_eq!(zoned.dominated, scalar_dominated, "zoned verdict");
+            // A non-dominated membership scan runs to completion, so
+            // the conservation law is exact on it too.
+            if !scalar_dominated {
+                assert_eq!(raw.blocks, total_blocks);
+                assert_eq!(zoned.blocks + zoned.skipped, total_blocks);
+            }
+
+            // Collect: identical position lists, exact accounting.
+            let mut raw_out = Vec::new();
+            let raw = collect_dominators_cols(&cols_raw, n, n, &t, &mut raw_out);
+            let mut zoned_out = Vec::new();
+            let zoned = cols.collect_dominators(&t, &mut zoned_out);
+            assert_eq!(raw_out, scalar_positions, "raw collect positions");
+            assert_eq!(zoned_out, scalar_positions, "zoned collect positions");
+            assert_eq!(raw.points, n as u64);
+            assert_eq!(raw.blocks, total_blocks);
+            assert_eq!(raw.skipped, 0, "free kernel carries no zone maps");
+            assert_eq!(
+                zoned.blocks + zoned.skipped,
+                total_blocks,
+                "collect conservation law"
+            );
+            // Points covered == total minus the points of skipped
+            // blocks. Only the tail block is partial, so the deficit is
+            // `skipped * 64`, less `64 - tail` when the skipped set
+            // included the tail block.
+            let deficit = n as u64 - zoned.points;
+            let tail = (n % DOM_BLOCK) as u64;
+            let all_full = zoned.skipped * DOM_BLOCK as u64;
+            let with_tail = if tail != 0 && zoned.skipped > 0 {
+                all_full - DOM_BLOCK as u64 + tail
+            } else {
+                all_full
+            };
+            assert!(
+                deficit == all_full || deficit == with_tail,
+                "covered points {} inconsistent with {} skipped blocks of {n}",
+                zoned.points,
+                zoned.skipped
+            );
+        }
+    });
+}
+
+/// Zone-map soundness oracle: a block whose min corner does not admit
+/// the target (the skip condition) contains no dominator — checked
+/// point-by-point — and the skip *count* matches the number of
+/// non-admitting blocks exactly on full collect scans.
+#[test]
+fn zone_map_skips_are_sound_and_exactly_counted() {
+    use skyup::geom::{ColumnarPoints, DOM_BLOCK};
+    for_each_case(13, |rng| {
+        let rows = points(rng, 200);
+        let n = rows.len();
+        let mut cols = ColumnarPoints::new(DIMS);
+        for r in &rows {
+            cols.push(r);
+        }
+        for _ in 0..8 {
+            let t = point(rng);
+            let mut non_admitting = 0u64;
+            for b in 0..cols.blocks() {
+                let (lo, hi) = cols.block_bounds(b).expect("block in range");
+                assert_eq!(lo.len(), DIMS);
+                assert_eq!(hi.len(), DIMS);
+                let admits = lo.iter().zip(&t).all(|(&l, &y)| l <= y);
+                if admits {
+                    continue;
+                }
+                non_admitting += 1;
+                // The oracle: every point of a non-admitting block is
+                // individually unable to dominate the target.
+                let lo_i = b * DOM_BLOCK;
+                let hi_i = ((b + 1) * DOM_BLOCK).min(n);
+                for p in &rows[lo_i..hi_i] {
+                    assert!(
+                        !dominates(p, &t),
+                        "zone map would skip a block holding dominator {p:?} of {t:?}"
+                    );
+                }
+            }
+            let mut out = Vec::new();
+            let scan = cols.collect_dominators(&t, &mut out);
+            assert_eq!(
+                scan.skipped, non_admitting,
+                "skip count != non-admitting block count"
+            );
+            assert_eq!(
+                scan.blocks + scan.skipped,
+                cols.blocks() as u64,
+                "collect conservation law"
+            );
+        }
+    });
+}
