@@ -414,6 +414,100 @@ fn gate_serve(gate: &mut Gate, fresh: &Json, baseline: &Json) {
     });
     gate_serve_latency(gate, fresh, baseline);
     gate_serve_durability(gate, fresh, baseline);
+    gate_serve_scatter(gate, fresh, baseline);
+}
+
+/// Scatter/gather rows (`scatter_gather`, keyed by shard count): the
+/// gathered answer must stay bit-identical to the single-engine
+/// oracle, the fan-out and publish counters are exact functions of the
+/// committed workload, the sampled merge-filter chain must be
+/// conserved (per-shard dominator sum >= gathered union >= merged
+/// skyline), and gather qps / publish throughput are wall-clock with
+/// the usual one-sided tolerance.
+fn gate_serve_scatter(gate: &mut Gate, fresh: &Json, baseline: &Json) {
+    gate.check(is_true(fresh, "scatter_gather_bit_identical"), || {
+        "scatter_gather_bit_identical is not true: a gathered answer \
+         diverged from the single-engine oracle"
+            .into()
+    });
+    let (Some(frows), Some(brows)) = (
+        rows(fresh, "scatter_gather"),
+        rows(baseline, "scatter_gather"),
+    ) else {
+        gate.fail("scatter_gather array missing".into());
+        return;
+    };
+    for brow in brows {
+        let shards = num(brow, "shards").unwrap_or(-1.0);
+        let what = format!("scatter_gather {shards}-shard");
+        let Some(frow) = frows.iter().find(|r| num(r, "shards") == Some(shards)) else {
+            gate.fail(format!("{what}: missing from fresh report"));
+            continue;
+        };
+        // Machine-independent: deterministic functions of the committed
+        // workload and seed.
+        for field in [
+            "mutations",
+            "identity_checks",
+            "queries",
+            "scatter_probes",
+            "gather_points",
+            "merge_dropped",
+            "stage_acks",
+            "epoch_flips",
+            "sample_per_shard_sum",
+            "sample_union",
+            "sample_merged",
+        ] {
+            gate.exact(&what, field, frow, brow);
+        }
+        let g = |key: &str| num(frow, key).unwrap_or(-1.0);
+        gate.check(g("scatter_probes") == g("queries") * shards, || {
+            format!(
+                "{what}: scatter fan-out broke: {} probes for {} queries x {shards} shards",
+                g("scatter_probes"),
+                g("queries")
+            )
+        });
+        gate.check(g("stage_acks") == g("epoch_flips") * shards, || {
+            format!(
+                "{what}: two-phase accounting broke: {} stage acks for {} flips x {shards} \
+                 shards",
+                g("stage_acks"),
+                g("epoch_flips")
+            )
+        });
+        gate.check(g("epoch_flips") == g("mutations"), || {
+            format!(
+                "{what}: {} publishes for {} mutations",
+                g("epoch_flips"),
+                g("mutations")
+            )
+        });
+        gate.check(
+            g("sample_per_shard_sum") >= g("sample_union")
+                && g("sample_union") >= g("sample_merged")
+                && g("sample_merged") >= 1.0,
+            || {
+                format!(
+                    "{what}: merge-filter chain broke: per-shard sum {} >= union {} >= \
+                     merged {} >= 1 must hold",
+                    g("sample_per_shard_sum"),
+                    g("sample_union"),
+                    g("sample_merged")
+                )
+            },
+        );
+        gate.rate(&what, "qps", frow, brow);
+        gate.rate(&what, "publish_mps", frow, brow);
+    }
+    gate.check(frows.len() == brows.len(), || {
+        format!(
+            "scatter_gather row count changed: fresh {} vs baseline {}",
+            frows.len(),
+            brows.len()
+        )
+    });
 }
 
 /// Gate for `probe_sched` reports (`BENCH_probing.json`). Rows are

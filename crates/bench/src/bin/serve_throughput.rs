@@ -52,9 +52,10 @@ use skyup_geom::PointStore;
 use skyup_obs::json::Json;
 use skyup_obs::{Completion, Counter};
 use skyup_rtree::persist::fnv1a;
+use skyup_serve::proto::render_query_response;
 use skyup_serve::{
-    CostSpec, Engine, EngineConfig, FsyncPolicy, Mutation, QueryRequest, ServeConfig, ServeHandle,
-    WalConfig,
+    execute_query, Coordinator, CostSpec, Engine, EngineConfig, FsyncPolicy, LocalLink, Mutation,
+    Partition, ProbeRequest, QueryRequest, ServeConfig, ServeHandle, ShardState, WalConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -400,6 +401,140 @@ fn main() {
         }
     }
 
+    // Scatter/gather: the multi-shard coordinator over in-process shard
+    // links at 1, 2 and 4 shards. The machine-dependent half is gather
+    // qps/p99 and two-phase publish throughput; the machine-independent
+    // half is bit-identity against a single-engine oracle holding the
+    // full set, the exact scatter-fanout and merge-filter counters, and
+    // a sampled per-shard-sum >= union >= merged-skyline chain the gate
+    // pins exactly.
+    let sg_mutations = ((64.0 * args.scale) as usize).max(8);
+    let sg_checks = (pool.len() / 4).clamp(8.min(pool.len()), pool.len());
+    let mut scatter_gather = Vec::new();
+    let mut sg_identical = true;
+    for shards in [1u32, 2, 4] {
+        let partition = Partition::new(shards).expect("shard count");
+        let mut links = Vec::new();
+        let mut states = Vec::new();
+        for id in 0..shards {
+            let (slab, cid_of) = partition.shard_seed(&competitors, id);
+            let engine = Engine::with_identified_competitors(
+                slab,
+                cid_of,
+                competitors.len() as u64,
+                EngineConfig::default(),
+            )
+            .expect("seed slab");
+            let state = Arc::new(ShardState::new(
+                ServeHandle::start(
+                    Arc::new(engine),
+                    ServeConfig {
+                        slow_ms: 0,
+                        ..ServeConfig::default()
+                    },
+                ),
+                id,
+                shards,
+            ));
+            links.push(LocalLink(Arc::clone(&state)));
+            states.push(state);
+        }
+        let coordinator = Coordinator::new(links, partition, &competitors).expect("topology");
+        let oracle = Engine::with_competitors(competitors.clone(), EngineConfig::default());
+
+        // Two-phase publish throughput, mirrored into the oracle so the
+        // identity checks below run at the same epoch.
+        let mut rng = Rng::seed_from_u64(args.seed ^ 0x5ca77e4);
+        let adds: Vec<Vec<f64>> = (0..sg_mutations)
+            .map(|_| (0..DIMS).map(|_| rng.next_f64()).collect())
+            .collect();
+        let start = Instant::now();
+        for p in &adds {
+            coordinator
+                .mutate(Mutation::AddCompetitor(p.clone()))
+                .expect("published add");
+        }
+        let publish_s = start.elapsed().as_secs_f64();
+        for p in adds {
+            oracle
+                .apply(Mutation::AddCompetitor(p))
+                .expect("oracle add");
+        }
+
+        // Bit-identity self-check: the gathered response line must be
+        // byte-for-byte the oracle's.
+        let request = |t: &Vec<f64>| QueryRequest {
+            products: vec![t.clone()],
+            k: 1,
+            cost: CostSpec::Reciprocal(1e-3),
+            max_products: None,
+            deadline: None,
+        };
+        for t in pool.iter().take(sg_checks) {
+            let got = coordinator.query(&request(t)).expect("gathered");
+            let want = execute_query(&oracle, &request(t)).expect("oracle");
+            sg_identical &= render_query_response(&got) == render_query_response(&want);
+        }
+
+        // Merge-filter sample on one product: per-shard dominator counts
+        // (probed directly) against the gathered union and the merged
+        // skyline the coordinator's counters report for the same query.
+        let sample = ProbeRequest {
+            products: vec![pool[0].clone()],
+            deadline: None,
+        };
+        let per_shard_sum: u64 = states
+            .iter()
+            .map(|s| s.probe(&sample).dominators[0].len() as u64)
+            .sum();
+        let before = coordinator.metrics();
+        coordinator.query(&request(&pool[0])).expect("sample query");
+        let after = coordinator.metrics();
+        let union = after.get(Counter::GatherPoints) - before.get(Counter::GatherPoints);
+        let merged = union - (after.get(Counter::MergeDropped) - before.get(Counter::MergeDropped));
+
+        // Timed gather pass over the whole pool, per-request latency.
+        let mut lat = Vec::with_capacity(pool.len());
+        let start = Instant::now();
+        for t in pool.iter() {
+            let t0 = Instant::now();
+            let resp = coordinator.query(&request(t)).expect("gathered");
+            lat.push(t0.elapsed().as_nanos() as u64);
+            assert!(
+                matches!(resp.completion, Completion::Exact),
+                "unbudgeted gather came back partial"
+            );
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        lat.sort_unstable();
+        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+
+        let m = coordinator.metrics();
+        scatter_gather.push(Json::obj(vec![
+            ("shards", Json::Uint(shards as u64)),
+            ("mutations", Json::Uint(sg_mutations as u64)),
+            (
+                "publish_mps",
+                Json::Num(sg_mutations as f64 / publish_s.max(1e-9)),
+            ),
+            ("identity_checks", Json::Uint(sg_checks as u64)),
+            ("queries", Json::Uint((sg_checks + 1 + pool.len()) as u64)),
+            ("qps", Json::Num(pool.len() as f64 / elapsed.max(1e-9))),
+            ("p99_us", Json::Num(p99 as f64 / 1e3)),
+            ("scatter_probes", Json::Uint(m.get(Counter::ScatterProbes))),
+            ("gather_points", Json::Uint(m.get(Counter::GatherPoints))),
+            ("merge_dropped", Json::Uint(m.get(Counter::MergeDropped))),
+            ("stage_acks", Json::Uint(m.get(Counter::StageAcks))),
+            ("epoch_flips", Json::Uint(m.get(Counter::EpochFlips))),
+            ("sample_per_shard_sum", Json::Uint(per_shard_sum)),
+            ("sample_union", Json::Uint(union)),
+            ("sample_merged", Json::Uint(merged)),
+        ]));
+        for s in states {
+            s.handle().shutdown();
+        }
+    }
+
     let speedup = |phase: &str| {
         qps[&("batched", 4usize, phase)] / qps[&("per_request", 4usize, phase)].max(1e-9)
     };
@@ -414,11 +549,15 @@ fn main() {
                 ("warm_passes", Json::Num(WARM_PASSES as f64)),
                 ("pipeline", Json::Num(PIPELINE as f64)),
                 ("batch_window_us", Json::Num(BATCH_WINDOW_US as f64)),
+                ("sg_mutations", Json::Num(sg_mutations as f64)),
+                ("sg_identity_checks", Json::Num(sg_checks as f64)),
                 ("scale", Json::Num(args.scale)),
                 ("seed", Json::Num(args.seed as f64)),
             ]),
         ),
         ("runs", Json::Arr(runs)),
+        ("scatter_gather", Json::Arr(scatter_gather)),
+        ("scatter_gather_bit_identical", Json::Bool(sg_identical)),
         ("latency", Json::Arr(latency)),
         ("durability", Json::Arr(durability)),
         (
@@ -444,5 +583,9 @@ fn main() {
     assert!(
         all_identical,
         "batched or warm answers diverged from the per-request cold computation"
+    );
+    assert!(
+        sg_identical,
+        "a gathered answer diverged from the single-engine oracle"
     );
 }

@@ -119,11 +119,29 @@ pub enum Counter {
     /// checksum-failed final record left by a crash mid-append (never
     /// an abort — recovery keeps the longest valid prefix).
     TornTailTruncated,
+    /// Per-shard probes issued by the scatter phase of a coordinated
+    /// query (one per reachable shard per admitted request).
+    ScatterProbes,
+    /// Distinct competitor points gathered from shard probe responses
+    /// (union size after cross-shard cid dedup, before the merge
+    /// dominance filter).
+    GatherPoints,
+    /// Gathered union points discarded by the coordinator's merge
+    /// dominance filter (`gather_points - merge_dropped` points feed
+    /// the upgrade join).
+    MergeDropped,
+    /// Stage acknowledgements collected during two-phase epoch
+    /// publishes (a committed publish acks once per shard, so
+    /// `stage_acks == epoch_flips * shards`).
+    StageAcks,
+    /// Two-phase epoch publishes committed by the coordinator (the
+    /// flip round after all shards acked the staged epoch).
+    EpochFlips,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 43] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -162,6 +180,11 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::RecoveryReplayedRecords,
         Counter::TornTailTruncated,
+        Counter::ScatterProbes,
+        Counter::GatherPoints,
+        Counter::MergeDropped,
+        Counter::StageAcks,
+        Counter::EpochFlips,
     ];
 
     /// Number of counters (the metrics array length).
@@ -208,6 +231,11 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::RecoveryReplayedRecords => "recovery_replayed_records",
             Counter::TornTailTruncated => "torn_tail_truncated",
+            Counter::ScatterProbes => "scatter_probes",
+            Counter::GatherPoints => "gather_points",
+            Counter::MergeDropped => "merge_dropped",
+            Counter::StageAcks => "stage_acks",
+            Counter::EpochFlips => "epoch_flips",
         }
     }
 

@@ -41,6 +41,13 @@ use std::sync::{Arc, Mutex};
 pub enum Mutation {
     /// Add a competitor at these coordinates.
     AddCompetitor(Vec<f64>),
+    /// Add a competitor under a pre-assigned id. Used by shards, where
+    /// the coordinator owns the global id sequence: each shard only
+    /// sees the adds it owns, so its local `next_cid` lags the global
+    /// counter and ids arrive with gaps. The id must not be behind the
+    /// engine's own counter (ids stay strictly increasing in row
+    /// order — the invariant the scatter/gather merge relies on).
+    AddCompetitorWithCid(CompetitorId, Vec<f64>),
     /// Remove the competitor with this id.
     RemoveCompetitor(CompetitorId),
 }
@@ -166,6 +173,39 @@ impl Engine {
         Self::from_parts(store, None, cfg)
     }
 
+    /// An engine seeded with competitors that already carry ids —
+    /// a shard holding its slice of a globally partitioned set, where
+    /// `cid_of[i]` is store row `i`'s global id. Ids must be strictly
+    /// increasing in row order (the merge path depends on it) and
+    /// `next_cid` must clear the highest one.
+    pub fn with_identified_competitors(
+        store: PointStore,
+        cid_of: Vec<CompetitorId>,
+        next_cid: CompetitorId,
+        cfg: EngineConfig,
+    ) -> Result<Engine, SkyupError> {
+        if cid_of.len() != store.len() {
+            return Err(SkyupError::InvalidInput(format!(
+                "cid_of has {} entries for {} store rows",
+                cid_of.len(),
+                store.len()
+            )));
+        }
+        if cid_of.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SkyupError::InvalidInput(
+                "competitor ids must be strictly increasing in row order".into(),
+            ));
+        }
+        if let Some(&last) = cid_of.last() {
+            if next_cid <= last {
+                return Err(SkyupError::InvalidInput(format!(
+                    "next_cid {next_cid} does not clear the highest seeded id {last}"
+                )));
+            }
+        }
+        Ok(Self::from_id_parts(store, None, cid_of, next_cid, 0, cfg))
+    }
+
     /// Warm start: restores the competitor set from a combined snapshot
     /// file written by [`Engine::save_snapshot_bytes`]. Corruption is
     /// reported as [`SkyupError::InvalidInput`], never a panic.
@@ -239,6 +279,16 @@ impl Engine {
         cfg: EngineConfig,
         wal_cfg: WalConfig,
     ) -> Result<Engine, SkyupError> {
+        Self::with_competitors(store, cfg).into_durable(wal_cfg)
+    }
+
+    /// Attaches durability to a freshly seeded engine (any of the
+    /// seeding constructors; the engine must not have served mutations
+    /// yet): writes the initial checkpoint under `wal.dir` so the
+    /// directory is recoverable from the first moment. Fails if the
+    /// directory already holds durable state — use [`Engine::recover`]
+    /// for that.
+    pub fn into_durable(self, wal_cfg: WalConfig) -> Result<Engine, SkyupError> {
         if wal::has_state(&wal_cfg.dir) {
             return Err(SkyupError::InvalidConfig(format!(
                 "wal directory {} already holds durable state; recover from it \
@@ -246,7 +296,7 @@ impl Engine {
                 wal_cfg.dir.display()
             )));
         }
-        let mut engine = Self::with_competitors(store, cfg);
+        let mut engine = self;
         let mut w = Wal::open(wal_cfg, 1, 0, 0).map_err(|e| e.into_skyup("wal open failed"))?;
         let bytes = {
             let writer = engine.writer.lock().unwrap();
@@ -508,17 +558,16 @@ impl Engine {
         // applied anywhere.
         match &m {
             Mutation::AddCompetitor(coords) => {
-                if coords.len() != w.store.dims() {
+                Self::validate_coords(coords, w.store.dims())?;
+            }
+            Mutation::AddCompetitorWithCid(cid, coords) => {
+                Self::validate_coords(coords, w.store.dims())?;
+                if *cid < w.next_cid {
                     return Err(SkyupError::InvalidInput(format!(
-                        "competitor has {} coordinates, expected {}",
-                        coords.len(),
-                        w.store.dims()
+                        "assigned competitor id {cid} is already spent (next unassigned id \
+                         is {})",
+                        w.next_cid
                     )));
-                }
-                if coords.iter().any(|v| !v.is_finite()) {
-                    return Err(SkyupError::InvalidInput(
-                        "competitor coordinates must be finite".into(),
-                    ));
                 }
             }
             Mutation::RemoveCompetitor(cid) => {
@@ -537,15 +586,12 @@ impl Engine {
         let (evict, cid, removed) = match m {
             Mutation::AddCompetitor(coords) => {
                 let cid = w.next_cid;
-                w.next_cid += 1;
-                let pid = w.store.push(&coords);
-                w.tree.insert(&w.store, pid);
-                w.live.push(true);
-                w.cid_of.push(cid);
-                w.pid_of.insert(cid, pid);
-                w.live_count += 1;
-                Self::skyline_insert(w, pid, &coords);
-                (Evict::Inserted(coords), Some(cid), false)
+                let evict = Self::insert_competitor(w, cid, coords);
+                (evict, Some(cid), false)
+            }
+            Mutation::AddCompetitorWithCid(cid, coords) => {
+                let evict = Self::insert_competitor(w, cid, coords);
+                (evict, Some(cid), false)
             }
             Mutation::RemoveCompetitor(cid) => {
                 let pid = w.pid_of.remove(&cid).expect("validated live cid");
@@ -568,6 +614,36 @@ impl Engine {
             rebuilt,
             evicted,
         })
+    }
+
+    fn validate_coords(coords: &[f64], dims: usize) -> Result<(), SkyupError> {
+        if coords.len() != dims {
+            return Err(SkyupError::InvalidInput(format!(
+                "competitor has {} coordinates, expected {dims}",
+                coords.len()
+            )));
+        }
+        if coords.iter().any(|v| !v.is_finite()) {
+            return Err(SkyupError::InvalidInput(
+                "competitor coordinates must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inserts a validated competitor under `cid` (>= `next_cid`) and
+    /// advances the id counter past it, preserving the strictly
+    /// increasing cid-per-row order.
+    fn insert_competitor(w: &mut Writer, cid: CompetitorId, coords: Vec<f64>) -> Evict {
+        w.next_cid = cid + 1;
+        let pid = w.store.push(&coords);
+        w.tree.insert(&w.store, pid);
+        w.live.push(true);
+        w.cid_of.push(cid);
+        w.pid_of.insert(cid, pid);
+        w.live_count += 1;
+        Self::skyline_insert(w, pid, &coords);
+        Evict::Inserted(coords)
     }
 
     /// Appends the record for a validated, non-no-op mutation; a no-op

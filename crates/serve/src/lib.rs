@@ -31,15 +31,25 @@
 //!   write-ahead log of mutations appended *before* each epoch is
 //!   published, periodic atomic checkpoints bounding replay, and
 //!   torn-tail-tolerant recovery ([`Engine::recover`]).
+//! * [`shard`] / [`coordinator`] — horizontal scale-out: the
+//!   competitor set partitioned across N shard processes (each a full
+//!   epoch engine under globally assigned ids), a scatter/gather
+//!   coordinator that merges per-shard dominator skylines with a
+//!   dominance filter and runs the upgrade join on the merged set, and
+//!   a two-phase epoch publish (`stage` on every shard, collect acks,
+//!   `flip`) that keeps gathered answers bit-identical to a
+//!   single-engine oracle at every epoch.
 //!
 //! Everything is std-only, like the rest of the workspace.
 
 pub mod batch;
 pub mod cache;
+pub mod coordinator;
 pub mod engine;
 pub mod net;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod telemetry;
 pub mod wal;
@@ -52,11 +62,15 @@ pub type CompetitorId = u64;
 
 pub use batch::{execute_batch, execute_batch_stats, BatchRequestStats, BatchStats};
 pub use cache::{CacheKey, CostTag, ResultCache};
+pub use coordinator::{Coordinator, CoordinatorDispatch, LocalLink, ShardLink, TcpLink};
 pub use engine::{DurabilityStatus, Engine, EngineConfig, EngineStats, Mutation, MutationOutcome};
-pub use net::{bind_local, handle_lines, serve, MAX_LINE_BYTES};
+pub use net::{bind_local, handle_lines, serve, Client, ClientPool, Dispatch, MAX_LINE_BYTES};
 pub use server::{
     execute_query, CostSpec, ProductAnswer, QueryRequest, QueryResponse, QueryTicket, ServeConfig,
     ServeHandle,
+};
+pub use shard::{
+    FlipAck, Partition, ProbeRequest, ProbeResponse, ShardDispatch, ShardState, StagedOp,
 };
 pub use snapshot::{Answer, Snapshot};
 pub use telemetry::Telemetry;

@@ -27,13 +27,14 @@
 
 use crate::proto::{
     parse_request, render_error, render_health, render_mutation_outcome, render_query_response,
-    render_shutdown_ack, render_skyup_error, render_stats, Request,
+    render_shutdown_ack, render_skyup_error, render_stats, Request, Topology,
 };
 use crate::server::ServeHandle;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Hard cap on one NDJSON request line. A legitimate query of a few
 /// thousand products fits comfortably; anything bigger is rejected
@@ -59,14 +60,76 @@ fn read_capped_line<R: BufRead>(reader: R, buf: &mut Vec<u8>) -> io::Result<Opti
     Ok(Some(!buf.ends_with(b"\n") && n == MAX_LINE_BYTES))
 }
 
+/// One server role behind the NDJSON line loop: a single engine
+/// ([`ServeHandle`]), a shard, or a coordinator. The loop owns framing
+/// (line caps, UTF-8, parse errors) and the `shutdown` verb; everything
+/// else is one response line per parsed request from the role.
+pub trait Dispatch {
+    /// Answers one parsed request with one response line. `Shutdown`
+    /// never reaches this — the line loop acks and stops itself.
+    fn dispatch(&self, req: Request) -> String;
+
+    /// Runs after the accept loop stops (drain worker pools, close
+    /// downstream links).
+    fn on_stop(&self);
+}
+
+impl Dispatch for ServeHandle {
+    fn dispatch(&self, req: Request) -> String {
+        match req {
+            Request::Query(req) => match self.query(req) {
+                Ok(resp) => render_query_response(&resp),
+                Err(err) => render_skyup_error(&err),
+            },
+            Request::Add(point) => match self.add_competitor(point) {
+                Ok(out) => render_mutation_outcome(&out),
+                Err(err) => render_skyup_error(&err),
+            },
+            Request::Remove(cid) => match self.remove_competitor(cid) {
+                Ok(out) => render_mutation_outcome(&out),
+                Err(err) => render_skyup_error(&err),
+            },
+            Request::Stats => {
+                let (stats, metrics) = self.stats();
+                render_stats(&stats, &metrics, self.queue_depth())
+            }
+            // The observability verbs are reads of the telemetry store,
+            // not requests: they bypass the queue and are not traced
+            // themselves, so polling metrics never perturbs the
+            // latencies it reports. Health rides the same untraced
+            // path — a liveness probe must answer even when the queue
+            // is saturated or the engine has gone read-only.
+            Request::Health => {
+                let durability = self.durability();
+                render_health(
+                    self.epoch(),
+                    self.queue_depth(),
+                    durability.as_ref(),
+                    &Topology::Single,
+                )
+            }
+            Request::Metrics => self.telemetry().metrics_json(self.queue_depth()).render(),
+            Request::Trace(n) => self.telemetry().traces_json(n).render(),
+            Request::Stage { .. } | Request::Flip { .. } | Request::LocalProbe(_) => {
+                render_error("this server is not a shard (start it with --shard-id/--shards)")
+            }
+            Request::Shutdown => unreachable!("the line loop handles shutdown"),
+        }
+    }
+
+    fn on_stop(&self) {
+        self.shutdown();
+    }
+}
+
 /// The NDJSON request loop over any reader/writer pair: one request per
 /// line, one response line per request. See the module docs for the
 /// robustness contract. Returns when the reader reaches EOF or after a
 /// `shutdown` request (which also sets `stop`).
-pub fn handle_lines<R: BufRead, W: Write>(
+pub fn handle_lines<R: BufRead, W: Write, D: Dispatch + ?Sized>(
     mut reader: R,
     writer: &mut W,
-    handle: &ServeHandle,
+    handle: &D,
     stop: &AtomicBool,
 ) -> io::Result<()> {
     let mut buf: Vec<u8> = Vec::new();
@@ -103,55 +166,33 @@ pub fn handle_lines<R: BufRead, W: Write>(
         }
         let response = match parse_request(line) {
             Err(msg) => render_error(&msg),
-            Ok(Request::Query(req)) => match handle.query(req) {
-                Ok(resp) => render_query_response(&resp),
-                Err(err) => render_skyup_error(&err),
-            },
-            Ok(Request::Add(point)) => match handle.add_competitor(point) {
-                Ok(out) => render_mutation_outcome(&out),
-                Err(err) => render_skyup_error(&err),
-            },
-            Ok(Request::Remove(cid)) => match handle.remove_competitor(cid) {
-                Ok(out) => render_mutation_outcome(&out),
-                Err(err) => render_skyup_error(&err),
-            },
-            Ok(Request::Stats) => {
-                let (stats, metrics) = handle.stats();
-                render_stats(&stats, &metrics, handle.queue_depth())
-            }
-            // The observability verbs are reads of the telemetry store,
-            // not requests: they bypass the queue and are not traced
-            // themselves, so polling metrics never perturbs the
-            // latencies it reports. Health rides the same untraced
-            // path — a liveness probe must answer even when the queue
-            // is saturated or the engine has gone read-only.
-            Ok(Request::Health) => {
-                let durability = handle.durability();
-                render_health(handle.epoch(), handle.queue_depth(), durability.as_ref())
-            }
-            Ok(Request::Metrics) => handle
-                .telemetry()
-                .metrics_json(handle.queue_depth())
-                .render(),
-            Ok(Request::Trace(n)) => handle.telemetry().traces_json(n).render(),
             Ok(Request::Shutdown) => {
                 write_line(writer, &render_shutdown_ack())?;
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
+            Ok(req) => handle.dispatch(req),
         };
         write_line(writer, &response)?;
     }
 }
 
-fn handle_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
+fn handle_connection<D: Dispatch>(
+    stream: TcpStream,
+    handle: &D,
+    stop: &AtomicBool,
+) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     handle_lines(BufReader::new(stream), &mut writer, handle, stop)
 }
 
 /// Runs the accept loop until a client sends `{"op":"shutdown"}`, then
-/// drains the worker pool and returns. Blocks the calling thread.
-pub fn serve(handle: ServeHandle, listener: TcpListener) -> io::Result<()> {
+/// stops the role ([`Dispatch::on_stop`]) and returns. Blocks the
+/// calling thread.
+pub fn serve<D: Dispatch + Clone + Send + 'static>(
+    handle: D,
+    listener: TcpListener,
+) -> io::Result<()> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     for stream in listener.incoming() {
@@ -174,7 +215,7 @@ pub fn serve(handle: ServeHandle, listener: TcpListener) -> io::Result<()> {
             }
         });
     }
-    handle.shutdown();
+    handle.on_stop();
     Ok(())
 }
 
@@ -184,6 +225,158 @@ pub fn bind_local(port: u16) -> io::Result<(TcpListener, SocketAddr)> {
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     Ok((listener, addr))
+}
+
+/// Splitmix64 for backoff jitter — the serve crate is std-only and the
+/// data crate's PRNG is a dev-dependency, so the client carries its own
+/// (jitter needs no statistical quality, only de-synchronized retries).
+fn jitter_seed() -> u64 {
+    let nanos = std::time::UNIX_EPOCH
+        .elapsed()
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ (std::process::id() as u64) << 32
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A blocking NDJSON client: one request line out, one response line
+/// back, over a kept-alive [`TcpStream`].
+///
+/// [`Client::connect`] retries connection-refused — the window while a
+/// crashed or restarting server is not yet listening — up to 3 attempts
+/// with jittered exponential backoff; anything else (bad address,
+/// unreachable host) fails fast. Used by `skyup query --connect` and by
+/// the coordinator's shard links.
+pub struct Client {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` with the bounded retry policy above.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        const ATTEMPTS: u32 = 3;
+        let mut rng = jitter_seed();
+        for attempt in 1..=ATTEMPTS {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| format!("{addr}: clone stream: {e}"))?;
+                    return Ok(Client {
+                        addr: addr.to_string(),
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    if attempt == ATTEMPTS {
+                        break;
+                    }
+                    let base = 50u64 << (attempt - 1);
+                    let backoff = base + (splitmix64(&mut rng) % (base / 2 + 1));
+                    eprintln!(
+                        "{addr}: connection refused (attempt {attempt}/{ATTEMPTS}); \
+                         retrying in {backoff}ms"
+                    );
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+                Err(e) => return Err(format!("{addr}: {e}")),
+            }
+        }
+        Err(format!(
+            "{addr}: connection refused after {ATTEMPTS} attempts"
+        ))
+    }
+
+    /// The address this client connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request line and reads the one response line. A closed
+    /// or broken connection is an error — the caller decides whether to
+    /// reconnect (a dropped [`Client`] must not be reused: the response
+    /// stream may hold a half-read line).
+    pub fn request(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("{}: send request: {e}", self.addr))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("{}: read response: {e}", self.addr))?;
+        if n == 0 {
+            return Err(format!(
+                "{}: connection closed before a response",
+                self.addr
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Applies a per-request read deadline (`None` restores blocking
+    /// reads). Lets a coordinator bound how long a gather waits on a
+    /// wedged shard.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("{}: set read timeout: {e}", self.addr))
+    }
+}
+
+/// A small keep-alive pool of [`Client`]s for one address, so
+/// concurrent scatter threads and sequential requests reuse warm
+/// connections instead of paying a handshake per probe. Connections
+/// that erred are dropped, not returned.
+pub struct ClientPool {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl ClientPool {
+    /// An empty pool for `addr`; connections are opened on demand.
+    pub fn new(addr: &str) -> ClientPool {
+        ClientPool {
+            addr: addr.to_string(),
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The address this pool serves.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Runs `f` with a pooled (or freshly connected) client. The client
+    /// returns to the pool only when `f` succeeds; on error its
+    /// connection is discarded, because a failed exchange may leave
+    /// unread bytes on the stream.
+    pub fn with<T>(&self, f: impl FnOnce(&mut Client) -> Result<T, String>) -> Result<T, String> {
+        let mut client = match self.idle.lock().unwrap().pop() {
+            Some(c) => c,
+            None => Client::connect(&self.addr)?,
+        };
+        match f(&mut client) {
+            Ok(v) => {
+                self.idle.lock().unwrap().push(client);
+                Ok(v)
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 #[cfg(test)]

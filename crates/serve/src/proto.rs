@@ -14,6 +14,17 @@
 //! {"op":"shutdown"}
 //! ```
 //!
+//! Shard servers additionally speak the coordinator-facing verbs of the
+//! two-phase epoch publish and the scatter/gather query path:
+//!
+//! ```text
+//! {"op":"stage","epoch":9}                               // pure epoch bump
+//! {"op":"stage","epoch":9,"add":{"cid":41,"point":[0.4,0.5]}}
+//! {"op":"stage","epoch":9,"remove":41}
+//! {"op":"flip","epoch":9}
+//! {"op":"local_probe","products":[[0.9,0.9]],"deadline_ms":50}
+//! ```
+//!
 //! Responses always carry `"ok"`. Successful queries report the epoch
 //! they are consistent with, a completion tag (`"exact"` or
 //! `"partial"` plus the interrupt reason), and the top-k results;
@@ -22,10 +33,11 @@
 
 use crate::engine::{DurabilityStatus, EngineStats, MutationOutcome};
 use crate::server::{CostSpec, ProductAnswer, QueryRequest, QueryResponse};
+use crate::shard::{FlipAck, ProbeRequest, ProbeResponse, StagedOp};
 use skyup_core::SkyupError;
 use skyup_obs::json::{parse, Json};
 use skyup_obs::Counter;
-use skyup_obs::{Completion, QueryMetrics};
+use skyup_obs::{Completion, Interrupt, QueryMetrics};
 use std::time::Duration;
 
 /// A parsed request line.
@@ -46,6 +58,23 @@ pub enum Request {
     Metrics,
     /// Dump the last `n` traces from the flight recorder and slow log.
     Trace(usize),
+    /// Two-phase publish, phase one: buffer an epoch (with this shard's
+    /// op slice) without applying it. Shard servers only.
+    Stage {
+        /// The global epoch being staged.
+        epoch: u64,
+        /// The op for the owning shard; `None` is a pure epoch bump.
+        op: Option<StagedOp>,
+    },
+    /// Two-phase publish, phase two: apply the staged epoch and publish
+    /// its label. Shard servers only.
+    Flip {
+        /// The staged epoch to publish.
+        epoch: u64,
+    },
+    /// A coordinator's scatter probe for per-product local dominator
+    /// skylines. Shard servers only.
+    LocalProbe(ProbeRequest),
     /// Stop the server.
     Shutdown,
 }
@@ -152,6 +181,58 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Trace(n as usize))
         }
+        "stage" => {
+            let epoch = doc
+                .get("epoch")
+                .and_then(|v| v.as_u64())
+                .ok_or("stage needs an integer \"epoch\"")?;
+            let op = match (doc.get("add"), doc.get("remove")) {
+                (Some(_), Some(_)) => {
+                    return Err("stage carries \"add\" or \"remove\", not both".into())
+                }
+                (Some(add), None) => {
+                    let cid = add
+                        .get("cid")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("stage add needs an integer \"cid\"")?;
+                    let point = add.get("point").ok_or("stage add needs \"point\": [..]")?;
+                    Some(StagedOp::Add {
+                        cid,
+                        point: point_field(point)?,
+                    })
+                }
+                (None, Some(remove)) => {
+                    let cid = remove
+                        .as_u64()
+                        .ok_or("stage needs an integer \"remove\" cid")?;
+                    Some(StagedOp::Remove { cid })
+                }
+                (None, None) => None,
+            };
+            Ok(Request::Stage { epoch, op })
+        }
+        "flip" => {
+            let epoch = doc
+                .get("epoch")
+                .and_then(|v| v.as_u64())
+                .ok_or("flip needs an integer \"epoch\"")?;
+            Ok(Request::Flip { epoch })
+        }
+        "local_probe" => {
+            let products = match doc.get("products") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(point_field)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("local_probe needs \"products\": [[..],..]".into()),
+            };
+            let deadline = doc
+                .get("deadline_ms")
+                .map(|v| v.as_u64().ok_or("\"deadline_ms\" must be an integer"))
+                .transpose()?
+                .map(Duration::from_millis);
+            Ok(Request::LocalProbe(ProbeRequest { products, deadline }))
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -249,14 +330,71 @@ pub fn render_stats(stats: &EngineStats, metrics: &QueryMetrics, queue_depth: us
     .render()
 }
 
+/// A server's role and place in the sharded topology, reported by
+/// `{"op":"health"}` so operators (and `query --health`) can tell a
+/// single engine, one shard of many, and a coordinator apart.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// A standalone single-engine server.
+    Single,
+    /// One shard of a partitioned set.
+    Shard {
+        /// This shard's id.
+        shard_id: u32,
+        /// The topology's shard count.
+        shards: u32,
+    },
+    /// A coordinator fronting `(target, reachable)` shard links, probed
+    /// at health time.
+    Coordinator {
+        /// Per shard: its address (or in-process tag) and whether it
+        /// answered a health probe just now.
+        shards: Vec<(String, bool)>,
+    },
+}
+
+impl Topology {
+    fn fields(&self, fields: &mut Vec<(&str, Json)>) {
+        match self {
+            Topology::Single => fields.push(("role", Json::Str("single".into()))),
+            Topology::Shard { shard_id, shards } => {
+                fields.push(("role", Json::Str("shard".into())));
+                fields.push(("shard_id", Json::Uint(u64::from(*shard_id))));
+                fields.push(("shards", Json::Uint(u64::from(*shards))));
+            }
+            Topology::Coordinator { shards } => {
+                fields.push(("role", Json::Str("coordinator".into())));
+                fields.push(("shards", Json::Uint(shards.len() as u64)));
+                fields.push((
+                    "shard_status",
+                    Json::Arr(
+                        shards
+                            .iter()
+                            .map(|(target, reachable)| {
+                                Json::obj(vec![
+                                    ("target", Json::Str(target.clone())),
+                                    ("reachable", Json::Bool(*reachable)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Renders the health response. `durability` is `None` when the server
 /// runs without `--wal`; with it, the WAL sequence number, recovery
 /// report, and read-only state are included so operators (and the
-/// crash harness) can see exactly where the durable log stands.
+/// crash harness) can see exactly where the durable log stands. The
+/// `topology` adds the role fields — for a shard, `epoch` is its
+/// published label, not its engine epoch.
 pub fn render_health(
     epoch: u64,
     queue_depth: usize,
     durability: Option<&DurabilityStatus>,
+    topology: &Topology,
 ) -> String {
     let mut fields = vec![
         ("ok", Json::Bool(true)),
@@ -264,6 +402,7 @@ pub fn render_health(
         ("queue_depth", Json::Uint(queue_depth as u64)),
         ("wal", Json::Bool(durability.is_some())),
     ];
+    topology.fields(&mut fields);
     if let Some(d) = durability {
         fields.push(("wal_seq", Json::Uint(d.last_seq)));
         fields.push(("read_only", Json::Bool(d.read_only.is_some())));
@@ -301,4 +440,241 @@ pub fn render_skyup_error(err: &SkyupError) -> String {
 /// Renders the shutdown acknowledgement.
 pub fn render_shutdown_ack() -> String {
     Json::obj(vec![("ok", Json::Bool(true))]).render()
+}
+
+/// Renders a stage request line (coordinator → shard).
+pub fn render_stage_request(epoch: u64, op: Option<&StagedOp>) -> String {
+    let mut fields = vec![
+        ("op", Json::Str("stage".into())),
+        ("epoch", Json::Uint(epoch)),
+    ];
+    match op {
+        None => {}
+        Some(StagedOp::Add { cid, point }) => {
+            fields.push((
+                "add",
+                Json::obj(vec![
+                    ("cid", Json::Uint(*cid)),
+                    (
+                        "point",
+                        Json::Arr(point.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Some(StagedOp::Remove { cid }) => {
+            fields.push(("remove", Json::Uint(*cid)));
+        }
+    }
+    Json::obj(fields).render()
+}
+
+/// Renders a flip request line (coordinator → shard).
+pub fn render_flip_request(epoch: u64) -> String {
+    Json::obj(vec![
+        ("op", Json::Str("flip".into())),
+        ("epoch", Json::Uint(epoch)),
+    ])
+    .render()
+}
+
+/// Renders a probe request line (coordinator → shard).
+pub fn render_probe_request(req: &ProbeRequest) -> String {
+    let products = req
+        .products
+        .iter()
+        .map(|p| Json::Arr(p.iter().map(|&v| Json::Num(v)).collect()))
+        .collect();
+    let mut fields = vec![
+        ("op", Json::Str("local_probe".into())),
+        ("products", Json::Arr(products)),
+    ];
+    if let Some(d) = req.deadline {
+        fields.push(("deadline_ms", Json::Uint(d.as_millis() as u64)));
+    }
+    Json::obj(fields).render()
+}
+
+/// Renders a stage acknowledgement: the epoch now buffered (or already
+/// published, for idempotent retries).
+pub fn render_stage_ack(epoch: u64) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("staged", Json::Uint(epoch)),
+    ])
+    .render()
+}
+
+/// Renders a flip acknowledgement: the published label, plus the
+/// owner's mutation outcome when the flip applied one.
+pub fn render_flip_ack(ack: &FlipAck) -> String {
+    let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Uint(ack.epoch))];
+    if let Some(out) = &ack.outcome {
+        fields.push(("applied", Json::Bool(true)));
+        if let Some(cid) = out.cid {
+            fields.push(("cid", Json::Uint(cid)));
+        } else {
+            fields.push(("removed", Json::Bool(out.removed)));
+        }
+        fields.push(("rebuilt", Json::Bool(out.rebuilt)));
+        fields.push(("evicted", Json::Uint(out.evicted)));
+    } else {
+        fields.push(("applied", Json::Bool(false)));
+    }
+    Json::obj(fields).render()
+}
+
+/// Renders a probe response: the shard's label, the completion of the
+/// product prefix it evaluated, and per-product `(cid, coords)`
+/// dominator pairs. Coordinates round-trip bit-exactly: `Json::Num`
+/// renders the shortest representation that parses back to the same
+/// f64, and every stored coordinate is finite.
+pub fn render_probe_response(resp: &ProbeResponse) -> String {
+    let dominators = resp
+        .dominators
+        .iter()
+        .map(|per_product| {
+            Json::Arr(
+                per_product
+                    .iter()
+                    .map(|(cid, coords)| {
+                        Json::Arr(vec![
+                            Json::Uint(*cid),
+                            Json::Arr(coords.iter().map(|&v| Json::Num(v)).collect()),
+                        ])
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Uint(resp.epoch))];
+    completion_fields(resp.completion, &mut fields);
+    fields.push(("evaluated", Json::Uint(resp.evaluated as u64)));
+    fields.push(("dominators", Json::Arr(dominators)));
+    Json::obj(fields).render()
+}
+
+/// Maps a wire interrupt reason back to the [`Interrupt`] it came from
+/// (the inverse of [`Interrupt::reason`]).
+pub fn interrupt_from_reason(reason: &str) -> Option<Interrupt> {
+    [
+        Interrupt::DeadlineExceeded,
+        Interrupt::NodeVisitBudget,
+        Interrupt::HeapBudget,
+        Interrupt::Cancelled,
+        Interrupt::Overloaded,
+    ]
+    .into_iter()
+    .find(|i| i.reason() == reason)
+}
+
+/// Checks `ok` and surfaces `error` on a parsed response line.
+fn checked_response(line: &str) -> Result<Json, String> {
+    let doc = parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+    match doc.get("ok") {
+        Some(Json::Bool(true)) => Ok(doc),
+        _ => {
+            let msg = doc
+                .get("error")
+                .and_then(|v| v.as_str())
+                .unwrap_or("response is not ok");
+            Err(msg.to_string())
+        }
+    }
+}
+
+fn completion_of(doc: &Json) -> Result<Completion, String> {
+    match doc.get("completion").and_then(|v| v.as_str()) {
+        Some("exact") => Ok(Completion::Exact),
+        Some("partial") => {
+            let reason = doc
+                .get("interrupt")
+                .and_then(|v| v.as_str())
+                .ok_or("partial completion without an interrupt reason")?;
+            let interrupt = interrupt_from_reason(reason)
+                .ok_or_else(|| format!("unknown interrupt reason `{reason}`"))?;
+            Ok(Completion::Partial(interrupt))
+        }
+        _ => Err("response carries no completion tag".into()),
+    }
+}
+
+/// Parses a stage acknowledgement; returns the staged epoch.
+pub fn parse_stage_ack(line: &str) -> Result<u64, String> {
+    let doc = checked_response(line)?;
+    doc.get("staged")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "stage ack carries no \"staged\" epoch".into())
+}
+
+/// Parses a flip acknowledgement.
+pub fn parse_flip_ack(line: &str) -> Result<FlipAck, String> {
+    let doc = checked_response(line)?;
+    let epoch = doc
+        .get("epoch")
+        .and_then(|v| v.as_u64())
+        .ok_or("flip ack carries no \"epoch\"")?;
+    let applied = matches!(doc.get("applied"), Some(Json::Bool(true)));
+    let outcome = if applied {
+        let cid = doc.get("cid").and_then(|v| v.as_u64());
+        let removed = matches!(doc.get("removed"), Some(Json::Bool(true)));
+        let rebuilt = matches!(doc.get("rebuilt"), Some(Json::Bool(true)));
+        let evicted = doc.get("evicted").and_then(|v| v.as_u64()).unwrap_or(0);
+        Some(MutationOutcome {
+            epoch,
+            cid,
+            removed,
+            rebuilt,
+            evicted,
+        })
+    } else {
+        None
+    };
+    Ok(FlipAck { epoch, outcome })
+}
+
+/// Parses a probe response back into [`ProbeResponse`].
+pub fn parse_probe_response(line: &str) -> Result<ProbeResponse, String> {
+    let doc = checked_response(line)?;
+    let epoch = doc
+        .get("epoch")
+        .and_then(|v| v.as_u64())
+        .ok_or("probe response carries no \"epoch\"")?;
+    let completion = completion_of(&doc)?;
+    let evaluated = doc
+        .get("evaluated")
+        .and_then(|v| v.as_u64())
+        .ok_or("probe response carries no \"evaluated\"")? as usize;
+    let dominators = match doc.get("dominators") {
+        Some(Json::Arr(products)) => products
+            .iter()
+            .map(|per_product| match per_product {
+                Json::Arr(pairs) => pairs
+                    .iter()
+                    .map(|pair| match pair {
+                        Json::Arr(parts) if parts.len() == 2 => {
+                            let cid = parts[0].as_u64().ok_or("dominator cid is not an integer")?;
+                            let coords = point_field(&parts[1])?;
+                            Ok((cid, coords))
+                        }
+                        _ => Err("dominator entry is not a [cid, coords] pair".to_string()),
+                    })
+                    .collect::<Result<Vec<_>, _>>(),
+                _ => Err("per-product dominators is not an array".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("probe response carries no \"dominators\"".into()),
+    };
+    if dominators.len() != evaluated {
+        return Err(format!(
+            "probe response evaluated {evaluated} products but carries {} dominator lists",
+            dominators.len()
+        ));
+    }
+    Ok(ProbeResponse {
+        epoch,
+        completion,
+        evaluated,
+        dominators,
+    })
 }

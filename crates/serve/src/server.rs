@@ -516,6 +516,13 @@ impl ServeHandle {
         self.traced_mutation(Mutation::RemoveCompetitor(cid))
     }
 
+    /// Applies a pre-routed mutation — the shard flip path, where the
+    /// coordinator has already assigned the competitor id. Traced like
+    /// [`ServeHandle::add_competitor`] / [`ServeHandle::remove_competitor`].
+    pub fn apply_mutation(&self, m: Mutation) -> Result<MutationOutcome, SkyupError> {
+        self.traced_mutation(m)
+    }
+
     fn traced_mutation(&self, m: Mutation) -> Result<MutationOutcome, SkyupError> {
         let id = self.telemetry.mint();
         let (nanos, out) = clocked(|| self.engine.apply(m));

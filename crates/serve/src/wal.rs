@@ -206,6 +206,14 @@ pub(crate) fn encode_record(seq: u64, epoch: u64, m: &Mutation) -> Vec<u8> {
             payload.push(1);
             payload.extend_from_slice(&cid.to_le_bytes());
         }
+        Mutation::AddCompetitorWithCid(cid, coords) => {
+            payload.push(2);
+            payload.extend_from_slice(&cid.to_le_bytes());
+            payload.extend_from_slice(&(coords.len() as u32).to_le_bytes());
+            for c in coords {
+                payload.extend_from_slice(&c.to_le_bytes());
+            }
+        }
     }
     debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
     let mut out = Vec::with_capacity(HEADER + payload.len());
@@ -233,6 +241,15 @@ fn decode_payload(offset: usize, payload: &[u8]) -> Result<WalRecord, WalError> 
         1 => {
             let cid = r.u64().map_err(|_| corrupt("remove record too short"))?;
             Mutation::RemoveCompetitor(cid)
+        }
+        2 => {
+            let cid = r.u64().map_err(|_| corrupt("add record too short"))?;
+            let count = r.u32().map_err(|_| corrupt("add record too short"))? as usize;
+            let mut coords = Vec::with_capacity(count);
+            for _ in 0..count {
+                coords.push(r.f64().map_err(|_| corrupt("add record too short"))?);
+            }
+            Mutation::AddCompetitorWithCid(cid, coords)
         }
         _ => return Err(corrupt("unknown record kind")),
     };
@@ -527,6 +544,7 @@ mod tests {
             (2, 2, Mutation::AddCompetitor(vec![0.75, 0.125])),
             (3, 3, Mutation::RemoveCompetitor(7)),
             (4, 4, Mutation::AddCompetitor(vec![0.1, 0.9])),
+            (5, 5, Mutation::AddCompetitorWithCid(12, vec![0.3, 0.6])),
         ]
     }
 
@@ -542,7 +560,7 @@ mod tests {
     fn roundtrip_preserves_records() {
         let (records, valid) = decode_log(&sample_log()).unwrap();
         assert_eq!(valid, sample_log().len());
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         for (rec, (seq, epoch, m)) in records.iter().zip(sample_records()) {
             assert_eq!(rec.seq, seq);
             assert_eq!(rec.epoch, epoch);
@@ -550,6 +568,10 @@ mod tests {
                 (Mutation::AddCompetitor(a), Mutation::AddCompetitor(b)) => assert_eq!(a, b),
                 (Mutation::RemoveCompetitor(a), Mutation::RemoveCompetitor(b)) => {
                     assert_eq!(a, b)
+                }
+                (Mutation::AddCompetitorWithCid(ac, a), Mutation::AddCompetitorWithCid(bc, b)) => {
+                    assert_eq!(ac, bc);
+                    assert_eq!(a, b);
                 }
                 _ => panic!("mutation kind drifted through the log"),
             }
@@ -560,11 +582,11 @@ mod tests {
     fn torn_tail_is_truncated_not_fatal() {
         let log = sample_log();
         // Chop mid-way through the last record: its start offset is the
-        // valid prefix, and exactly 3 records survive.
-        let last_start = log.len() - encode_record(4, 4, &sample_records()[3].2).len();
+        // valid prefix, and exactly 4 records survive.
+        let last_start = log.len() - encode_record(5, 5, &sample_records()[4].2).len();
         let torn = &log[..log.len() - 5];
         let (records, valid) = decode_log(torn).unwrap();
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         assert_eq!(valid, last_start);
     }
 
@@ -574,7 +596,7 @@ mod tests {
         let n = log.len();
         log[n - 1] ^= 0x40; // last payload byte
         let (records, valid) = decode_log(&log).unwrap();
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         assert!(valid < n);
     }
 

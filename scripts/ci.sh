@@ -56,6 +56,15 @@ echo "== kill-crash durability harness (dedicated hard cap) =="
 # eat the whole suite budget.
 timeout "${SKYUP_CI_CRASH_TIMEOUT:-120}" cargo test --offline -q --test crash_recovery
 
+echo "== multi-shard smoke (2 shards + coordinator, dedicated hard cap) =="
+# Spawns two real shard server processes and a real coordinator, drives
+# mixed mutations/queries over TCP, and asserts every gathered answer
+# byte-identical to a single-engine oracle plus the scatter/gather
+# counter invariants. Like the crash harness, its failure mode is a
+# wedged child process (a shard that never flips, a coordinator blocked
+# on a dead socket), so it gets its own tight wall-clock cap.
+timeout "${SKYUP_CI_SHARD_TIMEOUT:-120}" cargo test --offline -q --test shard_smoke
+
 echo "== kernel bench smoke (tiny scale, self-asserting) =="
 # The dominance-kernel bench at a tiny scale, under its own hard cap.
 # No baseline comparison here (wall-clock at smoke scale is noise) —

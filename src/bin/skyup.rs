@@ -16,6 +16,13 @@ fn main() {
             }
             return;
         }
+        Some("coordinate") => {
+            if let Err(msg) = skyup::serve_cli::run_coordinate(&args[1..]) {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+            return;
+        }
         Some("query") => match skyup::serve_cli::run_query(&args[1..]) {
             Ok(code) => std::process::exit(code),
             Err(msg) => {

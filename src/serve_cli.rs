@@ -12,19 +12,26 @@
 //! the response line, and exits with the same code contract as the
 //! offline CLI — `0` exact, `2` partial (a budget fired or the server
 //! shed the request), `1` error.
+//!
+//! `skyup serve --shard-id I --shards N` starts the same server in the
+//! shard role (slab `I` of the partition, globally assigned competitor
+//! ids, mutations only via the coordinator's two-phase publish), and
+//! `skyup coordinate --shard HOST:PORT ...` starts the scatter/gather
+//! coordinator in front of those shards — clients speak to it with the
+//! unchanged `query` verbs.
 
-use skyup_data::{read_delimited, Rng};
+use skyup_data::read_delimited;
 use skyup_obs::json::{parse, Json};
 use skyup_rtree::persist::write_atomic;
 use skyup_serve::proto::parse_cost;
 use skyup_serve::{
-    bind_local, serve, wal, Engine, EngineConfig, FsyncPolicy, ServeConfig, ServeHandle, WalConfig,
+    bind_local, serve, wal, Client, Coordinator, CoordinatorDispatch, Engine, EngineConfig,
+    FsyncPolicy, Partition, ServeConfig, ServeHandle, ShardDispatch, ShardState, TcpLink,
+    WalConfig,
 };
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Usage text for the serving subcommands, appended to the main help.
 pub const SERVE_USAGE: &str = "\
@@ -51,8 +58,25 @@ serve subcommands:
                            interval:<n>, or never
     --checkpoint-every <n> snapshot + truncate the log every n appends
                            (default 1024; 0 = only the initial one)
+    --shard-id <i>         serve shard i of an n-shard topology (needs
+                           --shards; seeds only this shard's partition
+                           slab of --competitors, under global ids)
+    --shards <n>           shard count of the topology
     prints `listening on HOST:PORT`, serves NDJSON requests until a
     client sends {\"op\":\"shutdown\"}
+
+  skyup coordinate --shard HOST:PORT [--shard ...] [options]
+    --shard <addr>         a shard server started with --shard-id i
+                           --shards n; repeat once per shard, in
+                           shard-id order
+    --competitors <file>   the FULL competitor file every shard was
+                           seeded from (assigns ids and ownership)
+    --threads <n>          merge kernel threads (default 1)
+    --port <n>             TCP port on 127.0.0.1 (default 0 = ephemeral)
+    --delimiter <c>, --header   as for serve
+    scatter/gather front-end: clients send the same query/add/remove/
+    stats/health/metrics verbs; answers are bit-identical to a single
+    server holding the full set at the same epoch
 
   skyup query --connect HOST:PORT [op]
     -t <x,y,...>           product to evaluate (repeatable; default op)
@@ -120,11 +144,29 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut port = 0u16;
     let mut delimiter = ',';
     let mut header = false;
+    let mut shard_id: Option<u32> = None;
+    let mut shards: Option<u32> = None;
     let mut cfg = ServeConfig::default();
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shard-id" => {
+                shard_id = Some(
+                    value(args, i, "--shard-id")?
+                        .parse()
+                        .map_err(|e| format!("--shard-id: {e}"))?,
+                );
+                i += 2;
+            }
+            "--shards" => {
+                shards = Some(
+                    value(args, i, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+                i += 2;
+            }
             "--competitors" => {
                 competitors = Some(PathBuf::from(value(args, i, "--competitors")?));
                 i += 2;
@@ -213,6 +255,21 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
     if competitors.is_some() && warm_start.is_some() {
         return Err("--competitors and --warm-start are mutually exclusive".into());
     }
+    let shard = match (shard_id, shards) {
+        (None, None) => None,
+        (Some(id), Some(n)) => {
+            if id >= n {
+                return Err(format!("--shard-id {id} is out of range for --shards {n}"));
+            }
+            if warm_start.is_some() {
+                return Err(
+                    "--warm-start cannot seed a shard; give the full --competitors file".into(),
+                );
+            }
+            Some((id, n))
+        }
+        _ => return Err("--shard-id and --shards go together".into()),
+    };
     let wal_cfg = wal_dir.map(|dir| WalConfig {
         dir,
         fsync,
@@ -247,14 +304,30 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
                     "serve needs --competitors <file> or --warm-start <snap>\n{SERVE_USAGE}"
                 ))
             }
-            (Some(path), None, None) => {
+            (Some(path), None, wc) => {
                 let store = load_points(path, delimiter, header)?;
-                Engine::with_competitors(store, EngineConfig::default())
-            }
-            (Some(path), None, Some(wc)) => {
-                let store = load_points(path, delimiter, header)?;
-                Engine::with_durability(store, EngineConfig::default(), wc.clone())
-                    .map_err(|e| e.to_string())?
+                let engine = match shard {
+                    // A shard seeds its slab of the partition under the
+                    // global ids the coordinator will assign from — row
+                    // index in the full file == competitor id.
+                    Some((id, n)) => {
+                        let partition = Partition::new(n).map_err(|e| e.to_string())?;
+                        let next_cid = store.len() as u64;
+                        let (slab, cid_of) = partition.shard_seed(&store, id);
+                        Engine::with_identified_competitors(
+                            slab,
+                            cid_of,
+                            next_cid,
+                            EngineConfig::default(),
+                        )
+                        .map_err(|e| e.to_string())?
+                    }
+                    None => Engine::with_competitors(store, EngineConfig::default()),
+                };
+                match wc {
+                    Some(wc) => engine.into_durable(wc.clone()).map_err(|e| e.to_string())?,
+                    None => engine,
+                }
             }
             (None, Some(path), None) => {
                 let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -277,16 +350,101 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
         write_atomic(path, &engine.save_snapshot_bytes())
             .map_err(|e| format!("{}: {e}", path.display()))?;
     }
-    serve_on(engine, port, cfg)
+    serve_on(engine, port, cfg, shard)
 }
 
-/// Binds, prints the `listening on` line, and runs the accept loop.
-fn serve_on(engine: Engine, port: u16, cfg: ServeConfig) -> Result<(), String> {
+/// Binds, prints the `listening on` line, and runs the accept loop —
+/// as a plain single server, or in the shard role when `--shard-id`
+/// was given (direct mutations rejected; `stage`/`flip`/`local_probe`
+/// served).
+fn serve_on(
+    engine: Engine,
+    port: u16,
+    cfg: ServeConfig,
+    shard: Option<(u32, u32)>,
+) -> Result<(), String> {
     let (listener, addr) = bind_local(port).map_err(|e| format!("bind: {e}"))?;
     let handle = ServeHandle::start(Arc::new(engine), cfg);
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
-    serve(handle, listener).map_err(|e| format!("serve: {e}"))
+    match shard {
+        Some((id, n)) => serve(
+            ShardDispatch(Arc::new(ShardState::new(handle, id, n))),
+            listener,
+        ),
+        None => serve(handle, listener),
+    }
+    .map_err(|e| format!("serve: {e}"))
+}
+
+/// Runs `skyup coordinate`: the scatter/gather front-end over shard
+/// servers. Blocks until a client requests shutdown.
+pub fn run_coordinate(args: &[String]) -> Result<(), String> {
+    let mut shard_addrs: Vec<String> = Vec::new();
+    let mut competitors: Option<PathBuf> = None;
+    let mut port = 0u16;
+    let mut threads = 1usize;
+    let mut delimiter = ',';
+    let mut header = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shard" => {
+                shard_addrs.push(value(args, i, "--shard")?);
+                i += 2;
+            }
+            "--competitors" => {
+                competitors = Some(PathBuf::from(value(args, i, "--competitors")?));
+                i += 2;
+            }
+            "--port" => {
+                port = value(args, i, "--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+                i += 2;
+            }
+            "--threads" => {
+                threads = value(args, i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                i += 2;
+            }
+            "--delimiter" => {
+                let v = value(args, i, "--delimiter")?;
+                let mut chars = v.chars();
+                delimiter = chars
+                    .next()
+                    .filter(|_| chars.next().is_none())
+                    .ok_or("--delimiter takes a single character")?;
+                i += 2;
+            }
+            "--header" => {
+                header = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}\n{SERVE_USAGE}")),
+        }
+    }
+
+    if shard_addrs.is_empty() {
+        return Err(format!(
+            "coordinate needs at least one --shard HOST:PORT\n{SERVE_USAGE}"
+        ));
+    }
+    let seed_path = competitors
+        .ok_or_else(|| format!("coordinate needs --competitors <file>\n{SERVE_USAGE}"))?;
+    let seed = load_points(&seed_path, delimiter, header)?;
+    let partition = Partition::new(shard_addrs.len() as u32).map_err(|e| e.to_string())?;
+    let links: Vec<TcpLink> = shard_addrs.iter().map(|a| TcpLink::new(a)).collect();
+    let coordinator = Coordinator::new(links, partition, &seed)
+        .map_err(|e| e.to_string())?
+        .with_threads(threads);
+
+    let (listener, addr) = bind_local(port).map_err(|e| format!("bind: {e}"))?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    serve(CoordinatorDispatch(Arc::new(coordinator)), listener).map_err(|e| format!("serve: {e}"))
 }
 
 enum ClientOp {
@@ -298,41 +456,6 @@ enum ClientOp {
     Metrics,
     Trace(u64),
     Shutdown,
-}
-
-/// Connects with bounded retry: connection-refused — the window while a
-/// crashed or restarting server is not yet listening — is retried up to
-/// 3 attempts with jittered exponential backoff; anything else (bad
-/// address, unreachable host) fails fast.
-fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
-    const ATTEMPTS: u32 = 3;
-    let seed = std::time::UNIX_EPOCH
-        .elapsed()
-        .map(|d| d.subsec_nanos() as u64)
-        .unwrap_or(0)
-        ^ (std::process::id() as u64) << 32;
-    let mut rng = Rng::seed_from_u64(seed);
-    for attempt in 1..=ATTEMPTS {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                if attempt == ATTEMPTS {
-                    break;
-                }
-                let base = 50u64 << (attempt - 1);
-                let backoff = base + (rng.next_u64() % (base / 2 + 1));
-                eprintln!(
-                    "{addr}: connection refused (attempt {attempt}/{ATTEMPTS}); \
-                     retrying in {backoff}ms"
-                );
-                std::thread::sleep(Duration::from_millis(backoff));
-            }
-            Err(e) => return Err(format!("{addr}: {e}")),
-        }
-    }
-    Err(format!(
-        "{addr}: connection refused after {ATTEMPTS} attempts"
-    ))
 }
 
 /// Runs `skyup query --connect`: sends one request line, prints the
@@ -478,23 +601,13 @@ pub fn run_query(args: &[String]) -> Result<i32, String> {
         ClientOp::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
     };
 
-    let stream = connect_with_retry(&addr)?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writer
-        .write_all(format!("{}\n", request.render()).as_bytes())
-        .and_then(|()| writer.flush())
-        .map_err(|e| format!("send: {e}"))?;
-    let mut line = String::new();
-    BufReader::new(stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("recv: {e}"))?;
-    let line = line.trim_end();
-    if line.is_empty() {
-        return Err("server closed the connection without replying".into());
-    }
+    // The shared serve-crate client carries the bounded
+    // connection-refused retry (a restarting server's listen window).
+    let mut client = Client::connect(&addr)?;
+    let line = client.request(&request.render())?;
     println!("{line}");
 
-    let doc = parse(line).map_err(|e| format!("bad response: {e}"))?;
+    let doc = parse(&line).map_err(|e| format!("bad response: {e}"))?;
     if !matches!(doc.get("ok"), Some(Json::Bool(true))) {
         return Ok(1);
     }

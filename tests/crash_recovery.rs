@@ -88,6 +88,9 @@ fn mutation_line(m: &Mutation) -> String {
             format!("{{\"op\":\"add\",\"point\":[{},{}]}}", coords[0], coords[1])
         }
         Mutation::RemoveCompetitor(cid) => format!("{{\"op\":\"remove\",\"cid\":{cid}}}"),
+        Mutation::AddCompetitorWithCid(..) => {
+            unreachable!("the driver only sends client-facing mutations")
+        }
     }
 }
 
@@ -224,6 +227,9 @@ impl Driver {
         let expect_cid = match &m {
             Mutation::AddCompetitor(_) => Some(self.next_cid()),
             Mutation::RemoveCompetitor(_) => None,
+            Mutation::AddCompetitorWithCid(..) => {
+                unreachable!("the driver only sends client-facing mutations")
+            }
         };
         let resp = round_trip(stream, &mutation_line(&m));
         assert!(resp.contains("\"ok\":true"), "{resp}");
