@@ -66,6 +66,19 @@ pub enum SkyupError {
         /// The I/O failure that triggered the degradation.
         reason: String,
     },
+    /// A data file could not be loaded: a malformed cell, a ragged
+    /// column count, a non-finite value, or an empty file. Carries the
+    /// 1-based line number so the offending row can be found without
+    /// re-parsing (`line == 0` means the error is about the file as a
+    /// whole, e.g. it is empty or unreadable).
+    DataLoad {
+        /// The file (or source label) being loaded.
+        source: String,
+        /// 1-based line of the offending row; `0` for whole-file errors.
+        line: u64,
+        /// What was wrong with the row.
+        message: String,
+    },
 }
 
 impl fmt::Display for SkyupError {
@@ -96,6 +109,17 @@ impl fmt::Display for SkyupError {
                     f,
                     "engine is read-only after a durability failure: {reason}"
                 )
+            }
+            SkyupError::DataLoad {
+                source,
+                line,
+                message,
+            } => {
+                if *line == 0 {
+                    write!(f, "{source}: {message}")
+                } else {
+                    write!(f, "{source}: line {line}: {message}")
+                }
             }
         }
     }

@@ -13,8 +13,15 @@
 //! * [`rng`] — the deterministic in-repo PRNG backing all of the above
 //!   (the offline environment has no `rand` crate).
 //!
+//! * [`ingest`] — real-data ingestion: CSV/NDJSON loading with schema
+//!   inference, per-column min/max/cardinality/null profiling,
+//!   direction flags, and normalization into the paper's
+//!   `P ⊂ [0,1]^c` / `T ⊂ (1,2]^c` frame, with line-numbered
+//!   `SkyupError::DataLoad` errors.
+//!
 //! All generators are deterministic given a seed.
 
+pub mod ingest;
 pub mod io;
 pub mod normalize;
 pub mod rng;
@@ -22,6 +29,10 @@ pub mod sample;
 pub mod synthetic;
 pub mod wine;
 
+pub use ingest::{
+    ingest, ingest_text, normalize_frame, ColumnProfile, Format, Frame, IngestOptions, Ingested,
+    NullPolicy,
+};
 pub use io::{read_delimited, write_delimited};
 pub use normalize::{negate_dimensions, normalize_unit};
 pub use rng::Rng;

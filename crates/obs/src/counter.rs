@@ -137,11 +137,22 @@ pub enum Counter {
     /// Two-phase epoch publishes committed by the coordinator (the
     /// flip round after all shards acked the staged epoch).
     EpochFlips,
+    /// Rows accepted by the `skyup ingest` loader into a point store
+    /// (after schema inference, column selection, and the finite-value
+    /// checks all passed for the row).
+    RowsIngested,
+    /// Rows the ingest path refused: malformed cells, ragged column
+    /// counts, non-finite values, or (in profiling mode) null cells
+    /// that make the row unusable as a point.
+    RowsRejected,
+    /// Scenario files executed by the `skyup test --suite` harness
+    /// (skipped scenarios are not counted).
+    ScenariosRun,
 }
 
 impl Counter {
     /// Every counter, in declaration (= array) order.
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 46] = [
         Counter::DominanceTests,
         Counter::RtreeNodeAccesses,
         Counter::RtreeEntryAccesses,
@@ -185,6 +196,9 @@ impl Counter {
         Counter::MergeDropped,
         Counter::StageAcks,
         Counter::EpochFlips,
+        Counter::RowsIngested,
+        Counter::RowsRejected,
+        Counter::ScenariosRun,
     ];
 
     /// Number of counters (the metrics array length).
@@ -236,6 +250,9 @@ impl Counter {
             Counter::MergeDropped => "merge_dropped",
             Counter::StageAcks => "stage_acks",
             Counter::EpochFlips => "epoch_flips",
+            Counter::RowsIngested => "rows_ingested",
+            Counter::RowsRejected => "rows_rejected",
+            Counter::ScenariosRun => "scenarios_run",
         }
     }
 

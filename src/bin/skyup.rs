@@ -30,11 +30,27 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        Some("ingest") => match skyup::ingest_cli::run_ingest(&args[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        },
+        Some("test") => match skyup::scenario::run_test(&args[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        },
         _ => {}
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", skyup::cli::USAGE);
         print!("{}", skyup::serve_cli::SERVE_USAGE);
+        print!("{}", skyup::ingest_cli::INGEST_USAGE);
+        print!("{}", skyup::scenario::TEST_USAGE);
         return;
     }
     let cfg = match skyup::cli::Config::parse(&args) {

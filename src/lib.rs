@@ -61,7 +61,10 @@
 //! ```
 
 pub mod cli;
+pub mod ingest_cli;
+pub mod scenario;
 pub mod serve_cli;
+pub mod toml_lite;
 
 pub use skyup_core as core;
 pub use skyup_data as data;

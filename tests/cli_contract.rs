@@ -180,3 +180,80 @@ fn query_connect_refused_retries_then_exits_one() {
         start.elapsed()
     );
 }
+
+// ---------------------------------------------------------------------
+// `skyup ingest` error contract: every rejected file names its line in
+// a structured `SkyupError::DataLoad`, rendered on stderr as
+// `error: <source>: line <n>: <what>`, with exit code 1.
+// ---------------------------------------------------------------------
+
+/// Runs `skyup ingest` over a scratch file with the given contents.
+fn run_ingest(tag: &str, file_name: &str, contents: &str, extra: &[&str]) -> Output {
+    let dir = std::env::temp_dir().join(format!("skyup-cli-contract-ingest-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(file_name);
+    std::fs::write(&path, contents).unwrap();
+    bin()
+        .arg("ingest")
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("failed to spawn the skyup binary")
+}
+
+#[test]
+fn ingest_malformed_cell_names_its_line() {
+    let out = run_ingest(
+        "malformed",
+        "bad.csv",
+        "0.5,0.5\n0.4,potato\n0.3,0.3\n",
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error:"), "{stderr}");
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("potato"), "{stderr}");
+}
+
+#[test]
+fn ingest_non_finite_value_names_its_line() {
+    let out = run_ingest("nonfinite", "inf.csv", "0.5,0.5\n0.4,0.4\n-inf,0.3\n", &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    assert!(stderr.contains("non-finite"), "{stderr}");
+}
+
+#[test]
+fn ingest_ragged_row_names_its_line() {
+    let out = run_ingest("ragged", "ragged.csv", "0.5,0.5\n0.4,0.4,0.9\n", &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("3 columns"), "{stderr}");
+}
+
+#[test]
+fn ingest_empty_file_is_a_whole_file_error() {
+    let out = run_ingest("empty", "empty.csv", "", &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // line == 0 renders without a line number: the file as a whole.
+    assert!(stderr.contains("empty file"), "{stderr}");
+    assert!(!stderr.contains("line 0"), "{stderr}");
+}
+
+#[test]
+fn ingest_profile_succeeds_on_clean_data() {
+    let out = run_ingest(
+        "profile",
+        "clean.csv",
+        "price,rating\n10,4\n20,5\n15,3\n",
+        &["--profile", "--negate", "1"],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ingested 3 rows x 2 columns"), "{stdout}");
+    assert!(stdout.contains("max (negated)"), "{stdout}");
+}

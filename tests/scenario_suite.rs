@@ -1,0 +1,174 @@
+//! End-to-end contract of `skyup test --suite`: the committed
+//! `scenarios/` corpus must pass (exit 0), a deliberately broken
+//! scenario must turn the suite red (exit 1), a `serve_only` scenario
+//! without `--serve` must report partial coverage (exit 2), and
+//! `--serve` must replay scenarios through a real `skyup serve` child.
+//!
+//! Spawns the real binary via `CARGO_BIN_EXE_skyup`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_suite(dir: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_skyup"))
+        .arg("test")
+        .arg("--suite")
+        .arg(dir)
+        .args(extra)
+        .output()
+        .expect("failed to spawn the skyup binary")
+}
+
+/// A scratch suite directory holding the given (name, contents) files.
+fn scratch_suite(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skyup-scenario-suite-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, contents) in files {
+        std::fs::write(dir.join(name), contents).unwrap();
+    }
+    dir
+}
+
+const PASSING: &str = "\
+[dataset]
+competitors = [[0.2, 0.8], [0.8, 0.2], [0.5, 0.5]]
+
+[query]
+products = [[1.5, 1.5]]
+k = 1
+
+[expect]
+completion = \"exact\"
+evaluated = 1
+";
+
+#[test]
+fn committed_corpus_passes() {
+    let out = run_suite(&repo_dir().join("scenarios"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    // The corpus the CI step depends on: at least 10 scenarios, all PASS.
+    let passes = stdout.lines().filter(|l| l.starts_with("PASS ")).count();
+    assert!(passes >= 10, "expected >= 10 passing scenarios:\n{stdout}");
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+    assert!(!stdout.contains("SKIP"), "{stdout}");
+    assert!(stdout.contains("0 failed, 0 skipped"), "{stdout}");
+}
+
+#[test]
+fn broken_scenario_turns_the_suite_red() {
+    // Same dataset/query as PASSING but the pinned cost is wrong: the
+    // suite must FAIL that scenario and exit 1 even though the other
+    // scenario passes.
+    let broken = "\
+[dataset]
+competitors = [[0.2, 0.8], [0.8, 0.2], [0.5, 0.5]]
+
+[query]
+products = [[1.5, 1.5]]
+k = 1
+
+[expect]
+completion = \"exact\"
+top = [{ index = 0, cost = 123.456, tol = 1e-9 }]
+";
+    let dir = scratch_suite("broken", &[("ok.toml", PASSING), ("broken.toml", broken)]);
+    let out = run_suite(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("PASS ok.toml"), "{stdout}");
+    assert!(stdout.contains("FAIL broken.toml"), "{stdout}");
+    assert!(stdout.contains("expected cost 123.456"), "{stdout}");
+    assert!(stdout.contains("1 failed"), "{stdout}");
+}
+
+#[test]
+fn malformed_scenario_file_is_an_error() {
+    let dir = scratch_suite(
+        "malformed",
+        &[("ok.toml", PASSING), ("bad.toml", "[dataset\noops")],
+    );
+    let out = run_suite(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL bad.toml"), "{stdout}");
+}
+
+#[test]
+fn serve_only_scenario_skips_without_serve_flag() {
+    let serve_only = "\
+serve_only = true
+
+[dataset]
+competitors = [[0.5, 0.5]]
+
+[query]
+products = [[1.5, 1.5]]
+k = 1
+
+[expect]
+completion = \"exact\"
+";
+    let dir = scratch_suite("skip", &[("ok.toml", PASSING), ("wire.toml", serve_only)]);
+    let out = run_suite(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "{stdout}");
+    assert!(stdout.contains("SKIP wire.toml"), "{stdout}");
+    assert!(stdout.contains("1 skipped"), "{stdout}");
+
+    // With --serve the same suite runs everything and exits 0.
+    let out = run_suite(&dir, &["--serve"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("PASS wire.toml"), "{stdout}");
+}
+
+#[test]
+fn serve_mode_replays_mutations_over_the_wire() {
+    // The mutation scenario runs library-first, then against a real
+    // `skyup serve` child process; both must agree with the pinned
+    // expectations.
+    let mutated = "\
+[dataset]
+competitors = [[0.5, 0.5], [0.2, 0.8], [0.8, 0.2]]
+
+[[ops]]
+add = [0.1, 0.1]
+
+[[ops]]
+remove = 0
+
+[query]
+products = [[1.5, 1.5]]
+k = 1
+
+[expect]
+completion = \"exact\"
+evaluated = 1
+";
+    let dir = scratch_suite("wire-mutations", &[("mutated.toml", mutated)]);
+    let out = run_suite(&dir, &["--serve"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("PASS mutated.toml"), "{stdout}");
+}
+
+#[test]
+fn missing_suite_dir_is_an_error() {
+    let out = run_suite(Path::new("/nonexistent/suite/dir"), &[]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn empty_suite_dir_is_an_error() {
+    let dir = scratch_suite("empty", &[]);
+    let out = run_suite(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("no *.toml or *.json"), "{stdout}");
+}
